@@ -1,0 +1,44 @@
+//! # coalloc-batch
+//!
+//! Baseline batch schedulers for the comparative evaluation of Section 5.
+//! The paper compares its online co-allocation algorithm against "the batch
+//! scheduling algorithms used for the workloads" — EASY-style backfilling
+//! systems. This crate simulates that family over the same request streams:
+//!
+//! * [`BatchPolicy::Fcfs`] — pure first-come-first-serve;
+//! * [`BatchPolicy::EasyBackfill`] — aggressive (EASY) backfilling, the
+//!   discipline the traced systems ran;
+//! * [`BatchPolicy::ConservativeBackfill`] — profile-based conservative
+//!   backfilling.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod conservative;
+pub mod event_sim;
+pub mod policy;
+pub mod profile;
+
+pub use conservative::run_conservative;
+pub use event_sim::run_event_batch;
+pub use policy::BatchPolicy;
+pub use profile::Profile;
+
+use coalloc_core::prelude::Request;
+use coalloc_sim::runner::RunResult;
+
+/// Simulate `requests` under the given batch policy on `capacity`
+/// processors. Release times honour advance reservations (`s_r`).
+pub fn run_batch(
+    capacity: u32,
+    policy: BatchPolicy,
+    requests: &[Request],
+    label: &str,
+) -> RunResult {
+    match policy {
+        BatchPolicy::Fcfs | BatchPolicy::EasyBackfill => {
+            run_event_batch(capacity, policy, requests, label)
+        }
+        BatchPolicy::ConservativeBackfill => run_conservative(capacity, requests, label),
+    }
+}

@@ -1,0 +1,56 @@
+//! Batch-scheduler policy selection.
+
+/// Which batch-scheduling discipline to simulate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum BatchPolicy {
+    /// Pure first-come-first-serve: the queue head blocks everything behind
+    /// it. "Pure FCFS policies lead to high fragmentation of resources, low
+    /// utilization and limited scheduling flexibility" (Section 1).
+    Fcfs,
+    /// EASY (aggressive) backfilling: "allow small jobs to leap ahead in the
+    /// queue as long as they don't delay the job at the head of the queue"
+    /// (Section 5.1). The default, since the paper's trace systems ran this
+    /// family.
+    #[default]
+    EasyBackfill,
+    /// Conservative backfilling: a backfilled job may not delay *any*
+    /// queued job.
+    ConservativeBackfill,
+}
+
+impl BatchPolicy {
+    /// Short label used in experiment output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BatchPolicy::Fcfs => "fcfs",
+            BatchPolicy::EasyBackfill => "easy",
+            BatchPolicy::ConservativeBackfill => "conservative",
+        }
+    }
+
+    /// All policies, for sweeps.
+    pub fn all() -> [BatchPolicy; 3] {
+        [
+            BatchPolicy::Fcfs,
+            BatchPolicy::EasyBackfill,
+            BatchPolicy::ConservativeBackfill,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: std::collections::HashSet<_> =
+            BatchPolicy::all().iter().map(|p| p.label()).collect();
+        assert_eq!(labels.len(), 3);
+    }
+
+    #[test]
+    fn default_is_easy() {
+        assert_eq!(BatchPolicy::default(), BatchPolicy::EasyBackfill);
+    }
+}

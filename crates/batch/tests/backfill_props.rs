@@ -1,0 +1,119 @@
+//! Cross-cutting properties of the batch baselines, driven by the synthetic
+//! workload twins.
+
+use coalloc_batch::{run_batch, BatchPolicy};
+use coalloc_core::prelude::*;
+use coalloc_sim::runner::RunResult;
+use coalloc_workloads::{with_paper_reservations, WorkloadSpec};
+use proptest::prelude::*;
+
+/// Verify that a schedule never overcommits the machine and never starts a
+/// job before its release time.
+fn assert_valid_schedule(capacity: u32, result: &RunResult) {
+    let mut deltas: Vec<(Time, i64)> = Vec::new();
+    for o in &result.outcomes {
+        if let Some(start) = o.start {
+            assert!(
+                start >= o.earliest,
+                "{}: job started before release",
+                result.label
+            );
+            deltas.push((start, o.servers as i64));
+            deltas.push((start + o.duration, -(o.servers as i64)));
+        }
+    }
+    // End events before start events at the same instant.
+    deltas.sort_by_key(|&(t, d)| (t, d));
+    let mut used = 0i64;
+    for (t, d) in deltas {
+        used += d;
+        assert!(
+            used <= capacity as i64,
+            "{}: capacity exceeded at {t}: {used} > {capacity}",
+            result.label
+        );
+        assert!(used >= 0);
+    }
+}
+
+fn kth_slice(seed: u64) -> (u32, Vec<Request>) {
+    let spec = WorkloadSpec::kth().scaled(0.01);
+    let n = spec.servers;
+    (n, spec.generate(seed))
+}
+
+#[test]
+fn all_policies_produce_valid_schedules_on_kth() {
+    let (n, reqs) = kth_slice(42);
+    for policy in BatchPolicy::all() {
+        let out = run_batch(n, policy, &reqs, policy.label());
+        assert_valid_schedule(n, &out);
+        assert_eq!(out.outcomes.len(), reqs.len());
+        assert!(out.acceptance_rate() > 0.99, "{}", policy.label());
+    }
+}
+
+#[test]
+fn backfilling_beats_fcfs_on_mean_wait() {
+    let (n, reqs) = kth_slice(7);
+    let fcfs = run_batch(n, BatchPolicy::Fcfs, &reqs, "fcfs");
+    let easy = run_batch(n, BatchPolicy::EasyBackfill, &reqs, "easy");
+    let cons = run_batch(n, BatchPolicy::ConservativeBackfill, &reqs, "cons");
+    let (wf, we, wc) = (
+        fcfs.waiting_stats_hours().mean(),
+        easy.waiting_stats_hours().mean(),
+        cons.waiting_stats_hours().mean(),
+    );
+    assert!(we <= wf, "EASY {we} should beat FCFS {wf}");
+    assert!(wc <= wf, "conservative {wc} should beat FCFS {wf}");
+}
+
+#[test]
+fn head_of_queue_never_delayed_by_easy_relative_to_fcfs_makespan() {
+    // EASY must not hurt overall makespan relative to FCFS on the same
+    // stream (backfilling only uses idle capacity).
+    let (n, reqs) = kth_slice(3);
+    let fcfs = run_batch(n, BatchPolicy::Fcfs, &reqs, "fcfs");
+    let easy = run_batch(n, BatchPolicy::EasyBackfill, &reqs, "easy");
+    assert!(easy.makespan <= fcfs.makespan);
+}
+
+#[test]
+fn advance_release_streams_stay_valid() {
+    let (n, reqs) = kth_slice(11);
+    let mixed = with_paper_reservations(&reqs, 0.5, 9);
+    for policy in BatchPolicy::all() {
+        let out = run_batch(n, policy, &mixed, policy.label());
+        assert_valid_schedule(n, &out);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random small streams: every policy yields a valid schedule and FCFS
+    /// preserves queue order (start times of same-release jobs are
+    /// monotone in arrival order).
+    #[test]
+    fn random_streams_valid(raw in prop::collection::vec((0i64..500, 1i64..400, 1u32..8), 1..60)) {
+        let mut t = 0;
+        let reqs: Vec<Request> = raw
+            .iter()
+            .map(|&(dt, dur, procs)| {
+                t += dt;
+                Request::on_demand(Time(t), Dur(dur), procs)
+            })
+            .collect();
+        for policy in BatchPolicy::all() {
+            let out = run_batch(8, policy, &reqs, policy.label());
+            assert_valid_schedule(8, &out);
+            prop_assert_eq!(out.acceptance_rate(), 1.0);
+        }
+        // FCFS order property.
+        let fcfs = run_batch(8, BatchPolicy::Fcfs, &reqs, "fcfs");
+        let starts: Vec<Time> = fcfs.outcomes.iter().map(|o| o.start.unwrap()).collect();
+        for w in starts.windows(2) {
+            prop_assert!(w[0] <= w[1], "FCFS must start jobs in queue order");
+        }
+    }
+}

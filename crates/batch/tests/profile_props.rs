@@ -1,0 +1,82 @@
+//! Property tests for the availability profile against a per-second
+//! occupancy oracle.
+
+use coalloc_batch::Profile;
+use coalloc_core::prelude::{Dur, Time};
+use proptest::prelude::*;
+
+const SPAN: i64 = 300;
+const CAP: u32 = 6;
+
+fn brute_earliest_fit(usage: &[u32], after: i64, dur: i64, procs: u32) -> i64 {
+    let mut s = after;
+    'outer: loop {
+        let mut t = s;
+        while t < s + dur {
+            let used = if t < SPAN { usage[t as usize] } else { 0 };
+            if used + procs > CAP {
+                s = t + 1;
+                continue 'outer;
+            }
+            t += 1;
+        }
+        return s;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// After a random sequence of (valid) reservations, `earliest_fit`
+    /// agrees with a brute-force per-second search for arbitrary queries.
+    #[test]
+    fn earliest_fit_matches_brute_force(
+        reservations in prop::collection::vec((0i64..SPAN, 1i64..40, 1u32..=CAP), 0..15),
+        queries in prop::collection::vec((0i64..SPAN, 1i64..50, 1u32..=CAP), 1..10),
+    ) {
+        let mut p = Profile::new(CAP);
+        let mut usage = vec![0u32; SPAN as usize];
+        for (start, len, procs) in reservations {
+            let end = (start + len).min(SPAN);
+            if end <= start {
+                continue;
+            }
+            // Only place it if it fits (mirrors real callers).
+            let fits = (start..end).all(|t| usage[t as usize] + procs <= CAP);
+            if fits {
+                p.reserve(Time(start), Time(end), procs);
+                for t in start..end {
+                    usage[t as usize] += procs;
+                }
+            }
+        }
+        for (after, dur, procs) in queries {
+            let got = p.earliest_fit(Time(after), Dur(dur), procs);
+            let want = brute_earliest_fit(&usage, after, dur, procs);
+            prop_assert_eq!(got, Time(want), "query after={} dur={} procs={}", after, dur, procs);
+        }
+    }
+
+    /// Reserve + release is an identity on the profile's observable state.
+    #[test]
+    fn reserve_release_identity(
+        windows in prop::collection::vec((0i64..SPAN, 1i64..40, 1u32..=CAP), 1..10),
+        probes in prop::collection::vec(0i64..SPAN, 1..20),
+    ) {
+        let mut p = Profile::new(CAP);
+        let mut placed = Vec::new();
+        for (start, len, procs) in windows {
+            let end = start + len;
+            if p.earliest_fit(Time(start), Dur(len), procs) == Time(start) {
+                p.reserve(Time(start), Time(end), procs);
+                placed.push((start, end, procs));
+            }
+        }
+        for &(start, end, procs) in placed.iter().rev() {
+            p.release(Time(start), Time(end), procs);
+        }
+        for t in probes {
+            prop_assert_eq!(p.free_at(Time(t)), CAP as i64);
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! End-to-end scheduler throughput on workload-twin slices: the online
+//! tree-based co-allocator vs the naive sequential baseline vs the batch
+//! baselines, on identical request streams.
+
+use coalloc_batch::{run_batch, BatchPolicy};
+use coalloc_core::naive::NaiveScheduler;
+use coalloc_core::prelude::*;
+use coalloc_sim::runner::{run_naive, run_online};
+use coalloc_workloads::synthetic::WorkloadSpec;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn paper_cfg() -> SchedulerConfig {
+    SchedulerConfig::builder()
+        .tau(Dur::from_mins(15))
+        .horizon(Dur::from_hours(72))
+        .delta_t(Dur::from_mins(15))
+        .build()
+}
+
+fn bench_replay(c: &mut Criterion) {
+    let spec = WorkloadSpec::kth().scaled(0.005);
+    let reqs = spec.generate(42);
+    let mut group = c.benchmark_group("kth_replay");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(reqs.len() as u64));
+    group.bench_function("online-tree", |b| {
+        b.iter(|| {
+            let mut s = CoAllocScheduler::new(spec.servers, paper_cfg());
+            black_box(run_online(&mut s, &reqs, "online").acceptance_rate())
+        });
+    });
+    group.bench_function("naive-scan", |b| {
+        b.iter(|| {
+            let mut s = NaiveScheduler::new(spec.servers, paper_cfg());
+            black_box(run_naive(&mut s, &reqs, "naive").acceptance_rate())
+        });
+    });
+    group.bench_function("easy-backfill", |b| {
+        b.iter(|| {
+            black_box(
+                run_batch(spec.servers, BatchPolicy::EasyBackfill, &reqs, "easy")
+                    .acceptance_rate(),
+            )
+        });
+    });
+    group.bench_function("conservative-backfill", |b| {
+        b.iter(|| {
+            black_box(
+                run_batch(
+                    spec.servers,
+                    BatchPolicy::ConservativeBackfill,
+                    &reqs,
+                    "cons",
+                )
+                .acceptance_rate(),
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_replay);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! CLI for the experiment suite.
+//!
+//! ```text
+//! experiments <exp-id | all> [--scale F] [--seed N] [--out DIR]
+//! ```
+
+use coalloc_bench::{ExpConfig, ALL_EXPERIMENTS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
+        eprintln!("usage: experiments <exp-id|all> [--scale F] [--seed N] [--out DIR]");
+        eprintln!("experiments: {}", ALL_EXPERIMENTS.join(", "));
+        std::process::exit(if args.is_empty() { 2 } else { 0 });
+    }
+    let id = args[0].clone();
+    let mut cfg = ExpConfig::default();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                cfg.scale = args[i + 1].parse().expect("--scale takes a float");
+                i += 2;
+            }
+            "--seed" => {
+                cfg.seed = args[i + 1].parse().expect("--seed takes an integer");
+                i += 2;
+            }
+            "--out" => {
+                cfg.out_dir = args[i + 1].clone().into();
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    println!(
+        "running '{id}' at scale {} (seed {}) -> {}",
+        cfg.scale,
+        cfg.seed,
+        cfg.out_dir.display()
+    );
+    if let Err(e) = coalloc_bench::run(&id, &cfg) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

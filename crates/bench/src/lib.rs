@@ -1,0 +1,31 @@
+//! # coalloc-bench
+//!
+//! Experiment harness reproducing every table and figure of the paper's
+//! evaluation (Section 5), plus complexity experiments (Section 4.3) and
+//! design ablations. Run with:
+//!
+//! ```text
+//! cargo run -p coalloc-bench --release --bin experiments -- all --scale 0.05
+//! ```
+//!
+//! Criterion micro-benchmarks live under `benches/`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod harness;
+
+pub use experiments::{run, ALL_EXPERIMENTS};
+pub use harness::{paper_scheduler_config, Csv, ExpConfig};
+
+/// Relative frequency of job durations in 2-hour bins (Figure 4b helper).
+pub fn dist_hours(reqs: &[coalloc_core::prelude::Request]) -> Vec<f64> {
+    let mut counts = [0u64; 22];
+    for r in reqs {
+        let bin = ((r.duration.hours() / 2.0) as usize).min(21);
+        counts[bin] += 1;
+    }
+    let total = reqs.len().max(1) as f64;
+    counts.iter().map(|&c| c as f64 / total).collect()
+}

@@ -1,0 +1,183 @@
+//! Idle periods and their ordering keys.
+//!
+//! An *idle period* is a maximal time interval during which a server is idle
+//! and hence available for service (Section 4.1). The slotted trees order
+//! idle periods by **descending start time** (primary dimension) and by
+//! **ascending end time** (secondary dimension); both orderings are made
+//! strict by tie-breaking on the unique [`PeriodId`].
+
+use crate::ids::{PeriodId, ServerId};
+use crate::time::Time;
+use std::cmp::Ordering;
+
+/// One idle period `i = (st_i, et_i)` on server `id_i`.
+///
+/// The interval is half-open `[start, end)`. `end == Time::INF` encodes the
+/// trailing, open-ended idle period on a server (idle until the horizon,
+/// however far it advances).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IdlePeriod {
+    /// Unique identifier; never reused.
+    pub id: PeriodId,
+    /// The server on which this idle period occurs (`id_i`).
+    pub server: ServerId,
+    /// Starting time `st_i`.
+    pub start: Time,
+    /// Ending time `et_i` (exclusive); `Time::INF` when open-ended.
+    pub end: Time,
+}
+
+impl IdlePeriod {
+    /// A period is *feasible* for a job occupying `[start, end)` iff
+    /// `st_i <= start` and `et_i >= end` (Section 4.2).
+    #[inline]
+    pub fn is_feasible(&self, start: Time, end: Time) -> bool {
+        self.start <= start && self.end >= end
+    }
+
+    /// A period is a *candidate* for a job starting at `start` iff
+    /// `st_i <= start` (the Phase-1 condition).
+    #[inline]
+    pub fn is_candidate(&self, start: Time) -> bool {
+        self.start <= start
+    }
+
+    /// The primary-tree key (descending start order).
+    #[inline]
+    pub fn start_key(&self) -> StartKey {
+        StartKey {
+            start: self.start,
+            id: self.id,
+        }
+    }
+
+    /// The secondary-tree key (ascending end order).
+    #[inline]
+    pub fn end_key(&self) -> EndKey {
+        EndKey {
+            end: self.end,
+            id: self.id,
+        }
+    }
+}
+
+/// Primary ordering key: sorts idle periods by **descending** starting time
+/// (the order in which `T_q^s` stores its leaves), tie-broken by id so that
+/// the order is total.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StartKey {
+    /// Starting time of the period.
+    pub start: Time,
+    /// Tie-breaker.
+    pub id: PeriodId,
+}
+
+impl Ord for StartKey {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Descending by start, then ascending by id.
+        other
+            .start
+            .cmp(&self.start)
+            .then_with(|| self.id.cmp(&other.id))
+    }
+}
+
+impl PartialOrd for StartKey {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Secondary ordering key: sorts idle periods by **ascending** ending time
+/// (the order in which `T_q^e(u)` stores its leaves), tie-broken by id.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct EndKey {
+    /// Ending time of the period.
+    pub end: Time,
+    /// Tie-breaker.
+    pub id: PeriodId,
+}
+
+impl EndKey {
+    /// The smallest key whose periods end at or after `end` — used as the
+    /// lower bound of the Phase-2 "feasible" range `et_i >= e_r`.
+    #[inline]
+    pub fn range_floor(end: Time) -> EndKey {
+        EndKey {
+            end,
+            id: PeriodId(0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(id: u64, start: i64, end: i64) -> IdlePeriod {
+        IdlePeriod {
+            id: PeriodId(id),
+            server: ServerId(0),
+            start: Time(start),
+            end: Time(end),
+        }
+    }
+
+    #[test]
+    fn start_key_orders_descending() {
+        // Paper's Figure 2: leaves of T_2^s in descending start order are
+        // Y(16), Z(7), X(4), V(1).
+        let x = p(1, 4, 25);
+        let y = p(2, 16, 33);
+        let z = p(3, 7, 33);
+        let v = p(4, 1, 18);
+        let mut keys = [x.start_key(), y.start_key(), z.start_key(), v.start_key()];
+        keys.sort();
+        assert_eq!(
+            keys.iter().map(|k| k.start.0).collect::<Vec<_>>(),
+            vec![16, 7, 4, 1]
+        );
+    }
+
+    #[test]
+    fn end_key_orders_ascending_with_tiebreak() {
+        let a = p(10, 0, 18);
+        let b = p(11, 0, 33);
+        let c = p(12, 0, 33);
+        let mut keys = [c.end_key(), b.end_key(), a.end_key()];
+        keys.sort();
+        assert_eq!(keys[0].end, Time(18));
+        assert_eq!(keys[1].id, PeriodId(11));
+        assert_eq!(keys[2].id, PeriodId(12));
+    }
+
+    #[test]
+    fn feasibility_conditions() {
+        let i = p(1, 4, 25);
+        // Paper example: request (s_r=17, e_r=29): X(4,25) is a candidate but
+        // not feasible.
+        assert!(i.is_candidate(Time(17)));
+        assert!(!i.is_feasible(Time(17), Time(29)));
+        // Y(16,33) is feasible.
+        let y = p(2, 16, 33);
+        assert!(y.is_feasible(Time(17), Time(29)));
+        // Open-ended periods are feasible for any end.
+        let open = IdlePeriod {
+            id: PeriodId(3),
+            server: ServerId(1),
+            start: Time(0),
+            end: Time::INF,
+        };
+        assert!(open.is_feasible(Time(17), Time(1 << 40)));
+    }
+
+    #[test]
+    fn start_key_tiebreak_is_total() {
+        let a = p(1, 5, 10);
+        let b = p(2, 5, 12);
+        assert!(a.start_key() < b.start_key());
+        assert_ne!(a.start_key(), b.start_key());
+    }
+}

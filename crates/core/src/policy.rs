@@ -1,0 +1,119 @@
+//! Selection policies: which `n_r` of the feasible idle periods to allocate.
+//!
+//! The paper retrieves the first `n_r` feasible periods found when searching
+//! the marked subtrees in reverse marking order — i.e. candidates with the
+//! *latest* starting times first ([`SelectionPolicy::PaperOrder`]). Because
+//! the choice shapes future fragmentation, the crate also offers classic
+//! best-fit and worst-fit variants as ablations, plus a deterministic
+//! order-independent policy used for oracle testing.
+
+use crate::idle::IdlePeriod;
+use crate::time::Time;
+
+/// How the scheduler picks `n_r` periods out of the feasible set.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum SelectionPolicy {
+    /// First `n_r` feasible periods in reverse marking order (the paper's
+    /// behaviour). Phase 2 stops as soon as enough are found, so this is the
+    /// cheapest policy.
+    #[default]
+    PaperOrder,
+    /// Minimize leftover tail `et_i - e_r`: keeps large idle periods intact
+    /// at the cost of enumerating the whole feasible set.
+    BestFit,
+    /// Maximize leftover tail: spreads load, fragments large periods.
+    WorstFit,
+    /// Lowest server id first. Deterministic regardless of tree shape; used
+    /// to prove equivalence between the tree-based and naive schedulers.
+    ByServerId,
+}
+
+impl SelectionPolicy {
+    /// Does this policy need the *entire* feasible set, or may Phase 2 stop
+    /// after the first `n_r` hits?
+    pub fn needs_full_enumeration(&self) -> bool {
+        !matches!(self, SelectionPolicy::PaperOrder)
+    }
+
+    /// Reduce `feasible` (already feasibility-checked) to at most `n`
+    /// periods according to the policy. `end` is the job end `e_r`.
+    /// `feasible` arrives in the order Phase 2 produced it.
+    pub fn select(&self, mut feasible: Vec<IdlePeriod>, n: usize, end: Time) -> Vec<IdlePeriod> {
+        match self {
+            SelectionPolicy::PaperOrder => {
+                feasible.truncate(n);
+                feasible
+            }
+            SelectionPolicy::BestFit => {
+                feasible.sort_by_key(|p| (p.end - end, p.server, p.id));
+                feasible.truncate(n);
+                feasible
+            }
+            SelectionPolicy::WorstFit => {
+                feasible.sort_by_key(|p| (std::cmp::Reverse(p.end - end), p.server, p.id));
+                feasible.truncate(n);
+                feasible
+            }
+            SelectionPolicy::ByServerId => {
+                feasible.sort_by_key(|p| (p.server, p.id));
+                feasible.truncate(n);
+                feasible
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{PeriodId, ServerId};
+
+    fn p(id: u64, server: u32, start: i64, end: i64) -> IdlePeriod {
+        IdlePeriod {
+            id: PeriodId(id),
+            server: ServerId(server),
+            start: Time(start),
+            end: Time(end),
+        }
+    }
+
+    fn sample() -> Vec<IdlePeriod> {
+        vec![p(1, 3, 0, 50), p(2, 1, 5, 30), p(3, 2, 2, 90), p(4, 0, 1, 40)]
+    }
+
+    #[test]
+    fn paper_order_keeps_arrival_order() {
+        let sel = SelectionPolicy::PaperOrder.select(sample(), 2, Time(20));
+        assert_eq!(sel.iter().map(|x| x.id.0).collect::<Vec<_>>(), vec![1, 2]);
+        assert!(!SelectionPolicy::PaperOrder.needs_full_enumeration());
+    }
+
+    #[test]
+    fn best_fit_minimizes_tail() {
+        let sel = SelectionPolicy::BestFit.select(sample(), 2, Time(20));
+        // Tails: 30, 10, 70, 20 → picks ends 30 (id 2) then 40 (id 4).
+        assert_eq!(sel.iter().map(|x| x.id.0).collect::<Vec<_>>(), vec![2, 4]);
+    }
+
+    #[test]
+    fn worst_fit_maximizes_tail() {
+        let sel = SelectionPolicy::WorstFit.select(sample(), 2, Time(20));
+        assert_eq!(sel.iter().map(|x| x.id.0).collect::<Vec<_>>(), vec![3, 1]);
+    }
+
+    #[test]
+    fn by_server_id_is_order_independent() {
+        let mut shuffled = sample();
+        shuffled.reverse();
+        let a = SelectionPolicy::ByServerId.select(sample(), 3, Time(20));
+        let b = SelectionPolicy::ByServerId.select(shuffled, 3, Time(20));
+        assert_eq!(a, b);
+        assert_eq!(a[0].server, ServerId(0));
+    }
+
+    #[test]
+    fn selecting_more_than_available_returns_all() {
+        let sel = SelectionPolicy::BestFit.select(sample(), 10, Time(20));
+        assert_eq!(sel.len(), 4);
+    }
+}

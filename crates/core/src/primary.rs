@@ -1,0 +1,874 @@
+//! The 2-dimensional tree of one slot: primary tree `T_q^s` over starting
+//! times (descending) with a secondary tree `T_q^e(u)` per internal node.
+//!
+//! The paper stores idle periods in the *leaves* of a balanced search tree;
+//! every internal node `u` records the median starting time, the size of its
+//! subtree, and a pointer to a secondary tree holding the same periods in
+//! ascending ending-time order (Section 4.1).
+//!
+//! Rotations would invalidate the "secondary tree contains exactly `u`'s
+//! subtree" invariant, so — as in classical dynamic range trees — balance is
+//! maintained by *partial rebuilds* (scapegoat / weight-balanced style):
+//! an insert or delete walks one root-to-leaf path, updating each ancestor's
+//! secondary tree in `O(log n)`, and occasionally flattens and rebuilds the
+//! highest unbalanced subtree, which is `O(k log k)` for a subtree of `k`
+//! leaves and amortizes to `O(log^2 n)` per update.
+
+use crate::idle::{EndKey, IdlePeriod, StartKey};
+use crate::ids::PeriodId;
+use crate::stats::OpStats;
+use crate::time::Time;
+use crate::treap::{Treap, TreapArena};
+
+const NIL: u32 = u32::MAX;
+
+/// Weight-balance parameter: a subtree is rebuilt when one child holds more
+/// than `ALPHA` of its weight. 0.7 trades rebuild frequency against height
+/// (height <= log_{1/0.7} n ~ 1.94 log2 n).
+const ALPHA_NUM: u64 = 7;
+const ALPHA_DEN: u64 = 10;
+
+#[derive(Clone, Debug)]
+enum PNode {
+    Leaf {
+        period: IdlePeriod,
+    },
+    Internal {
+        left: u32,
+        right: u32,
+        size: u32,
+        /// Key of the last leaf (in descending-start order) of the left
+        /// subtree; partitions the key space: left keys `<= split`, right
+        /// keys `> split`. Plays the role of the paper's "median starting
+        /// time". The bound may become stale after deletions but remains a
+        /// valid partition.
+        split: StartKey,
+        secondary: Treap,
+    },
+    /// Free-list tombstone.
+    Free,
+}
+
+/// A reference to a subtree marked during Phase 1; all idle periods below a
+/// marked node are *candidates* (`st_i <= s_r`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MarkedNode(u32);
+
+/// The 2-dimensional tree for one slot.
+#[derive(Clone, Debug)]
+pub struct SlotTree {
+    nodes: Vec<PNode>,
+    free: Vec<u32>,
+    root: u32,
+    arena: TreapArena<EndKey>,
+    size: u32,
+    /// High-water mark since the last full rebuild, for the scapegoat
+    /// deletion rule.
+    max_size_since_rebuild: u32,
+}
+
+impl SlotTree {
+    /// An empty tree; `seed` determines the (deterministic) secondary-treap
+    /// shapes.
+    pub fn new(seed: u64) -> SlotTree {
+        SlotTree {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            root: NIL,
+            arena: TreapArena::new(seed),
+            size: 0,
+            max_size_since_rebuild: 0,
+        }
+    }
+
+    /// Build directly from a slice of periods (used when a new slot tree is
+    /// created at the horizon edge). `O(k log k)`.
+    pub fn from_periods(seed: u64, periods: &[IdlePeriod], ops: &mut OpStats) -> SlotTree {
+        let mut tree = SlotTree::new(seed);
+        let mut sorted: Vec<IdlePeriod> = periods.to_vec();
+        sorted.sort_by_key(|p| p.start_key());
+        tree.size = sorted.len() as u32;
+        tree.max_size_since_rebuild = tree.size;
+        tree.root = tree.build_balanced(&sorted, ops);
+        ops.periods_inserted += periods.len() as u64;
+        tree
+    }
+
+    /// Number of idle periods stored.
+    pub fn len(&self) -> usize {
+        self.size as usize
+    }
+
+    /// Whether the tree stores no periods.
+    pub fn is_empty(&self) -> bool {
+        self.size == 0
+    }
+
+    // ------------------------------------------------------------------
+    // Allocation helpers
+    // ------------------------------------------------------------------
+
+    fn alloc(&mut self, node: PNode) -> u32 {
+        match self.free.pop() {
+            Some(i) => {
+                self.nodes[i as usize] = node;
+                i
+            }
+            None => {
+                self.nodes.push(node);
+                (self.nodes.len() - 1) as u32
+            }
+        }
+    }
+
+    fn dealloc(&mut self, i: u32) {
+        if let PNode::Internal { mut secondary, .. } =
+            std::mem::replace(&mut self.nodes[i as usize], PNode::Free)
+        {
+            secondary.clear(&mut self.arena);
+        }
+        self.free.push(i);
+    }
+
+    fn node_size(&self, i: u32) -> u32 {
+        match &self.nodes[i as usize] {
+            PNode::Leaf { .. } => 1,
+            PNode::Internal { size, .. } => *size,
+            PNode::Free => unreachable!("size of freed node"),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Insert / remove
+    // ------------------------------------------------------------------
+
+    /// Insert an idle period. Amortized `O(log^2 n)`.
+    pub fn insert(&mut self, period: IdlePeriod, ops: &mut OpStats) {
+        ops.periods_inserted += 1;
+        self.size += 1;
+        self.max_size_since_rebuild = self.max_size_since_rebuild.max(self.size);
+        if self.root == NIL {
+            self.root = self.alloc(PNode::Leaf { period });
+            return;
+        }
+        let key = period.start_key();
+        let end_key = period.end_key();
+        // Descend to the leaf position, updating ancestors on the way.
+        let mut path: Vec<u32> = Vec::with_capacity(32);
+        let mut cur = self.root;
+        loop {
+            ops.update_visits += 1;
+            match &mut self.nodes[cur as usize] {
+                PNode::Internal {
+                    left,
+                    right,
+                    size,
+                    split,
+                    secondary,
+                } => {
+                    *size += 1;
+                    let (l, r, go_left) = (*left, *right, key <= *split);
+                    let mut sec = *secondary;
+                    sec.insert(&mut self.arena, end_key, ops);
+                    if let PNode::Internal { secondary, .. } = &mut self.nodes[cur as usize] {
+                        *secondary = sec;
+                    }
+                    path.push(cur);
+                    cur = if go_left { l } else { r };
+                }
+                PNode::Leaf { period: old } => {
+                    let old = *old;
+                    debug_assert_ne!(old.id, period.id, "duplicate period id");
+                    // Replace this leaf by an internal node over {old, new}.
+                    let new_leaf = self.alloc(PNode::Leaf { period });
+                    let old_leaf = self.alloc(PNode::Leaf { period: old });
+                    let (l, r, split) = if key <= old.start_key() {
+                        (new_leaf, old_leaf, key)
+                    } else {
+                        (old_leaf, new_leaf, old.start_key())
+                    };
+                    let mut secondary = Treap::new();
+                    secondary.insert(&mut self.arena, old.end_key(), ops);
+                    secondary.insert(&mut self.arena, end_key, ops);
+                    self.nodes[cur as usize] = PNode::Internal {
+                        left: l,
+                        right: r,
+                        size: 2,
+                        split,
+                        secondary,
+                    };
+                    path.push(cur);
+                    break;
+                }
+                PNode::Free => unreachable!("descended into freed node"),
+            }
+        }
+        self.rebalance_path(&path, ops);
+    }
+
+    /// Remove a period (identified by its full record, so both tree keys are
+    /// known). Returns whether it was present. Amortized `O(log^2 n)`.
+    pub fn remove(&mut self, period: &IdlePeriod, ops: &mut OpStats) -> bool {
+        if self.root == NIL {
+            return false;
+        }
+        let key = period.start_key();
+        let end_key = period.end_key();
+        // First verify presence (cheap read-only descent) so that a miss
+        // leaves the tree untouched.
+        {
+            let mut cur = self.root;
+            loop {
+                match &self.nodes[cur as usize] {
+                    PNode::Internal { left, right, split, .. } => {
+                        cur = if key <= *split { *left } else { *right };
+                    }
+                    PNode::Leaf { period: p } => {
+                        if p.id != period.id {
+                            return false;
+                        }
+                        debug_assert_eq!(p.start, period.start, "stale period record");
+                        debug_assert_eq!(p.end, period.end, "stale period record");
+                        break;
+                    }
+                    PNode::Free => unreachable!(),
+                }
+            }
+        }
+        ops.periods_removed += 1;
+        self.size -= 1;
+        // Mutating descent: fix sizes and secondaries, track parent and
+        // grandparent for the structural splice.
+        let mut parent: u32 = NIL;
+        let mut grandparent: u32 = NIL;
+        let mut path: Vec<u32> = Vec::with_capacity(32);
+        let mut cur = self.root;
+        loop {
+            ops.update_visits += 1;
+            match &mut self.nodes[cur as usize] {
+                PNode::Internal {
+                    left,
+                    right,
+                    size,
+                    split,
+                    secondary,
+                } => {
+                    *size -= 1;
+                    let (l, r, go_left) = (*left, *right, key <= *split);
+                    let mut sec = *secondary;
+                    let removed = sec.remove(&mut self.arena, end_key, ops);
+                    debug_assert!(removed, "secondary missing end key during removal");
+                    if let PNode::Internal { secondary, .. } = &mut self.nodes[cur as usize] {
+                        *secondary = sec;
+                    }
+                    grandparent = parent;
+                    parent = cur;
+                    path.push(cur);
+                    cur = if go_left { l } else { r };
+                }
+                PNode::Leaf { .. } => break,
+                PNode::Free => unreachable!(),
+            }
+        }
+        // Structural splice: replace `parent` with the leaf's sibling.
+        if parent == NIL {
+            // The leaf was the root.
+            self.dealloc(cur);
+            self.root = NIL;
+        } else {
+            let sibling = match &self.nodes[parent as usize] {
+                PNode::Internal { left, right, .. } => {
+                    if *left == cur {
+                        *right
+                    } else {
+                        *left
+                    }
+                }
+                _ => unreachable!(),
+            };
+            self.dealloc(cur);
+            self.dealloc(parent);
+            path.pop(); // `parent` no longer exists
+            if grandparent == NIL {
+                self.root = sibling;
+            } else if let PNode::Internal { left, right, .. } =
+                &mut self.nodes[grandparent as usize]
+            {
+                if *left == parent {
+                    *left = sibling;
+                } else {
+                    debug_assert_eq!(*right, parent);
+                    *right = sibling;
+                }
+            }
+        }
+        // Scapegoat deletion rule: rebuild everything once the tree has
+        // shrunk below ALPHA of its high-water mark.
+        if self.size > 0
+            && (self.size as u64) * ALPHA_DEN < (self.max_size_since_rebuild as u64) * ALPHA_NUM
+        {
+            self.rebuild_root(ops);
+        } else {
+            self.rebalance_path(&path, ops);
+        }
+        true
+    }
+
+    /// Find the highest weight-unbalanced node on `path` and rebuild it.
+    fn rebalance_path(&mut self, path: &[u32], ops: &mut OpStats) {
+        for (idx, &n) in path.iter().enumerate() {
+            if let PNode::Internal { left, right, size, .. } = &self.nodes[n as usize] {
+                let max_child = self.node_size(*left).max(self.node_size(*right)) as u64;
+                if max_child * ALPHA_DEN > (*size as u64) * ALPHA_NUM {
+                    let parent = if idx == 0 { NIL } else { path[idx - 1] };
+                    self.rebuild_at(n, parent, ops);
+                    return;
+                }
+            }
+        }
+    }
+
+    fn rebuild_root(&mut self, ops: &mut OpStats) {
+        if self.root != NIL {
+            self.rebuild_at(self.root, NIL, ops);
+        }
+        self.max_size_since_rebuild = self.size;
+    }
+
+    /// Flatten the subtree at `node` and rebuild it perfectly balanced,
+    /// reconstructing every secondary tree.
+    fn rebuild_at(&mut self, node: u32, parent: u32, ops: &mut OpStats) {
+        ops.rebuilds += 1;
+        let mut leaves: Vec<IdlePeriod> = Vec::with_capacity(self.node_size(node) as usize);
+        self.collect_and_free(node, &mut leaves);
+        let rebuilt = self.build_balanced(&leaves, ops);
+        if parent == NIL {
+            self.root = rebuilt;
+        } else if let PNode::Internal { left, right, .. } = &mut self.nodes[parent as usize] {
+            if *left == node {
+                *left = rebuilt;
+            } else {
+                debug_assert_eq!(*right, node);
+                *right = rebuilt;
+            }
+        }
+    }
+
+    /// In-order collection of leaf periods, freeing every node visited.
+    fn collect_and_free(&mut self, node: u32, out: &mut Vec<IdlePeriod>) {
+        match std::mem::replace(&mut self.nodes[node as usize], PNode::Free) {
+            PNode::Leaf { period } => {
+                out.push(period);
+                self.free.push(node);
+            }
+            PNode::Internal {
+                left,
+                right,
+                mut secondary,
+                ..
+            } => {
+                secondary.clear(&mut self.arena);
+                self.free.push(node);
+                self.collect_and_free(left, out);
+                self.collect_and_free(right, out);
+            }
+            PNode::Free => unreachable!("double free"),
+        }
+    }
+
+    /// Build a perfectly balanced leaf-oriented tree over `sorted` (ascending
+    /// in `StartKey` order, i.e. descending start time). Returns NIL for an
+    /// empty slice.
+    ///
+    /// Secondary trees are built bottom-up in merge-sort fashion: each
+    /// node's end-key list is the `O(k)` merge of its children's lists, and
+    /// the treap itself is bulk-built from the sorted list in `O(k)`, for
+    /// `O(k log k)` per rebuild overall (vs `O(k log^2 k)` with repeated
+    /// inserts).
+    fn build_balanced(&mut self, sorted: &[IdlePeriod], ops: &mut OpStats) -> u32 {
+        let (node, _ends) = self.build_rec(sorted, ops);
+        node
+    }
+
+    fn build_rec(&mut self, sorted: &[IdlePeriod], ops: &mut OpStats) -> (u32, Vec<EndKey>) {
+        match sorted.len() {
+            0 => (NIL, Vec::new()),
+            1 => (
+                self.alloc(PNode::Leaf { period: sorted[0] }),
+                vec![sorted[0].end_key()],
+            ),
+            len => {
+                ops.update_visits += len as u64;
+                let mid = len / 2; // left gets [0, mid), right [mid, len)
+                let (left, lends) = self.build_rec(&sorted[..mid], ops);
+                let (right, rends) = self.build_rec(&sorted[mid..], ops);
+                // Merge the children's sorted end-key lists.
+                let mut ends = Vec::with_capacity(len);
+                let (mut i, mut j) = (0, 0);
+                while i < lends.len() && j < rends.len() {
+                    if lends[i] <= rends[j] {
+                        ends.push(lends[i]);
+                        i += 1;
+                    } else {
+                        ends.push(rends[j]);
+                        j += 1;
+                    }
+                }
+                ends.extend_from_slice(&lends[i..]);
+                ends.extend_from_slice(&rends[j..]);
+                let secondary = Treap::from_sorted(&mut self.arena, &ends, ops);
+                let node = self.alloc(PNode::Internal {
+                    left,
+                    right,
+                    size: len as u32,
+                    split: sorted[mid - 1].start_key(),
+                    secondary,
+                });
+                (node, ends)
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Phase 1 / Phase 2 searches
+    // ------------------------------------------------------------------
+
+    /// Phase 1: locate every *candidate* idle period (`st_i <= s_r`).
+    ///
+    /// Returns the total candidate count (from subtree-size annotations, no
+    /// enumeration) and the marked subtrees, in marking order. `O(log n)`.
+    pub fn phase1_candidates(&self, start: Time, ops: &mut OpStats) -> (usize, Vec<MarkedNode>) {
+        ops.phase1_searches += 1;
+        let mut marked = Vec::new();
+        let mut count = 0usize;
+        let mut cur = self.root;
+        while cur != NIL {
+            ops.primary_visits += 1;
+            match &self.nodes[cur as usize] {
+                PNode::Internal { left, right, split, .. } => {
+                    if split.start <= start {
+                        // Everything right of the split starts no later than
+                        // the split: all candidates. Mark and go left.
+                        count += self.node_size(*right) as usize;
+                        marked.push(MarkedNode(*right));
+                        cur = *left;
+                    } else {
+                        // Everything left of the split starts strictly later
+                        // than s_r: ignore, go right.
+                        cur = *right;
+                    }
+                }
+                PNode::Leaf { period } => {
+                    if period.is_candidate(start) {
+                        count += 1;
+                        marked.push(MarkedNode(cur));
+                    }
+                    break;
+                }
+                PNode::Free => unreachable!(),
+            }
+        }
+        (count, marked)
+    }
+
+    /// Phase 2: among the Phase-1 candidates, find up to `limit` *feasible*
+    /// periods (`et_i >= end`), searching marked subtrees in reverse marking
+    /// order (latest-starting candidates first, as in the paper's example).
+    /// `O(log^2 n)` plus `O(limit)` retrieval.
+    pub fn phase2_feasible(
+        &self,
+        marked: &[MarkedNode],
+        end: Time,
+        limit: usize,
+        ops: &mut OpStats,
+    ) -> Vec<PeriodId> {
+        ops.phase2_searches += 1;
+        let mut out: Vec<PeriodId> = Vec::new();
+        for &MarkedNode(n) in marked.iter().rev() {
+            if out.len() >= limit {
+                break;
+            }
+            match &self.nodes[n as usize] {
+                PNode::Leaf { period } => {
+                    ops.secondary_visits += 1;
+                    if period.end >= end {
+                        out.push(period.id);
+                    }
+                }
+                PNode::Internal { secondary, .. } => {
+                    secondary.collect_ge(
+                        &self.arena,
+                        EndKey { end, id: PeriodId(0) },
+                        limit,
+                        &mut out,
+                        ops,
+                    );
+                }
+                PNode::Free => unreachable!(),
+            }
+        }
+        out
+    }
+
+    /// Count (without retrieving) the feasible periods among the marked
+    /// candidates — used by the range-search counting API.
+    pub fn count_feasible(&self, marked: &[MarkedNode], end: Time, ops: &mut OpStats) -> usize {
+        let mut count = 0usize;
+        for &MarkedNode(n) in marked {
+            match &self.nodes[n as usize] {
+                PNode::Leaf { period } => {
+                    ops.secondary_visits += 1;
+                    if period.end >= end {
+                        count += 1;
+                    }
+                }
+                PNode::Internal { secondary, .. } => {
+                    count += secondary.count_ge(&self.arena, EndKey { end, id: PeriodId(0) }, ops);
+                }
+                PNode::Free => unreachable!(),
+            }
+        }
+        count
+    }
+
+    /// Convenience composition of both phases: find up to `limit` feasible
+    /// periods for a job occupying `[start, end)`.
+    pub fn find_feasible(
+        &self,
+        start: Time,
+        end: Time,
+        limit: usize,
+        ops: &mut OpStats,
+    ) -> Vec<PeriodId> {
+        let (count, marked) = self.phase1_candidates(start, ops);
+        if count == 0 {
+            return Vec::new();
+        }
+        self.phase2_feasible(&marked, end, limit, ops)
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection / validation
+    // ------------------------------------------------------------------
+
+    /// All periods in leaf order (descending start). Test/debug helper.
+    pub fn periods_in_order(&self) -> Vec<IdlePeriod> {
+        let mut out = Vec::with_capacity(self.len());
+        fn rec(tree: &SlotTree, node: u32, out: &mut Vec<IdlePeriod>) {
+            if node == NIL {
+                return;
+            }
+            match &tree.nodes[node as usize] {
+                PNode::Leaf { period } => out.push(*period),
+                PNode::Internal { left, right, .. } => {
+                    rec(tree, *left, out);
+                    rec(tree, *right, out);
+                }
+                PNode::Free => unreachable!(),
+            }
+        }
+        rec(self, self.root, &mut out);
+        out
+    }
+
+    /// Exhaustively check every structural invariant. Test helper; panics on
+    /// violation.
+    #[doc(hidden)]
+    pub fn check_invariants(&self) {
+        struct Info {
+            size: u32,
+            min: StartKey,
+            max: StartKey,
+        }
+        fn rec(tree: &SlotTree, node: u32) -> Option<Info> {
+            if node == NIL {
+                return None;
+            }
+            match &tree.nodes[node as usize] {
+                PNode::Leaf { period } => Some(Info {
+                    size: 1,
+                    min: period.start_key(),
+                    max: period.start_key(),
+                }),
+                PNode::Internal {
+                    left,
+                    right,
+                    size,
+                    split,
+                    secondary,
+                } => {
+                    let l = rec(tree, *left).expect("internal node with empty left subtree");
+                    let r = rec(tree, *right).expect("internal node with empty right subtree");
+                    assert_eq!(*size, l.size + r.size, "size annotation");
+                    assert!(l.max <= *split, "left subtree exceeds split");
+                    assert!(r.min > *split, "right subtree at or below split");
+                    // Secondary tree must contain exactly the subtree's
+                    // periods, in ascending end order.
+                    let mut expected: Vec<crate::idle::EndKey> = Vec::new();
+                    fn ends(tree: &SlotTree, node: u32, out: &mut Vec<crate::idle::EndKey>) {
+                        match &tree.nodes[node as usize] {
+                            PNode::Leaf { period } => out.push(period.end_key()),
+                            PNode::Internal { left, right, .. } => {
+                                ends(tree, *left, out);
+                                ends(tree, *right, out);
+                            }
+                            PNode::Free => unreachable!(),
+                        }
+                    }
+                    ends(tree, node, &mut expected);
+                    expected.sort();
+                    assert_eq!(
+                        secondary.keys_in_order(&tree.arena),
+                        expected,
+                        "secondary contents mismatch"
+                    );
+                    secondary.check_invariants(&tree.arena);
+                    Some(Info {
+                        size: *size,
+                        min: l.min,
+                        max: r.max,
+                    })
+                }
+                PNode::Free => panic!("freed node reachable"),
+            }
+        }
+        let info = rec(self, self.root);
+        assert_eq!(
+            info.map(|i| i.size).unwrap_or(0),
+            self.size,
+            "tree size annotation"
+        );
+        // Leaf order must be sorted by key.
+        let leaves = self.periods_in_order();
+        for w in leaves.windows(2) {
+            assert!(w[0].start_key() < w[1].start_key(), "leaf order");
+        }
+    }
+
+    /// Height of the tree (edges on the longest root-leaf path); used to
+    /// check the weight-balance guarantee in tests.
+    pub fn height(&self) -> usize {
+        fn rec(tree: &SlotTree, node: u32) -> usize {
+            if node == NIL {
+                return 0;
+            }
+            match &tree.nodes[node as usize] {
+                PNode::Leaf { .. } => 0,
+                PNode::Internal { left, right, .. } => 1 + rec(tree, *left).max(rec(tree, *right)),
+                PNode::Free => unreachable!(),
+            }
+        }
+        rec(self, self.root)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ServerId;
+
+    fn p(id: u64, server: u32, start: i64, end: i64) -> IdlePeriod {
+        IdlePeriod {
+            id: PeriodId(id),
+            server: ServerId(server),
+            start: Time(start),
+            end: if end == i64::MAX { Time::INF } else { Time(end) },
+        }
+    }
+
+    /// The four idle periods of Figure 2 (slot q = 2, interval [10, 20)).
+    fn figure2_tree() -> SlotTree {
+        let mut ops = OpStats::new();
+        let mut t = SlotTree::new(0xF16);
+        // X = (4, 25, server 1), Y = (16, 33, 2), Z = (7, 33, 3), V = (1, 18, 4)
+        t.insert(p(1, 1, 4, 25), &mut ops);
+        t.insert(p(2, 2, 16, 33), &mut ops);
+        t.insert(p(3, 3, 7, 33), &mut ops);
+        t.insert(p(4, 4, 1, 18), &mut ops);
+        t.check_invariants();
+        t
+    }
+
+    #[test]
+    fn figure2_leaf_order_is_descending_start() {
+        let t = figure2_tree();
+        let starts: Vec<i64> = t.periods_in_order().iter().map(|q| q.start.0).collect();
+        assert_eq!(starts, vec![16, 7, 4, 1]); // Y, Z, X, V
+    }
+
+    #[test]
+    fn paper_walkthrough_request_17_12_2() {
+        // Section 4.2 example: r = (q_r=17, s_r=17, l_r=12, n_r=2), e_r=29.
+        let t = figure2_tree();
+        let mut ops = OpStats::new();
+        let (count, marked) = t.phase1_candidates(Time(17), &mut ops);
+        // All four periods start at or before 17 — 4 > n_r = 2 candidates.
+        assert_eq!(count, 4);
+        // Phase 2 (reverse marking order → latest-starting candidates first)
+        // finds Y and Z, both ending at 33 >= 29.
+        let feasible = t.phase2_feasible(&marked, Time(29), 2, &mut ops);
+        assert_eq!(feasible.len(), 2);
+        let mut ids: Vec<u64> = feasible.iter().map(|i| i.0).collect();
+        ids.sort();
+        assert_eq!(ids, vec![2, 3]); // Y and Z
+        assert!(ops.primary_visits > 0 && ops.secondary_visits > 0);
+    }
+
+    #[test]
+    fn phase1_excludes_later_starts() {
+        let t = figure2_tree();
+        let mut ops = OpStats::new();
+        // s_r = 5: only X (st=4) and V (st=1) are candidates.
+        let (count, marked) = t.phase1_candidates(Time(5), &mut ops);
+        assert_eq!(count, 2);
+        let all = t.phase2_feasible(&marked, Time(6), usize::MAX, &mut ops);
+        let mut ids: Vec<u64> = all.iter().map(|i| i.0).collect();
+        ids.sort();
+        assert_eq!(ids, vec![1, 4]);
+    }
+
+    #[test]
+    fn phase2_respects_end_condition() {
+        let t = figure2_tree();
+        let mut ops = OpStats::new();
+        let (_, marked) = t.phase1_candidates(Time(17), &mut ops);
+        // e_r = 34: no period ends at or after 34.
+        assert!(t.phase2_feasible(&marked, Time(34), 2, &mut ops).is_empty());
+        assert_eq!(t.count_feasible(&marked, Time(34), &mut ops), 0);
+        // e_r = 18: all four are feasible.
+        assert_eq!(t.count_feasible(&marked, Time(18), &mut ops), 4);
+    }
+
+    #[test]
+    fn find_feasible_composes_phases() {
+        let t = figure2_tree();
+        let mut ops = OpStats::new();
+        let ids = t.find_feasible(Time(17), Time(29), usize::MAX, &mut ops);
+        assert_eq!(ids.len(), 2);
+    }
+
+    #[test]
+    fn remove_then_search() {
+        let mut t = figure2_tree();
+        let mut ops = OpStats::new();
+        assert!(t.remove(&p(2, 2, 16, 33), &mut ops)); // remove Y
+        assert!(!t.remove(&p(2, 2, 16, 33), &mut ops));
+        t.check_invariants();
+        let ids = t.find_feasible(Time(17), Time(29), usize::MAX, &mut ops);
+        assert_eq!(ids, vec![PeriodId(3)]); // only Z remains feasible
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn remove_all_leaves_empty_tree() {
+        let mut t = figure2_tree();
+        let mut ops = OpStats::new();
+        for (id, srv, s, e) in [(1, 1, 4, 25), (2, 2, 16, 33), (3, 3, 7, 33), (4, 4, 1, 18)] {
+            assert!(t.remove(&p(id, srv, s, e), &mut ops));
+            t.check_invariants();
+        }
+        assert!(t.is_empty());
+        let (count, marked) = t.phase1_candidates(Time(100), &mut ops);
+        assert_eq!(count, 0);
+        assert!(marked.is_empty());
+    }
+
+    #[test]
+    fn open_ended_periods_always_feasible() {
+        let mut t = SlotTree::new(1);
+        let mut ops = OpStats::new();
+        for i in 0..8 {
+            t.insert(p(i, i as u32, i as i64, i64::MAX), &mut ops);
+        }
+        let ids = t.find_feasible(Time(100), Time(1 << 50), usize::MAX, &mut ops);
+        assert_eq!(ids.len(), 8);
+    }
+
+    #[test]
+    fn from_periods_bulk_build_matches_incremental() {
+        let mut ops = OpStats::new();
+        let periods: Vec<IdlePeriod> = (0..64)
+            .map(|i| p(i, (i % 8) as u32, (i * 37 % 100) as i64, (200 + i * 13 % 97) as i64))
+            .collect();
+        let bulk = SlotTree::from_periods(9, &periods, &mut ops);
+        bulk.check_invariants();
+        let mut inc = SlotTree::new(9);
+        for q in &periods {
+            inc.insert(*q, &mut ops);
+        }
+        inc.check_invariants();
+        assert_eq!(bulk.periods_in_order(), inc.periods_in_order());
+    }
+
+    #[test]
+    fn height_stays_logarithmic_under_adversarial_inserts() {
+        let mut t = SlotTree::new(3);
+        let mut ops = OpStats::new();
+        // Strictly increasing starts: worst case for an unbalanced BST.
+        for i in 0..1024i64 {
+            t.insert(p(i as u64, 0, i, i + 10_000), &mut ops);
+        }
+        t.check_invariants();
+        // alpha = 0.7 bounds height by log(n)/log(1/alpha) ~ 1.94*log2(n) = ~20.
+        assert!(t.height() <= 24, "height {} too large", t.height());
+        assert!(ops.rebuilds > 0, "scapegoat rebuilds should have triggered");
+    }
+
+    #[test]
+    fn deletion_heavy_shrink_triggers_global_rebuild() {
+        let mut t = SlotTree::new(4);
+        let mut ops = OpStats::new();
+        let periods: Vec<IdlePeriod> =
+            (0..512).map(|i| p(i, 0, i as i64, 10_000 + i as i64)).collect();
+        for q in &periods {
+            t.insert(*q, &mut ops);
+        }
+        for q in periods.iter().take(480) {
+            assert!(t.remove(q, &mut ops));
+        }
+        t.check_invariants();
+        assert_eq!(t.len(), 32);
+        assert!(t.height() <= 12);
+    }
+
+    #[test]
+    fn oracle_equivalence_random_ops() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(99);
+        let mut t = SlotTree::new(5);
+        let mut ops = OpStats::new();
+        let mut live: Vec<IdlePeriod> = Vec::new();
+        for i in 0..3000u64 {
+            if live.is_empty() || rng.random_bool(0.55) {
+                let s = rng.random_range(0..1000);
+                let e = s + rng.random_range(1..500);
+                let period = p(i, (i % 16) as u32, s, e);
+                t.insert(period, &mut ops);
+                live.push(period);
+            } else {
+                let idx = rng.random_range(0..live.len());
+                let victim = live.swap_remove(idx);
+                assert!(t.remove(&victim, &mut ops));
+            }
+            if i % 151 == 0 {
+                t.check_invariants();
+                let sr = Time(rng.random_range(0..1200));
+                let er = sr + crate::time::Dur(rng.random_range(1..400));
+                let mut got: Vec<u64> = t
+                    .find_feasible(sr, er, usize::MAX, &mut ops)
+                    .iter()
+                    .map(|x| x.0)
+                    .collect();
+                got.sort();
+                let mut want: Vec<u64> = live
+                    .iter()
+                    .filter(|q| q.is_feasible(sr, er))
+                    .map(|q| q.id.0)
+                    .collect();
+                want.sort();
+                assert_eq!(got, want, "tree/oracle divergence at step {i}");
+            }
+        }
+    }
+}

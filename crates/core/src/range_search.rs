@@ -1,0 +1,274 @@
+//! Temporal range searches and the query-then-commit flow (Section 4.2,
+//! "Range Searches").
+//!
+//! "A user that is interested in reserving resources within a time window
+//! `[t_a, t_b]` may submit a request such that `s_r = t_a`,
+//! `l_r = t_b - t_a` and `n_r >= 1`. The scheduler runs a simplified version
+//! of the algorithm and returns the set of resources available (if any) in
+//! this window, *without updating the tree data structures*. The user may
+//! then run an application-specific algorithm to select a subset of these
+//! resources [...] and contact the scheduler to commit the resources."
+//!
+//! [`CoAllocScheduler::range_search`] is the read-only query;
+//! [`CoAllocScheduler::commit_selection`] is the second half of the
+//! handshake, revalidating the selection so that a stale pick (another user
+//! got there first) fails with [`ScheduleError::SelectionConflict`] instead
+//! of corrupting the schedule.
+
+use crate::error::ScheduleError;
+use crate::idle::IdlePeriod;
+use crate::ids::PeriodId;
+use crate::request::Request;
+use crate::scheduler::{CoAllocScheduler, Grant};
+use crate::time::Time;
+
+/// One hit of a range search: an idle period that covers the whole queried
+/// window.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Availability {
+    /// The underlying idle period (pass its `id` to
+    /// [`CoAllocScheduler::commit_selection`]).
+    pub period: IdlePeriod,
+    /// How much slack is left after the window, `et_i - t_b` (clipped to the
+    /// horizon for open-ended periods). Applications commonly maximize or
+    /// minimize this during post-processing.
+    pub tail_slack: crate::time::Dur,
+}
+
+impl CoAllocScheduler {
+    /// Find **all** resources available for the whole window `[start, end)`,
+    /// without modifying any state (beyond operation counters).
+    ///
+    /// Returns one [`Availability`] per feasible idle period, in the order
+    /// the two-phase search discovers them (latest-starting candidates
+    /// first). Returns an empty vector when the window is degenerate or
+    /// starts outside the live horizon.
+    pub fn range_search(&mut self, start: Time, end: Time) -> Vec<Availability> {
+        let start = start.max(self.now());
+        let horizon = self.horizon_end();
+        if end <= start || start >= horizon || end > horizon {
+            return Vec::new();
+        }
+        let q = self.ring().config().slot_of(start);
+        // Split borrows: the search needs &ring, &trailing and &mut stats.
+        let (ring, trailing, stats) = self.search_parts();
+        let tree = ring.tree(q).expect("start within horizon");
+        // Trailing periods with st <= start are feasible for any window.
+        let mut ids = Vec::new();
+        trailing.collect_candidates(start, usize::MAX, &mut ids, stats);
+        ids.extend(tree.find_feasible(start, end, usize::MAX, stats));
+        ids.iter()
+            .map(|id| {
+                let period = *self
+                    .timeline()
+                    .period(*id)
+                    .expect("slot tree refers to live period");
+                Availability {
+                    period,
+                    tail_slack: period.end.min(horizon) - end,
+                }
+            })
+            .collect()
+    }
+
+    /// Count the resources available for `[start, end)` without enumerating
+    /// them (subtree-size counting only — cheaper than
+    /// [`Self::range_search`] when only the count matters).
+    pub fn range_count(&mut self, start: Time, end: Time) -> usize {
+        let start = start.max(self.now());
+        let horizon = self.horizon_end();
+        if end <= start || start >= horizon || end > horizon {
+            return 0;
+        }
+        let q = self.ring().config().slot_of(start);
+        let (ring, trailing, stats) = self.search_parts();
+        let tree = ring.tree(q).expect("start within horizon");
+        let trailing_count = trailing.count_candidates(start, stats);
+        let (count, marked) = tree.phase1_candidates(start, stats);
+        if count == 0 {
+            return trailing_count;
+        }
+        trailing_count + tree.count_feasible(&marked, end, stats)
+    }
+
+    /// Commit a user's post-processed selection: reserve `[start, end)` on
+    /// exactly the idle periods named in `selection`.
+    ///
+    /// Every period must still exist and still cover the window; otherwise
+    /// nothing is committed and [`ScheduleError::SelectionConflict`] is
+    /// returned — idle-period ids are never reused, so any interleaved
+    /// allocation that touched a selected period is detected.
+    pub fn commit_selection(
+        &mut self,
+        selection: &[PeriodId],
+        start: Time,
+        end: Time,
+    ) -> Result<Grant, ScheduleError> {
+        if selection.is_empty() {
+            return Err(ScheduleError::InvalidRequest(
+                crate::request::RequestError::ZeroServers,
+            ));
+        }
+        if end <= start {
+            return Err(ScheduleError::InvalidRequest(
+                crate::request::RequestError::NonPositiveDuration,
+            ));
+        }
+        if start < self.now() {
+            return Err(ScheduleError::StartInPast { now: self.now() });
+        }
+        if end > self.horizon_end() {
+            return Err(ScheduleError::HorizonExceeded {
+                horizon_end: self.horizon_end(),
+            });
+        }
+        let mut chosen = Vec::with_capacity(selection.len());
+        let mut seen_servers = std::collections::HashSet::new();
+        for id in selection {
+            let Some(p) = self.timeline().period(*id).copied() else {
+                return Err(ScheduleError::SelectionConflict);
+            };
+            if !p.is_feasible(start, end) || !seen_servers.insert(p.server) {
+                return Err(ScheduleError::SelectionConflict);
+            }
+            chosen.push(p);
+        }
+        Ok(self.commit_chosen(&chosen, start, end))
+    }
+
+    /// Run a range search shaped like a [`Request`] (the paper's calling
+    /// convention: `s_r = t_a`, `l_r = t_b - t_a`).
+    pub fn range_search_request(&mut self, req: &Request) -> Vec<Availability> {
+        self.range_search(req.earliest_start, req.end())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::Request;
+    use crate::scheduler::SchedulerConfig;
+    use crate::time::Dur;
+
+    fn sched(n: u32) -> CoAllocScheduler {
+        CoAllocScheduler::new(
+            n,
+            SchedulerConfig::builder()
+                .tau(Dur(10))
+                .horizon(Dur(100))
+                .delta_t(Dur(10))
+                .build(),
+        )
+    }
+
+    #[test]
+    fn range_search_sees_all_free_servers() {
+        let mut s = sched(4);
+        let hits = s.range_search(Time(20), Time(40));
+        assert_eq!(hits.len(), 4);
+        for h in &hits {
+            // Open-ended periods are clipped to the horizon for slack.
+            assert_eq!(h.tail_slack, Dur(60));
+        }
+        assert_eq!(s.range_count(Time(20), Time(40)), 4);
+    }
+
+    #[test]
+    fn range_search_excludes_busy_windows() {
+        let mut s = sched(2);
+        s.submit(&Request::advance(Time::ZERO, Time(20), Dur(30), 1))
+            .unwrap();
+        assert_eq!(s.range_search(Time(25), Time(45)).len(), 1);
+        assert_eq!(s.range_search(Time(50), Time(60)).len(), 2);
+        assert_eq!(s.range_count(Time(25), Time(45)), 1);
+    }
+
+    #[test]
+    fn range_search_is_read_only() {
+        let mut s = sched(3);
+        let before = s.timeline().idle_periods(crate::ids::ServerId(0));
+        let _ = s.range_search(Time(0), Time(50));
+        let _ = s.range_count(Time(0), Time(50));
+        assert_eq!(s.timeline().idle_periods(crate::ids::ServerId(0)), before);
+        s.check_consistency();
+    }
+
+    #[test]
+    fn degenerate_and_out_of_horizon_windows_return_empty() {
+        let mut s = sched(2);
+        assert!(s.range_search(Time(30), Time(30)).is_empty());
+        assert!(s.range_search(Time(40), Time(20)).is_empty());
+        assert!(s.range_search(Time(90), Time(150)).is_empty());
+        assert_eq!(s.range_count(Time(90), Time(150)), 0);
+    }
+
+    #[test]
+    fn query_then_commit_happy_path() {
+        let mut s = sched(4);
+        let hits = s.range_search(Time(10), Time(30));
+        // Application-side post-processing: pick the two with the least
+        // slack (all equal here, so just take two).
+        let pick: Vec<_> = hits.iter().take(2).map(|h| h.period.id).collect();
+        let grant = s.commit_selection(&pick, Time(10), Time(30)).unwrap();
+        assert_eq!(grant.servers.len(), 2);
+        assert_eq!(grant.start, Time(10));
+        s.check_consistency();
+        // The window is now taken on those servers.
+        assert_eq!(s.range_search(Time(10), Time(30)).len(), 2);
+    }
+
+    #[test]
+    fn stale_selection_is_rejected_atomically() {
+        let mut s = sched(2);
+        let hits = s.range_search(Time(10), Time(30));
+        let pick: Vec<_> = hits.iter().map(|h| h.period.id).collect();
+        // Another user books one of the servers in between.
+        s.submit(&Request::advance(Time::ZERO, Time(15), Dur(10), 2))
+            .unwrap();
+        let err = s.commit_selection(&pick, Time(10), Time(30)).unwrap_err();
+        assert_eq!(err, ScheduleError::SelectionConflict);
+        // Nothing was committed for the failed selection.
+        s.check_consistency();
+    }
+
+    #[test]
+    fn duplicate_server_selection_rejected() {
+        let mut s = sched(2);
+        let hits = s.range_search(Time(10), Time(30));
+        let id = hits[0].period.id;
+        let err = s.commit_selection(&[id, id], Time(10), Time(30)).unwrap_err();
+        assert_eq!(err, ScheduleError::SelectionConflict);
+    }
+
+    #[test]
+    fn commit_validation_errors() {
+        let mut s = sched(2);
+        let hits = s.range_search(Time(10), Time(30));
+        let id = hits[0].period.id;
+        assert!(matches!(
+            s.commit_selection(&[], Time(10), Time(30)),
+            Err(ScheduleError::InvalidRequest(_))
+        ));
+        assert!(matches!(
+            s.commit_selection(&[id], Time(30), Time(10)),
+            Err(ScheduleError::InvalidRequest(_))
+        ));
+        assert!(matches!(
+            s.commit_selection(&[id], Time(10), Time(500)),
+            Err(ScheduleError::HorizonExceeded { .. })
+        ));
+        s.advance_to(Time(50));
+        assert!(matches!(
+            s.commit_selection(&[id], Time(10), Time(30)),
+            Err(ScheduleError::StartInPast { .. })
+        ));
+    }
+
+    #[test]
+    fn range_search_request_uses_paper_convention() {
+        let mut s = sched(3);
+        let req = Request::advance(Time::ZERO, Time(20), Dur(30), 1);
+        let hits = s.range_search_request(&req);
+        assert_eq!(hits.len(), 3);
+    }
+}

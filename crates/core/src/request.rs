@@ -1,0 +1,133 @@
+//! Reservation requests — the paper's four-parameter tuple
+//! `r = (q_r, s_r, l_r, n_r)` (Section 2).
+
+use crate::time::{Dur, Time};
+
+/// A co-allocation request.
+///
+/// * `submit` (`q_r`) — the time the request is submitted;
+/// * `earliest_start` (`s_r >= q_r`) — the earliest time the job can start;
+///   `s_r > q_r` is an *advance reservation*;
+/// * `duration` (`l_r`) — the temporal size (estimated run time);
+/// * `servers` (`n_r`) — the spatial size (number of servers required).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// Request/submission time `q_r`.
+    pub submit: Time,
+    /// Earliest start time `s_r`.
+    pub earliest_start: Time,
+    /// Temporal size `l_r`.
+    pub duration: Dur,
+    /// Spatial size `n_r`.
+    pub servers: u32,
+}
+
+impl Request {
+    /// An on-demand request (`s_r = q_r`), i.e. "start as soon as possible".
+    pub fn on_demand(submit: Time, duration: Dur, servers: u32) -> Request {
+        Request {
+            submit,
+            earliest_start: submit,
+            duration,
+            servers,
+        }
+    }
+
+    /// An advance reservation (`s_r > q_r` allowed).
+    pub fn advance(submit: Time, start: Time, duration: Dur, servers: u32) -> Request {
+        Request {
+            submit,
+            earliest_start: start,
+            duration,
+            servers,
+        }
+    }
+
+    /// Requested end time `e_r = s_r + l_r` for the *unshifted* start.
+    #[inline]
+    pub fn end(&self) -> Time {
+        self.earliest_start + self.duration
+    }
+
+    /// Whether this request is an advance reservation.
+    #[inline]
+    pub fn is_advance(&self) -> bool {
+        self.earliest_start > self.submit
+    }
+
+    /// Validate the structural constraints from Section 2.
+    pub fn validate(&self) -> Result<(), RequestError> {
+        if self.servers == 0 {
+            return Err(RequestError::ZeroServers);
+        }
+        if self.duration.secs() <= 0 {
+            return Err(RequestError::NonPositiveDuration);
+        }
+        if self.earliest_start < self.submit {
+            return Err(RequestError::StartBeforeSubmit);
+        }
+        Ok(())
+    }
+}
+
+/// Structural validation failures for a [`Request`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RequestError {
+    /// `n_r = 0`: nothing to allocate.
+    ZeroServers,
+    /// `l_r <= 0`: reservations must have positive length.
+    NonPositiveDuration,
+    /// `s_r < q_r`: jobs cannot start before they are submitted.
+    StartBeforeSubmit,
+}
+
+impl std::fmt::Display for RequestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RequestError::ZeroServers => write!(f, "request asks for zero servers"),
+            RequestError::NonPositiveDuration => write!(f, "request duration must be positive"),
+            RequestError::StartBeforeSubmit => {
+                write!(f, "earliest start precedes submission time")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RequestError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn on_demand_starts_at_submit() {
+        let r = Request::on_demand(Time(17), Dur(12), 2);
+        assert_eq!(r.earliest_start, Time(17));
+        assert_eq!(r.end(), Time(29));
+        assert!(!r.is_advance());
+        assert!(r.validate().is_ok());
+    }
+
+    #[test]
+    fn advance_reservation_detected() {
+        let r = Request::advance(Time(0), Time(100), Dur(10), 1);
+        assert!(r.is_advance());
+        assert!(r.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_requests() {
+        assert_eq!(
+            Request::on_demand(Time(0), Dur(10), 0).validate(),
+            Err(RequestError::ZeroServers)
+        );
+        assert_eq!(
+            Request::on_demand(Time(0), Dur(0), 1).validate(),
+            Err(RequestError::NonPositiveDuration)
+        );
+        assert_eq!(
+            Request::advance(Time(10), Time(5), Dur(10), 1).validate(),
+            Err(RequestError::StartBeforeSubmit)
+        );
+    }
+}

@@ -1,0 +1,314 @@
+//! The ring of `Q` live slot trees over **finite** idle periods.
+//!
+//! "The system always maintains `Q` trees, with each tree containing at most
+//! `N` idle periods. [...] as the time advances, the tree corresponding to
+//! the just expired time slot is discarded, and a new tree is created
+//! (initialized) for the new slot at the end of the system's time horizon;
+//! [...] these discard and initialization operations are repeated every
+//! `tau` time units and take O(1) time" (Section 4.1).
+//!
+//! A finite idle period is mirrored into the tree of every live slot it
+//! overlaps. Open-ended trailing periods (`end == Time::INF`) are *not*
+//! stored here — they live once in the global [`crate::trailing`] index,
+//! which is what makes the O(1) horizon-edge initialization above possible
+//! (a brand-new edge tree starts empty; the periods overlapping it are
+//! exactly the trailing ones, represented virtually).
+
+use crate::idle::IdlePeriod;
+use crate::primary::SlotTree;
+use crate::stats::OpStats;
+use crate::time::{SlotConfig, SlotIdx, Time};
+use crate::timeline::Timeline;
+use std::collections::VecDeque;
+
+/// Ring buffer of the `Q` live slot trees.
+#[derive(Clone, Debug)]
+pub struct SlotRing {
+    cfg: SlotConfig,
+    /// Index of the first live slot.
+    base: SlotIdx,
+    trees: VecDeque<SlotTree>,
+    seed: u64,
+}
+
+impl SlotRing {
+    /// Create the ring at `origin` with `Q` empty slot trees (at start-up
+    /// every server's availability is one trailing period, which lives in
+    /// the trailing index, not here).
+    pub fn new(cfg: SlotConfig, origin: Time, seed: u64) -> SlotRing {
+        let base = cfg.slot_of(origin);
+        let trees = (0..cfg.num_slots)
+            .map(|i| SlotTree::new(Self::tree_seed(seed, SlotIdx(base.0 + i as i64))))
+            .collect();
+        SlotRing {
+            cfg,
+            base,
+            trees,
+            seed,
+        }
+    }
+
+    fn tree_seed(seed: u64, q: SlotIdx) -> u64 {
+        seed ^ (q.0 as u64).wrapping_mul(0x9E3779B97F4A7C15)
+    }
+
+    /// Slot geometry.
+    pub fn config(&self) -> SlotConfig {
+        self.cfg
+    }
+
+    /// First live slot.
+    pub fn first_slot(&self) -> SlotIdx {
+        self.base
+    }
+
+    /// One past the last live slot.
+    pub fn end_slot(&self) -> SlotIdx {
+        SlotIdx(self.base.0 + self.cfg.num_slots as i64)
+    }
+
+    /// First instant covered by the live window.
+    pub fn window_start(&self) -> Time {
+        self.cfg.slot_start(self.base)
+    }
+
+    /// The end of the horizon: nothing can be scheduled at or beyond this.
+    pub fn horizon_end(&self) -> Time {
+        self.cfg.slot_start(self.end_slot())
+    }
+
+    /// The tree for slot `q`, if it is live.
+    pub fn tree(&self, q: SlotIdx) -> Option<&SlotTree> {
+        if q < self.base || q >= self.end_slot() {
+            return None;
+        }
+        Some(&self.trees[(q.0 - self.base.0) as usize])
+    }
+
+    fn tree_mut(&mut self, q: SlotIdx) -> &mut SlotTree {
+        let i = (q.0 - self.base.0) as usize;
+        &mut self.trees[i]
+    }
+
+    /// The inclusive live-slot range overlapped by a period, or `None` if the
+    /// period misses the live window entirely.
+    fn live_slots(&self, p: &IdlePeriod) -> Option<(SlotIdx, SlotIdx)> {
+        let (first, last) = self.cfg.slots_overlapping(p.start, p.end)?;
+        let first = SlotIdx(first.0.max(self.base.0));
+        let last = SlotIdx(last.0.min(self.end_slot().0 - 1));
+        (first <= last).then_some((first, last))
+    }
+
+    /// Mirror a new finite idle period into every live slot tree it
+    /// overlaps. Trailing (open-ended) periods belong in the trailing
+    /// index instead.
+    pub fn insert_period(&mut self, p: &IdlePeriod, ops: &mut OpStats) {
+        debug_assert!(!p.end.is_inf(), "trailing periods live in TrailingSet");
+        if let Some((first, last)) = self.live_slots(p) {
+            for q in first.0..=last.0 {
+                self.tree_mut(SlotIdx(q)).insert(*p, ops);
+            }
+        }
+    }
+
+    /// Remove a dead finite idle period from every live slot tree it
+    /// overlaps.
+    pub fn remove_period(&mut self, p: &IdlePeriod, ops: &mut OpStats) {
+        debug_assert!(!p.end.is_inf(), "trailing periods live in TrailingSet");
+        if let Some((first, last)) = self.live_slots(p) {
+            for q in first.0..=last.0 {
+                let removed = self.tree_mut(SlotIdx(q)).remove(p, ops);
+                debug_assert!(removed, "period {p:?} missing from slot {q}");
+            }
+        }
+    }
+
+    /// Advance the ring so that `now` lies in the first live slot: discard
+    /// expired trees and create fresh, empty trees at the horizon edge —
+    /// the paper's O(1)-per-slot maintenance.
+    pub fn advance_to(&mut self, now: Time) {
+        let target = self.cfg.slot_of(now);
+        while self.base < target {
+            self.trees.pop_front();
+            let new_slot = self.end_slot(); // before bumping base
+            self.base = self.base.next();
+            self.trees
+                .push_back(SlotTree::new(Self::tree_seed(self.seed, new_slot)));
+        }
+    }
+
+    /// Check that every live slot tree contains exactly the timeline's
+    /// *finite* idle periods overlapping that slot (the core mirror
+    /// invariant). Test helper; panics on violation. `O(Q * N log N)` — use
+    /// on small systems.
+    #[doc(hidden)]
+    pub fn check_mirror(&self, timeline: &Timeline) {
+        use std::collections::BTreeSet;
+        let mut all: Vec<IdlePeriod> = Vec::new();
+        for s in 0..timeline.num_servers() {
+            all.extend(
+                timeline
+                    .idle_periods(crate::ids::ServerId(s))
+                    .into_iter()
+                    .filter(|p| !p.end.is_inf()),
+            );
+        }
+        for i in 0..self.cfg.num_slots {
+            let q = SlotIdx(self.base.0 + i as i64);
+            let (lo, hi) = (self.cfg.slot_start(q), self.cfg.slot_end(q));
+            let expect: BTreeSet<u64> = all
+                .iter()
+                .filter(|p| p.start < hi && p.end > lo)
+                .map(|p| p.id.0)
+                .collect();
+            let got: BTreeSet<u64> = self.trees[i]
+                .periods_in_order()
+                .iter()
+                .map(|p| p.id.0)
+                .collect();
+            assert_eq!(got, expect, "mirror mismatch in slot {}", q.0);
+            self.trees[i].check_invariants();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{JobId, PeriodId, ServerId};
+    use crate::time::Dur;
+
+    fn setup(n: u32, tau: i64, slots: usize) -> (Timeline, SlotRing, OpStats) {
+        let ops = OpStats::new();
+        let cfg = SlotConfig::new(Dur(tau), Dur(tau * slots as i64));
+        let tl = Timeline::new(n, Time::ZERO);
+        let ring = SlotRing::new(cfg, Time::ZERO, 0xC0FFEE);
+        (tl, ring, ops)
+    }
+
+    /// Route a timeline delta the way the scheduler does: finite periods to
+    /// the ring, trailing ones dropped (they belong to the TrailingSet).
+    fn apply_finite(
+        ring: &mut SlotRing,
+        delta: &crate::timeline::PeriodDelta,
+        ops: &mut OpStats,
+    ) {
+        for p in delta.removed.iter().filter(|p| !p.end.is_inf()) {
+            ring.remove_period(p, ops);
+        }
+        for p in delta.added.iter().filter(|p| !p.end.is_inf()) {
+            ring.insert_period(p, ops);
+        }
+    }
+
+    #[test]
+    fn fresh_ring_is_empty_and_mirrors_fully_idle_timeline() {
+        let (tl, ring, _) = setup(4, 10, 5);
+        ring.check_mirror(&tl);
+        assert_eq!(ring.window_start(), Time::ZERO);
+        assert_eq!(ring.horizon_end(), Time(50));
+        assert_eq!(ring.tree(SlotIdx(0)).unwrap().len(), 0);
+        assert!(ring.tree(SlotIdx(5)).is_none());
+        assert!(ring.tree(SlotIdx(-1)).is_none());
+    }
+
+    #[test]
+    fn reserve_mirrors_only_finite_fragments() {
+        let (mut tl, mut ring, mut ops) = setup(2, 10, 5);
+        let p = tl.trailing_period(ServerId(0));
+        // Reserve [12, 25) on server 0: fragments are [0, 12) — finite,
+        // slots 0..=1 — and [25, inf) — trailing, NOT mirrored here.
+        let delta = tl.reserve(p.id, JobId(1), Time(12), Time(25));
+        apply_finite(&mut ring, &delta, &mut ops);
+        ring.check_mirror(&tl);
+        assert_eq!(ring.tree(SlotIdx(0)).unwrap().len(), 1); // [0,12)
+        assert_eq!(ring.tree(SlotIdx(1)).unwrap().len(), 1);
+        assert_eq!(ring.tree(SlotIdx(2)).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn advance_discards_and_creates_empty_edge_trees() {
+        let (mut tl, mut ring, mut ops) = setup(3, 10, 4);
+        let p = tl.trailing_period(ServerId(1));
+        let delta = tl.reserve(p.id, JobId(7), Time(5), Time(18));
+        apply_finite(&mut ring, &delta, &mut ops);
+        ring.check_mirror(&tl);
+        // Advance two slots.
+        ring.advance_to(Time(25));
+        assert_eq!(ring.first_slot(), SlotIdx(2));
+        assert_eq!(ring.horizon_end(), Time(60));
+        tl.prune_before(ring.window_start());
+        ring.check_mirror(&tl);
+        // New edge trees are empty (trailing periods are virtual).
+        assert_eq!(ring.tree(SlotIdx(5)).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn advance_is_idempotent_within_a_slot() {
+        let (tl, mut ring, _) = setup(2, 10, 4);
+        ring.advance_to(Time(9));
+        assert_eq!(ring.first_slot(), SlotIdx(0));
+        ring.advance_to(Time(10));
+        assert_eq!(ring.first_slot(), SlotIdx(1));
+        ring.advance_to(Time(10));
+        assert_eq!(ring.first_slot(), SlotIdx(1));
+        ring.check_mirror(&tl);
+    }
+
+    #[test]
+    fn release_merge_propagates_to_trees() {
+        let (mut tl, mut ring, mut ops) = setup(2, 10, 6);
+        let p = tl.trailing_period(ServerId(0));
+        let d1 = tl.reserve(p.id, JobId(1), Time(10), Time(30));
+        apply_finite(&mut ring, &d1, &mut ops);
+        ring.check_mirror(&tl);
+        let d2 = tl.release(ServerId(0), JobId(1), Time(10), Time(30));
+        apply_finite(&mut ring, &d2, &mut ops);
+        ring.check_mirror(&tl);
+        // Back to no finite periods at all.
+        for q in 0..6 {
+            assert_eq!(ring.tree(SlotIdx(q)).unwrap().len(), 0);
+        }
+    }
+
+    #[test]
+    fn sandwiched_finite_period_spans_its_slots() {
+        let (mut tl, mut ring, mut ops) = setup(1, 10, 6);
+        let p = tl.trailing_period(ServerId(0));
+        let d1 = tl.reserve(p.id, JobId(1), Time(0), Time(10));
+        apply_finite(&mut ring, &d1, &mut ops);
+        let tail = d1.added[0]; // [10, inf)
+        let d2 = tl.reserve(tail.id, JobId(2), Time(40), Time(50));
+        apply_finite(&mut ring, &d2, &mut ops);
+        ring.check_mirror(&tl);
+        // The finite hole [10, 40) lives in slots 1..=3 only.
+        assert_eq!(ring.tree(SlotIdx(0)).unwrap().len(), 0);
+        for q in 1..=3 {
+            assert_eq!(ring.tree(SlotIdx(q)).unwrap().len(), 1, "slot {q}");
+        }
+        assert_eq!(ring.tree(SlotIdx(4)).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn period_outside_live_window_is_ignored() {
+        let (_tl, mut ring, mut ops) = setup(1, 10, 4);
+        let mut ring2 = ring.clone();
+        ring.advance_to(Time(35));
+        let ghost = IdlePeriod {
+            id: PeriodId(999),
+            server: ServerId(0),
+            start: Time(0),
+            end: Time(29),
+        };
+        ring.insert_period(&ghost, &mut ops);
+        ring.remove_period(&ghost, &mut ops);
+        let beyond = IdlePeriod {
+            id: PeriodId(998),
+            server: ServerId(0),
+            start: Time(100),
+            end: Time(120),
+        };
+        ring2.insert_period(&beyond, &mut ops);
+        assert_eq!(ring2.tree(SlotIdx(3)).unwrap().len(), 0);
+    }
+}

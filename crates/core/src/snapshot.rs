@@ -1,0 +1,331 @@
+//! Schedule persistence: checkpoint a running scheduler to a plain-text
+//! snapshot and restore it later.
+//!
+//! A resource manager embedding the scheduler (VCL front-end, PCE, site
+//! daemon) must survive restarts without losing "the set of commitments
+//! that the system has made" (Section 2). The snapshot records exactly
+//! those commitments — configuration, clock, server attributes, and every
+//! live reservation — and restore rebuilds the full index state (slot
+//! trees, trailing index) from them.
+//!
+//! The snapshot captures the *schedule*, not internal identifiers: period
+//! ids and tree shapes are regenerated, so follow-up behaviour is
+//! guaranteed identical under order-independent selection policies
+//! (`ByServerId`) and equivalent (same feasibility decisions) under the
+//! others. Pruned history is not included; utilization accounting restarts
+//! from the live reservations.
+
+use crate::attrs::AttrSet;
+use crate::ids::{JobId, ServerId};
+use crate::policy::SelectionPolicy;
+use crate::scheduler::{CoAllocScheduler, SchedulerConfig};
+use crate::time::{Dur, Time};
+
+/// Snapshot format version tag.
+const MAGIC: &str = "coalloc-snapshot v1";
+
+/// Errors from [`CoAllocScheduler::restore`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// Missing or wrong magic/version line.
+    BadMagic,
+    /// A line could not be parsed.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A reservation does not fit the rebuilt timeline (corrupt snapshot).
+    InconsistentReservation {
+        /// 1-based line number.
+        line: usize,
+    },
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::BadMagic => write!(f, "not a coalloc snapshot (bad header)"),
+            SnapshotError::BadLine { line } => write!(f, "snapshot line {line} is malformed"),
+            SnapshotError::InconsistentReservation { line } => {
+                write!(f, "snapshot line {line}: overlapping or misplaced reservation")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+fn policy_code(p: SelectionPolicy) -> u8 {
+    match p {
+        SelectionPolicy::PaperOrder => 0,
+        SelectionPolicy::BestFit => 1,
+        SelectionPolicy::WorstFit => 2,
+        SelectionPolicy::ByServerId => 3,
+    }
+}
+
+fn policy_from(code: u8) -> Option<SelectionPolicy> {
+    Some(match code {
+        0 => SelectionPolicy::PaperOrder,
+        1 => SelectionPolicy::BestFit,
+        2 => SelectionPolicy::WorstFit,
+        3 => SelectionPolicy::ByServerId,
+        _ => return None,
+    })
+}
+
+impl CoAllocScheduler {
+    /// Serialize the scheduler's commitments to a text snapshot.
+    pub fn snapshot(&self) -> String {
+        let cfg = self.config();
+        let mut out = String::new();
+        out.push_str(MAGIC);
+        out.push('\n');
+        out.push_str(&format!(
+            "config {} {} {} {} {} {}\n",
+            cfg.tau.secs(),
+            cfg.horizon.secs(),
+            cfg.delta_t.secs(),
+            cfg.r_max.map(|r| r as i64).unwrap_or(-1),
+            policy_code(cfg.policy),
+            cfg.seed,
+        ));
+        out.push_str(&format!(
+            "clock {} {}\n",
+            self.origin().secs(),
+            self.now().secs()
+        ));
+        out.push_str(&format!("servers {}\n", self.num_servers()));
+        for s in 0..self.num_servers() {
+            let a = self.server_attrs(ServerId(s));
+            if !a.is_empty() {
+                out.push_str(&format!("attrs {s} {}\n", a.0));
+            }
+        }
+        // Live reservations, stable order: by server, then start.
+        for s in 0..self.num_servers() {
+            for r in self.timeline().reservations(ServerId(s)) {
+                out.push_str(&format!(
+                    "res {} {} {} {}\n",
+                    r.job.0,
+                    s,
+                    r.start.secs(),
+                    r.end.secs()
+                ));
+            }
+        }
+        out.push_str(&format!("next_job {}\n", self.next_job_id()));
+        out
+    }
+
+    /// Rebuild a scheduler from a snapshot produced by [`Self::snapshot`].
+    pub fn restore(snapshot: &str) -> Result<CoAllocScheduler, SnapshotError> {
+        let mut lines = snapshot.lines().enumerate();
+        let (_, magic) = lines.next().ok_or(SnapshotError::BadMagic)?;
+        if magic.trim() != MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let mut cfg: Option<SchedulerConfig> = None;
+        let mut origin = Time::ZERO;
+        let mut now = Time::ZERO;
+        let mut servers = 0u32;
+        let mut attrs: Vec<(u32, u64)> = Vec::new();
+        let mut reservations: Vec<(usize, u64, u32, i64, i64)> = Vec::new();
+        let mut next_job: u64 = 0;
+        for (idx, raw) in lines {
+            let line_no = idx + 1;
+            let bad = || SnapshotError::BadLine { line: line_no };
+            let fields: Vec<&str> = raw.split_whitespace().collect();
+            if fields.is_empty() {
+                continue;
+            }
+            match fields[0] {
+                "config" if fields.len() == 7 => {
+                    let p =
+                        policy_from(fields[5].parse::<u8>().map_err(|_| bad())?).ok_or(bad())?;
+                    let r_max: i64 = fields[4].parse().map_err(|_| bad())?;
+                    let mut b = SchedulerConfig::builder()
+                        .tau(Dur(fields[1].parse().map_err(|_| bad())?))
+                        .horizon(Dur(fields[2].parse().map_err(|_| bad())?))
+                        .delta_t(Dur(fields[3].parse().map_err(|_| bad())?))
+                        .policy(p)
+                        .seed(fields[6].parse().map_err(|_| bad())?);
+                    if r_max >= 0 {
+                        b = b.r_max(r_max as u32);
+                    }
+                    cfg = Some(b.build());
+                }
+                "clock" if fields.len() == 3 => {
+                    origin = Time(fields[1].parse().map_err(|_| bad())?);
+                    now = Time(fields[2].parse().map_err(|_| bad())?);
+                }
+                "servers" if fields.len() == 2 => {
+                    servers = fields[1].parse().map_err(|_| bad())?;
+                }
+                "attrs" if fields.len() == 3 => {
+                    attrs.push((
+                        fields[1].parse().map_err(|_| bad())?,
+                        fields[2].parse().map_err(|_| bad())?,
+                    ));
+                }
+                "res" if fields.len() == 5 => {
+                    reservations.push((
+                        line_no,
+                        fields[1].parse().map_err(|_| bad())?,
+                        fields[2].parse().map_err(|_| bad())?,
+                        fields[3].parse().map_err(|_| bad())?,
+                        fields[4].parse().map_err(|_| bad())?,
+                    ));
+                }
+                "next_job" if fields.len() == 2 => {
+                    next_job = fields[1].parse().map_err(|_| bad())?;
+                }
+                _ => return Err(bad()),
+            }
+        }
+        let cfg = cfg.ok_or(SnapshotError::BadMagic)?;
+        if servers == 0 {
+            return Err(SnapshotError::BadMagic);
+        }
+        let mut sched = CoAllocScheduler::starting_at(servers, origin, cfg);
+        for (s, mask) in attrs {
+            sched.set_server_attrs(ServerId(s), AttrSet(mask));
+        }
+        // Advance to the snapshot clock *before* re-committing reservations:
+        // the live slot window must match the original's, or fragments near
+        // the (original) horizon would fall outside the ring and never be
+        // mirrored when the window later advances over them.
+        sched.advance_to(now);
+        for (line, job, server, start, end) in reservations {
+            sched
+                .restore_reservation(JobId(job), ServerId(server), Time(start), Time(end))
+                .map_err(|_| SnapshotError::InconsistentReservation { line })?;
+        }
+        sched.set_next_job_id(next_job);
+        Ok(sched)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+
+    fn cfg() -> SchedulerConfig {
+        SchedulerConfig::builder()
+            .tau(Dur(10))
+            .horizon(Dur(300))
+            .delta_t(Dur(10))
+            .policy(SelectionPolicy::ByServerId)
+            .build()
+    }
+
+    fn busy_scheduler() -> CoAllocScheduler {
+        let mut s = CoAllocScheduler::new(4, cfg());
+        s.set_server_attrs(ServerId(1), AttrSet(0b101));
+        s.submit(&Request::on_demand(Time::ZERO, Dur(50), 2)).unwrap();
+        s.submit(&Request::advance(Time::ZERO, Time(100), Dur(30), 3))
+            .unwrap();
+        s.submit(&Request::advance(Time::ZERO, Time(40), Dur(20), 1))
+            .unwrap();
+        s
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip_is_stable() {
+        let s = busy_scheduler();
+        let snap1 = s.snapshot();
+        let restored = CoAllocScheduler::restore(&snap1).unwrap();
+        restored.check_consistency();
+        let snap2 = restored.snapshot();
+        assert_eq!(snap1, snap2, "snapshot of a restore must be identical");
+    }
+
+    #[test]
+    fn restored_scheduler_behaves_identically() {
+        let mut original = busy_scheduler();
+        let mut restored = CoAllocScheduler::restore(&original.snapshot()).unwrap();
+        // Same commitments...
+        for srv in 0..4 {
+            assert_eq!(
+                original.timeline().reservations(ServerId(srv)),
+                restored.timeline().reservations(ServerId(srv)),
+            );
+        }
+        assert_eq!(restored.server_attrs(ServerId(1)), AttrSet(0b101));
+        // ...and identical future decisions (ByServerId policy).
+        let probes = [
+            Request::on_demand(Time::ZERO, Dur(60), 2),
+            Request::advance(Time::ZERO, Time(90), Dur(40), 4),
+            Request::on_demand(Time::ZERO, Dur(10), 1),
+        ];
+        for p in probes {
+            let a = original.submit(&p);
+            let b = restored.submit(&p);
+            match (a, b) {
+                (Ok(x), Ok(y)) => {
+                    assert_eq!(x.start, y.start);
+                    assert_eq!(x.servers, y.servers);
+                }
+                (Err(x), Err(y)) => assert_eq!(x, y),
+                other => panic!("divergence: {other:?}"),
+            }
+        }
+        restored.check_consistency();
+    }
+
+    #[test]
+    fn job_ids_continue_without_collision() {
+        let mut s = busy_scheduler();
+        let restored_next = {
+            let r = CoAllocScheduler::restore(&s.snapshot()).unwrap();
+            r.next_job_id()
+        };
+        let g = s.submit(&Request::on_demand(Time::ZERO, Dur(10), 1)).unwrap();
+        assert_eq!(g.job.0, restored_next, "id sequences must align");
+    }
+
+    #[test]
+    fn clock_and_pruning_survive() {
+        let mut s = busy_scheduler();
+        s.advance_to(Time(60));
+        let restored = CoAllocScheduler::restore(&s.snapshot()).unwrap();
+        assert_eq!(restored.now(), Time(60));
+        restored.check_consistency();
+    }
+
+    #[test]
+    fn corrupt_snapshots_rejected() {
+        assert_eq!(
+            CoAllocScheduler::restore("nonsense").unwrap_err(),
+            SnapshotError::BadMagic
+        );
+        let s = busy_scheduler();
+        let snap = s.snapshot();
+        let truncated = snap.replace("servers 4", "servers x");
+        assert!(matches!(
+            CoAllocScheduler::restore(&truncated),
+            Err(SnapshotError::BadLine { .. })
+        ));
+        // Overlapping reservation injected.
+        let evil = format!("{snap}res 99 0 0 40\n");
+        assert!(matches!(
+            CoAllocScheduler::restore(&evil),
+            Err(SnapshotError::InconsistentReservation { .. })
+        ));
+    }
+
+    #[test]
+    fn release_works_on_restored_jobs() {
+        let s = busy_scheduler();
+        let job = s
+            .timeline()
+            .reservations(ServerId(0))
+            .first()
+            .map(|r| r.job)
+            .unwrap();
+        let mut restored = CoAllocScheduler::restore(&s.snapshot()).unwrap();
+        restored.release(job).unwrap();
+        restored.check_consistency();
+    }
+}

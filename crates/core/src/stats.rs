@@ -1,0 +1,100 @@
+//! Operation accounting.
+//!
+//! The paper's Figure 7(b) reports "the average number of computational
+//! operations performed by the scheduling algorithm to schedule a request".
+//! Every tree-node visit and structural update in this crate increments a
+//! counter in [`OpStats`], so experiments can reproduce that metric without
+//! relying on wall-clock noise.
+
+/// Counters for the data-structure work performed by a scheduler.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OpStats {
+    /// Nodes visited while descending primary trees (Phase 1).
+    pub primary_visits: u64,
+    /// Nodes visited while searching secondary trees (Phase 2).
+    pub secondary_visits: u64,
+    /// Nodes visited during insert/remove maintenance of any tree.
+    pub update_visits: u64,
+    /// Number of Phase-1 invocations.
+    pub phase1_searches: u64,
+    /// Number of Phase-2 invocations.
+    pub phase2_searches: u64,
+    /// Scheduling attempts (one per candidate start time tried).
+    pub attempts: u64,
+    /// Partial rebuilds triggered by the weight-balance rule.
+    pub rebuilds: u64,
+    /// Idle periods inserted into slot trees.
+    pub periods_inserted: u64,
+    /// Idle periods removed from slot trees.
+    pub periods_removed: u64,
+}
+
+impl OpStats {
+    /// A zeroed counter set.
+    pub fn new() -> OpStats {
+        OpStats::default()
+    }
+
+    /// Total operations — the quantity plotted in Figure 7(b).
+    #[inline]
+    pub fn total_ops(&self) -> u64 {
+        self.primary_visits + self.secondary_visits + self.update_visits
+    }
+
+    /// Search-only operations (excludes structural maintenance).
+    #[inline]
+    pub fn search_ops(&self) -> u64 {
+        self.primary_visits + self.secondary_visits
+    }
+
+    /// Element-wise difference `self - earlier`; useful for measuring the
+    /// cost of a single request.
+    pub fn since(&self, earlier: &OpStats) -> OpStats {
+        OpStats {
+            primary_visits: self.primary_visits - earlier.primary_visits,
+            secondary_visits: self.secondary_visits - earlier.secondary_visits,
+            update_visits: self.update_visits - earlier.update_visits,
+            phase1_searches: self.phase1_searches - earlier.phase1_searches,
+            phase2_searches: self.phase2_searches - earlier.phase2_searches,
+            attempts: self.attempts - earlier.attempts,
+            rebuilds: self.rebuilds - earlier.rebuilds,
+            periods_inserted: self.periods_inserted - earlier.periods_inserted,
+            periods_removed: self.periods_removed - earlier.periods_removed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_sum_the_visit_counters() {
+        let s = OpStats {
+            primary_visits: 3,
+            secondary_visits: 4,
+            update_visits: 5,
+            ..OpStats::new()
+        };
+        assert_eq!(s.total_ops(), 12);
+        assert_eq!(s.search_ops(), 7);
+    }
+
+    #[test]
+    fn since_subtracts_fieldwise() {
+        let a = OpStats {
+            primary_visits: 10,
+            attempts: 2,
+            ..OpStats::new()
+        };
+        let b = OpStats {
+            primary_visits: 4,
+            attempts: 1,
+            ..OpStats::new()
+        };
+        let d = a.since(&b);
+        assert_eq!(d.primary_visits, 6);
+        assert_eq!(d.attempts, 1);
+        assert_eq!(d.total_ops(), 6);
+    }
+}

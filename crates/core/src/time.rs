@@ -1,0 +1,358 @@
+//! Time, duration and slot arithmetic.
+//!
+//! The paper partitions the temporal space into `Q = ceil(H / tau)` slots of
+//! width `tau`, where `H` is the scheduling horizon (Section 4.1). All times
+//! in this crate are integer seconds wrapped in the [`Time`] and [`Dur`]
+//! newtypes so that absolute instants and durations cannot be mixed up.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Sub};
+
+/// An absolute instant, in seconds since the simulation epoch.
+///
+/// `Time` is totally ordered and supports the arithmetic needed by the
+/// scheduler: `Time + Dur`, `Time - Time -> Dur`, comparisons.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(pub i64);
+
+/// A non-negative length of time, in seconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Dur(pub i64);
+
+impl Time {
+    /// The simulation epoch.
+    pub const ZERO: Time = Time(0);
+    /// Sentinel for "idle until the (moving) end of the horizon".
+    ///
+    /// Idle periods on the trailing edge of a server's schedule are
+    /// open-ended: they conceptually extend forever and are clipped to the
+    /// horizon on demand. Using a quarter of the `i64` range keeps all
+    /// arithmetic on the sentinel overflow-free.
+    pub const INF: Time = Time(i64::MAX / 4);
+
+    /// Whether this is the open-ended sentinel.
+    #[inline]
+    pub fn is_inf(self) -> bool {
+        self >= Time::INF
+    }
+
+    /// Seconds since the epoch.
+    #[inline]
+    pub fn secs(self) -> i64 {
+        self.0
+    }
+
+    /// Construct from whole hours (convenience for tests and examples).
+    #[inline]
+    pub fn from_hours(h: i64) -> Time {
+        Time(h * 3600)
+    }
+
+    /// Saturating difference `self - earlier`, clamped at zero.
+    #[inline]
+    pub fn saturating_since(self, earlier: Time) -> Dur {
+        Dur((self.0 - earlier.0).max(0))
+    }
+
+    /// The later of two instants.
+    #[inline]
+    pub fn max(self, other: Time) -> Time {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The earlier of two instants.
+    #[inline]
+    pub fn min(self, other: Time) -> Time {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Dur {
+    /// The zero-length duration.
+    pub const ZERO: Dur = Dur(0);
+
+    /// Length in seconds.
+    #[inline]
+    pub fn secs(self) -> i64 {
+        self.0
+    }
+
+    /// Length in fractional hours (for reporting).
+    #[inline]
+    pub fn hours(self) -> f64 {
+        self.0 as f64 / 3600.0
+    }
+
+    /// Construct from whole seconds.
+    #[inline]
+    pub fn from_secs(s: i64) -> Dur {
+        debug_assert!(s >= 0, "durations are non-negative");
+        Dur(s)
+    }
+
+    /// Construct from whole minutes.
+    #[inline]
+    pub fn from_mins(m: i64) -> Dur {
+        Dur(m * 60)
+    }
+
+    /// Construct from whole hours.
+    #[inline]
+    pub fn from_hours(h: i64) -> Dur {
+        Dur(h * 3600)
+    }
+
+    /// True when the duration is zero.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add<Dur> for Time {
+    type Output = Time;
+    #[inline]
+    fn add(self, d: Dur) -> Time {
+        Time(self.0 + d.0)
+    }
+}
+
+impl AddAssign<Dur> for Time {
+    #[inline]
+    fn add_assign(&mut self, d: Dur) {
+        self.0 += d.0;
+    }
+}
+
+impl Sub<Dur> for Time {
+    type Output = Time;
+    #[inline]
+    fn sub(self, d: Dur) -> Time {
+        Time(self.0 - d.0)
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = Dur;
+    #[inline]
+    fn sub(self, other: Time) -> Dur {
+        Dur(self.0 - other.0)
+    }
+}
+
+impl Add<Dur> for Dur {
+    type Output = Dur;
+    #[inline]
+    fn add(self, d: Dur) -> Dur {
+        Dur(self.0 + d.0)
+    }
+}
+
+impl Sub<Dur> for Dur {
+    type Output = Dur;
+    #[inline]
+    fn sub(self, d: Dur) -> Dur {
+        Dur(self.0 - d.0)
+    }
+}
+
+impl Mul<i64> for Dur {
+    type Output = Dur;
+    #[inline]
+    fn mul(self, k: i64) -> Dur {
+        Dur(self.0 * k)
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_inf() {
+            write!(f, "t=inf")
+        } else {
+            write!(f, "t={}", self.0)
+        }
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl fmt::Debug for Dur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}s", self.0)
+    }
+}
+
+impl fmt::Display for Dur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Index of a slot in the (unbounded, monotonically advancing) slot sequence.
+///
+/// Slot `q` covers the half-open interval `[q*tau, (q+1)*tau)`. Indices are
+/// absolute, not ring positions: the live window at time `t` is
+/// `[slot_of(t), slot_of(t) + Q)`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct SlotIdx(pub i64);
+
+impl SlotIdx {
+    /// The next slot.
+    #[inline]
+    pub fn next(self) -> SlotIdx {
+        SlotIdx(self.0 + 1)
+    }
+}
+
+/// Slot geometry: slot width `tau` and the number of live slots `Q`.
+///
+/// The paper takes `tau` "as the unit of time", equal to the minimum temporal
+/// size of reservation requests, and keeps `Q = ceil(H / tau)` trees alive.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SlotConfig {
+    /// Slot width.
+    pub tau: Dur,
+    /// Number of live slots (`Q`).
+    pub num_slots: usize,
+}
+
+impl SlotConfig {
+    /// Build a slot configuration from a slot width and a horizon; the number
+    /// of slots is `ceil(horizon / tau)`.
+    pub fn new(tau: Dur, horizon: Dur) -> SlotConfig {
+        assert!(tau.0 > 0, "slot width must be positive");
+        assert!(horizon.0 >= tau.0, "horizon must cover at least one slot");
+        let q = (horizon.0 + tau.0 - 1) / tau.0;
+        SlotConfig {
+            tau,
+            num_slots: q as usize,
+        }
+    }
+
+    /// The horizon length `Q * tau` actually covered.
+    #[inline]
+    pub fn horizon(&self) -> Dur {
+        Dur(self.tau.0 * self.num_slots as i64)
+    }
+
+    /// The slot containing instant `t` (floor division, correct for negative
+    /// times as well).
+    #[inline]
+    pub fn slot_of(&self, t: Time) -> SlotIdx {
+        SlotIdx(t.0.div_euclid(self.tau.0))
+    }
+
+    /// The first instant of slot `q`.
+    #[inline]
+    pub fn slot_start(&self, q: SlotIdx) -> Time {
+        Time(q.0 * self.tau.0)
+    }
+
+    /// One past the last instant of slot `q`.
+    #[inline]
+    pub fn slot_end(&self, q: SlotIdx) -> Time {
+        Time((q.0 + 1) * self.tau.0)
+    }
+
+    /// Inclusive range of slots overlapped by the half-open interval
+    /// `[start, end)`; `None` for empty intervals.
+    ///
+    /// An idle period is stored in the tree of every slot it overlaps
+    /// (Section 4.1), which is exactly this range intersected with the live
+    /// window.
+    #[inline]
+    pub fn slots_overlapping(&self, start: Time, end: Time) -> Option<(SlotIdx, SlotIdx)> {
+        if end <= start {
+            return None;
+        }
+        let first = self.slot_of(start);
+        let last = self.slot_of(Time(end.0 - 1));
+        Some((first, last))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_arithmetic_roundtrips() {
+        let t = Time(100) + Dur(50);
+        assert_eq!(t, Time(150));
+        assert_eq!(t - Time(100), Dur(50));
+        assert_eq!(t - Dur(50), Time(100));
+        assert_eq!(Time::from_hours(2), Time(7200));
+        assert_eq!(Dur::from_mins(15), Dur(900));
+    }
+
+    #[test]
+    fn saturating_since_clamps() {
+        assert_eq!(Time(5).saturating_since(Time(10)), Dur::ZERO);
+        assert_eq!(Time(10).saturating_since(Time(5)), Dur(5));
+    }
+
+    #[test]
+    fn inf_is_far_future_and_overflow_safe() {
+        assert!(Time::INF.is_inf());
+        assert!(!Time(1 << 40).is_inf());
+        // Adding a large duration to INF must not overflow.
+        let _ = Time::INF + Dur::from_hours(1_000_000);
+    }
+
+    #[test]
+    fn slot_of_basic() {
+        let cfg = SlotConfig::new(Dur(10), Dur(100));
+        assert_eq!(cfg.num_slots, 10);
+        assert_eq!(cfg.slot_of(Time(0)), SlotIdx(0));
+        assert_eq!(cfg.slot_of(Time(9)), SlotIdx(0));
+        assert_eq!(cfg.slot_of(Time(10)), SlotIdx(1));
+        assert_eq!(cfg.slot_start(SlotIdx(3)), Time(30));
+        assert_eq!(cfg.slot_end(SlotIdx(3)), Time(40));
+    }
+
+    #[test]
+    fn slot_config_rounds_horizon_up() {
+        let cfg = SlotConfig::new(Dur(10), Dur(95));
+        assert_eq!(cfg.num_slots, 10);
+        assert_eq!(cfg.horizon(), Dur(100));
+    }
+
+    #[test]
+    fn slots_overlapping_half_open() {
+        let cfg = SlotConfig::new(Dur(10), Dur(100));
+        // [4, 25) overlaps slots 0, 1, 2 — the paper's idle period X with
+        // tau = 10 (Figure 2).
+        assert_eq!(
+            cfg.slots_overlapping(Time(4), Time(25)),
+            Some((SlotIdx(0), SlotIdx(2)))
+        );
+        // An interval ending exactly on a slot boundary does not reach the
+        // next slot.
+        assert_eq!(
+            cfg.slots_overlapping(Time(0), Time(10)),
+            Some((SlotIdx(0), SlotIdx(0)))
+        );
+        assert_eq!(cfg.slots_overlapping(Time(5), Time(5)), None);
+        assert_eq!(cfg.slots_overlapping(Time(7), Time(3)), None);
+    }
+
+    #[test]
+    fn slot_of_negative_times_floors() {
+        let cfg = SlotConfig::new(Dur(10), Dur(100));
+        assert_eq!(cfg.slot_of(Time(-1)), SlotIdx(-1));
+        assert_eq!(cfg.slot_of(Time(-10)), SlotIdx(-1));
+        assert_eq!(cfg.slot_of(Time(-11)), SlotIdx(-2));
+    }
+}

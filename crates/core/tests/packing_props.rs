@@ -1,0 +1,73 @@
+//! Property tests for sub-tau job packing.
+
+use coalloc_core::packing::{PackedGroup, SmallJob};
+use coalloc_core::prelude::*;
+use proptest::prelude::*;
+
+fn jobs_strategy() -> impl Strategy<Value = Vec<SmallJob>> {
+    prop::collection::vec((1i64..120, 1u32..5), 1..40).prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (d, n))| SmallJob {
+                tag: i as u64,
+                duration: Dur(d),
+                servers: n,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Packing is complete (every job placed exactly once), collision-free,
+    /// fits the combined request, and is at least tau long.
+    #[test]
+    fn packing_is_sound(jobs in jobs_strategy(), tau in 50i64..200) {
+        let tau = Dur(tau);
+        let g = PackedGroup::pack(&jobs, tau).unwrap();
+        g.check_disjoint(&jobs);
+        prop_assert!(g.duration() >= tau);
+        let mut tags: Vec<u64> = g.placements().iter().map(|p| p.tag).collect();
+        tags.sort_unstable();
+        prop_assert_eq!(tags, (0..jobs.len() as u64).collect::<Vec<_>>());
+    }
+
+    /// The reserved area is never catastrophically larger than the packed
+    /// work: bounded by 4x work + one tau-by-width pad (first-fit shelves
+    /// are 2-approximate; the bound here is deliberately loose but finite).
+    #[test]
+    fn packing_is_not_wasteful(jobs in jobs_strategy(), tau in 50i64..200) {
+        let tau = Dur(tau);
+        let g = PackedGroup::pack(&jobs, tau).unwrap();
+        let work: i64 = jobs.iter().map(|j| j.duration.secs() * j.servers as i64).sum();
+        let area = g.duration().secs() * g.servers() as i64;
+        let bound = work * 4 + tau.secs() * g.servers() as i64;
+        prop_assert!(area <= bound, "area {area} work {work} bound {bound}");
+    }
+
+    /// The packed request schedules end-to-end and every placement fits
+    /// inside the granted window.
+    #[test]
+    fn packed_request_is_schedulable(jobs in jobs_strategy()) {
+        let tau = Dur(600);
+        let g = PackedGroup::pack(&jobs, tau).unwrap();
+        let width = g.servers();
+        let mut s = CoAllocScheduler::new(
+            width.max(1),
+            SchedulerConfig::builder()
+                .tau(tau)
+                .horizon(Dur(600 * 64))
+                .delta_t(tau)
+                .build(),
+        );
+        let grant = s.submit(&g.request(Time::ZERO, Time::ZERO)).unwrap();
+        prop_assert_eq!(grant.servers.len() as u32, width);
+        for p in g.placements() {
+            let d = jobs[p.tag as usize].duration;
+            prop_assert!(grant.start + p.offset + d <= grant.end);
+            prop_assert!(p.first_lane + p.lanes <= width);
+        }
+        s.check_consistency();
+    }
+}

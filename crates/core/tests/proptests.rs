@@ -1,0 +1,239 @@
+//! Property-based tests for the core co-allocation invariants.
+
+use coalloc_core::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: a stream of requests with small parameters, fitting a system of
+/// `n_servers` servers with tau=10 / horizon=400 slotting.
+fn request_stream(n_servers: u32, len: usize) -> impl Strategy<Value = Vec<Request>> {
+    prop::collection::vec(
+        (
+            0i64..200,    // submit offset from previous
+            0i64..120,    // advance offset (s_r - q_r)
+            1i64..80,     // duration
+            1u32..=n_servers,
+        ),
+        1..len,
+    )
+    .prop_map(|raw| {
+        let mut t = 0i64;
+        raw.into_iter()
+            .map(|(dt, adv, dur, n)| {
+                t += dt % 20; // mostly clustered arrivals
+                Request::advance(Time(t), Time(t + adv), Dur(dur), n)
+            })
+            .collect()
+    })
+}
+
+fn small_cfg(policy: SelectionPolicy) -> SchedulerConfig {
+    SchedulerConfig::builder()
+        .tau(Dur(10))
+        .horizon(Dur(400))
+        .delta_t(Dur(10))
+        .policy(policy)
+        .seed(0xABCD)
+        .build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The tree-based scheduler and the naive linear-scan scheduler make
+    /// identical decisions (same grants, same rejections, same start times
+    /// and servers) when both use the order-independent ByServerId policy.
+    #[test]
+    fn tree_scheduler_equals_naive_oracle(reqs in request_stream(6, 40)) {
+        let mut tree = CoAllocScheduler::new(6, small_cfg(SelectionPolicy::ByServerId));
+        let mut naive = NaiveScheduler::new(6, small_cfg(SelectionPolicy::ByServerId));
+        for r in &reqs {
+            tree.advance_to(r.submit);
+            naive.advance_to(r.submit);
+            let a = tree.submit(r);
+            let b = naive.submit(r);
+            match (a, b) {
+                (Ok(ga), Ok(gb)) => {
+                    prop_assert_eq!(ga.start, gb.start);
+                    prop_assert_eq!(ga.end, gb.end);
+                    prop_assert_eq!(ga.attempts, gb.attempts);
+                    let mut sa = ga.servers.clone();
+                    let mut sb = gb.servers.clone();
+                    sa.sort();
+                    sb.sort();
+                    prop_assert_eq!(sa, sb);
+                }
+                (Err(ea), Err(eb)) => prop_assert_eq!(ea, eb),
+                (a, b) => prop_assert!(false, "divergence: tree={a:?} naive={b:?}"),
+            }
+        }
+        tree.check_consistency();
+    }
+
+    /// Under any request stream and any policy, the scheduler's slot-tree
+    /// mirror stays exactly consistent with the authoritative timeline, and
+    /// no server is ever double-booked.
+    #[test]
+    fn mirror_consistency_under_random_streams(
+        reqs in request_stream(5, 30),
+        policy_idx in 0usize..4,
+    ) {
+        let policy = [
+            SelectionPolicy::PaperOrder,
+            SelectionPolicy::BestFit,
+            SelectionPolicy::WorstFit,
+            SelectionPolicy::ByServerId,
+        ][policy_idx];
+        let mut s = CoAllocScheduler::new(5, small_cfg(policy));
+        for r in &reqs {
+            s.advance_to(r.submit);
+            let _ = s.submit(r);
+        }
+        s.check_consistency();
+    }
+
+    /// Every grant satisfies the contract: `start >= max(s_r, now)`, the
+    /// delay is a multiple of `Delta_t` bounded by `R_max * Delta_t`, the
+    /// right number of distinct servers is returned, and the reservation is
+    /// recorded on each of them.
+    #[test]
+    fn grant_contract(reqs in request_stream(4, 30)) {
+        let cfg = small_cfg(SelectionPolicy::PaperOrder);
+        let r_max = cfg.effective_r_max() as i64;
+        let mut s = CoAllocScheduler::new(4, cfg);
+        for r in &reqs {
+            s.advance_to(r.submit);
+            let earliest = r.earliest_start.max(s.now());
+            if let Ok(g) = s.submit(r) {
+                prop_assert!(g.start >= earliest);
+                let delay = (g.start - earliest).secs();
+                prop_assert_eq!(delay % cfg.delta_t.secs(), 0);
+                prop_assert!(delay <= r_max * cfg.delta_t.secs());
+                prop_assert_eq!(g.end, g.start + r.duration);
+                let mut servers = g.servers.clone();
+                servers.sort();
+                servers.dedup();
+                prop_assert_eq!(servers.len(), r.servers as usize);
+                for srv in &g.servers {
+                    let reserved = s
+                        .timeline()
+                        .reservations(*srv)
+                        .iter()
+                        .any(|res| res.job == g.job && res.start == g.start && res.end == g.end);
+                    prop_assert!(reserved, "missing reservation on {srv:?}");
+                }
+            }
+        }
+    }
+
+    /// Releasing every granted job returns the system to a fully idle state:
+    /// one open-ended idle period per server and zero utilization ahead.
+    #[test]
+    fn release_everything_restores_idle_state(reqs in request_stream(4, 25)) {
+        let mut s = CoAllocScheduler::new(4, small_cfg(SelectionPolicy::PaperOrder));
+        let mut jobs = Vec::new();
+        // Submit everything at t=0 (no clock advance, so nothing is pruned).
+        for r in &reqs {
+            let r0 = Request::advance(Time::ZERO, r.earliest_start.max(Time::ZERO), r.duration, r.servers);
+            if let Ok(g) = s.submit(&r0) {
+                jobs.push(g.job);
+            }
+        }
+        for j in jobs {
+            s.release(j).unwrap();
+        }
+        s.check_consistency();
+        for srv in 0..4 {
+            let idle = s.timeline().idle_periods(ServerId(srv));
+            prop_assert_eq!(idle.len(), 1);
+            prop_assert_eq!(idle[0].start, Time::ZERO);
+            prop_assert!(idle[0].end.is_inf());
+        }
+    }
+
+    /// The read-only range search agrees with a naive scan of the timeline.
+    #[test]
+    fn range_search_matches_timeline_scan(
+        reqs in request_stream(5, 20),
+        window_start in 0i64..350,
+        window_len in 1i64..80,
+    ) {
+        let mut s = CoAllocScheduler::new(5, small_cfg(SelectionPolicy::PaperOrder));
+        for r in &reqs {
+            let _ = s.submit(r); // keep clock at 0 so the window stays valid
+        }
+        let (a, b) = (Time(window_start), Time(window_start + window_len));
+        let hits = s.range_search(a, b);
+        let count = s.range_count(a, b);
+        prop_assert_eq!(hits.len(), count);
+        if b <= s.horizon_end() {
+            let mut got: Vec<u64> = hits.iter().map(|h| h.period.id.0).collect();
+            got.sort_unstable();
+            let mut want = Vec::new();
+            for srv in 0..5 {
+                for p in s.timeline().idle_periods(ServerId(srv)) {
+                    if p.is_feasible(a, b) {
+                        want.push(p.id.0);
+                    }
+                }
+            }
+            want.sort_unstable();
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    /// Snapshot/restore round-trips any reachable scheduler state, and the
+    /// restored scheduler's commitments match the original's exactly.
+    #[test]
+    fn snapshot_roundtrips_any_state(reqs in request_stream(4, 25)) {
+        let mut s = CoAllocScheduler::new(4, small_cfg(SelectionPolicy::ByServerId));
+        for r in &reqs {
+            s.advance_to(r.submit);
+            let _ = s.submit(r);
+        }
+        let snap = s.snapshot();
+        let restored = CoAllocScheduler::restore(&snap).unwrap();
+        restored.check_consistency();
+        prop_assert_eq!(restored.snapshot(), snap);
+        for srv in 0..4 {
+            prop_assert_eq!(
+                s.timeline().reservations(ServerId(srv)),
+                restored.timeline().reservations(ServerId(srv))
+            );
+        }
+        prop_assert_eq!(s.now(), restored.now());
+    }
+
+    /// Advancing the clock in arbitrary increments keeps the ring mirror
+    /// consistent and never loses committed future reservations.
+    #[test]
+    fn clock_advance_preserves_commitments(
+        advances in prop::collection::vec(1i64..60, 1..12),
+    ) {
+        let mut s = CoAllocScheduler::new(3, small_cfg(SelectionPolicy::PaperOrder));
+        // Book a far-future reservation.
+        let g = s
+            .submit(&Request::advance(Time::ZERO, Time(350), Dur(40), 2))
+            .unwrap();
+        let mut now = 0i64;
+        for a in advances {
+            now += a;
+            if now >= 350 {
+                break;
+            }
+            s.advance_to(Time(now));
+            s.check_consistency();
+            // The reservation must still be on the books.
+            prop_assert!(s.job(g.job).is_some());
+            let mut found = 0;
+            for srv in 0..3 {
+                found += s
+                    .timeline()
+                    .reservations(ServerId(srv))
+                    .iter()
+                    .filter(|r| r.job == g.job)
+                    .count();
+            }
+            prop_assert_eq!(found, 2);
+        }
+    }
+}

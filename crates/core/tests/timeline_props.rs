@@ -1,0 +1,110 @@
+//! Property tests for the authoritative timeline against a brute-force
+//! second-by-second occupancy oracle.
+
+use coalloc_core::ids::{JobId, ServerId};
+use coalloc_core::prelude::*;
+use coalloc_core::timeline::Timeline;
+use proptest::prelude::*;
+
+const HORIZON: i64 = 200;
+
+/// Oracle: busy[t] per second on one server.
+#[derive(Clone)]
+struct Oracle {
+    busy: Vec<bool>,
+}
+
+impl Oracle {
+    fn new() -> Oracle {
+        Oracle {
+            busy: vec![false; HORIZON as usize],
+        }
+    }
+    fn free_range(&self, a: i64, b: i64) -> bool {
+        (a..b).all(|t| !self.busy[t as usize])
+    }
+    fn set(&mut self, a: i64, b: i64, v: bool) {
+        for t in a..b {
+            self.busy[t as usize] = v;
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    Reserve { start: i64, len: i64 },
+    ReleaseNth(usize),
+}
+
+fn ops_strategy() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0i64..HORIZON - 1, 1i64..40).prop_map(|(start, len)| Op::Reserve { start, len }),
+            (0usize..20).prop_map(Op::ReleaseNth),
+        ],
+        1..80,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Random reserve/release sequences on one server agree with the
+    /// per-second oracle: a window is reservable iff the oracle says it is
+    /// free, and invariants hold after every mutation.
+    #[test]
+    fn timeline_matches_second_oracle(ops in ops_strategy()) {
+        let mut tl = Timeline::new(1, Time::ZERO);
+        let mut oracle = Oracle::new();
+        let mut live: Vec<(JobId, i64, i64)> = Vec::new();
+        let mut next_job = 0u64;
+        let srv = ServerId(0);
+        for op in ops {
+            match op {
+                Op::Reserve { start, len } => {
+                    let end = (start + len).min(HORIZON);
+                    if end <= start {
+                        continue;
+                    }
+                    let covering = tl.covering_idle(srv, Time(start), Time(end));
+                    prop_assert_eq!(
+                        covering.is_some(),
+                        oracle.free_range(start, end),
+                        "availability mismatch for [{}, {})",
+                        start,
+                        end
+                    );
+                    if let Some(p) = covering {
+                        let job = JobId(next_job);
+                        next_job += 1;
+                        tl.reserve(p.id, job, Time(start), Time(end));
+                        oracle.set(start, end, true);
+                        live.push((job, start, end));
+                        tl.check_invariants();
+                    }
+                }
+                Op::ReleaseNth(i) => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let (job, start, end) = live.swap_remove(i % live.len());
+                    tl.release(srv, job, Time(start), Time(end));
+                    oracle.set(start, end, false);
+                    tl.check_invariants();
+                }
+            }
+        }
+        // Final sweep: every 1-second probe agrees.
+        for t in 0..HORIZON {
+            prop_assert_eq!(
+                tl.covering_idle(srv, Time(t), Time(t + 1)).is_some(),
+                oracle.free_range(t, t + 1),
+                "final state mismatch at {}",
+                t
+            );
+        }
+        // Busy-seconds accounting agrees with the oracle.
+        let oracle_busy: i64 = oracle.busy.iter().filter(|&&b| b).count() as i64;
+        prop_assert_eq!(tl.busy_secs_before(Time(HORIZON)), oracle_busy);
+    }
+}

@@ -1,0 +1,196 @@
+//! Optical network topology: nodes connected by WDM links, each carrying `W`
+//! wavelengths. A *(link, wavelength)* pair is one schedulable resource —
+//! the mapping onto the co-allocation scheduler's server space.
+
+/// A network node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+/// An undirected link.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LinkId(pub u32);
+
+/// A wavelength index `0..W`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Wavelength(pub u32);
+
+/// An undirected WDM network.
+#[derive(Clone, Debug)]
+pub struct Network {
+    num_nodes: u32,
+    links: Vec<(NodeId, NodeId)>,
+    adjacency: Vec<Vec<(NodeId, LinkId)>>,
+    wavelengths: u32,
+}
+
+impl Network {
+    /// An empty network with `num_nodes` nodes and `wavelengths` wavelengths
+    /// per link.
+    pub fn new(num_nodes: u32, wavelengths: u32) -> Network {
+        assert!(wavelengths > 0, "links need at least one wavelength");
+        Network {
+            num_nodes,
+            links: Vec::new(),
+            adjacency: vec![Vec::new(); num_nodes as usize],
+            wavelengths,
+        }
+    }
+
+    /// Add an undirected link between `a` and `b`. Returns its id.
+    pub fn add_link(&mut self, a: NodeId, b: NodeId) -> LinkId {
+        assert!(a.0 < self.num_nodes && b.0 < self.num_nodes, "node range");
+        assert_ne!(a, b, "self-loops are not allowed");
+        let id = LinkId(self.links.len() as u32);
+        self.links.push((a, b));
+        self.adjacency[a.0 as usize].push((b, id));
+        self.adjacency[b.0 as usize].push((a, id));
+        id
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> u32 {
+        self.num_nodes
+    }
+
+    /// Number of links.
+    pub fn num_links(&self) -> u32 {
+        self.links.len() as u32
+    }
+
+    /// Wavelengths per link (`W`).
+    pub fn wavelengths(&self) -> u32 {
+        self.wavelengths
+    }
+
+    /// Endpoints of a link.
+    pub fn endpoints(&self, l: LinkId) -> (NodeId, NodeId) {
+        self.links[l.0 as usize]
+    }
+
+    /// Neighbors of a node with the connecting link.
+    pub fn neighbors(&self, n: NodeId) -> &[(NodeId, LinkId)] {
+        &self.adjacency[n.0 as usize]
+    }
+
+    /// Total schedulable resources: `links * wavelengths`. This is the `N`
+    /// of the underlying co-allocation scheduler.
+    pub fn num_resources(&self) -> u32 {
+        self.num_links() * self.wavelengths
+    }
+
+    /// The scheduler server id of `(link, wavelength)`.
+    pub fn resource(&self, link: LinkId, w: Wavelength) -> coalloc_core::ids::ServerId {
+        debug_assert!(w.0 < self.wavelengths);
+        coalloc_core::ids::ServerId(link.0 * self.wavelengths + w.0)
+    }
+
+    /// Inverse of [`Self::resource`].
+    pub fn resource_parts(&self, s: coalloc_core::ids::ServerId) -> (LinkId, Wavelength) {
+        (
+            LinkId(s.0 / self.wavelengths),
+            Wavelength(s.0 % self.wavelengths),
+        )
+    }
+
+    /// A line topology `0 - 1 - ... - (n-1)`.
+    pub fn line(n: u32, wavelengths: u32) -> Network {
+        let mut net = Network::new(n, wavelengths);
+        for i in 0..n.saturating_sub(1) {
+            net.add_link(NodeId(i), NodeId(i + 1));
+        }
+        net
+    }
+
+    /// A ring topology.
+    pub fn ring(n: u32, wavelengths: u32) -> Network {
+        assert!(n >= 3, "a ring needs at least 3 nodes");
+        let mut net = Network::new(n, wavelengths);
+        for i in 0..n {
+            net.add_link(NodeId(i), NodeId((i + 1) % n));
+        }
+        net
+    }
+
+    /// The classic 14-node, 21-link NSFNET topology used throughout optical
+    /// networking studies.
+    pub fn nsfnet(wavelengths: u32) -> Network {
+        let edges: &[(u32, u32)] = &[
+            (0, 1),
+            (0, 2),
+            (0, 7),
+            (1, 2),
+            (1, 3),
+            (2, 5),
+            (3, 4),
+            (3, 10),
+            (4, 5),
+            (4, 6),
+            (5, 9),
+            (5, 13),
+            (6, 7),
+            (7, 8),
+            (8, 9),
+            (8, 11),
+            (8, 12),
+            (10, 11),
+            (10, 13),
+            (11, 12),
+            (12, 13),
+        ];
+        let mut net = Network::new(14, wavelengths);
+        for &(a, b) in edges {
+            net.add_link(NodeId(a), NodeId(b));
+        }
+        net
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_topology_shape() {
+        let net = Network::line(4, 8);
+        assert_eq!(net.num_nodes(), 4);
+        assert_eq!(net.num_links(), 3);
+        assert_eq!(net.num_resources(), 24);
+        assert_eq!(net.neighbors(NodeId(0)).len(), 1);
+        assert_eq!(net.neighbors(NodeId(1)).len(), 2);
+    }
+
+    #[test]
+    fn ring_topology_shape() {
+        let net = Network::ring(5, 4);
+        assert_eq!(net.num_links(), 5);
+        for n in 0..5 {
+            assert_eq!(net.neighbors(NodeId(n)).len(), 2);
+        }
+    }
+
+    #[test]
+    fn nsfnet_is_the_standard_21_link_graph() {
+        let net = Network::nsfnet(16);
+        assert_eq!(net.num_nodes(), 14);
+        assert_eq!(net.num_links(), 21);
+        assert_eq!(net.num_resources(), 336);
+    }
+
+    #[test]
+    fn resource_mapping_roundtrips() {
+        let net = Network::line(5, 8);
+        for l in 0..net.num_links() {
+            for w in 0..8 {
+                let s = net.resource(LinkId(l), Wavelength(w));
+                assert_eq!(net.resource_parts(s), (LinkId(l), Wavelength(w)));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loop_rejected() {
+        let mut net = Network::new(3, 2);
+        net.add_link(NodeId(1), NodeId(1));
+    }
+}

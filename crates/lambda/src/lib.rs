@@ -1,0 +1,43 @@
+//! # coalloc-lambda
+//!
+//! Lambda scheduling for grid applications (Section 3.2): a path computation
+//! element (PCE) that co-allocates link wavelengths along end-to-end paths
+//! using the core scheduler's range-search → post-process → commit flow.
+//! Each *(link, wavelength)* pair maps to one scheduler server; wavelength
+//! continuity (or per-link wavelengths under conversion) is the PCE's
+//! application-specific post-processing over the range-search result.
+
+//! ## Example
+//!
+//! ```
+//! use coalloc_core::prelude::*;
+//! use coalloc_lambda::{ConnectionRequest, Network, NodeId, Pce, PceConfig, Wavelength};
+//!
+//! let mut pce = Pce::new(
+//!     Network::nsfnet(4),
+//!     SchedulerConfig::default(),
+//!     PceConfig::default(),
+//! );
+//! let lp = pce
+//!     .connect(&ConnectionRequest {
+//!         src: NodeId(0),
+//!         dst: NodeId(13),
+//!         earliest_start: Time::ZERO,
+//!         duration: Dur::from_hours(2),
+//!         wavelengths: (Wavelength(0), Wavelength(3)),
+//!     })
+//!     .unwrap();
+//! assert!(lp.is_continuous()); // same lambda on every hop
+//! pce.tear_down(&lp).unwrap();
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod graph;
+pub mod paths;
+pub mod pce;
+
+pub use graph::{LinkId, Network, NodeId, Wavelength};
+pub use paths::{k_shortest_paths, shortest_path, Path};
+pub use pce::{ConnectionRequest, Lightpath, Pce, PceConfig, PceError};

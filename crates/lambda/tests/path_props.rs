@@ -1,0 +1,134 @@
+//! Property tests for path computation: Dijkstra against BFS, Yen against
+//! brute-force loopless-path enumeration on small random graphs.
+
+use coalloc_lambda::{k_shortest_paths, shortest_path, Network, NodeId};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+/// Random connected-ish graph on up to 7 nodes.
+fn graph_strategy() -> impl Strategy<Value = Network> {
+    (2u32..=7, prop::collection::vec((0u32..7, 0u32..7), 1..15)).prop_map(|(n, edges)| {
+        let mut net = Network::new(n, 2);
+        let mut seen = std::collections::HashSet::new();
+        for (a, b) in edges {
+            let (a, b) = (a % n, b % n);
+            if a != b && seen.insert((a.min(b), a.max(b))) {
+                net.add_link(NodeId(a.min(b)), NodeId(a.max(b)));
+            }
+        }
+        net
+    })
+}
+
+/// BFS hop distance (oracle for Dijkstra with unit weights).
+fn bfs_dist(net: &Network, src: NodeId, dst: NodeId) -> Option<usize> {
+    let mut dist = vec![usize::MAX; net.num_nodes() as usize];
+    dist[src.0 as usize] = 0;
+    let mut q = VecDeque::from([src]);
+    while let Some(u) = q.pop_front() {
+        if u == dst {
+            return Some(dist[u.0 as usize]);
+        }
+        for &(v, _) in net.neighbors(u) {
+            if dist[v.0 as usize] == usize::MAX {
+                dist[v.0 as usize] = dist[u.0 as usize] + 1;
+                q.push_back(v);
+            }
+        }
+    }
+    None
+}
+
+/// Brute-force enumeration of all loopless paths (oracle for Yen).
+fn all_paths(net: &Network, src: NodeId, dst: NodeId) -> Vec<usize> {
+    fn dfs(
+        net: &Network,
+        cur: NodeId,
+        dst: NodeId,
+        visited: &mut Vec<bool>,
+        hops: usize,
+        out: &mut Vec<usize>,
+    ) {
+        if cur == dst {
+            out.push(hops);
+            return;
+        }
+        for &(v, _) in net.neighbors(cur) {
+            if !visited[v.0 as usize] {
+                visited[v.0 as usize] = true;
+                dfs(net, v, dst, visited, hops + 1, out);
+                visited[v.0 as usize] = false;
+            }
+        }
+    }
+    let mut visited = vec![false; net.num_nodes() as usize];
+    visited[src.0 as usize] = true;
+    let mut out = Vec::new();
+    dfs(net, src, dst, &mut visited, 0, &mut out);
+    out.sort_unstable();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn dijkstra_matches_bfs(net in graph_strategy(), s in 0u32..7, d in 0u32..7) {
+        let n = net.num_nodes();
+        let (src, dst) = (NodeId(s % n), NodeId(d % n));
+        let got = shortest_path(&net, src, dst, &[], &[]).map(|p| p.hops());
+        let want = bfs_dist(&net, src, dst);
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn yen_enumerates_exactly_the_loopless_paths(
+        net in graph_strategy(),
+        s in 0u32..7,
+        d in 0u32..7,
+    ) {
+        let n = net.num_nodes();
+        let (src, dst) = (NodeId(s % n), NodeId(d % n));
+        if src == dst {
+            return Ok(());
+        }
+        let oracle = all_paths(&net, src, dst);
+        let yen = k_shortest_paths(&net, src, dst, 1000);
+        // Same multiset of hop counts (sorted).
+        let mut got: Vec<usize> = yen.iter().map(|p| p.hops()).collect();
+        got.sort_unstable();
+        prop_assert_eq!(&got, &oracle, "k-shortest set mismatch");
+        // Sorted by hops, loopless, and structurally valid.
+        for w in yen.windows(2) {
+            prop_assert!(w[0].hops() <= w[1].hops());
+        }
+        for p in &yen {
+            let mut seen = std::collections::HashSet::new();
+            prop_assert!(p.nodes.iter().all(|x| seen.insert(*x)));
+            prop_assert_eq!(p.nodes.len(), p.links.len() + 1);
+            prop_assert_eq!(*p.nodes.first().unwrap(), src);
+            prop_assert_eq!(*p.nodes.last().unwrap(), dst);
+            for (i, l) in p.links.iter().enumerate() {
+                let (a, b) = net.endpoints(*l);
+                let (u, v) = (p.nodes[i], p.nodes[i + 1]);
+                prop_assert!((a, b) == (u, v) || (a, b) == (v, u));
+            }
+        }
+        // No duplicates.
+        for i in 0..yen.len() {
+            for j in i + 1..yen.len() {
+                prop_assert_ne!(&yen[i], &yen[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn yen_prefix_property(net in graph_strategy(), s in 0u32..7, d in 0u32..7, k in 1usize..5) {
+        // The first k paths of a larger k are identical in hop counts.
+        let n = net.num_nodes();
+        let (src, dst) = (NodeId(s % n), NodeId(d % n));
+        let small: Vec<usize> = k_shortest_paths(&net, src, dst, k).iter().map(|p| p.hops()).collect();
+        let large: Vec<usize> = k_shortest_paths(&net, src, dst, k + 3).iter().map(|p| p.hops()).collect();
+        prop_assert_eq!(&small[..], &large[..small.len().min(large.len())]);
+    }
+}

@@ -1,0 +1,365 @@
+//! The co-allocation coordinator: acquires holds on every involved site in
+//! global site order (deadlock freedom across concurrent coordinators),
+//! then commits all-or-nothing, retrying the whole window shifted by
+//! `Delta_t` when any site denies — the paper's retry loop lifted to the
+//! multi-site level.
+
+use crate::messages::{SiteId, SiteReply, SiteRequest, TxnId};
+use crate::site::SiteHandle;
+use coalloc_core::prelude::{Dur, JobId, ServerId, Time};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Global transaction-id source (unique across coordinators in-process).
+static NEXT_TXN: AtomicU64 = AtomicU64::new(1);
+
+/// What a coordinator asks for: `servers_per_site[s]` servers at site `s`,
+/// all simultaneously for `duration`, starting no earlier than
+/// `earliest_start`.
+#[derive(Clone, Debug)]
+pub struct MultiRequest {
+    /// Per-site spatial demand. Sites not listed are not involved.
+    pub parts: BTreeMap<SiteId, u32>,
+    /// Earliest acceptable start.
+    pub earliest_start: Time,
+    /// Window length.
+    pub duration: Dur,
+}
+
+/// A committed cross-site co-allocation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MultiGrant {
+    /// The distributed transaction id.
+    pub txn: TxnId,
+    /// The common start time across all sites.
+    pub start: Time,
+    /// The common end time.
+    pub end: Time,
+    /// Per-site local job and servers.
+    pub parts: Vec<(SiteId, JobId, Vec<ServerId>)>,
+    /// Window attempts used (1 = first window).
+    pub attempts: u32,
+}
+
+/// Why a co-allocation failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MultiSiteError {
+    /// A named site is not registered with the coordinator.
+    UnknownSite(SiteId),
+    /// All `r_max` windows were tried without success.
+    Exhausted {
+        /// Window attempts made.
+        attempts: u32,
+    },
+    /// A site failed to answer within the protocol timeout during the hold
+    /// phase (holds already acquired were aborted).
+    SiteUnresponsive(SiteId),
+    /// A commit arrived after the hold's TTL on some site; all other parts
+    /// were compensated (undone), so the system is consistent but the
+    /// transaction did not happen.
+    CommitExpired(SiteId),
+}
+
+impl std::fmt::Display for MultiSiteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MultiSiteError::UnknownSite(s) => write!(f, "unknown site {s:?}"),
+            MultiSiteError::Exhausted { attempts } => {
+                write!(f, "no common window found in {attempts} attempts")
+            }
+            MultiSiteError::SiteUnresponsive(s) => write!(f, "site {s:?} did not reply in time"),
+            MultiSiteError::CommitExpired(s) => {
+                write!(f, "hold expired before commit at site {s:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MultiSiteError {}
+
+/// Protocol tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct CoordinatorConfig {
+    /// Per-message reply timeout.
+    pub rpc_timeout: Duration,
+    /// Hold TTL granted to sites (must comfortably exceed the time to
+    /// acquire the remaining holds and send commits).
+    pub hold_ttl: Duration,
+    /// Start-time increment between window attempts (`Delta_t`).
+    pub delta_t: Dur,
+    /// Maximum window attempts (`R_max`).
+    pub r_max: u32,
+}
+
+impl Default for CoordinatorConfig {
+    fn default() -> Self {
+        CoordinatorConfig {
+            rpc_timeout: Duration::from_secs(2),
+            hold_ttl: Duration::from_secs(10),
+            delta_t: Dur::from_mins(15),
+            r_max: 32,
+        }
+    }
+}
+
+/// Statistics of one coordinator's lifetime.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CoordinatorStats {
+    /// Successful co-allocations.
+    pub granted: u64,
+    /// Failed co-allocations.
+    pub failed: u64,
+    /// Hold-phase aborts issued (contention and denials).
+    pub aborts: u64,
+    /// Total window attempts.
+    pub window_attempts: u64,
+}
+
+/// Coordinates atomic co-allocations across a set of sites.
+pub struct Coordinator<'a> {
+    sites: BTreeMap<SiteId, &'a SiteHandle>,
+    cfg: CoordinatorConfig,
+    stats: CoordinatorStats,
+}
+
+impl<'a> Coordinator<'a> {
+    /// Build a coordinator over `sites`.
+    pub fn new(sites: &'a [SiteHandle], cfg: CoordinatorConfig) -> Coordinator<'a> {
+        Coordinator {
+            sites: sites.iter().map(|s| (s.id, s)).collect(),
+            cfg,
+            stats: CoordinatorStats::default(),
+        }
+    }
+
+    /// Lifetime statistics.
+    pub fn stats(&self) -> &CoordinatorStats {
+        &self.stats
+    }
+
+    /// Atomically co-allocate the request across its sites.
+    ///
+    /// Holds are acquired sequentially in ascending [`SiteId`] order — the
+    /// global lock order that prevents deadlock (and livelock cycles)
+    /// between concurrent coordinators. Any denial aborts the acquired
+    /// prefix and retries the window `Delta_t` later.
+    pub fn co_allocate(&mut self, req: &MultiRequest) -> Result<MultiGrant, MultiSiteError> {
+        for site in req.parts.keys() {
+            if !self.sites.contains_key(site) {
+                return Err(MultiSiteError::UnknownSite(*site));
+            }
+        }
+        let mut attempts = 0u32;
+        let mut start = req.earliest_start;
+        while attempts < self.cfg.r_max {
+            attempts += 1;
+            self.stats.window_attempts += 1;
+            let txn = TxnId(NEXT_TXN.fetch_add(1, Ordering::Relaxed));
+            match self.try_window(txn, start, req) {
+                Ok(parts) => {
+                    // All holds acquired: commit everywhere (same order).
+                    for (i, (site_id, _, _)) in parts.iter().enumerate() {
+                        let site = self.sites[site_id];
+                        match site
+                            .call_timeout(SiteRequest::Commit { txn }, self.cfg.rpc_timeout)
+                        {
+                            Some(SiteReply::CommitResult { ok: true, .. }) => {}
+                            _ => {
+                                // Compensate: undo committed prefix, abort
+                                // the (still-held) suffix.
+                                for (sid, _, _) in &parts[..i] {
+                                    let _ = self.sites[sid].call_timeout(
+                                        SiteRequest::Abort { txn },
+                                        self.cfg.rpc_timeout,
+                                    );
+                                }
+                                for (sid, _, _) in &parts[i..] {
+                                    let _ = self.sites[sid].call_timeout(
+                                        SiteRequest::Abort { txn },
+                                        self.cfg.rpc_timeout,
+                                    );
+                                }
+                                self.stats.failed += 1;
+                                return Err(MultiSiteError::CommitExpired(*site_id));
+                            }
+                        }
+                    }
+                    self.stats.granted += 1;
+                    return Ok(MultiGrant {
+                        txn,
+                        start,
+                        end: start + req.duration,
+                        parts,
+                        attempts,
+                    });
+                }
+                Err(HoldFailure::Unresponsive(site)) => {
+                    self.stats.failed += 1;
+                    return Err(MultiSiteError::SiteUnresponsive(site));
+                }
+                Err(HoldFailure::Denied) => {
+                    start += self.cfg.delta_t;
+                }
+            }
+        }
+        self.stats.failed += 1;
+        Err(MultiSiteError::Exhausted { attempts })
+    }
+
+    /// Try to hold one fixed window on every site. On failure the acquired
+    /// prefix is aborted.
+    fn try_window(
+        &mut self,
+        txn: TxnId,
+        start: Time,
+        req: &MultiRequest,
+    ) -> Result<Vec<(SiteId, JobId, Vec<ServerId>)>, HoldFailure> {
+        let mut acquired: Vec<(SiteId, JobId, Vec<ServerId>)> = Vec::new();
+        for (&site_id, &servers) in &req.parts {
+            let site = self.sites[&site_id];
+            let reply = site.call_timeout(
+                SiteRequest::Hold {
+                    txn,
+                    start,
+                    duration: req.duration,
+                    servers,
+                    ttl: self.cfg.hold_ttl,
+                },
+                self.cfg.rpc_timeout,
+            );
+            match reply {
+                Some(SiteReply::HoldGranted { job, servers, .. }) => {
+                    acquired.push((site_id, job, servers));
+                }
+                Some(SiteReply::HoldDenied { .. }) => {
+                    self.abort_all(txn, &acquired);
+                    return Err(HoldFailure::Denied);
+                }
+                _ => {
+                    self.abort_all(txn, &acquired);
+                    return Err(HoldFailure::Unresponsive(site_id));
+                }
+            }
+        }
+        Ok(acquired)
+    }
+
+    fn abort_all(&mut self, txn: TxnId, acquired: &[(SiteId, JobId, Vec<ServerId>)]) {
+        for (site_id, _, _) in acquired {
+            self.stats.aborts += 1;
+            let _ = self.sites[site_id].call_timeout(
+                SiteRequest::Abort { txn },
+                self.cfg.rpc_timeout,
+            );
+        }
+    }
+}
+
+enum HoldFailure {
+    Denied,
+    Unresponsive(SiteId),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coalloc_core::prelude::SchedulerConfig;
+
+    fn sites(n_sites: u32, servers: u32) -> Vec<SiteHandle> {
+        let cfg = SchedulerConfig::builder()
+            .tau(Dur(60))
+            .horizon(Dur(7200))
+            .delta_t(Dur(60))
+            .build();
+        (0..n_sites)
+            .map(|i| SiteHandle::spawn(SiteId(i), servers, cfg))
+            .collect()
+    }
+
+    fn cfg() -> CoordinatorConfig {
+        CoordinatorConfig {
+            delta_t: Dur(60),
+            r_max: 20,
+            ..CoordinatorConfig::default()
+        }
+    }
+
+    fn req(parts: &[(u32, u32)], start: i64, dur: i64) -> MultiRequest {
+        MultiRequest {
+            parts: parts.iter().map(|&(s, n)| (SiteId(s), n)).collect(),
+            earliest_start: Time(start),
+            duration: Dur(dur),
+        }
+    }
+
+    #[test]
+    fn grants_across_three_sites() {
+        let sites = sites(3, 4);
+        let mut coord = Coordinator::new(&sites, cfg());
+        let grant = coord
+            .co_allocate(&req(&[(0, 2), (1, 3), (2, 1)], 0, 600))
+            .unwrap();
+        assert_eq!(grant.start, Time(0));
+        assert_eq!(grant.parts.len(), 3);
+        assert_eq!(grant.parts[0].2.len(), 2);
+        assert_eq!(grant.parts[1].2.len(), 3);
+        assert_eq!(coord.stats().granted, 1);
+    }
+
+    #[test]
+    fn contention_shifts_window_atomically() {
+        let sites = sites(2, 2);
+        let mut coord = Coordinator::new(&sites, cfg());
+        // Fill site 1 entirely for [0, 600).
+        coord.co_allocate(&req(&[(1, 2)], 0, 600)).unwrap();
+        // A cross-site request needing both sites must shift to 600 even
+        // though site 0 is free at 0 — the window is common.
+        let g = coord.co_allocate(&req(&[(0, 1), (1, 1)], 0, 300)).unwrap();
+        assert_eq!(g.start, Time(600));
+        assert!(g.attempts > 1);
+        assert!(coord.stats().aborts > 0, "prefix holds must have aborted");
+    }
+
+    #[test]
+    fn unknown_site_rejected() {
+        let sites = sites(1, 2);
+        let mut coord = Coordinator::new(&sites, cfg());
+        assert_eq!(
+            coord.co_allocate(&req(&[(7, 1)], 0, 60)),
+            Err(MultiSiteError::UnknownSite(SiteId(7)))
+        );
+    }
+
+    #[test]
+    fn impossible_request_exhausts() {
+        let sites = sites(1, 2);
+        let mut coord = Coordinator::new(&sites, cfg());
+        let err = coord.co_allocate(&req(&[(0, 3)], 0, 60)).unwrap_err();
+        assert_eq!(err, MultiSiteError::Exhausted { attempts: 20 });
+        assert_eq!(coord.stats().failed, 1);
+    }
+
+    #[test]
+    fn failed_attempts_leave_no_residue() {
+        let sites = sites(2, 2);
+        {
+            let mut coord = Coordinator::new(&sites, cfg());
+            // Site 1 can never supply 3 servers → every attempt aborts the
+            // hold acquired on site 0.
+            let _ = coord.co_allocate(&req(&[(0, 2), (1, 3)], 0, 600));
+        }
+        // Site 0 must be fully free again.
+        let r = sites[0].call(SiteRequest::Query {
+            start: Time(0),
+            duration: Dur(600),
+        });
+        assert_eq!(
+            r,
+            SiteReply::QueryResult {
+                site: SiteId(0),
+                available: 2
+            }
+        );
+    }
+}

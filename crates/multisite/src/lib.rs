@@ -1,0 +1,30 @@
+//! # coalloc-multisite
+//!
+//! Atomic cross-site resource co-allocation: sites are independent scheduler
+//! domains (threads with message channels as the network); a coordinator
+//! acquires tentative TTL-bounded **holds** for one fixed time window on
+//! every involved site — always in ascending site order, so concurrent
+//! coordinators cannot deadlock — then **commits** all-or-nothing. A denial
+//! aborts the acquired prefix and retries the window shifted by `Delta_t`,
+//! lifting the paper's single-site retry loop (Section 4.2) to the
+//! multi-site setting.
+//!
+//! Failure handling: coordinator crashes or message loss leave holds that
+//! expire after their TTL; late commits fail cleanly (`ok = false`) and are
+//! compensated, so no capacity is ever leaked and no partial co-allocation
+//! survives.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod coordinator;
+pub mod messages;
+pub mod network;
+pub mod site;
+
+pub use coordinator::{
+    Coordinator, CoordinatorConfig, CoordinatorStats, MultiGrant, MultiRequest, MultiSiteError,
+};
+pub use messages::{Envelope, SiteId, SiteReply, SiteRequest, TxnId};
+pub use network::{FlakyLink, LinkConfig, LinkStats};
+pub use site::{SiteHandle, SiteStats};

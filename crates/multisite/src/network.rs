@@ -1,0 +1,231 @@
+//! Network fault injection for protocol testing.
+//!
+//! Sites and coordinators exchange messages over crossbeam channels; this
+//! module interposes a relay thread that can delay or drop requests with a
+//! seeded RNG, exercising the protocol's timeout, abort and TTL-expiry paths
+//! without real sockets.
+
+use crate::messages::Envelope;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Configuration of an unreliable link.
+#[derive(Clone, Copy, Debug)]
+pub struct LinkConfig {
+    /// Probability a request is silently dropped.
+    pub drop_prob: f64,
+    /// Fixed latency added to every delivered request.
+    pub base_delay: Duration,
+    /// Additional uniformly random latency in `[0, jitter)`.
+    pub jitter: Duration,
+    /// RNG seed for reproducibility.
+    pub seed: u64,
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        LinkConfig {
+            drop_prob: 0.0,
+            base_delay: Duration::ZERO,
+            jitter: Duration::ZERO,
+            seed: 0,
+        }
+    }
+}
+
+/// A faulty relay in front of a site's inbox. Send [`Envelope`]s to
+/// [`FlakyLink::sender`]; surviving messages arrive at the wrapped
+/// destination after the configured delay.
+#[derive(Debug)]
+pub struct FlakyLink {
+    tx: Sender<Envelope>,
+    join: Option<JoinHandle<LinkStats>>,
+}
+
+/// Delivery statistics of a link.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Messages delivered.
+    pub delivered: u64,
+    /// Messages dropped.
+    pub dropped: u64,
+}
+
+impl FlakyLink {
+    /// Interpose a relay in front of `dest`.
+    pub fn new(dest: Sender<Envelope>, cfg: LinkConfig) -> FlakyLink {
+        let (tx, rx): (Sender<Envelope>, Receiver<Envelope>) = unbounded();
+        let join = std::thread::Builder::new()
+            .name("flaky-link".into())
+            .spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x11A7);
+                let mut stats = LinkStats::default();
+                while let Ok(env) = rx.recv() {
+                    if cfg.drop_prob > 0.0 && rng.random_bool(cfg.drop_prob) {
+                        stats.dropped += 1;
+                        continue;
+                    }
+                    let jitter_ns = if cfg.jitter.is_zero() {
+                        0
+                    } else {
+                        rng.random_range(0..cfg.jitter.as_nanos() as u64)
+                    };
+                    let delay = cfg.base_delay + Duration::from_nanos(jitter_ns);
+                    if !delay.is_zero() {
+                        std::thread::sleep(delay);
+                    }
+                    if dest.send(env).is_err() {
+                        break; // destination gone
+                    }
+                    stats.delivered += 1;
+                }
+                stats
+            })
+            .expect("spawn relay");
+        FlakyLink {
+            tx,
+            join: Some(join),
+        }
+    }
+
+    /// The faulty endpoint to send through.
+    pub fn sender(&self) -> Sender<Envelope> {
+        self.tx.clone()
+    }
+
+    /// Close the link and collect delivery statistics.
+    pub fn shutdown(mut self) -> LinkStats {
+        drop(self.tx.clone());
+        // Dropping our sender ends the relay loop once all clones are gone.
+        let tx = std::mem::replace(&mut self.tx, {
+            let (t, _) = unbounded();
+            t
+        });
+        drop(tx);
+        self.join
+            .take()
+            .expect("not yet joined")
+            .join()
+            .expect("relay panicked")
+    }
+}
+
+impl Drop for FlakyLink {
+    fn drop(&mut self) {
+        if let Some(join) = self.join.take() {
+            let (t, _) = unbounded();
+            let tx = std::mem::replace(&mut self.tx, t);
+            drop(tx);
+            let _ = join.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::messages::{SiteReply, SiteRequest};
+    use crate::site::SiteHandle;
+    use crate::messages::SiteId;
+    use coalloc_core::prelude::*;
+
+    fn site() -> SiteHandle {
+        SiteHandle::spawn(
+            SiteId(0),
+            2,
+            SchedulerConfig::builder()
+                .tau(Dur(60))
+                .horizon(Dur(3600))
+                .delta_t(Dur(60))
+                .build(),
+        )
+    }
+
+    fn call_via(
+        link: &FlakyLink,
+        request: SiteRequest,
+        timeout: Duration,
+    ) -> Option<SiteReply> {
+        let (reply_tx, reply_rx) = unbounded();
+        link.sender()
+            .send(Envelope {
+                request,
+                reply_to: reply_tx,
+            })
+            .ok()?;
+        reply_rx.recv_timeout(timeout).ok()
+    }
+
+    #[test]
+    fn reliable_link_passes_through() {
+        let s = site();
+        let link = FlakyLink::new(s.sender(), LinkConfig::default());
+        let r = call_via(
+            &link,
+            SiteRequest::Query {
+                start: Time(0),
+                duration: Dur(60),
+            },
+            Duration::from_secs(2),
+        );
+        assert_eq!(
+            r,
+            Some(SiteReply::QueryResult {
+                site: SiteId(0),
+                available: 2
+            })
+        );
+        let stats = link.shutdown();
+        assert_eq!(stats.delivered, 1);
+        assert_eq!(stats.dropped, 0);
+    }
+
+    #[test]
+    fn lossy_link_drops_messages() {
+        let s = site();
+        let link = FlakyLink::new(
+            s.sender(),
+            LinkConfig {
+                drop_prob: 1.0,
+                ..LinkConfig::default()
+            },
+        );
+        let r = call_via(
+            &link,
+            SiteRequest::Query {
+                start: Time(0),
+                duration: Dur(60),
+            },
+            Duration::from_millis(100),
+        );
+        assert_eq!(r, None, "fully lossy link must time out");
+        let stats = link.shutdown();
+        assert_eq!(stats.dropped, 1);
+    }
+
+    #[test]
+    fn delay_is_applied() {
+        let s = site();
+        let link = FlakyLink::new(
+            s.sender(),
+            LinkConfig {
+                base_delay: Duration::from_millis(80),
+                ..LinkConfig::default()
+            },
+        );
+        let t0 = std::time::Instant::now();
+        let r = call_via(
+            &link,
+            SiteRequest::Query {
+                start: Time(0),
+                duration: Dur(60),
+            },
+            Duration::from_secs(2),
+        );
+        assert!(r.is_some());
+        assert!(t0.elapsed() >= Duration::from_millis(80));
+    }
+}

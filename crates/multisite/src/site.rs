@@ -1,0 +1,503 @@
+//! A site: one scheduler domain running in its own thread.
+//!
+//! Each site owns a [`CoAllocScheduler`] over its local servers and serves
+//! the hold/commit protocol. Holds are tentative reservations backed by a
+//! real committed job in the local scheduler, tracked with a wall-clock
+//! deadline; expired holds are swept (released) lazily before every request,
+//! so an orphaned hold (crashed or partitioned coordinator) can block
+//! capacity only for its TTL.
+
+use crate::messages::{Envelope, SiteId, SiteReply, SiteRequest, TxnId};
+use coalloc_core::prelude::*;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::collections::HashMap;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Handle to a running site thread.
+#[derive(Debug)]
+pub struct SiteHandle {
+    /// The site's identity.
+    pub id: SiteId,
+    /// Number of servers at this site.
+    pub servers: u32,
+    tx: Sender<Envelope>,
+    join: Option<JoinHandle<SiteStats>>,
+}
+
+/// Counters a site reports on shutdown.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SiteStats {
+    /// Holds granted.
+    pub holds_granted: u64,
+    /// Holds denied for lack of capacity.
+    pub holds_denied: u64,
+    /// Transactions committed.
+    pub commits: u64,
+    /// Aborts processed (including no-ops).
+    pub aborts: u64,
+    /// Holds released by TTL expiry.
+    pub expired: u64,
+}
+
+struct HoldState {
+    job: JobId,
+    deadline: Instant,
+}
+
+struct Site {
+    id: SiteId,
+    sched: CoAllocScheduler,
+    holds: HashMap<TxnId, HoldState>,
+    /// Committed transactions (kept so a compensating Abort can undo them).
+    committed: HashMap<TxnId, JobId>,
+    stats: SiteStats,
+}
+
+impl Site {
+    fn sweep_expired(&mut self) {
+        let now = Instant::now();
+        let dead: Vec<TxnId> = self
+            .holds
+            .iter()
+            .filter(|(_, h)| h.deadline <= now)
+            .map(|(&t, _)| t)
+            .collect();
+        for txn in dead {
+            let hold = self.holds.remove(&txn).unwrap();
+            // The backing job may be gone only if someone released it; we
+            // never do that while the hold lives, so this must succeed.
+            self.sched
+                .release(hold.job)
+                .expect("expired hold backed by live job");
+            self.stats.expired += 1;
+        }
+    }
+
+    fn handle(&mut self, req: SiteRequest) -> Option<SiteReply> {
+        self.sweep_expired();
+        match req {
+            SiteRequest::Hold {
+                txn,
+                start,
+                duration,
+                servers,
+                ttl,
+            } => {
+                let end = start + duration;
+                let hits = self.sched.range_search(start, end);
+                if (hits.len() as u32) < servers {
+                    self.stats.holds_denied += 1;
+                    return Some(SiteReply::HoldDenied {
+                        txn,
+                        site: self.id,
+                        available: hits.len() as u32,
+                    });
+                }
+                let pick: Vec<PeriodId> = hits
+                    .iter()
+                    .take(servers as usize)
+                    .map(|h| h.period.id)
+                    .collect();
+                match self.sched.commit_selection(&pick, start, end) {
+                    Ok(grant) => {
+                        self.holds.insert(
+                            txn,
+                            HoldState {
+                                job: grant.job,
+                                deadline: Instant::now() + ttl,
+                            },
+                        );
+                        self.stats.holds_granted += 1;
+                        Some(SiteReply::HoldGranted {
+                            txn,
+                            site: self.id,
+                            job: grant.job,
+                            servers: grant.servers,
+                        })
+                    }
+                    Err(_) => {
+                        self.stats.holds_denied += 1;
+                        Some(SiteReply::HoldDenied {
+                            txn,
+                            site: self.id,
+                            available: 0,
+                        })
+                    }
+                }
+            }
+            SiteRequest::Commit { txn } => {
+                let ok = if let Some(hold) = self.holds.remove(&txn) {
+                    self.committed.insert(txn, hold.job);
+                    self.stats.commits += 1;
+                    true
+                } else {
+                    false
+                };
+                Some(SiteReply::CommitResult {
+                    txn,
+                    site: self.id,
+                    ok,
+                })
+            }
+            SiteRequest::Abort { txn } => {
+                self.stats.aborts += 1;
+                if let Some(hold) = self.holds.remove(&txn) {
+                    self.sched
+                        .release(hold.job)
+                        .expect("aborted hold backed by live job");
+                } else if let Some(job) = self.committed.remove(&txn) {
+                    // Compensation: undo an already committed transaction.
+                    let _ = self.sched.release(job);
+                }
+                Some(SiteReply::Aborted {
+                    txn,
+                    site: self.id,
+                })
+            }
+            SiteRequest::Query { start, duration } => {
+                let available = self.sched.range_count(start, start + duration) as u32;
+                Some(SiteReply::QueryResult {
+                    site: self.id,
+                    available,
+                })
+            }
+            SiteRequest::Tick { now } => {
+                self.sched.advance_to(now);
+                Some(SiteReply::Ticked { site: self.id })
+            }
+            SiteRequest::Shutdown => None,
+        }
+    }
+}
+
+impl SiteHandle {
+    /// Spawn a site thread with `servers` local servers and the given
+    /// scheduler configuration.
+    pub fn spawn(id: SiteId, servers: u32, cfg: SchedulerConfig) -> SiteHandle {
+        let (tx, rx): (Sender<Envelope>, Receiver<Envelope>) = unbounded();
+        let join = std::thread::Builder::new()
+            .name(format!("site-{}", id.0))
+            .spawn(move || {
+                let mut site = Site {
+                    id,
+                    sched: CoAllocScheduler::new(servers, cfg),
+                    holds: HashMap::new(),
+                    committed: HashMap::new(),
+                    stats: SiteStats::default(),
+                };
+                // Periodic wake-up so TTL expiry cannot be starved by an
+                // idle channel.
+                loop {
+                    match rx.recv_timeout(Duration::from_millis(50)) {
+                        Ok(env) => match site.handle(env.request) {
+                            Some(reply) => {
+                                let _ = env.reply_to.send(reply);
+                            }
+                            None => break, // Shutdown
+                        },
+                        Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                            site.sweep_expired();
+                        }
+                        Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
+                    }
+                }
+                site.sweep_expired();
+                site.sched.check_consistency();
+                site.stats
+            })
+            .expect("spawn site thread");
+        SiteHandle {
+            id,
+            servers,
+            tx,
+            join: Some(join),
+        }
+    }
+
+    /// The channel to send [`Envelope`]s on (used by networks/relays).
+    pub fn sender(&self) -> Sender<Envelope> {
+        self.tx.clone()
+    }
+
+    /// Send a request and synchronously await the reply (no timeout; prefer
+    /// [`Self::call_timeout`] in protocol code).
+    pub fn call(&self, request: SiteRequest) -> SiteReply {
+        self.call_timeout(request, Duration::from_secs(10))
+            .expect("site reply within 10s")
+    }
+
+    /// Send a request and await the reply with a timeout.
+    pub fn call_timeout(&self, request: SiteRequest, timeout: Duration) -> Option<SiteReply> {
+        let (reply_tx, reply_rx) = unbounded();
+        self.tx
+            .send(Envelope {
+                request,
+                reply_to: reply_tx,
+            })
+            .ok()?;
+        reply_rx.recv_timeout(timeout).ok()
+    }
+
+    /// Stop the site thread and collect its statistics.
+    pub fn shutdown(mut self) -> SiteStats {
+        let (reply_tx, _keep) = unbounded();
+        let _ = self.tx.send(Envelope {
+            request: SiteRequest::Shutdown,
+            reply_to: reply_tx,
+        });
+        self.join
+            .take()
+            .expect("not yet joined")
+            .join()
+            .expect("site thread panicked")
+    }
+}
+
+impl Drop for SiteHandle {
+    fn drop(&mut self) {
+        if let Some(join) = self.join.take() {
+            let (reply_tx, _keep) = unbounded();
+            let _ = self.tx.send(Envelope {
+                request: SiteRequest::Shutdown,
+                reply_to: reply_tx,
+            });
+            let _ = join.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SchedulerConfig {
+        SchedulerConfig::builder()
+            .tau(Dur(60))
+            .horizon(Dur(3600))
+            .delta_t(Dur(60))
+            .build()
+    }
+
+    #[test]
+    fn hold_commit_roundtrip() {
+        let site = SiteHandle::spawn(SiteId(0), 4, cfg());
+        let reply = site.call(SiteRequest::Hold {
+            txn: TxnId(1),
+            start: Time(0),
+            duration: Dur(600),
+            servers: 2,
+            ttl: Duration::from_secs(5),
+        });
+        assert!(matches!(reply, SiteReply::HoldGranted { txn: TxnId(1), .. }));
+        let reply = site.call(SiteRequest::Commit { txn: TxnId(1) });
+        assert_eq!(
+            reply,
+            SiteReply::CommitResult {
+                txn: TxnId(1),
+                site: SiteId(0),
+                ok: true
+            }
+        );
+        // The window is consumed.
+        let reply = site.call(SiteRequest::Query {
+            start: Time(0),
+            duration: Dur(600),
+        });
+        assert_eq!(
+            reply,
+            SiteReply::QueryResult {
+                site: SiteId(0),
+                available: 2
+            }
+        );
+        let stats = site.shutdown();
+        assert_eq!(stats.holds_granted, 1);
+        assert_eq!(stats.commits, 1);
+    }
+
+    #[test]
+    fn hold_abort_releases_capacity() {
+        let site = SiteHandle::spawn(SiteId(0), 2, cfg());
+        let r = site.call(SiteRequest::Hold {
+            txn: TxnId(5),
+            start: Time(0),
+            duration: Dur(600),
+            servers: 2,
+            ttl: Duration::from_secs(5),
+        });
+        assert!(matches!(r, SiteReply::HoldGranted { .. }));
+        site.call(SiteRequest::Abort { txn: TxnId(5) });
+        let r = site.call(SiteRequest::Query {
+            start: Time(0),
+            duration: Dur(600),
+        });
+        assert_eq!(
+            r,
+            SiteReply::QueryResult {
+                site: SiteId(0),
+                available: 2
+            }
+        );
+        // Abort is idempotent.
+        let r = site.call(SiteRequest::Abort { txn: TxnId(5) });
+        assert_eq!(
+            r,
+            SiteReply::Aborted {
+                txn: TxnId(5),
+                site: SiteId(0)
+            }
+        );
+    }
+
+    #[test]
+    fn insufficient_capacity_denied_with_count() {
+        let site = SiteHandle::spawn(SiteId(3), 2, cfg());
+        let r = site.call(SiteRequest::Hold {
+            txn: TxnId(9),
+            start: Time(0),
+            duration: Dur(600),
+            servers: 3,
+            ttl: Duration::from_secs(5),
+        });
+        assert_eq!(
+            r,
+            SiteReply::HoldDenied {
+                txn: TxnId(9),
+                site: SiteId(3),
+                available: 2
+            }
+        );
+    }
+
+    #[test]
+    fn expired_hold_is_swept_and_commit_fails() {
+        let site = SiteHandle::spawn(SiteId(0), 2, cfg());
+        site.call(SiteRequest::Hold {
+            txn: TxnId(1),
+            start: Time(0),
+            duration: Dur(600),
+            servers: 2,
+            ttl: Duration::from_millis(30),
+        });
+        std::thread::sleep(Duration::from_millis(120));
+        // Capacity is back...
+        let r = site.call(SiteRequest::Query {
+            start: Time(0),
+            duration: Dur(600),
+        });
+        assert_eq!(
+            r,
+            SiteReply::QueryResult {
+                site: SiteId(0),
+                available: 2
+            }
+        );
+        // ...and a late commit reports failure.
+        let r = site.call(SiteRequest::Commit { txn: TxnId(1) });
+        assert_eq!(
+            r,
+            SiteReply::CommitResult {
+                txn: TxnId(1),
+                site: SiteId(0),
+                ok: false
+            }
+        );
+        let stats = site.shutdown();
+        assert_eq!(stats.expired, 1);
+    }
+
+    #[test]
+    fn compensating_abort_undoes_commit() {
+        let site = SiteHandle::spawn(SiteId(0), 2, cfg());
+        site.call(SiteRequest::Hold {
+            txn: TxnId(2),
+            start: Time(60),
+            duration: Dur(300),
+            servers: 1,
+            ttl: Duration::from_secs(5),
+        });
+        site.call(SiteRequest::Commit { txn: TxnId(2) });
+        site.call(SiteRequest::Abort { txn: TxnId(2) });
+        let r = site.call(SiteRequest::Query {
+            start: Time(60),
+            duration: Dur(300),
+        });
+        assert_eq!(
+            r,
+            SiteReply::QueryResult {
+                site: SiteId(0),
+                available: 2
+            }
+        );
+    }
+
+    #[test]
+    fn tick_unlocks_far_future_windows() {
+        // Horizon 3600s: a window at t=5000 is initially unreachable; after
+        // ticking the clock to 2000 the horizon covers it.
+        let site = SiteHandle::spawn(SiteId(2), 2, cfg());
+        let hold = SiteRequest::Hold {
+            txn: TxnId(11),
+            start: Time(5000),
+            duration: Dur(300),
+            servers: 1,
+            ttl: Duration::from_secs(5),
+        };
+        let r = site.call(hold.clone());
+        assert!(
+            matches!(r, SiteReply::HoldDenied { available: 0, .. }),
+            "{r:?}"
+        );
+        site.call(SiteRequest::Tick { now: Time(2000) });
+        let r = site.call(hold);
+        assert!(matches!(r, SiteReply::HoldGranted { .. }), "{r:?}");
+        let stats = site.shutdown();
+        assert_eq!(stats.holds_granted, 1);
+        assert_eq!(stats.holds_denied, 1);
+    }
+
+    #[test]
+    fn query_reflects_live_holds() {
+        let site = SiteHandle::spawn(SiteId(0), 3, cfg());
+        site.call(SiteRequest::Hold {
+            txn: TxnId(21),
+            start: Time(0),
+            duration: Dur(600),
+            servers: 2,
+            ttl: Duration::from_secs(5),
+        });
+        // Uncommitted holds already consume capacity (that is the point of
+        // a hold).
+        let r = site.call(SiteRequest::Query {
+            start: Time(0),
+            duration: Dur(600),
+        });
+        assert_eq!(
+            r,
+            SiteReply::QueryResult {
+                site: SiteId(0),
+                available: 1
+            }
+        );
+    }
+
+    #[test]
+    fn tick_advances_clock() {
+        let site = SiteHandle::spawn(SiteId(1), 1, cfg());
+        let r = site.call(SiteRequest::Tick { now: Time(120) });
+        assert_eq!(r, SiteReply::Ticked { site: SiteId(1) });
+        // Window in the past is no longer available.
+        let r = site.call(SiteRequest::Query {
+            start: Time(0),
+            duration: Dur(60),
+        });
+        assert_eq!(
+            r,
+            SiteReply::QueryResult {
+                site: SiteId(1),
+                available: 0
+            }
+        );
+    }
+}

@@ -1,0 +1,117 @@
+//! A minimal discrete-event queue.
+//!
+//! Events are `(Time, sequence, payload)` triples ordered by time with FIFO
+//! tie-breaking, which keeps simulations deterministic when many events share
+//! a timestamp (common with trace replays).
+
+use coalloc_core::prelude::Time;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Deterministic discrete-event queue.
+#[derive(Clone, Debug)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Reverse<(Time, u64, OrdWrap<T>)>>,
+    seq: u64,
+}
+
+/// Wrapper that gives every payload a vacuous, equal ordering so that the
+/// heap orders purely on `(Time, seq)`.
+#[derive(Clone, Debug)]
+struct OrdWrap<T>(T);
+
+impl<T> PartialEq for OrdWrap<T> {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+impl<T> Eq for OrdWrap<T> {}
+impl<T> PartialOrd for OrdWrap<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for OrdWrap<T> {
+    fn cmp(&self, _: &Self) -> std::cmp::Ordering {
+        std::cmp::Ordering::Equal
+    }
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// An empty queue.
+    pub fn new() -> EventQueue<T> {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedule `payload` at `t`.
+    pub fn push(&mut self, t: Time, payload: T) {
+        self.heap.push(Reverse((t, self.seq, OrdWrap(payload))));
+        self.seq += 1;
+    }
+
+    /// Pop the earliest event.
+    pub fn pop(&mut self) -> Option<(Time, T)> {
+        self.heap.pop().map(|Reverse((t, _, w))| (t, w.0))
+    }
+
+    /// Timestamp of the next event without removing it.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|Reverse((t, _, _))| *t)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is drained.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(Time(30), "c");
+        q.push(Time(10), "a");
+        q.push(Time(20), "b");
+        assert_eq!(q.peek_time(), Some(Time(10)));
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        q.push(Time(5), 1);
+        q.push(Time(5), 2);
+        q.push(Time(5), 3);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(Time(1), ());
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+}

@@ -1,0 +1,349 @@
+//! Streaming statistics, histograms and grouped aggregations for the
+//! performance metrics of Section 5:
+//!
+//! * **waiting time** `W_r` — time between the earliest possible start and
+//!   the actual start;
+//! * **temporal penalty** `P^l_r = W_r / l_r` — waiting time normalized to
+//!   job duration;
+//! * **spatial penalty** `P^n_r` — average `W_r` as a function of the
+//!   spatial size `n_r`.
+
+use std::collections::BTreeMap;
+
+/// Numerically stable streaming mean/variance/min/max (Welford).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StreamingStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl StreamingStats {
+    /// An empty accumulator.
+    pub fn new() -> StreamingStats {
+        StreamingStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Fold in one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let d = x - self.mean;
+        self.mean += d / self.count as f64;
+        self.m2 += d * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 when fewer than 2 observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (`NaN`-free; +inf when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (-inf when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merge another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &StreamingStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let d = other.mean - self.mean;
+        let n = n1 + n2;
+        self.mean += d * n2 / n;
+        self.m2 += other.m2 + d * d * n1 * n2 / n;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Fixed-bin-width histogram over non-negative values; the paper's
+/// waiting-time and temporal-size distributions (Figures 4 and 6) are
+/// frequency plots of exactly this shape.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    bin_width: f64,
+    counts: Vec<u64>,
+    total: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Histogram with `bins` bins of width `bin_width`; values at or beyond
+    /// `bins * bin_width` land in an overflow bucket.
+    pub fn new(bin_width: f64, bins: usize) -> Histogram {
+        assert!(bin_width > 0.0 && bins > 0);
+        Histogram {
+            bin_width,
+            counts: vec![0; bins],
+            total: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Fold in one observation (negative values clamp to the first bin).
+    pub fn push(&mut self, x: f64) {
+        self.total += 1;
+        let idx = (x.max(0.0) / self.bin_width) as usize;
+        if idx < self.counts.len() {
+            self.counts[idx] += 1;
+        } else {
+            self.overflow += 1;
+        }
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Observations beyond the last bin.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Relative frequency per bin: `(bin_lower_edge, fraction)`.
+    pub fn frequencies(&self) -> Vec<(f64, f64)> {
+        let t = self.total.max(1) as f64;
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (i as f64 * self.bin_width, c as f64 / t))
+            .collect()
+    }
+
+    /// Cumulative distribution per bin upper edge: `(edge, F(edge))`.
+    pub fn cdf(&self) -> Vec<(f64, f64)> {
+        let t = self.total.max(1) as f64;
+        let mut acc = 0u64;
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                acc += c;
+                ((i as f64 + 1.0) * self.bin_width, acc as f64 / t)
+            })
+            .collect()
+    }
+
+    /// Count in one bin.
+    pub fn bin_count(&self, idx: usize) -> u64 {
+        self.counts[idx]
+    }
+}
+
+/// Statistics grouped by an integer bin key (e.g. mean waiting time per
+/// 50-processor spatial-size group, as in Table 2 and Figure 5).
+#[derive(Clone, Debug, Default)]
+pub struct GroupedStats {
+    groups: BTreeMap<i64, StreamingStats>,
+}
+
+impl GroupedStats {
+    /// An empty grouping.
+    pub fn new() -> GroupedStats {
+        GroupedStats::default()
+    }
+
+    /// Fold `value` into the group keyed `key`.
+    pub fn push(&mut self, key: i64, value: f64) {
+        self.groups.entry(key).or_default().push(value);
+    }
+
+    /// Iterate groups in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (i64, &StreamingStats)> {
+        self.groups.iter().map(|(&k, v)| (k, v))
+    }
+
+    /// The stats of one group.
+    pub fn group(&self, key: i64) -> Option<&StreamingStats> {
+        self.groups.get(&key)
+    }
+
+    /// `(key, mean)` pairs in key order.
+    pub fn means(&self) -> Vec<(i64, f64)> {
+        self.groups.iter().map(|(&k, v)| (k, v.mean())).collect()
+    }
+
+    /// Number of distinct groups.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Whether no observations were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+}
+
+/// Bin a spatial size into the paper's Table-2 convention: groups of 50
+/// servers, keyed by the *upper* edge (`(0:50] -> 50`, `(50:100] -> 100`...).
+pub fn spatial_bin_50(n: u32) -> i64 {
+    if n == 0 {
+        return 0;
+    }
+    (((n as i64) + 49) / 50) * 50
+}
+
+/// Jain's fairness index over per-group values:
+/// `(sum x)^2 / (n * sum x^2)`. Equals 1.0 when every group sees the same
+/// value, and `1/n` in the maximally unfair case. The standard quantitative
+/// reading of the paper's "allocate resources fairly among users" goal.
+pub fn jain_index(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = values.iter().sum();
+    let sq: f64 = values.iter().map(|x| x * x).sum();
+    if sq == 0.0 {
+        return 1.0;
+    }
+    sum * sum / (values.len() as f64 * sq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streaming_stats_basics() {
+        let mut s = StreamingStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert!((s.stddev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn streaming_stats_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = StreamingStats::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut a = StreamingStats::new();
+        let mut b = StreamingStats::new();
+        for &x in &xs[..37] {
+            a.push(x);
+        }
+        for &x in &xs[37..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = StreamingStats::new();
+        a.push(3.0);
+        let before = a.mean();
+        a.merge(&StreamingStats::new());
+        assert_eq!(a.mean(), before);
+        let mut e = StreamingStats::new();
+        e.merge(&a);
+        assert_eq!(e.count(), 1);
+    }
+
+    #[test]
+    fn histogram_bins_and_overflow() {
+        let mut h = Histogram::new(1.0, 4);
+        for x in [0.0, 0.5, 1.0, 2.9, 10.0, -1.0] {
+            h.push(x);
+        }
+        assert_eq!(h.total(), 6);
+        assert_eq!(h.bin_count(0), 3); // 0.0, 0.5, -1.0 (clamped)
+        assert_eq!(h.bin_count(1), 1);
+        assert_eq!(h.bin_count(2), 1);
+        assert_eq!(h.overflow(), 1);
+        let freq = h.frequencies();
+        assert_eq!(freq.len(), 4);
+        assert!((freq[0].1 - 0.5).abs() < 1e-12);
+        let cdf = h.cdf();
+        assert!((cdf[3].1 - (5.0 / 6.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grouped_stats_by_key_order() {
+        let mut g = GroupedStats::new();
+        g.push(100, 2.0);
+        g.push(50, 1.0);
+        g.push(100, 4.0);
+        let means = g.means();
+        assert_eq!(means, vec![(50, 1.0), (100, 3.0)]);
+        assert_eq!(g.group(100).unwrap().count(), 2);
+        assert_eq!(g.len(), 2);
+    }
+
+    #[test]
+    fn jain_index_bounds() {
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
+        assert!((jain_index(&[3.0, 3.0, 3.0]) - 1.0).abs() < 1e-12);
+        // One user gets everything: index = 1/n.
+        assert!((jain_index(&[10.0, 0.0, 0.0, 0.0]) - 0.25).abs() < 1e-12);
+        // Mild skew sits in between.
+        let j = jain_index(&[1.0, 2.0, 3.0]);
+        assert!(j > 0.33 && j < 1.0);
+    }
+
+    #[test]
+    fn spatial_bins_match_table2_convention() {
+        assert_eq!(spatial_bin_50(1), 50);
+        assert_eq!(spatial_bin_50(50), 50);
+        assert_eq!(spatial_bin_50(51), 100);
+        assert_eq!(spatial_bin_50(100), 100);
+        assert_eq!(spatial_bin_50(351), 400);
+    }
+}

@@ -1,0 +1,107 @@
+//! Property tests for the metric substrate.
+
+use coalloc_sim::metrics::{jain_index, GroupedStats, Histogram, StreamingStats};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn histogram_conserves_mass(xs in prop::collection::vec(-5.0f64..100.0, 0..300)) {
+        let mut h = Histogram::new(2.5, 20);
+        for &x in &xs {
+            h.push(x);
+        }
+        prop_assert_eq!(h.total() as usize, xs.len());
+        let binned: u64 = (0..20).map(|i| h.bin_count(i)).sum();
+        prop_assert_eq!(binned + h.overflow(), h.total());
+        // Frequencies sum to <= 1 (equality iff no overflow).
+        let freq_sum: f64 = h.frequencies().iter().map(|(_, f)| f).sum();
+        prop_assert!(freq_sum <= 1.0 + 1e-9);
+        if h.overflow() == 0 && h.total() > 0 {
+            prop_assert!((freq_sum - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_bounded(xs in prop::collection::vec(0.0f64..50.0, 1..200)) {
+        let mut h = Histogram::new(1.0, 25);
+        for &x in &xs {
+            h.push(x);
+        }
+        let cdf = h.cdf();
+        for w in cdf.windows(2) {
+            prop_assert!(w[0].1 <= w[1].1 + 1e-12);
+        }
+        prop_assert!(cdf.last().unwrap().1 <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn streaming_stats_match_direct_computation(
+        xs in prop::collection::vec(-1e3f64..1e3, 1..200),
+    ) {
+        let mut s = StreamingStats::new();
+        for &x in &xs {
+            s.push(x);
+        }
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        prop_assert!((s.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+        prop_assert!((s.variance() - var).abs() < 1e-5 * (1.0 + var.abs()));
+        prop_assert_eq!(s.min(), xs.iter().cloned().fold(f64::INFINITY, f64::min));
+        prop_assert_eq!(s.max(), xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max));
+    }
+
+    #[test]
+    fn merge_is_associative_enough(
+        a in prop::collection::vec(-100.0f64..100.0, 1..50),
+        b in prop::collection::vec(-100.0f64..100.0, 1..50),
+        c in prop::collection::vec(-100.0f64..100.0, 1..50),
+    ) {
+        let fold = |xs: &[f64]| {
+            let mut s = StreamingStats::new();
+            for &x in xs {
+                s.push(x);
+            }
+            s
+        };
+        // (a + b) + c  ==  a + (b + c), up to float noise.
+        let mut left = fold(&a);
+        left.merge(&fold(&b));
+        left.merge(&fold(&c));
+        let mut bc = fold(&b);
+        bc.merge(&fold(&c));
+        let mut right = fold(&a);
+        right.merge(&bc);
+        prop_assert_eq!(left.count(), right.count());
+        prop_assert!((left.mean() - right.mean()).abs() < 1e-9);
+        prop_assert!((left.variance() - right.variance()).abs() < 1e-7);
+    }
+
+    #[test]
+    fn jain_bounds_hold(xs in prop::collection::vec(0.0f64..100.0, 1..64)) {
+        let j = jain_index(&xs);
+        let n = xs.len() as f64;
+        prop_assert!(j <= 1.0 + 1e-12, "jain {j} above 1");
+        prop_assert!(j >= 1.0 / n - 1e-12, "jain {j} below 1/n");
+    }
+
+    #[test]
+    fn grouped_stats_partition_observations(
+        obs in prop::collection::vec((0i64..8, -50.0f64..50.0), 0..200),
+    ) {
+        let mut g = GroupedStats::new();
+        for &(k, v) in &obs {
+            g.push(k, v);
+        }
+        let total: u64 = g.iter().map(|(_, s)| s.count()).sum();
+        prop_assert_eq!(total as usize, obs.len());
+        // Group means match per-key recomputation.
+        for (k, s) in g.iter() {
+            let vals: Vec<f64> = obs.iter().filter(|&&(kk, _)| kk == k).map(|&(_, v)| v).collect();
+            let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+            prop_assert!((s.mean() - mean).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Property tests for workflow scheduling on random DAGs.
+
+use coalloc_core::prelude::*;
+use coalloc_workflow::{schedule_reactive, schedule_reserved, Dag, Stage, StageId};
+use proptest::prelude::*;
+
+/// Random DAG: edges only from lower to higher index, so always acyclic.
+fn dag_strategy() -> impl Strategy<Value = Dag> {
+    (
+        prop::collection::vec((1i64..40, 1u32..4), 1..10), // stages: (dur, servers)
+        prop::collection::vec((0usize..10, 0usize..10), 0..20), // raw edges
+    )
+        .prop_map(|(stages, edges)| {
+            let mut dag = Dag::new();
+            let ids: Vec<StageId> = stages
+                .iter()
+                .enumerate()
+                .map(|(i, &(d, n))| dag.add_stage(Stage::new(format!("s{i}"), Dur(d), n)))
+                .collect();
+            for (a, b) in edges {
+                let (a, b) = (a % ids.len(), b % ids.len());
+                if a < b {
+                    dag.add_dep(ids[a], ids[b]).unwrap();
+                }
+            }
+            dag
+        })
+}
+
+fn sched(n: u32) -> CoAllocScheduler {
+    CoAllocScheduler::new(
+        n,
+        SchedulerConfig::builder()
+            .tau(Dur(10))
+            .horizon(Dur(4000))
+            .delta_t(Dur(10))
+            .build(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Reserved plans respect every precedence edge, never undercut the
+    /// critical path, and leave a consistent scheduler.
+    #[test]
+    fn reserved_plans_are_valid(dag in dag_strategy()) {
+        let mut s = sched(4);
+        match schedule_reserved(&mut s, &dag, Time::ZERO, None) {
+            Ok(plan) => {
+                for i in 0..dag.len() {
+                    let sid = StageId(i);
+                    prop_assert_eq!(
+                        plan.end(sid) - plan.start(sid),
+                        dag.stage(sid).duration
+                    );
+                    for &dep in dag.deps(sid) {
+                        prop_assert!(plan.start(sid) >= plan.end(dep));
+                    }
+                }
+                let cp = dag.critical_path().unwrap();
+                prop_assert!(plan.makespan_end - Time::ZERO >= cp);
+            }
+            Err(_) => {
+                // Failure must roll back completely: all servers fully idle.
+                prop_assert_eq!(s.range_search(Time::ZERO, Time(1000)).len(), 4);
+            }
+        }
+        s.check_consistency();
+    }
+
+    /// Reserved and reactive are both greedy heuristics with different
+    /// visit orders, so makespans may differ — but on an empty system both
+    /// must succeed/fail together and both respect the critical-path lower
+    /// bound.
+    #[test]
+    fn both_modes_valid_without_contention(dag in dag_strategy()) {
+        let mut a = sched(4);
+        let mut b = sched(4);
+        let cp = dag.critical_path().unwrap();
+        let ra = schedule_reserved(&mut a, &dag, Time::ZERO, None);
+        let rb = schedule_reactive(&mut b, &dag, Time::ZERO);
+        match (ra, rb) {
+            (Ok(x), Ok(y)) => {
+                prop_assert!(x.makespan_end - Time::ZERO >= cp);
+                prop_assert!(y.makespan_end - Time::ZERO >= cp);
+            }
+            (Err(_), Err(_)) => {}
+            (x, y) => prop_assert!(false, "mode divergence: {x:?} vs {y:?}"),
+        }
+        a.check_consistency();
+        b.check_consistency();
+    }
+
+    /// On a pure chain both modes visit stages in the same order, so the
+    /// makespans coincide exactly.
+    #[test]
+    fn chain_makespans_coincide(
+        durs in prop::collection::vec((1i64..40, 1u32..4), 1..8),
+    ) {
+        let mut dag = Dag::new();
+        let mut prev: Option<StageId> = None;
+        for (i, &(d, n)) in durs.iter().enumerate() {
+            let id = dag.add_stage(Stage::new(format!("c{i}"), Dur(d), n));
+            if let Some(p) = prev {
+                dag.add_dep(p, id).unwrap();
+            }
+            prev = Some(id);
+        }
+        let mut a = sched(4);
+        let mut b = sched(4);
+        let x = schedule_reserved(&mut a, &dag, Time::ZERO, None).unwrap();
+        let y = schedule_reactive(&mut b, &dag, Time::ZERO).unwrap();
+        prop_assert_eq!(x.makespan_end, y.makespan_end);
+        prop_assert_eq!(x.makespan_end - Time::ZERO, dag.critical_path().unwrap());
+    }
+
+    /// A deadline at exactly the reserved makespan succeeds; one strictly
+    /// inside the critical path always fails and rolls back.
+    #[test]
+    fn deadline_boundary(dag in dag_strategy()) {
+        let mut probe = sched(4);
+        let Ok(plan) = schedule_reserved(&mut probe, &dag, Time::ZERO, None) else {
+            return Ok(());
+        };
+        let mut s = sched(4);
+        prop_assert!(
+            schedule_reserved(&mut s, &dag, Time::ZERO, Some(plan.makespan_end)).is_ok()
+        );
+        let cp = dag.critical_path().unwrap();
+        if cp.secs() > 1 {
+            let mut s2 = sched(4);
+            let too_tight = Time::ZERO + cp - Dur(1);
+            prop_assert!(
+                schedule_reserved(&mut s2, &dag, Time::ZERO, Some(too_tight)).is_err()
+            );
+            prop_assert_eq!(s2.range_search(Time::ZERO, Time(1000)).len(), 4);
+        }
+    }
+}

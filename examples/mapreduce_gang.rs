@@ -1,0 +1,125 @@
+//! MapReduce-style gang allocation (Section 1): "the MapReduce middleware
+//! allocates multiple compute nodes to run multiple instances of a set of
+//! functions defined by the user" — i.e. each job wave is a co-allocation.
+//! This example schedules map waves and reduce waves with a dependency
+//! (reduce starts when its maps end), using advance reservations to chain
+//! the stages, and compares against a batch baseline.
+//!
+//! ```text
+//! cargo run --example mapreduce_gang
+//! ```
+
+use coalloc::prelude::*;
+
+const CLUSTER: u32 = 64;
+
+struct MrJob {
+    name: &'static str,
+    submit: Time,
+    map_tasks: u32,
+    map_dur: Dur,
+    reduce_tasks: u32,
+    reduce_dur: Dur,
+}
+
+fn main() {
+    let cfg = SchedulerConfig::builder()
+        .tau(Dur::from_mins(5))
+        .horizon(Dur::from_hours(24))
+        .delta_t(Dur::from_mins(5))
+        .build();
+    let mut sched = CoAllocScheduler::new(CLUSTER, cfg);
+
+    let jobs = [
+        MrJob {
+            name: "wordcount",
+            submit: Time::ZERO,
+            map_tasks: 40,
+            map_dur: Dur::from_mins(30),
+            reduce_tasks: 10,
+            reduce_dur: Dur::from_mins(20),
+        },
+        MrJob {
+            name: "log-etl",
+            submit: Time::from_hours(0),
+            map_tasks: 32,
+            map_dur: Dur::from_mins(45),
+            reduce_tasks: 8,
+            reduce_dur: Dur::from_mins(30),
+        },
+        MrJob {
+            name: "pagerank-iter",
+            submit: Time::from_hours(1),
+            map_tasks: 64,
+            map_dur: Dur::from_mins(20),
+            reduce_tasks: 16,
+            reduce_dur: Dur::from_mins(15),
+        },
+    ];
+
+    println!("== gang-scheduling MapReduce waves on a {CLUSTER}-node cluster ==");
+    let mut completions = Vec::new();
+    for job in &jobs {
+        sched.advance_to(job.submit);
+        // Map wave: all map slots simultaneously (gang).
+        let maps = sched
+            .submit(&Request::on_demand(job.submit, job.map_dur, job.map_tasks))
+            .expect("maps schedulable");
+        // Reduce wave: an advance reservation chained to the map end — the
+        // shuffle barrier. Thanks to the look-ahead schedule this reserves
+        // *now*, guaranteeing the pipeline.
+        let reduces = sched
+            .submit(&Request::advance(
+                job.submit,
+                maps.end,
+                job.reduce_dur,
+                job.reduce_tasks,
+            ))
+            .expect("reduces schedulable");
+        println!(
+            "  {}: maps {}x{}min at t+{:.1}h (wait {:.1}h), reduces {}x{}min at t+{:.1}h",
+            job.name,
+            job.map_tasks,
+            job.map_dur.secs() / 60,
+            maps.start.secs() as f64 / 3600.0,
+            maps.waiting.hours(),
+            job.reduce_tasks,
+            job.reduce_dur.secs() / 60,
+            reduces.start.secs() as f64 / 3600.0,
+        );
+        completions.push((job.name, reduces.end));
+    }
+    println!("== job completion times ==");
+    for (name, end) in &completions {
+        println!("  {name}: t+{:.2}h", end.secs() as f64 / 3600.0);
+    }
+
+    // Contrast with a FCFS batch baseline treating each wave as a queued
+    // job with no look-ahead: the reduce wave cannot be co-reserved with
+    // its map wave, so pipelines interleave unpredictably.
+    println!("== batch (FCFS) baseline on the same waves ==");
+    let mut reqs = Vec::new();
+    for job in &jobs {
+        reqs.push(Request::on_demand(job.submit, job.map_dur, job.map_tasks));
+        // Batch cannot express "after my maps": it just queues the reduce.
+        reqs.push(Request::on_demand(job.submit, job.reduce_dur, job.reduce_tasks));
+    }
+    reqs.sort_by_key(|r| r.submit);
+    let batch = run_batch(CLUSTER, BatchPolicy::Fcfs, &reqs, "fcfs");
+    let batch_makespan = batch.makespan.secs() as f64 / 3600.0;
+    let online_makespan = completions
+        .iter()
+        .map(|(_, e)| e.secs())
+        .max()
+        .unwrap() as f64
+        / 3600.0;
+    println!(
+        "  makespan: online co-allocation {online_makespan:.2}h vs FCFS batch {batch_makespan:.2}h"
+    );
+    println!(
+        "  NOTE: the batch makespan is not even a valid execution — FCFS cannot\n\
+         \x20 express the shuffle barrier, so reduce waves may start before their\n\
+         \x20 maps finish. Only the co-allocator yields a correct pipeline with\n\
+         \x20 guaranteed start times (the paper's workflow-application argument)."
+    );
+}

@@ -1,0 +1,314 @@
+//! `coallocd` — a scriptable command-line front-end to the co-allocation
+//! scheduler: one command per line on stdin, one reply per line on stdout.
+//! This is the shape of the "resource manager \[that\] runs an algorithm to
+//! determine the availability of the resources and informs the user"
+//! from the paper's VCL description (Section 3.1).
+//!
+//! ```text
+//! $ cargo run --bin coallocd
+//! init 8 900 172800 900
+//! submit 0 0 3600 4
+//! query 0 7200
+//! release 0
+//! snapshot /tmp/state.txt
+//! exit
+//! ```
+//!
+//! Commands (times in seconds):
+//!
+//! | command | effect |
+//! |---|---|
+//! | `init N [tau horizon delta_t]` | create an N-server scheduler |
+//! | `submit q s l n` | request `(q_r, s_r, l_r, n_r)` |
+//! | `deadline q s l n D` | like submit, but must complete by `D` |
+//! | `constrained q s l n MASK` | submit restricted to servers with tags |
+//! | `attrs SERVER MASK` | tag a server |
+//! | `query a b` | count + list resources free for all of `[a, b)` |
+//! | `release JOB` | cancel a job |
+//! | `advance T` | move the clock |
+//! | `stats` | op counters and utilization |
+//! | `snapshot PATH` / `load PATH` | persist / restore state |
+//! | `help`, `exit` | |
+
+use coalloc::core::attrs::AttrSet;
+use coalloc::prelude::*;
+use std::io::{BufRead, Write};
+
+struct Session {
+    sched: Option<CoAllocScheduler>,
+}
+
+fn parse<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("bad {what}: '{s}'"))
+}
+
+impl Session {
+    fn sched(&mut self) -> Result<&mut CoAllocScheduler, String> {
+        self.sched.as_mut().ok_or_else(|| "no scheduler; run 'init N' first".to_string())
+    }
+
+    fn grant_line(g: &Grant) -> String {
+        let servers: Vec<String> = g.servers.iter().map(|s| s.0.to_string()).collect();
+        format!(
+            "granted job={} start={} end={} attempts={} wait={} servers={}",
+            g.job.0,
+            g.start.secs(),
+            g.end.secs(),
+            g.attempts,
+            g.waiting.secs(),
+            servers.join(",")
+        )
+    }
+
+    /// Execute one command line; returns the reply (possibly multi-line).
+    fn exec(&mut self, line: &str) -> Result<String, String> {
+        let f: Vec<&str> = line.split_whitespace().collect();
+        match f.as_slice() {
+            [] | ["#", ..] => Ok(String::new()),
+            ["help"] => Ok("commands: init submit deadline constrained attrs query \
+                            release advance stats snapshot load help exit"
+                .into()),
+            ["init", n, rest @ ..] => {
+                let n: u32 = parse(n, "server count")?;
+                let mut b = SchedulerConfig::builder();
+                if let [tau, horizon, delta_t] = rest {
+                    b = b
+                        .tau(Dur(parse(tau, "tau")?))
+                        .horizon(Dur(parse(horizon, "horizon")?))
+                        .delta_t(Dur(parse(delta_t, "delta_t")?));
+                } else if !rest.is_empty() {
+                    return Err("usage: init N [tau horizon delta_t]".into());
+                }
+                self.sched = Some(CoAllocScheduler::new(n, b.build()));
+                Ok(format!("ok {n} servers"))
+            }
+            ["submit", q, s, l, n] => {
+                let req = Request::advance(
+                    Time(parse(q, "q_r")?),
+                    Time(parse(s, "s_r")?),
+                    Dur(parse(l, "l_r")?),
+                    parse(n, "n_r")?,
+                );
+                match self.sched()?.submit(&req) {
+                    Ok(g) => Ok(Self::grant_line(&g)),
+                    Err(e) => Ok(format!("rejected {e}")),
+                }
+            }
+            ["deadline", q, s, l, n, d] => {
+                let req = Request::advance(
+                    Time(parse(q, "q_r")?),
+                    Time(parse(s, "s_r")?),
+                    Dur(parse(l, "l_r")?),
+                    parse(n, "n_r")?,
+                );
+                let deadline = Time(parse(d, "deadline")?);
+                match self.sched()?.submit_with_deadline(&req, deadline) {
+                    Ok(g) => Ok(Self::grant_line(&g)),
+                    Err(e) => Ok(format!("rejected {e}")),
+                }
+            }
+            ["constrained", q, s, l, n, mask] => {
+                let req = Request::advance(
+                    Time(parse(q, "q_r")?),
+                    Time(parse(s, "s_r")?),
+                    Dur(parse(l, "l_r")?),
+                    parse(n, "n_r")?,
+                );
+                let required = AttrSet(parse(mask, "mask")?);
+                match self.sched()?.submit_constrained(&req, required) {
+                    Ok(g) => Ok(Self::grant_line(&g)),
+                    Err(e) => Ok(format!("rejected {e}")),
+                }
+            }
+            ["attrs", server, mask] => {
+                let srv = ServerId(parse(server, "server")?);
+                let mask = AttrSet(parse(mask, "mask")?);
+                let sched = self.sched()?;
+                if srv.0 >= sched.num_servers() {
+                    return Err(format!("no such server {}", srv.0));
+                }
+                sched.set_server_attrs(srv, mask);
+                Ok("ok".into())
+            }
+            ["query", a, b] => {
+                let (a, b) = (Time(parse(a, "start")?), Time(parse(b, "end")?));
+                let hits = self.sched()?.range_search(a, b);
+                let mut out = format!("free {}", hits.len());
+                for h in hits {
+                    out.push_str(&format!(
+                        "\n  server={} idle=[{}, {}) slack={}",
+                        h.period.server.0,
+                        h.period.start.secs(),
+                        if h.period.end.is_inf() {
+                            "inf".to_string()
+                        } else {
+                            h.period.end.secs().to_string()
+                        },
+                        h.tail_slack.secs()
+                    ));
+                }
+                Ok(out)
+            }
+            ["release", job] => {
+                let job = JobId(parse(job, "job id")?);
+                match self.sched()?.release(job) {
+                    Ok(()) => Ok("ok".into()),
+                    Err(e) => Ok(format!("error {e}")),
+                }
+            }
+            ["advance", t] => {
+                let t = Time(parse(t, "time")?);
+                self.sched()?.advance_to(t);
+                Ok(format!("ok now={}", t.secs()))
+            }
+            ["stats"] => {
+                let sched = self.sched()?;
+                let now = sched.now();
+                let s = *sched.stats();
+                Ok(format!(
+                    "now={} horizon_end={} util={:.4} ops={} searches={} attempts={}",
+                    now.secs(),
+                    sched.horizon_end().secs(),
+                    sched.utilization(now.max(Time(1))),
+                    s.total_ops(),
+                    s.phase1_searches,
+                    s.attempts
+                ))
+            }
+            ["snapshot", path] => {
+                let text = self.sched()?.snapshot();
+                std::fs::write(path, text).map_err(|e| format!("write {path}: {e}"))?;
+                Ok(format!("ok wrote {path}"))
+            }
+            ["load", path] => {
+                let text =
+                    std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+                let sched =
+                    CoAllocScheduler::restore(&text).map_err(|e| format!("restore: {e}"))?;
+                let n = sched.num_servers();
+                self.sched = Some(sched);
+                Ok(format!("ok {n} servers restored"))
+            }
+            _ => Err(format!("unknown command: '{line}' (try 'help')")),
+        }
+    }
+}
+
+fn main() {
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout().lock();
+    let mut session = Session { sched: None };
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break,
+        };
+        if line.trim() == "exit" {
+            break;
+        }
+        match session.exec(&line) {
+            Ok(reply) if reply.is_empty() => {}
+            Ok(reply) => {
+                let _ = writeln!(stdout, "{reply}");
+            }
+            Err(e) => {
+                let _ = writeln!(stdout, "error: {e}");
+            }
+        }
+        let _ = stdout.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(cmds: &[&str]) -> Vec<String> {
+        let mut s = Session { sched: None };
+        cmds.iter()
+            .map(|c| match s.exec(c) {
+                Ok(r) => r,
+                Err(e) => format!("error: {e}"),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn happy_path_session() {
+        let out = run(&[
+            "init 4 10 200 10",
+            "submit 0 0 50 2",
+            "query 0 50",
+            "release 0",
+            "stats",
+        ]);
+        assert_eq!(out[0], "ok 4 servers");
+        assert!(out[1].starts_with("granted job=0 start=0 end=50"));
+        assert!(out[2].starts_with("free 2"));
+        assert_eq!(out[3], "ok");
+        assert!(out[4].contains("ops="));
+    }
+
+    #[test]
+    fn errors_are_reported_not_fatal() {
+        let out = run(&["submit 0 0 10 1", "init x", "init 2 10 100 10", "bogus"]);
+        assert!(out[0].starts_with("error: no scheduler"));
+        assert!(out[1].starts_with("error: bad server count"));
+        assert_eq!(out[2], "ok 2 servers");
+        assert!(out[3].starts_with("error: unknown command"));
+    }
+
+    #[test]
+    fn rejection_is_a_reply_not_an_error() {
+        let out = run(&["init 1 10 100 10", "submit 0 0 500 1", "submit 0 0 10 5"]);
+        assert!(out[1].starts_with("rejected"));
+        assert!(out[2].starts_with("rejected"));
+    }
+
+    #[test]
+    fn constrained_and_attrs() {
+        let out = run(&[
+            "init 3 10 200 10",
+            "attrs 2 5",
+            "constrained 0 0 30 1 5",
+            "constrained 0 0 30 2 5",
+        ]);
+        assert_eq!(out[1], "ok");
+        assert!(out[2].contains("servers=2"), "{}", out[2]);
+        assert!(out[3].starts_with("rejected"));
+    }
+
+    #[test]
+    fn snapshot_load_roundtrip() {
+        let path = std::env::temp_dir().join("coallocd-test-snap.txt");
+        let p = path.to_str().unwrap();
+        let out = run(&[
+            "init 2 10 100 10",
+            "submit 0 0 40 1",
+            &format!("snapshot {p}"),
+            "init 9",
+            &format!("load {p}"),
+            "query 0 40",
+        ]);
+        assert!(out[2].starts_with("ok wrote"));
+        assert_eq!(out[4], "ok 2 servers restored");
+        assert!(out[5].starts_with("free 1"), "{}", out[5]);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let out = run(&["", "# a comment", "help"]);
+        assert_eq!(out[0], "");
+        assert_eq!(out[1], "");
+        assert!(out[2].contains("commands:"));
+    }
+
+    #[test]
+    fn deadline_command() {
+        let out = run(&["init 1 10 200 10", "submit 0 0 30 1", "deadline 0 0 20 1 40"]);
+        assert!(out[2].starts_with("rejected"), "{}", out[2]);
+        let out = run(&["init 1 10 200 10", "deadline 0 0 20 1 40"]);
+        assert!(out[1].starts_with("granted"));
+    }
+}

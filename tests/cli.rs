@@ -1,0 +1,68 @@
+//! End-to-end test of the `coallocd` binary over its stdin/stdout protocol.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn drive(script: &str) -> Vec<String> {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_coallocd"))
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn coallocd");
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(script.as_bytes())
+        .expect("write script");
+    let out = child.wait_with_output().expect("wait");
+    assert!(out.status.success());
+    String::from_utf8(out.stdout)
+        .expect("utf8")
+        .lines()
+        .map(|l| l.to_string())
+        .collect()
+}
+
+#[test]
+fn full_session_over_the_wire() {
+    let lines = drive(
+        "init 4 900 86400 900\n\
+         submit 0 0 3600 2\n\
+         submit 0 7200 1800 4\n\
+         query 3600 5400\n\
+         advance 1800\n\
+         stats\n\
+         release 0\n\
+         release 0\n\
+         exit\n",
+    );
+    assert_eq!(lines[0], "ok 4 servers");
+    assert!(lines[1].starts_with("granted job=0 start=0 end=3600"));
+    assert!(lines[2].starts_with("granted job=1 start=7200"));
+    assert!(lines[3].starts_with("free 4"), "{}", lines[3]);
+    assert!(lines.iter().any(|l| l.starts_with("ok now=1800")));
+    assert!(lines.iter().any(|l| l.contains("horizon_end=")));
+    // First release succeeds, second reports unknown job.
+    let releases: Vec<&String> = lines
+        .iter()
+        .filter(|l| l.as_str() == "ok" || l.starts_with("error unknown job"))
+        .collect();
+    assert!(releases.len() >= 2, "{lines:?}");
+}
+
+#[test]
+fn snapshot_survives_process_restart() {
+    let path = std::env::temp_dir().join("coallocd-e2e-snap.txt");
+    let p = path.to_str().unwrap();
+    let first = drive(&format!(
+        "init 2 10 200 10\nsubmit 0 0 80 2\nsnapshot {p}\nexit\n"
+    ));
+    assert!(first[1].starts_with("granted job=0"));
+    // A brand-new process restores the schedule and sees the commitment.
+    let second = drive(&format!("load {p}\nquery 0 80\nsubmit 0 0 40 1\nexit\n"));
+    assert_eq!(second[0], "ok 2 servers restored");
+    assert!(second[1].starts_with("free 0"), "{}", second[1]);
+    assert!(second[2].contains("start=80"), "{}", second[2]);
+    let _ = std::fs::remove_file(path);
+}
