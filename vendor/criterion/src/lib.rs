@@ -1,0 +1,200 @@
+//! Offline stub of the `criterion` crate (see `vendor/README.md`).
+//!
+//! Keeps the macro/group/bencher API shape so benches compile and run
+//! offline, but measures only a coarse mean wall-clock per iteration over a
+//! handful of runs — no warm-up, statistics, or reports. Runs are kept short
+//! deliberately so `cargo test` (which executes `harness = false` bench
+//! targets) stays fast.
+
+use std::time::{Duration, Instant};
+
+/// Re-export for convenience parity with the real crate.
+pub use std::hint::black_box;
+
+/// Entry point handed to benchmark functions.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group: {name}");
+        BenchmarkGroup { _c: self, name }
+    }
+
+    /// Run a single stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IntoBenchId, mut f: F) {
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report("", &id.into_bench_id());
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API parity; the stub always uses a small fixed count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API parity; throughput is not reported.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Benchmark `f` against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: impl IntoBenchId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::default();
+        f(&mut b, input);
+        b.report(&self.name, &id.into_bench_id());
+    }
+
+    /// Benchmark a closure with no external input.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IntoBenchId, mut f: F) {
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report(&self.name, &id.into_bench_id());
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Times the measured routine.
+#[derive(Default)]
+pub struct Bencher {
+    total: Duration,
+    iters: u32,
+}
+
+impl Bencher {
+    /// Run `f` with a small iteration count and accumulate the duration it
+    /// reports (real criterion hands out calibrated counts; the stub uses a
+    /// fixed few so `cargo test` stays fast).
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        const RUNS: u64 = 5;
+        self.total += f(RUNS);
+        self.iters += RUNS as u32;
+    }
+
+    /// Run `f` a few times and accumulate its mean wall-clock time.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        const RUNS: u32 = 5;
+        let t0 = Instant::now();
+        for _ in 0..RUNS {
+            black_box(f());
+        }
+        self.total += t0.elapsed();
+        self.iters += RUNS;
+    }
+
+    fn report(&self, group: &str, id: &str) {
+        let sep = if group.is_empty() { "" } else { "/" };
+        if self.iters == 0 {
+            println!("  {group}{sep}{id}: no iterations");
+        } else {
+            let mean = self.total / self.iters;
+            println!("  {group}{sep}{id}: {mean:?}/iter ({} iters)", self.iters);
+        }
+    }
+}
+
+/// Benchmark identifier (name, optional parameter).
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new(name: impl Into<String>, param: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{}", name.into(), param))
+    }
+
+    /// Identifier carrying only a parameter value.
+    pub fn from_parameter(param: impl std::fmt::Display) -> Self {
+        BenchmarkId(param.to_string())
+    }
+}
+
+/// Anything accepted as a benchmark identifier.
+pub trait IntoBenchId {
+    /// Render to the printed identifier.
+    fn into_bench_id(self) -> String;
+}
+
+impl IntoBenchId for BenchmarkId {
+    fn into_bench_id(self) -> String {
+        self.0
+    }
+}
+
+impl IntoBenchId for &str {
+    fn into_bench_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchId for String {
+    fn into_bench_id(self) -> String {
+        self
+    }
+}
+
+/// Units for [`BenchmarkGroup::throughput`] (accepted, not reported).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit a `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_and_bencher_run() {
+        let mut c = Criterion::default();
+        let mut ran = 0u32;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(10).throughput(Throughput::Elements(4));
+            g.bench_with_input(BenchmarkId::from_parameter(4), &4u32, |b, &n| {
+                b.iter(|| ran += n)
+            });
+            g.bench_function(BenchmarkId::new("f", 1), |b| b.iter(|| ran += 1));
+            g.finish();
+        }
+        c.bench_function("solo", |b| b.iter(|| ran += 1));
+        assert!(ran >= 4 * 5 + 5 + 5);
+    }
+}

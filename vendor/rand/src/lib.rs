@@ -1,0 +1,253 @@
+//! Offline stub of the `rand` crate (see `vendor/README.md`).
+//!
+//! Provides `rngs::SmallRng` (xoshiro256++ seeded via SplitMix64) and the
+//! `Rng` / `SeedableRng` trait subset this workspace calls: `random`,
+//! `random_bool`, `random_range` over integer and float ranges. The stream
+//! of a seeded generator differs from the real crate's — callers must not
+//! depend on exact draws, only on seeded determinism and rough uniformity.
+
+/// Low-level uniform bit source.
+pub trait RngCore {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 uniformly random bits (upper half of [`Self::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Deterministic construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is a pure function of `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// High-level sampling helpers, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample a value of `T` from its standard distribution (uniform over
+    /// the type for integers, uniform in `[0, 1)` for floats).
+    fn random<T: distr::StandardUniform>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Bernoulli draw: `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        let u: f64 = self.random();
+        u < p
+    }
+
+    /// Uniform draw from a (half-open or inclusive) range.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distr::SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+pub mod distr {
+    //! Minimal distribution plumbing behind [`Rng`](crate::Rng).
+
+    use crate::RngCore;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Types samplable by `Rng::random`.
+    pub trait StandardUniform: Sized {
+        /// Draw one value.
+        fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+    }
+
+    macro_rules! impl_standard_int {
+        ($($t:ty),*) => {$(
+            impl StandardUniform for $t {
+                fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl StandardUniform for f64 {
+        fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            // 53 uniform mantissa bits -> [0, 1).
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl StandardUniform for f32 {
+        fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+        }
+    }
+
+    impl StandardUniform for bool {
+        fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Ranges samplable by `Rng::random_range`.
+    pub trait SampleRange<T> {
+        /// Draw one value uniformly from the range.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    /// Element types with a uniform-range sampler. A single generic
+    /// `SampleRange` impl per range shape keeps integer-literal inference
+    /// working exactly as with the real crate.
+    pub trait SampleUniform: Sized {
+        /// Uniform draw in `[lo, hi)`.
+        fn sample_below<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+        /// Uniform draw in `[lo, hi]`.
+        fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for Range<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            T::sample_below(rng, self.start, self.end)
+        }
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            let (lo, hi) = self.into_inner();
+            T::sample_inclusive(rng, lo, hi)
+        }
+    }
+
+    /// Uniform draw in `[0, span)` via 128-bit multiply (Lemire, no modulo
+    /// bias worth speaking of at these spans).
+    fn below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+        ((rng.next_u64() as u128 * span as u128) >> 64) as u64
+    }
+
+    macro_rules! impl_uniform_int {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_below<R: RngCore + ?Sized>(rng: &mut R, lo: $t, hi: $t) -> $t {
+                    assert!(lo < hi, "empty range in random_range");
+                    let span = hi.wrapping_sub(lo) as u64;
+                    lo.wrapping_add(below(rng, span) as $t)
+                }
+                fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: $t, hi: $t) -> $t {
+                    assert!(lo <= hi, "empty range in random_range");
+                    let span = hi.wrapping_sub(lo) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    lo.wrapping_add(below(rng, span + 1) as $t)
+                }
+            }
+        )*};
+    }
+    impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl SampleUniform for f64 {
+        fn sample_below<R: RngCore + ?Sized>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+            assert!(lo < hi, "empty range in random_range");
+            lo + f64::sample(rng) * (hi - lo)
+        }
+        fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+            Self::sample_below(rng, lo, hi.next_up())
+        }
+    }
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use crate::{RngCore, SeedableRng};
+
+    /// A small, fast, decent-quality generator: xoshiro256++.
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            SmallRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_and_uniform_ish() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random_range(0..1000i64), b.random_range(0..1000i64));
+        }
+        let mut c = SmallRng::seed_from_u64(7);
+        let mut counts = [0u32; 10];
+        for _ in 0..10_000 {
+            counts[c.random_range(0..10usize)] += 1;
+        }
+        for &n in &counts {
+            assert!((700..1300).contains(&n), "skewed bucket: {counts:?}");
+        }
+        let mut heads = 0;
+        for _ in 0..10_000 {
+            if c.random_bool(0.3) {
+                heads += 1;
+            }
+        }
+        assert!((2500..3500).contains(&heads), "p=0.3 gave {heads}/10000");
+        for _ in 0..1000 {
+            let f: f64 = c.random();
+            assert!((0.0..1.0).contains(&f));
+            let r = c.random_range(5..=5u32);
+            assert_eq!(r, 5);
+        }
+    }
+}
