@@ -44,7 +44,7 @@ fn bench_co_allocate(c: &mut Criterion) {
                 // Immediately undo so capacity never runs out.
                 for (site, _, _) in &g.parts {
                     let _ = sites[site.0 as usize].call(
-                        coalloc_multisite::SiteRequest::Abort { txn: g.txn },
+                        coalloc_multisite::SiteRequest::Abort { txn: g.txn, seq: 0 },
                     );
                 }
             });

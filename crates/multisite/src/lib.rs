@@ -9,22 +9,32 @@
 //! lifting the paper's single-site retry loop (Section 4.2) to the
 //! multi-site setting.
 //!
-//! Failure handling: coordinator crashes or message loss leave holds that
-//! expire after their TTL; late commits fail cleanly (`ok = false`) and are
-//! compensated, so no capacity is ever leaked and no partial co-allocation
-//! survives.
+//! Failure handling: the protocol assumes **at-least-once delivery** — RPCs
+//! time out and are retried with exponential backoff, links may drop,
+//! duplicate or reorder messages, and sites may crash and restart losing
+//! volatile state. Sites answer `Hold`/`Commit`/`Abort` idempotently via a
+//! per-transaction outcome cache, commits report a three-valued
+//! [`CommitOutcome`] so a retried commit is never mistaken for an expired
+//! hold, and unresolved transactions are compensated (aborted everywhere,
+//! undoing partial commits). Orphaned holds expire after their TTL, so no
+//! capacity is ever leaked and no partial co-allocation survives. The
+//! [`chaos`] module turns all of this into a soak harness with conservation
+//! checks.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod chaos;
 pub mod coordinator;
 pub mod messages;
 pub mod network;
 pub mod site;
 
+pub use chaos::{run_chaos, ChaosConfig, ChaosReport};
 pub use coordinator::{
     Coordinator, CoordinatorConfig, CoordinatorStats, MultiGrant, MultiRequest, MultiSiteError,
+    SiteEndpoint,
 };
-pub use messages::{Envelope, SiteId, SiteReply, SiteRequest, TxnId};
+pub use messages::{CommitOutcome, Envelope, SiteId, SiteReply, SiteRequest, TxnId};
 pub use network::{FlakyLink, LinkConfig, LinkStats};
 pub use site::{SiteHandle, SiteStats};

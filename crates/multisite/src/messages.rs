@@ -32,14 +32,23 @@ pub struct Envelope {
 }
 
 /// Requests a site can serve.
+///
+/// `Hold`, `Commit` and `Abort` are **idempotent**: the site keeps a per-txn
+/// outcome cache, so at-least-once delivery (retries, duplicating links) is
+/// safe. The `seq` field identifies the individual RPC attempt — sites treat
+/// re-deliveries of the same `txn` identically regardless of `seq`; it exists
+/// for tracing and lets fault injectors distinguish copies of a call.
 #[derive(Clone, Debug)]
 pub enum SiteRequest {
     /// Tentatively reserve `servers` servers for exactly `[start, start +
     /// duration)`. The hold auto-expires after `ttl` (wall-clock) unless
-    /// committed.
+    /// committed. Re-delivery for a held or committed `txn` returns the
+    /// existing grant instead of reserving again.
     Hold {
         /// Transaction this hold belongs to.
         txn: TxnId,
+        /// Per-attempt sequence number (tracing only; no protocol effect).
+        seq: u64,
         /// Window start (virtual time).
         start: Time,
         /// Window length.
@@ -49,17 +58,29 @@ pub enum SiteRequest {
         /// Wall-clock time-to-live of the tentative hold.
         ttl: Duration,
     },
-    /// Make the hold of `txn` permanent.
+    /// Make the hold of `txn` permanent. Re-delivery for an already
+    /// committed `txn` reports [`CommitOutcome::AlreadyCommitted`] (success)
+    /// rather than being confused with an expired hold.
     Commit {
         /// Transaction to commit.
         txn: TxnId,
+        /// Per-attempt sequence number (tracing only; no protocol effect).
+        seq: u64,
     },
     /// Drop the hold of `txn` (idempotent; also undoes an already committed
     /// transaction, which serves as the compensation path).
     Abort {
         /// Transaction to abort.
         txn: TxnId,
+        /// Per-attempt sequence number (tracing only; no protocol effect).
+        seq: u64,
     },
+    /// Simulate a crash/restart of the site with loss of **volatile** state:
+    /// live holds are released and the idempotency/outcome cache is cleared,
+    /// while committed transactions (durable state) survive. Fault-injection
+    /// aid for chaos tests; real deployments would reach the same state by
+    /// restarting a site process whose commits are journaled.
+    Crash,
     /// How many servers are free for the whole window? (read-only)
     Query {
         /// Window start.
@@ -99,15 +120,14 @@ pub enum SiteReply {
         /// Servers actually available for the window.
         available: u32,
     },
-    /// Commit outcome; `ok == false` means the hold had already expired and
-    /// nothing was committed.
+    /// Commit outcome (three-valued — see [`CommitOutcome`]).
     CommitResult {
         /// The transaction.
         txn: TxnId,
         /// The site.
         site: SiteId,
-        /// Whether the hold was still live and is now permanent.
-        ok: bool,
+        /// What the commit did.
+        outcome: CommitOutcome,
     },
     /// Abort acknowledged (always succeeds; idempotent).
     Aborted {
@@ -128,6 +148,39 @@ pub enum SiteReply {
         /// The site.
         site: SiteId,
     },
+    /// Crash/restart processed; volatile state is gone.
+    Crashed {
+        /// The site.
+        site: SiteId,
+    },
+}
+
+/// Result of a `Commit`, distinguishing a duplicate delivery (success) from
+/// a hold that expired before the commit arrived (failure). The distinction
+/// is what makes commit retries safe: with a boolean, a re-delivered commit
+/// of a committed transaction looked like an expiry and triggered a
+/// compensation that undid a *successful* transaction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CommitOutcome {
+    /// The hold was live and is now permanent.
+    Committed,
+    /// This transaction was already committed here — a retried or duplicated
+    /// commit. The transaction is in force; treat as success.
+    AlreadyCommitted,
+    /// No live hold and no committed record: the hold expired (or the
+    /// transaction is unknown/aborted). Nothing was committed.
+    Expired,
+}
+
+impl CommitOutcome {
+    /// `true` when the transaction is committed at the site (first delivery
+    /// or duplicate).
+    pub fn is_success(self) -> bool {
+        matches!(
+            self,
+            CommitOutcome::Committed | CommitOutcome::AlreadyCommitted
+        )
+    }
 }
 
 impl SiteReply {

@@ -1,11 +1,21 @@
 //! Network fault injection for protocol testing.
 //!
 //! Sites and coordinators exchange messages over crossbeam channels; this
-//! module interposes a relay thread that can delay or drop requests with a
-//! seeded RNG, exercising the protocol's timeout, abort and TTL-expiry paths
-//! without real sockets.
+//! module interposes a relay thread that can delay, drop, **duplicate** and
+//! **reorder** requests, and drop or duplicate **replies**, with a seeded
+//! RNG — exercising the protocol's timeout, retry, idempotency and
+//! TTL-expiry paths without real sockets. Whole-site crashes are injected
+//! separately by sending [`SiteRequest::Crash`](crate::SiteRequest::Crash).
+//!
+//! Reply faults work by rewriting each forwarded envelope's `reply_to` to a
+//! relay-owned proxy channel; the relay pumps proxied replies back to the
+//! original requester, applying the reply-path fault probabilities on the
+//! way. To the coordinator a dropped reply is indistinguishable from a
+//! dropped request — both surface as an RPC timeout — but the site *did*
+//! execute the call, which is exactly the at-least-once ambiguity the
+//! idempotent protocol has to absorb.
 
-use crate::messages::Envelope;
+use crate::messages::{Envelope, SiteReply};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -17,6 +27,16 @@ use std::time::Duration;
 pub struct LinkConfig {
     /// Probability a request is silently dropped.
     pub drop_prob: f64,
+    /// Probability a delivered request is delivered twice (duplicate
+    /// delivery, as after an ambiguous send on a real network).
+    pub duplicate_prob: f64,
+    /// Probability a delivered request is held back and delivered *after*
+    /// the next request (adjacent-pair reordering).
+    pub reorder_prob: f64,
+    /// Probability a site reply is silently dropped on the way back.
+    pub drop_reply_prob: f64,
+    /// Probability a site reply is delivered twice.
+    pub duplicate_reply_prob: f64,
     /// Fixed latency added to every delivered request.
     pub base_delay: Duration,
     /// Additional uniformly random latency in `[0, jitter)`.
@@ -29,6 +49,10 @@ impl Default for LinkConfig {
     fn default() -> Self {
         LinkConfig {
             drop_prob: 0.0,
+            duplicate_prob: 0.0,
+            reorder_prob: 0.0,
+            drop_reply_prob: 0.0,
+            duplicate_reply_prob: 0.0,
             base_delay: Duration::ZERO,
             jitter: Duration::ZERO,
             seed: 0,
@@ -38,7 +62,8 @@ impl Default for LinkConfig {
 
 /// A faulty relay in front of a site's inbox. Send [`Envelope`]s to
 /// [`FlakyLink::sender`]; surviving messages arrive at the wrapped
-/// destination after the configured delay.
+/// destination after the configured delay, possibly duplicated or reordered,
+/// and their replies are relayed back subject to the reply-path faults.
 #[derive(Debug)]
 pub struct FlakyLink {
     tx: Sender<Envelope>,
@@ -48,10 +73,151 @@ pub struct FlakyLink {
 /// Delivery statistics of a link.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct LinkStats {
-    /// Messages delivered.
+    /// Requests delivered (duplicate copies included).
     pub delivered: u64,
-    /// Messages dropped.
+    /// Requests dropped.
     pub dropped: u64,
+    /// Extra request copies injected by duplication.
+    pub duplicated: u64,
+    /// Requests held back and delivered out of order.
+    pub reordered: u64,
+    /// Replies forwarded back to the requester (duplicates included).
+    pub replies_delivered: u64,
+    /// Replies dropped on the return path.
+    pub replies_dropped: u64,
+    /// Extra reply copies injected by duplication.
+    pub replies_duplicated: u64,
+}
+
+/// A proxied in-flight reply: messages arriving on `proxy` are forwarded to
+/// `requester` with the reply faults applied.
+struct ReplyRoute {
+    proxy: Receiver<SiteReply>,
+    requester: Sender<SiteReply>,
+}
+
+/// The relay's mutable state, shared by the live loop and the drain phase.
+struct Relay {
+    dest: Sender<Envelope>,
+    cfg: LinkConfig,
+    rng: SmallRng,
+    stats: LinkStats,
+    /// A request held back for adjacent-pair reordering.
+    held: Option<Envelope>,
+    /// Open return paths for proxied replies.
+    routes: Vec<ReplyRoute>,
+}
+
+impl Relay {
+    /// Apply request-path faults to one incoming envelope. Returns `false`
+    /// when the destination is gone.
+    fn handle(&mut self, mut env: Envelope) -> bool {
+        if self.cfg.drop_prob > 0.0 && self.rng.random_bool(self.cfg.drop_prob) {
+            self.stats.dropped += 1;
+            return true;
+        }
+        if self.cfg.drop_reply_prob > 0.0 || self.cfg.duplicate_reply_prob > 0.0 {
+            let (proxy_tx, proxy_rx) = unbounded();
+            let requester = std::mem::replace(&mut env.reply_to, proxy_tx);
+            self.routes.push(ReplyRoute {
+                proxy: proxy_rx,
+                requester,
+            });
+        }
+        let jitter_ns = if self.cfg.jitter.is_zero() {
+            0
+        } else {
+            self.rng.random_range(0..self.cfg.jitter.as_nanos() as u64)
+        };
+        let delay = self.cfg.base_delay + Duration::from_nanos(jitter_ns);
+        if !delay.is_zero() {
+            std::thread::sleep(delay);
+        }
+        let duplicate =
+            self.cfg.duplicate_prob > 0.0 && self.rng.random_bool(self.cfg.duplicate_prob);
+        if duplicate {
+            self.stats.duplicated += 1;
+            if !self.deliver(env.clone()) {
+                return false;
+            }
+        }
+        if self.cfg.reorder_prob > 0.0
+            && self.held.is_none()
+            && self.rng.random_bool(self.cfg.reorder_prob)
+        {
+            // Hold this one back; it goes out right after the next request
+            // (or on the idle flush).
+            self.stats.reordered += 1;
+            self.held = Some(env);
+            return true;
+        }
+        if !self.deliver(env) {
+            return false;
+        }
+        if let Some(h) = self.held.take() {
+            if !self.deliver(h) {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn deliver(&mut self, env: Envelope) -> bool {
+        if self.dest.send(env).is_err() {
+            return false;
+        }
+        self.stats.delivered += 1;
+        true
+    }
+
+    fn flush_held(&mut self) {
+        if let Some(h) = self.held.take() {
+            self.deliver(h);
+        }
+    }
+
+    /// Forward any proxied replies that have arrived, applying reply faults,
+    /// and prune return paths whose proxy sender is gone and drained.
+    fn pump_replies(&mut self) {
+        let mut i = 0;
+        while i < self.routes.len() {
+            let mut finished = false;
+            loop {
+                match self.routes[i].proxy.try_recv() {
+                    Ok(reply) => {
+                        if self.cfg.drop_reply_prob > 0.0
+                            && self.rng.random_bool(self.cfg.drop_reply_prob)
+                        {
+                            self.stats.replies_dropped += 1;
+                            continue;
+                        }
+                        if self.cfg.duplicate_reply_prob > 0.0
+                            && self.rng.random_bool(self.cfg.duplicate_reply_prob)
+                        {
+                            self.stats.replies_duplicated += 1;
+                            if self.routes[i].requester.send(reply.clone()).is_ok() {
+                                self.stats.replies_delivered += 1;
+                            }
+                        }
+                        // A requester that timed out and went away is fine.
+                        if self.routes[i].requester.send(reply).is_ok() {
+                            self.stats.replies_delivered += 1;
+                        }
+                    }
+                    Err(crossbeam::channel::TryRecvError::Empty) => break,
+                    Err(crossbeam::channel::TryRecvError::Disconnected) => {
+                        finished = true;
+                        break;
+                    }
+                }
+            }
+            if finished {
+                self.routes.swap_remove(i);
+            } else {
+                i += 1;
+            }
+        }
+    }
 }
 
 impl FlakyLink {
@@ -61,28 +227,38 @@ impl FlakyLink {
         let join = std::thread::Builder::new()
             .name("flaky-link".into())
             .spawn(move || {
-                let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x11A7);
-                let mut stats = LinkStats::default();
-                while let Ok(env) = rx.recv() {
-                    if cfg.drop_prob > 0.0 && rng.random_bool(cfg.drop_prob) {
-                        stats.dropped += 1;
-                        continue;
+                let mut relay = Relay {
+                    dest,
+                    cfg,
+                    rng: SmallRng::seed_from_u64(cfg.seed ^ 0x11A7),
+                    stats: LinkStats::default(),
+                    held: None,
+                    routes: Vec::new(),
+                };
+                loop {
+                    // Short poll so proxied replies and held-back requests
+                    // keep moving even when no new request arrives.
+                    match rx.recv_timeout(Duration::from_millis(1)) {
+                        Ok(env) => {
+                            if !relay.handle(env) {
+                                break; // destination gone
+                            }
+                        }
+                        Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                            relay.flush_held();
+                        }
+                        Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
                     }
-                    let jitter_ns = if cfg.jitter.is_zero() {
-                        0
-                    } else {
-                        rng.random_range(0..cfg.jitter.as_nanos() as u64)
-                    };
-                    let delay = cfg.base_delay + Duration::from_nanos(jitter_ns);
-                    if !delay.is_zero() {
-                        std::thread::sleep(delay);
-                    }
-                    if dest.send(env).is_err() {
-                        break; // destination gone
-                    }
-                    stats.delivered += 1;
+                    relay.pump_replies();
                 }
-                stats
+                // Drain: flush the reorder buffer and keep pumping until all
+                // in-flight replies have been answered or abandoned.
+                relay.flush_held();
+                while !relay.routes.is_empty() {
+                    relay.pump_replies();
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                relay.stats
             })
             .expect("spawn relay");
         FlakyLink {
@@ -96,15 +272,15 @@ impl FlakyLink {
         self.tx.clone()
     }
 
-    /// Close the link and collect delivery statistics.
+    /// Close the link and collect delivery statistics. Blocks until every
+    /// in-flight request and reply has drained — which requires all other
+    /// senders obtained from [`Self::sender`] (e.g. coordinator endpoints)
+    /// to have been dropped first.
     pub fn shutdown(mut self) -> LinkStats {
-        drop(self.tx.clone());
-        // Dropping our sender ends the relay loop once all clones are gone.
-        let tx = std::mem::replace(&mut self.tx, {
-            let (t, _) = unbounded();
-            t
-        });
-        drop(tx);
+        // Replace our sender with a dummy so the relay loop sees the channel
+        // disconnect once outstanding clones are gone.
+        let (dummy, _) = unbounded();
+        drop(std::mem::replace(&mut self.tx, dummy));
         self.join
             .take()
             .expect("not yet joined")
@@ -127,9 +303,9 @@ impl Drop for FlakyLink {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::messages::SiteId;
     use crate::messages::{SiteReply, SiteRequest};
     use crate::site::SiteHandle;
-    use crate::messages::SiteId;
     use coalloc_core::prelude::*;
 
     fn site() -> SiteHandle {
@@ -144,11 +320,7 @@ mod tests {
         )
     }
 
-    fn call_via(
-        link: &FlakyLink,
-        request: SiteRequest,
-        timeout: Duration,
-    ) -> Option<SiteReply> {
+    fn call_via(link: &FlakyLink, request: SiteRequest, timeout: Duration) -> Option<SiteReply> {
         let (reply_tx, reply_rx) = unbounded();
         link.sender()
             .send(Envelope {
@@ -159,18 +331,18 @@ mod tests {
         reply_rx.recv_timeout(timeout).ok()
     }
 
+    fn query() -> SiteRequest {
+        SiteRequest::Query {
+            start: Time(0),
+            duration: Dur(60),
+        }
+    }
+
     #[test]
     fn reliable_link_passes_through() {
         let s = site();
         let link = FlakyLink::new(s.sender(), LinkConfig::default());
-        let r = call_via(
-            &link,
-            SiteRequest::Query {
-                start: Time(0),
-                duration: Dur(60),
-            },
-            Duration::from_secs(2),
-        );
+        let r = call_via(&link, query(), Duration::from_secs(2));
         assert_eq!(
             r,
             Some(SiteReply::QueryResult {
@@ -193,14 +365,7 @@ mod tests {
                 ..LinkConfig::default()
             },
         );
-        let r = call_via(
-            &link,
-            SiteRequest::Query {
-                start: Time(0),
-                duration: Dur(60),
-            },
-            Duration::from_millis(100),
-        );
+        let r = call_via(&link, query(), Duration::from_millis(100));
         assert_eq!(r, None, "fully lossy link must time out");
         let stats = link.shutdown();
         assert_eq!(stats.dropped, 1);
@@ -217,15 +382,111 @@ mod tests {
             },
         );
         let t0 = std::time::Instant::now();
-        let r = call_via(
-            &link,
-            SiteRequest::Query {
-                start: Time(0),
-                duration: Dur(60),
-            },
-            Duration::from_secs(2),
-        );
+        let r = call_via(&link, query(), Duration::from_secs(2));
         assert!(r.is_some());
         assert!(t0.elapsed() >= Duration::from_millis(80));
+    }
+
+    #[test]
+    fn duplicating_link_delivers_twice() {
+        let s = site();
+        let link = FlakyLink::new(
+            s.sender(),
+            LinkConfig {
+                duplicate_prob: 1.0,
+                ..LinkConfig::default()
+            },
+        );
+        let (reply_tx, reply_rx) = unbounded();
+        link.sender()
+            .send(Envelope {
+                request: query(),
+                reply_to: reply_tx,
+            })
+            .unwrap();
+        // Both copies reach the site; both replies come back.
+        let a = reply_rx.recv_timeout(Duration::from_secs(2)).unwrap();
+        let b = reply_rx.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(a, b);
+        let stats = link.shutdown();
+        assert_eq!(stats.delivered, 2);
+        assert_eq!(stats.duplicated, 1);
+    }
+
+    #[test]
+    fn reply_dropping_link_times_out_after_execution() {
+        let s = site();
+        let link = FlakyLink::new(
+            s.sender(),
+            LinkConfig {
+                drop_reply_prob: 1.0,
+                ..LinkConfig::default()
+            },
+        );
+        // The request executes at the site, but the reply never returns.
+        let r = call_via(
+            &link,
+            SiteRequest::Hold {
+                txn: crate::messages::TxnId(1),
+                seq: 0,
+                start: Time(0),
+                duration: Dur(600),
+                servers: 1,
+                ttl: Duration::from_secs(5),
+            },
+            Duration::from_millis(150),
+        );
+        assert_eq!(r, None, "reply must be dropped");
+        let stats = link.shutdown();
+        assert_eq!(stats.delivered, 1);
+        assert_eq!(stats.replies_dropped, 1);
+        // Proof the site executed the call: the hold is in place.
+        let q = s.call(query());
+        assert_eq!(
+            q,
+            SiteReply::QueryResult {
+                site: SiteId(0),
+                available: 1
+            }
+        );
+    }
+
+    #[test]
+    fn reordering_link_swaps_adjacent_requests() {
+        let s = site();
+        let link = FlakyLink::new(
+            s.sender(),
+            LinkConfig {
+                // Every request wants to be held back; only one can be at a
+                // time, so pairs swap.
+                reorder_prob: 1.0,
+                ..LinkConfig::default()
+            },
+        );
+        // Send Abort(7) then Hold(7): in order, the hold would be granted
+        // (abort of an unknown txn is a no-op... but it records a terminal),
+        // reordered the hold goes first and is granted, then the abort
+        // releases it. Use Query bracketing to observe effects instead of
+        // relying on timing: send two queries and check both reply.
+        let (tx_a, rx_a) = unbounded();
+        let (tx_b, rx_b) = unbounded();
+        link.sender()
+            .send(Envelope {
+                request: query(),
+                reply_to: tx_a,
+            })
+            .unwrap();
+        link.sender()
+            .send(Envelope {
+                request: query(),
+                reply_to: tx_b,
+            })
+            .unwrap();
+        assert!(rx_a.recv_timeout(Duration::from_secs(2)).is_ok());
+        assert!(rx_b.recv_timeout(Duration::from_secs(2)).is_ok());
+        let stats = link.shutdown();
+        assert_eq!(stats.delivered, 2);
+        assert!(stats.reordered >= 1);
+        drop(s);
     }
 }

@@ -6,13 +6,28 @@
 //! deadline; expired holds are swept (released) lazily before every request,
 //! so an orphaned hold (crashed or partitioned coordinator) can block
 //! capacity only for its TTL.
+//!
+//! All transaction-bearing requests are **idempotent** under at-least-once
+//! delivery: a re-delivered `Hold` returns the existing grant (instead of
+//! reserving a second time and leaking the first), a re-delivered `Commit`
+//! of a committed transaction reports `AlreadyCommitted` (instead of being
+//! mistaken for an expiry), and terminal outcomes (aborted/expired) are
+//! remembered in a bounded outcome cache so a late, reordered `Hold` cannot
+//! resurrect a transaction the coordinator already gave up on.
 
-use crate::messages::{Envelope, SiteId, SiteReply, SiteRequest, TxnId};
+use crate::messages::{CommitOutcome, Envelope, SiteId, SiteReply, SiteRequest, TxnId};
 use coalloc_core::prelude::*;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::collections::HashMap;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// How long terminal per-txn outcomes (aborted / expired) are remembered so
+/// that duplicate or reordered messages for finished transactions are
+/// answered consistently. Messages older than this are assumed to have left
+/// the network (it exceeds any RPC timeout + retry horizon by a wide
+/// margin).
+const OUTCOME_RETENTION: Duration = Duration::from_secs(120);
 
 /// Handle to a running site thread.
 #[derive(Debug)]
@@ -26,35 +41,71 @@ pub struct SiteHandle {
 }
 
 /// Counters a site reports on shutdown.
+///
+/// Conservation invariant (checked by the chaos harness): once every live
+/// hold has drained, `holds_granted == commits + holds_aborted + expired +
+/// holds_lost` — every fresh grant ends in exactly one of those states.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SiteStats {
-    /// Holds granted.
+    /// Fresh holds granted (duplicate deliveries are *not* re-counted).
     pub holds_granted: u64,
-    /// Holds denied for lack of capacity.
+    /// Holds denied for lack of capacity (or because the txn had already
+    /// finished).
     pub holds_denied: u64,
-    /// Transactions committed.
+    /// Transactions committed (each txn at most once).
     pub commits: u64,
-    /// Aborts processed (including no-ops).
+    /// Abort messages processed (including idempotent no-ops).
     pub aborts: u64,
+    /// Live holds released by an abort.
+    pub holds_aborted: u64,
+    /// Committed transactions undone by a compensating abort.
+    pub commits_undone: u64,
     /// Holds released by TTL expiry.
     pub expired: u64,
+    /// Duplicate `Hold` deliveries answered from the cache (would each have
+    /// leaked a hold's worth of capacity before idempotency).
+    pub duplicate_holds: u64,
+    /// Duplicate `Commit` deliveries answered `AlreadyCommitted`.
+    pub duplicate_commits: u64,
+    /// Crash/restart cycles injected.
+    pub crashes: u64,
+    /// Live holds lost to a crash (volatile state).
+    pub holds_lost: u64,
 }
 
 struct HoldState {
     job: JobId,
+    servers: Vec<ServerId>,
     deadline: Instant,
+}
+
+struct CommittedState {
+    job: JobId,
+    servers: Vec<ServerId>,
+}
+
+/// Terminal transaction outcomes remembered in the dedup cache.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Terminal {
+    Aborted,
+    Expired,
 }
 
 struct Site {
     id: SiteId,
     sched: CoAllocScheduler,
     holds: HashMap<TxnId, HoldState>,
-    /// Committed transactions (kept so a compensating Abort can undo them).
-    committed: HashMap<TxnId, JobId>,
+    /// Committed transactions (kept so a duplicate Hold/Commit can be
+    /// answered from cache and a compensating Abort can undo them).
+    committed: HashMap<TxnId, CommittedState>,
+    /// Outcome cache for finished transactions, with the instant they
+    /// finished (entries older than [`OUTCOME_RETENTION`] are pruned).
+    finished: HashMap<TxnId, (Terminal, Instant)>,
     stats: SiteStats,
 }
 
 impl Site {
+    /// Release TTL-expired holds and prune stale outcome-cache entries.
     fn sweep_expired(&mut self) {
         let now = Instant::now();
         let dead: Vec<TxnId> = self
@@ -64,14 +115,28 @@ impl Site {
             .map(|(&t, _)| t)
             .collect();
         for txn in dead {
-            let hold = self.holds.remove(&txn).unwrap();
-            // The backing job may be gone only if someone released it; we
-            // never do that while the hold lives, so this must succeed.
-            self.sched
-                .release(hold.job)
-                .expect("expired hold backed by live job");
-            self.stats.expired += 1;
+            if let Some(hold) = self.holds.remove(&txn) {
+                // The backing job must be live while the hold lives. If a
+                // protocol bug ever violates that, skip the release rather
+                // than panicking the site thread out from under every
+                // transaction it still serves.
+                if let Err(e) = self.sched.release(hold.job) {
+                    debug_assert!(false, "expired hold {txn:?} had no backing job: {e}");
+                    continue;
+                }
+                self.finish(txn, Terminal::Expired, now);
+                self.stats.expired += 1;
+            }
         }
+        if !self.finished.is_empty() {
+            self.finished
+                .retain(|_, (_, at)| now.duration_since(*at) < OUTCOME_RETENTION);
+        }
+    }
+
+    /// Record a terminal outcome in the dedup cache.
+    fn finish(&mut self, txn: TxnId, how: Terminal, at: Instant) {
+        self.finished.entry(txn).or_insert((how, at));
     }
 
     fn handle(&mut self, req: SiteRequest) -> Option<SiteReply> {
@@ -79,81 +144,54 @@ impl Site {
         match req {
             SiteRequest::Hold {
                 txn,
+                seq: _,
                 start,
                 duration,
                 servers,
                 ttl,
-            } => {
-                let end = start + duration;
-                let hits = self.sched.range_search(start, end);
-                if (hits.len() as u32) < servers {
-                    self.stats.holds_denied += 1;
-                    return Some(SiteReply::HoldDenied {
+            } => Some(self.handle_hold(txn, start, duration, servers, ttl)),
+            SiteRequest::Commit { txn, seq: _ } => {
+                let outcome = if let Some(hold) = self.holds.remove(&txn) {
+                    self.committed.insert(
                         txn,
-                        site: self.id,
-                        available: hits.len() as u32,
-                    });
-                }
-                let pick: Vec<PeriodId> = hits
-                    .iter()
-                    .take(servers as usize)
-                    .map(|h| h.period.id)
-                    .collect();
-                match self.sched.commit_selection(&pick, start, end) {
-                    Ok(grant) => {
-                        self.holds.insert(
-                            txn,
-                            HoldState {
-                                job: grant.job,
-                                deadline: Instant::now() + ttl,
-                            },
-                        );
-                        self.stats.holds_granted += 1;
-                        Some(SiteReply::HoldGranted {
-                            txn,
-                            site: self.id,
-                            job: grant.job,
-                            servers: grant.servers,
-                        })
-                    }
-                    Err(_) => {
-                        self.stats.holds_denied += 1;
-                        Some(SiteReply::HoldDenied {
-                            txn,
-                            site: self.id,
-                            available: 0,
-                        })
-                    }
-                }
-            }
-            SiteRequest::Commit { txn } => {
-                let ok = if let Some(hold) = self.holds.remove(&txn) {
-                    self.committed.insert(txn, hold.job);
+                        CommittedState {
+                            job: hold.job,
+                            servers: hold.servers,
+                        },
+                    );
                     self.stats.commits += 1;
-                    true
+                    CommitOutcome::Committed
+                } else if self.committed.contains_key(&txn) {
+                    self.stats.duplicate_commits += 1;
+                    CommitOutcome::AlreadyCommitted
                 } else {
-                    false
+                    // Expired, aborted, or never held here. Record the
+                    // outcome so a reordered late Hold cannot resurrect the
+                    // transaction after the coordinator compensates.
+                    self.finish(txn, Terminal::Expired, Instant::now());
+                    CommitOutcome::Expired
                 };
                 Some(SiteReply::CommitResult {
                     txn,
                     site: self.id,
-                    ok,
+                    outcome,
                 })
             }
-            SiteRequest::Abort { txn } => {
+            SiteRequest::Abort { txn, seq: _ } => {
                 self.stats.aborts += 1;
                 if let Some(hold) = self.holds.remove(&txn) {
-                    self.sched
-                        .release(hold.job)
-                        .expect("aborted hold backed by live job");
-                } else if let Some(job) = self.committed.remove(&txn) {
+                    if let Err(e) = self.sched.release(hold.job) {
+                        debug_assert!(false, "aborted hold {txn:?} had no backing job: {e}");
+                    } else {
+                        self.stats.holds_aborted += 1;
+                    }
+                } else if let Some(c) = self.committed.remove(&txn) {
                     // Compensation: undo an already committed transaction.
-                    let _ = self.sched.release(job);
+                    let _ = self.sched.release(c.job);
+                    self.stats.commits_undone += 1;
                 }
-                Some(SiteReply::Aborted {
-                    txn,
-                    site: self.id,
-                })
+                self.finish(txn, Terminal::Aborted, Instant::now());
+                Some(SiteReply::Aborted { txn, site: self.id })
             }
             SiteRequest::Query { start, duration } => {
                 let available = self.sched.range_count(start, start + duration) as u32;
@@ -166,7 +204,108 @@ impl Site {
                 self.sched.advance_to(now);
                 Some(SiteReply::Ticked { site: self.id })
             }
+            SiteRequest::Crash => {
+                // Volatile state loss: live holds and the outcome cache are
+                // gone; committed transactions are durable. Restart recovery
+                // releases the scheduler jobs that backed the lost holds
+                // (in a real deployment: redo-log replay drops uncommitted
+                // reservations).
+                let lost: Vec<HoldState> = self.holds.drain().map(|(_, h)| h).collect();
+                for hold in lost {
+                    let _ = self.sched.release(hold.job);
+                    self.stats.holds_lost += 1;
+                }
+                self.finished.clear();
+                self.stats.crashes += 1;
+                Some(SiteReply::Crashed { site: self.id })
+            }
             SiteRequest::Shutdown => None,
+        }
+    }
+
+    fn handle_hold(
+        &mut self,
+        txn: TxnId,
+        start: Time,
+        duration: Dur,
+        servers: u32,
+        ttl: Duration,
+    ) -> SiteReply {
+        // Idempotency: a re-delivered Hold must not reserve a second time —
+        // that would orphan the first reservation's capacity forever (the
+        // coordinator only knows one job per (txn, site)). Answer from the
+        // live-hold table or the committed table instead.
+        if let Some(hold) = self.holds.get_mut(&txn) {
+            hold.deadline = Instant::now() + ttl;
+            self.stats.duplicate_holds += 1;
+            return SiteReply::HoldGranted {
+                txn,
+                site: self.id,
+                job: hold.job,
+                servers: hold.servers.clone(),
+            };
+        }
+        if let Some(c) = self.committed.get(&txn) {
+            self.stats.duplicate_holds += 1;
+            return SiteReply::HoldGranted {
+                txn,
+                site: self.id,
+                job: c.job,
+                servers: c.servers.clone(),
+            };
+        }
+        if self.finished.contains_key(&txn) {
+            // The transaction already ended here (aborted or expired); a
+            // late duplicate must not re-acquire capacity the coordinator
+            // will never learn about.
+            self.stats.holds_denied += 1;
+            return SiteReply::HoldDenied {
+                txn,
+                site: self.id,
+                available: 0,
+            };
+        }
+        let end = start + duration;
+        let hits = self.sched.range_search(start, end);
+        if (hits.len() as u32) < servers {
+            self.stats.holds_denied += 1;
+            return SiteReply::HoldDenied {
+                txn,
+                site: self.id,
+                available: hits.len() as u32,
+            };
+        }
+        let pick: Vec<PeriodId> = hits
+            .iter()
+            .take(servers as usize)
+            .map(|h| h.period.id)
+            .collect();
+        match self.sched.commit_selection(&pick, start, end) {
+            Ok(grant) => {
+                self.holds.insert(
+                    txn,
+                    HoldState {
+                        job: grant.job,
+                        servers: grant.servers.clone(),
+                        deadline: Instant::now() + ttl,
+                    },
+                );
+                self.stats.holds_granted += 1;
+                SiteReply::HoldGranted {
+                    txn,
+                    site: self.id,
+                    job: grant.job,
+                    servers: grant.servers,
+                }
+            }
+            Err(_) => {
+                self.stats.holds_denied += 1;
+                SiteReply::HoldDenied {
+                    txn,
+                    site: self.id,
+                    available: 0,
+                }
+            }
         }
     }
 }
@@ -184,6 +323,7 @@ impl SiteHandle {
                     sched: CoAllocScheduler::new(servers, cfg),
                     holds: HashMap::new(),
                     committed: HashMap::new(),
+                    finished: HashMap::new(),
                     stats: SiteStats::default(),
                 };
                 // Periodic wake-up so TTL expiry cannot be starved by an
@@ -218,6 +358,12 @@ impl SiteHandle {
     /// The channel to send [`Envelope`]s on (used by networks/relays).
     pub fn sender(&self) -> Sender<Envelope> {
         self.tx.clone()
+    }
+
+    /// An owned coordinator-side address for this site (direct, reliable
+    /// channel — interpose a [`crate::network::FlakyLink`] for faults).
+    pub fn endpoint(&self) -> crate::coordinator::SiteEndpoint {
+        crate::coordinator::SiteEndpoint::new(self.id, self.tx.clone())
     }
 
     /// Send a request and synchronously await the reply (no timeout; prefer
@@ -279,24 +425,35 @@ mod tests {
             .build()
     }
 
+    fn hold(txn: u64, start: i64, dur: i64, servers: u32, ttl_ms: u64) -> SiteRequest {
+        SiteRequest::Hold {
+            txn: TxnId(txn),
+            seq: 0,
+            start: Time(start),
+            duration: Dur(dur),
+            servers,
+            ttl: Duration::from_millis(ttl_ms),
+        }
+    }
+
     #[test]
     fn hold_commit_roundtrip() {
         let site = SiteHandle::spawn(SiteId(0), 4, cfg());
-        let reply = site.call(SiteRequest::Hold {
+        let reply = site.call(hold(1, 0, 600, 2, 5000));
+        assert!(matches!(
+            reply,
+            SiteReply::HoldGranted { txn: TxnId(1), .. }
+        ));
+        let reply = site.call(SiteRequest::Commit {
             txn: TxnId(1),
-            start: Time(0),
-            duration: Dur(600),
-            servers: 2,
-            ttl: Duration::from_secs(5),
+            seq: 0,
         });
-        assert!(matches!(reply, SiteReply::HoldGranted { txn: TxnId(1), .. }));
-        let reply = site.call(SiteRequest::Commit { txn: TxnId(1) });
         assert_eq!(
             reply,
             SiteReply::CommitResult {
                 txn: TxnId(1),
                 site: SiteId(0),
-                ok: true
+                outcome: CommitOutcome::Committed
             }
         );
         // The window is consumed.
@@ -319,15 +476,12 @@ mod tests {
     #[test]
     fn hold_abort_releases_capacity() {
         let site = SiteHandle::spawn(SiteId(0), 2, cfg());
-        let r = site.call(SiteRequest::Hold {
-            txn: TxnId(5),
-            start: Time(0),
-            duration: Dur(600),
-            servers: 2,
-            ttl: Duration::from_secs(5),
-        });
+        let r = site.call(hold(5, 0, 600, 2, 5000));
         assert!(matches!(r, SiteReply::HoldGranted { .. }));
-        site.call(SiteRequest::Abort { txn: TxnId(5) });
+        site.call(SiteRequest::Abort {
+            txn: TxnId(5),
+            seq: 0,
+        });
         let r = site.call(SiteRequest::Query {
             start: Time(0),
             duration: Dur(600),
@@ -340,7 +494,10 @@ mod tests {
             }
         );
         // Abort is idempotent.
-        let r = site.call(SiteRequest::Abort { txn: TxnId(5) });
+        let r = site.call(SiteRequest::Abort {
+            txn: TxnId(5),
+            seq: 1,
+        });
         assert_eq!(
             r,
             SiteReply::Aborted {
@@ -353,13 +510,7 @@ mod tests {
     #[test]
     fn insufficient_capacity_denied_with_count() {
         let site = SiteHandle::spawn(SiteId(3), 2, cfg());
-        let r = site.call(SiteRequest::Hold {
-            txn: TxnId(9),
-            start: Time(0),
-            duration: Dur(600),
-            servers: 3,
-            ttl: Duration::from_secs(5),
-        });
+        let r = site.call(hold(9, 0, 600, 3, 5000));
         assert_eq!(
             r,
             SiteReply::HoldDenied {
@@ -373,13 +524,7 @@ mod tests {
     #[test]
     fn expired_hold_is_swept_and_commit_fails() {
         let site = SiteHandle::spawn(SiteId(0), 2, cfg());
-        site.call(SiteRequest::Hold {
-            txn: TxnId(1),
-            start: Time(0),
-            duration: Dur(600),
-            servers: 2,
-            ttl: Duration::from_millis(30),
-        });
+        site.call(hold(1, 0, 600, 2, 30));
         std::thread::sleep(Duration::from_millis(120));
         // Capacity is back...
         let r = site.call(SiteRequest::Query {
@@ -393,14 +538,17 @@ mod tests {
                 available: 2
             }
         );
-        // ...and a late commit reports failure.
-        let r = site.call(SiteRequest::Commit { txn: TxnId(1) });
+        // ...and a late commit reports expiry, not success.
+        let r = site.call(SiteRequest::Commit {
+            txn: TxnId(1),
+            seq: 1,
+        });
         assert_eq!(
             r,
             SiteReply::CommitResult {
                 txn: TxnId(1),
                 site: SiteId(0),
-                ok: false
+                outcome: CommitOutcome::Expired
             }
         );
         let stats = site.shutdown();
@@ -410,15 +558,15 @@ mod tests {
     #[test]
     fn compensating_abort_undoes_commit() {
         let site = SiteHandle::spawn(SiteId(0), 2, cfg());
-        site.call(SiteRequest::Hold {
+        site.call(hold(2, 60, 300, 1, 5000));
+        site.call(SiteRequest::Commit {
             txn: TxnId(2),
-            start: Time(60),
-            duration: Dur(300),
-            servers: 1,
-            ttl: Duration::from_secs(5),
+            seq: 0,
         });
-        site.call(SiteRequest::Commit { txn: TxnId(2) });
-        site.call(SiteRequest::Abort { txn: TxnId(2) });
+        site.call(SiteRequest::Abort {
+            txn: TxnId(2),
+            seq: 0,
+        });
         let r = site.call(SiteRequest::Query {
             start: Time(60),
             duration: Dur(300),
@@ -437,20 +585,14 @@ mod tests {
         // Horizon 3600s: a window at t=5000 is initially unreachable; after
         // ticking the clock to 2000 the horizon covers it.
         let site = SiteHandle::spawn(SiteId(2), 2, cfg());
-        let hold = SiteRequest::Hold {
-            txn: TxnId(11),
-            start: Time(5000),
-            duration: Dur(300),
-            servers: 1,
-            ttl: Duration::from_secs(5),
-        };
-        let r = site.call(hold.clone());
+        let far_hold = hold(11, 5000, 300, 1, 5000);
+        let r = site.call(far_hold.clone());
         assert!(
             matches!(r, SiteReply::HoldDenied { available: 0, .. }),
             "{r:?}"
         );
         site.call(SiteRequest::Tick { now: Time(2000) });
-        let r = site.call(hold);
+        let r = site.call(far_hold);
         assert!(matches!(r, SiteReply::HoldGranted { .. }), "{r:?}");
         let stats = site.shutdown();
         assert_eq!(stats.holds_granted, 1);
@@ -460,13 +602,7 @@ mod tests {
     #[test]
     fn query_reflects_live_holds() {
         let site = SiteHandle::spawn(SiteId(0), 3, cfg());
-        site.call(SiteRequest::Hold {
-            txn: TxnId(21),
-            start: Time(0),
-            duration: Dur(600),
-            servers: 2,
-            ttl: Duration::from_secs(5),
-        });
+        site.call(hold(21, 0, 600, 2, 5000));
         // Uncommitted holds already consume capacity (that is the point of
         // a hold).
         let r = site.call(SiteRequest::Query {
@@ -480,6 +616,213 @@ mod tests {
                 available: 1
             }
         );
+    }
+
+    /// Regression (hold-leak bug): a duplicated `Hold` used to call
+    /// `holds.insert` again, overwriting the prior `HoldState` and leaking
+    /// its backing job's capacity forever. It must return the existing
+    /// grant instead.
+    #[test]
+    fn duplicate_hold_returns_existing_grant_without_leak() {
+        let site = SiteHandle::spawn(SiteId(0), 2, cfg());
+        let first = site.call(hold(7, 0, 600, 1, 5000));
+        let SiteReply::HoldGranted { job, servers, .. } = first.clone() else {
+            panic!("expected grant, got {first:?}");
+        };
+        // Same txn re-delivered (different seq, as a retry would send).
+        let second = site.call(SiteRequest::Hold {
+            txn: TxnId(7),
+            seq: 1,
+            start: Time(0),
+            duration: Dur(600),
+            servers: 1,
+            ttl: Duration::from_secs(5),
+        });
+        assert_eq!(
+            second,
+            SiteReply::HoldGranted {
+                txn: TxnId(7),
+                site: SiteId(0),
+                job,
+                servers: servers.clone()
+            },
+            "duplicate Hold must return the original grant"
+        );
+        // Only one server's capacity is consumed...
+        let q = site.call(SiteRequest::Query {
+            start: Time(0),
+            duration: Dur(600),
+        });
+        assert_eq!(
+            q,
+            SiteReply::QueryResult {
+                site: SiteId(0),
+                available: 1
+            }
+        );
+        // ...and one abort frees everything (no second, orphaned hold).
+        site.call(SiteRequest::Abort {
+            txn: TxnId(7),
+            seq: 0,
+        });
+        let q = site.call(SiteRequest::Query {
+            start: Time(0),
+            duration: Dur(600),
+        });
+        assert_eq!(
+            q,
+            SiteReply::QueryResult {
+                site: SiteId(0),
+                available: 2
+            }
+        );
+        let stats = site.shutdown();
+        assert_eq!(stats.holds_granted, 1, "one fresh grant");
+        assert_eq!(stats.duplicate_holds, 1, "one cached re-grant");
+    }
+
+    /// Regression (duplicate-commit misclassification): a retried commit of
+    /// a committed txn used to report `ok: false`, indistinguishable from
+    /// expiry, so coordinators compensated successful transactions.
+    #[test]
+    fn duplicate_commit_reports_already_committed() {
+        let site = SiteHandle::spawn(SiteId(0), 2, cfg());
+        site.call(hold(3, 0, 600, 1, 5000));
+        let first = site.call(SiteRequest::Commit {
+            txn: TxnId(3),
+            seq: 0,
+        });
+        assert_eq!(
+            first,
+            SiteReply::CommitResult {
+                txn: TxnId(3),
+                site: SiteId(0),
+                outcome: CommitOutcome::Committed
+            }
+        );
+        let dup = site.call(SiteRequest::Commit {
+            txn: TxnId(3),
+            seq: 1,
+        });
+        assert_eq!(
+            dup,
+            SiteReply::CommitResult {
+                txn: TxnId(3),
+                site: SiteId(0),
+                outcome: CommitOutcome::AlreadyCommitted
+            },
+            "duplicate commit is success, not expiry"
+        );
+        assert!(CommitOutcome::AlreadyCommitted.is_success());
+        let stats = site.shutdown();
+        assert_eq!(stats.commits, 1, "the txn committed exactly once");
+        assert_eq!(stats.duplicate_commits, 1);
+    }
+
+    /// A duplicate `Hold` arriving after the txn committed also answers from
+    /// cache instead of double-booking.
+    #[test]
+    fn hold_after_commit_returns_cached_grant() {
+        let site = SiteHandle::spawn(SiteId(0), 2, cfg());
+        site.call(hold(4, 0, 600, 1, 5000));
+        site.call(SiteRequest::Commit {
+            txn: TxnId(4),
+            seq: 0,
+        });
+        let dup = site.call(hold(4, 0, 600, 1, 5000));
+        assert!(
+            matches!(dup, SiteReply::HoldGranted { txn: TxnId(4), .. }),
+            "{dup:?}"
+        );
+        let q = site.call(SiteRequest::Query {
+            start: Time(0),
+            duration: Dur(600),
+        });
+        assert_eq!(
+            q,
+            SiteReply::QueryResult {
+                site: SiteId(0),
+                available: 1
+            },
+            "no double booking"
+        );
+    }
+
+    /// A reordered `Hold` that arrives after the transaction was aborted is
+    /// denied — it must not resurrect capacity the coordinator gave up on.
+    #[test]
+    fn hold_after_abort_is_denied() {
+        let site = SiteHandle::spawn(SiteId(0), 2, cfg());
+        site.call(SiteRequest::Abort {
+            txn: TxnId(9),
+            seq: 0,
+        });
+        let r = site.call(hold(9, 0, 600, 1, 5000));
+        assert_eq!(
+            r,
+            SiteReply::HoldDenied {
+                txn: TxnId(9),
+                site: SiteId(0),
+                available: 0
+            }
+        );
+        let q = site.call(SiteRequest::Query {
+            start: Time(0),
+            duration: Dur(600),
+        });
+        assert_eq!(
+            q,
+            SiteReply::QueryResult {
+                site: SiteId(0),
+                available: 2
+            },
+            "nothing held"
+        );
+    }
+
+    /// Crash/restart loses volatile state: live holds are released (capacity
+    /// returns), committed transactions survive.
+    #[test]
+    fn crash_loses_holds_keeps_commits() {
+        let site = SiteHandle::spawn(SiteId(0), 3, cfg());
+        site.call(hold(1, 0, 600, 1, 60_000));
+        site.call(SiteRequest::Commit {
+            txn: TxnId(1),
+            seq: 0,
+        });
+        site.call(hold(2, 0, 600, 1, 60_000));
+        let r = site.call(SiteRequest::Crash);
+        assert_eq!(r, SiteReply::Crashed { site: SiteId(0) });
+        // The uncommitted hold's capacity is back; the commit stays.
+        let q = site.call(SiteRequest::Query {
+            start: Time(0),
+            duration: Dur(600),
+        });
+        assert_eq!(
+            q,
+            SiteReply::QueryResult {
+                site: SiteId(0),
+                available: 2
+            }
+        );
+        // Committing the lost hold now reports expiry (state loss is an
+        // expiry from the coordinator's point of view).
+        let c = site.call(SiteRequest::Commit {
+            txn: TxnId(2),
+            seq: 1,
+        });
+        assert_eq!(
+            c,
+            SiteReply::CommitResult {
+                txn: TxnId(2),
+                site: SiteId(0),
+                outcome: CommitOutcome::Expired
+            }
+        );
+        let stats = site.shutdown();
+        assert_eq!(stats.crashes, 1);
+        assert_eq!(stats.holds_lost, 1);
+        assert_eq!(stats.commits, 1);
     }
 
     #[test]

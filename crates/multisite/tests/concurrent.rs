@@ -23,6 +23,7 @@ fn coord_cfg() -> CoordinatorConfig {
         r_max: 60,
         rpc_timeout: Duration::from_secs(5),
         hold_ttl: Duration::from_secs(30),
+        ..CoordinatorConfig::default()
     }
 }
 
@@ -115,6 +116,7 @@ fn flaky_network_leaks_nothing() {
             base_delay: Duration::from_millis(1),
             jitter: Duration::from_millis(3),
             seed: 99,
+            ..LinkConfig::default()
         },
     );
     // Drive the protocol manually through the flaky link: hold on site 0
@@ -129,6 +131,7 @@ fn flaky_network_leaks_nothing() {
         let r0 = sites[0].call_timeout(
             SiteRequest::Hold {
                 txn,
+                seq: 0,
                 start,
                 duration: dur,
                 servers: 1,
@@ -143,6 +146,7 @@ fn flaky_network_leaks_nothing() {
             .send(Envelope {
                 request: SiteRequest::Hold {
                     txn,
+                    seq: 0,
                     start,
                     duration: dur,
                     servers: 1,
@@ -155,17 +159,23 @@ fn flaky_network_leaks_nothing() {
             Ok(SiteReply::HoldGranted { .. }) => {
                 // Commit both (direct path, as a coordinator would after
                 // the hold phase).
-                let c0 = sites[0].call_timeout(SiteRequest::Commit { txn }, rpc);
-                let c1 = sites[1].call_timeout(SiteRequest::Commit { txn }, rpc);
-                assert!(matches!(c0, Some(SiteReply::CommitResult { ok: true, .. })));
-                assert!(matches!(c1, Some(SiteReply::CommitResult { ok: true, .. })));
+                let c0 = sites[0].call_timeout(SiteRequest::Commit { txn, seq: 0 }, rpc);
+                let c1 = sites[1].call_timeout(SiteRequest::Commit { txn, seq: 0 }, rpc);
+                let committed = |c: &Option<SiteReply>| {
+                    matches!(
+                        c,
+                        Some(SiteReply::CommitResult { outcome, .. }) if outcome.is_success()
+                    )
+                };
+                assert!(committed(&c0));
+                assert!(committed(&c1));
                 granted += 1;
                 granted_windows.push((start, start + dur));
             }
             _ => {
                 // Timeout or loss: abort site 0; site 1's hold (if the
                 // message got through but the reply was slow) expires.
-                let _ = sites[0].call_timeout(SiteRequest::Abort { txn }, rpc);
+                let _ = sites[0].call_timeout(SiteRequest::Abort { txn, seq: 0 }, rpc);
                 failed += 1;
             }
         }

@@ -1,0 +1,184 @@
+//! Model-based property test of site-level idempotency: an *arbitrary*
+//! interleaving of duplicated, reordered `Hold`/`Commit`/`Abort` messages
+//! (plus crash/restart cycles) over a small transaction set must keep the
+//! site's available capacity exactly equal to a trivial reference model's,
+//! conserve every granted hold, and leave the scheduler self-consistent.
+//!
+//! The generated sequences contain duplicates by construction (several ops
+//! can name the same transaction) and cover reorderings such as
+//! commit-before-hold and hold-after-abort that the relay-based chaos tests
+//! only reach probabilistically.
+
+use coalloc_core::prelude::{Dur, SchedulerConfig, Time};
+use coalloc_multisite::{CommitOutcome, SiteHandle, SiteId, SiteReply, SiteRequest, TxnId};
+use proptest::prelude::*;
+use std::time::Duration;
+
+const SERVERS: u32 = 4;
+const TXNS: u64 = 6;
+/// One shared window: every transaction asks for 1 server in it, so model
+/// availability is simply `SERVERS - live transactions`.
+const START: Time = Time(0);
+const DURATION: Dur = Dur(600);
+/// Far beyond the test's runtime — no hold may expire mid-sequence.
+const TTL: Duration = Duration::from_secs(120);
+
+/// Reference model of one transaction at the site.
+#[derive(Clone, Copy, PartialEq, Debug)]
+enum Model {
+    /// Never seen (or forgotten after a crash).
+    Unknown,
+    /// Holding one server.
+    Held,
+    /// Committed one server.
+    Committed,
+    /// Terminal (aborted, or a commit that found no hold): holds no
+    /// capacity and may not be resurrected.
+    Finished,
+}
+
+fn spawn_site() -> SiteHandle {
+    SiteHandle::spawn(
+        SiteId(0),
+        SERVERS,
+        SchedulerConfig::builder()
+            .tau(Dur(60))
+            .horizon(Dur(3600))
+            .delta_t(Dur(60))
+            .build(),
+    )
+}
+
+fn available(site: &SiteHandle) -> u32 {
+    match site.call(SiteRequest::Query {
+        start: START,
+        duration: DURATION,
+    }) {
+        SiteReply::QueryResult { available, .. } => available,
+        other => panic!("unexpected query reply {other:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Site replies and capacity match the model after every single op.
+    #[test]
+    fn any_interleaving_conserves_capacity(
+        ops in proptest::collection::vec((0u8..4, 0u64..TXNS), 1..40)
+    ) {
+        let site = spawn_site();
+        let mut model = [Model::Unknown; TXNS as usize];
+        let live = |model: &[Model]| {
+            model
+                .iter()
+                .filter(|m| matches!(m, Model::Held | Model::Committed))
+                .count() as u32
+        };
+        for (seq, &(kind, t)) in ops.iter().enumerate() {
+            let txn = TxnId(t);
+            let m = model[t as usize];
+            let seq = seq as u64;
+            match kind {
+                // Hold: fresh grant, cached re-grant, or denial.
+                0 => {
+                    let reply = site.call(SiteRequest::Hold {
+                        txn,
+                        seq,
+                        start: START,
+                        duration: DURATION,
+                        servers: 1,
+                        ttl: TTL,
+                    });
+                    match m {
+                        Model::Unknown if live(&model) < SERVERS => {
+                            prop_assert!(
+                                matches!(reply, SiteReply::HoldGranted { .. }),
+                                "fresh hold of {txn:?} denied with capacity free: {reply:?}"
+                            );
+                            model[t as usize] = Model::Held;
+                        }
+                        Model::Unknown => prop_assert!(
+                            matches!(reply, SiteReply::HoldDenied { .. }),
+                            "hold of {txn:?} granted beyond capacity: {reply:?}"
+                        ),
+                        Model::Held | Model::Committed => prop_assert!(
+                            matches!(reply, SiteReply::HoldGranted { .. }),
+                            "duplicate hold of {txn:?} not answered from cache: {reply:?}"
+                        ),
+                        Model::Finished => prop_assert!(
+                            matches!(reply, SiteReply::HoldDenied { .. }),
+                            "hold resurrected finished {txn:?}: {reply:?}"
+                        ),
+                    }
+                }
+                // Commit: three-valued outcome.
+                1 => {
+                    let reply = site.call(SiteRequest::Commit { txn, seq });
+                    let expect = match m {
+                        Model::Held => {
+                            model[t as usize] = Model::Committed;
+                            CommitOutcome::Committed
+                        }
+                        Model::Committed => CommitOutcome::AlreadyCommitted,
+                        Model::Unknown | Model::Finished => {
+                            // The site records the failed commit as terminal.
+                            model[t as usize] = Model::Finished;
+                            CommitOutcome::Expired
+                        }
+                    };
+                    prop_assert_eq!(
+                        reply,
+                        SiteReply::CommitResult {
+                            txn,
+                            site: SiteId(0),
+                            outcome: expect
+                        }
+                    );
+                }
+                // Abort: always acknowledged, releases hold or commit.
+                2 => {
+                    let reply = site.call(SiteRequest::Abort { txn, seq });
+                    prop_assert_eq!(reply, SiteReply::Aborted { txn, site: SiteId(0) });
+                    model[t as usize] = Model::Finished;
+                }
+                // Crash: volatile state (holds, terminal cache) vanishes,
+                // commits survive.
+                _ => {
+                    let reply = site.call(SiteRequest::Crash);
+                    prop_assert_eq!(reply, SiteReply::Crashed { site: SiteId(0) });
+                    for m in model.iter_mut() {
+                        if !matches!(m, Model::Committed) {
+                            *m = Model::Unknown;
+                        }
+                    }
+                }
+            }
+            prop_assert_eq!(
+                available(&site),
+                SERVERS - live(&model),
+                "capacity diverged from model after op {} {:?}",
+                seq,
+                (kind, t)
+            );
+        }
+        // Drain: abort everything; all capacity must return.
+        for t in 0..TXNS {
+            site.call(SiteRequest::Abort {
+                txn: TxnId(t),
+                seq: 1_000 + t,
+            });
+        }
+        prop_assert_eq!(available(&site), SERVERS, "leaked capacity after drain");
+        // Shutdown runs the scheduler's own consistency check; the stats
+        // must satisfy hold conservation with nothing left unaccounted.
+        let stats = site.shutdown();
+        prop_assert_eq!(
+            stats.holds_granted,
+            stats.commits + stats.holds_aborted + stats.expired + stats.holds_lost,
+            "hold conservation violated: {:?}",
+            stats
+        );
+        prop_assert_eq!(stats.expired, 0, "nothing may expire under a 120s TTL");
+    }
+}

@@ -35,6 +35,7 @@ fn main() {
             r_max: 32,
             rpc_timeout: Duration::from_secs(2),
             hold_ttl: Duration::from_secs(10),
+            ..CoordinatorConfig::default()
         },
     );
 

@@ -126,6 +126,7 @@ fn multisite_runs_workload_slices() {
             r_max: 48,
             rpc_timeout: Duration::from_secs(5),
             hold_ttl: Duration::from_secs(30),
+            ..CoordinatorConfig::default()
         },
     );
     let mut granted = 0;
