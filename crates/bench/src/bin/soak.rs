@@ -4,19 +4,56 @@
 //! structural consistency continuously.
 //!
 //! ```text
-//! cargo run -p coalloc-bench --release --bin soak -- [seconds] [seed]
+//! cargo run -p coalloc-bench --release --bin soak -- \
+//!     [seconds] [seed] [--trace-out PATH] [--metrics-dump]
 //! ```
+//!
+//! A divergence (any failed equivalence assertion) prints
+//! `INVARIANT VIOLATED: ...` on stderr and exits non-zero instead of
+//! unwinding with a raw panic backtrace. `--trace-out PATH` streams
+//! scheduler spans to `PATH` as JSONL; `--metrics-dump` prints the metrics
+//! exposition before exiting; `COALLOC_OBS` works as in the `obs` crate.
 
 use coalloc_core::naive::NaiveScheduler;
 use coalloc_core::prelude::*;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
+/// Render a caught panic payload (always a `&str` or `String` from
+/// `assert!`/`panic!`) for the invariant report.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 fn main() {
-    let mut args = std::env::args().skip(1);
-    let seconds: u64 = args.next().map(|s| s.parse().expect("seconds")).unwrap_or(10);
-    let seed: u64 = args.next().map(|s| s.parse().expect("seed")).unwrap_or(42);
+    println!("{}", obs::init_from_env());
+    let mut positional = Vec::new();
+    let mut metrics_dump = false;
+    let mut raw = std::env::args().skip(1);
+    while let Some(a) = raw.next() {
+        match a.as_str() {
+            "--trace-out" => {
+                let path = raw.next().expect("--trace-out needs a path");
+                let sink = obs::trace::JsonlSink::create(&path).expect("open trace file");
+                obs::trace::set_sink(Some(std::sync::Arc::new(sink)));
+                obs::trace::set_enabled(true);
+                obs::trace::set_detail(true);
+                println!("tracing to {path} (jsonl)");
+            }
+            "--metrics-dump" => metrics_dump = true,
+            _ => positional.push(a),
+        }
+    }
+    let seconds: u64 = positional.first().map(|s| s.parse().expect("seconds")).unwrap_or(10);
+    let seed: u64 = positional.get(1).map(|s| s.parse().expect("seed")).unwrap_or(42);
     println!("soak: {seconds}s with seed {seed}");
     let deadline = Instant::now() + std::time::Duration::from_secs(seconds);
     let mut rng = SmallRng::seed_from_u64(seed);
@@ -24,6 +61,33 @@ fn main() {
     let mut total_ops: u64 = 0;
     while Instant::now() < deadline {
         rounds += 1;
+        let round = catch_unwind(AssertUnwindSafe(|| run_round(&mut rng)));
+        match round {
+            Ok(ops) => total_ops += ops,
+            Err(payload) => {
+                eprintln!("INVARIANT VIOLATED: {}", panic_message(&*payload));
+                eprintln!("  (round {rounds}, master seed {seed})");
+                obs::trace::flush_sink();
+                std::process::exit(1);
+            }
+        }
+        if rounds.is_multiple_of(50) {
+            println!("  round {rounds}: ok ({total_ops} tree ops so far)");
+        }
+    }
+    obs::trace::flush_sink();
+    if metrics_dump {
+        println!("--- metrics ---");
+        print!("{}", obs::metrics::exposition());
+    }
+    println!("soak passed: {rounds} randomized rounds, {total_ops} tree ops, no divergence");
+}
+
+/// One randomized differential round; returns the tree op count. Panics (via
+/// the assertions) on any divergence — caught and reported by `main`.
+fn run_round(rng: &mut SmallRng) -> u64 {
+    let _span = obs::obs_span!("soak.round");
+    {
         let n = rng.random_range(1..=12u32);
         let tau = rng.random_range(5..50i64);
         let slots = rng.random_range(4..40usize);
@@ -121,10 +185,6 @@ fn main() {
             }
         }
         tree.check_consistency();
-        total_ops += tree.stats().total_ops();
-        if rounds.is_multiple_of(50) {
-            println!("  round {rounds}: ok ({total_ops} tree ops so far)");
-        }
+        tree.stats().total_ops()
     }
-    println!("soak passed: {rounds} randomized rounds, {total_ops} tree ops, no divergence");
 }

@@ -43,14 +43,20 @@ pub fn paper_scheduler_config() -> SchedulerConfig {
 
 /// Run one workload through the online tree-based scheduler.
 pub fn online_run(spec: &WorkloadSpec, requests: &[Request], label: &str) -> RunResult {
+    let mut span = bench_span("online", spec, requests, label);
     let mut sched = CoAllocScheduler::new(spec.servers, paper_scheduler_config());
-    run_online(&mut sched, requests, label)
+    let result = run_online(&mut sched, requests, label);
+    finish_bench_span(&mut span, &result);
+    result
 }
 
 /// Run one workload through the naive linear-scan co-allocator.
 pub fn naive_run(spec: &WorkloadSpec, requests: &[Request], label: &str) -> RunResult {
+    let mut span = bench_span("naive", spec, requests, label);
     let mut sched = NaiveScheduler::new(spec.servers, paper_scheduler_config());
-    run_naive(&mut sched, requests, label)
+    let result = run_naive(&mut sched, requests, label);
+    finish_bench_span(&mut span, &result);
+    result
 }
 
 /// Run one workload through a batch baseline.
@@ -60,7 +66,35 @@ pub fn batch_run(
     requests: &[Request],
     label: &str,
 ) -> RunResult {
-    run_batch(spec.servers, policy, requests, label)
+    let mut span = bench_span("batch", spec, requests, label);
+    let result = run_batch(spec.servers, policy, requests, label);
+    finish_bench_span(&mut span, &result);
+    result
+}
+
+fn bench_span(
+    scheduler: &'static str,
+    spec: &WorkloadSpec,
+    requests: &[Request],
+    label: &str,
+) -> obs::SpanGuard {
+    let mut span = obs::obs_span!(
+        "bench.run",
+        "scheduler" => scheduler,
+        "servers" => spec.servers,
+        "requests" => requests.len()
+    );
+    if span.active() {
+        span.record("label", label.to_string());
+    }
+    span
+}
+
+fn finish_bench_span(span: &mut obs::SpanGuard, result: &RunResult) {
+    if span.active() {
+        span.record("acceptance_rate", result.acceptance_rate());
+        span.record("total_ops", result.total_ops);
+    }
 }
 
 /// A CSV writer that also keeps the rows for console printing.

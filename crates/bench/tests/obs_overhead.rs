@@ -1,0 +1,98 @@
+//! Guard for the observability overhead budget (DESIGN.md §8): with tracing
+//! *enabled* on the null sink, scheduler throughput must stay within 5% of
+//! the tracing-disabled baseline. Uses min-of-trials (the standard
+//! noise-robust estimator) and retries the whole comparison a few times
+//! before failing, so scheduler regressions are caught without making the
+//! test flaky on loaded CI machines.
+
+use coalloc_core::prelude::*;
+use std::time::{Duration, Instant};
+
+const SERVERS: u32 = 64;
+const REQUESTS: u64 = 1500;
+const TRIALS: usize = 5;
+const RETRIES: usize = 3;
+const BUDGET: f64 = 1.05;
+
+/// Deterministic splitmix64 stream so both configurations schedule the
+/// exact same request sequence.
+fn mix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One timed pass: a mixed submit/release stream through the tree scheduler.
+fn timed_pass() -> Duration {
+    let cfg = SchedulerConfig::builder()
+        .tau(Dur(60))
+        .horizon(Dur(60 * 400))
+        .delta_t(Dur(60))
+        .build();
+    let mut sched = CoAllocScheduler::new(SERVERS, cfg);
+    let mut rng = 0x0B5E_u64;
+    let mut live: Vec<JobId> = Vec::new();
+    let t0 = Instant::now();
+    for _ in 0..REQUESTS {
+        let r = mix(&mut rng);
+        let advance = (r % 32) as i64 * 60;
+        let dur = 60 + (r >> 8) as i64 % (60 * 8);
+        let n = 1 + (r >> 16) as u32 % 8;
+        let req = Request::advance(Time(0), Time(advance), Dur(dur), n);
+        if let Ok(g) = sched.submit(&req) {
+            live.push(g.job);
+        }
+        // Release about half the live jobs over time so the timelines keep a
+        // realistic mix of finite gaps and trailing periods.
+        if r.is_multiple_of(2) {
+            if let Some(j) = live.pop() {
+                let _ = sched.release(j);
+            }
+        }
+    }
+    t0.elapsed()
+}
+
+fn min_of_trials() -> Duration {
+    (0..TRIALS).map(|_| timed_pass()).min().unwrap()
+}
+
+#[test]
+fn null_sink_overhead_is_within_budget() {
+    // The only test in this binary: safe to flip the process-global state.
+    let mut last = (Duration::ZERO, Duration::ZERO, f64::INFINITY);
+    for attempt in 0..RETRIES {
+        obs::trace::set_enabled(false);
+        obs::trace::set_sink(None);
+        obs::trace::set_ring_capacity(0);
+        timed_pass(); // warm-up (page in code + allocator)
+        let disabled = min_of_trials();
+
+        obs::trace::set_sink(Some(std::sync::Arc::new(obs::trace::NullSink)));
+        obs::trace::set_enabled(true);
+        timed_pass();
+        let enabled = min_of_trials();
+        obs::trace::set_enabled(false);
+        obs::trace::set_sink(None);
+
+        let ratio = enabled.as_secs_f64() / disabled.as_secs_f64();
+        println!(
+            "attempt {attempt}: disabled={disabled:?} enabled(null sink)={enabled:?} \
+             ratio={ratio:.4}"
+        );
+        last = (disabled, enabled, ratio);
+        if ratio < BUDGET {
+            return;
+        }
+    }
+    panic!(
+        "null-sink tracing overhead above the {:.0}% budget after {RETRIES} attempts: \
+         disabled={:?} enabled={:?} ratio={:.4}",
+        (BUDGET - 1.0) * 100.0,
+        last.0,
+        last.1,
+        last.2
+    );
+}

@@ -339,6 +339,10 @@ impl SlotTree {
     /// reconstructing every secondary tree.
     fn rebuild_at(&mut self, node: u32, parent: u32, ops: &mut OpStats) {
         ops.rebuilds += 1;
+        static REBUILD_SIZE: obs::LazyHistogram = obs::LazyHistogram::new("tree_rebuild_size");
+        let size = self.node_size(node);
+        REBUILD_SIZE.observe(size as u64);
+        obs::obs_event!("tree.rebuild", "size" => size as u64, "root" => parent == NIL);
         let mut leaves: Vec<IdlePeriod> = Vec::with_capacity(self.node_size(node) as usize);
         self.collect_and_free(node, &mut leaves);
         let rebuilt = self.build_balanced(&leaves, ops);

@@ -21,6 +21,10 @@ use crate::ids::PeriodId;
 use crate::request::Request;
 use crate::scheduler::{CoAllocScheduler, Grant};
 use crate::time::Time;
+use obs::{obs_span, LazyCounter};
+
+static RANGE_SEARCHES: LazyCounter = LazyCounter::new("range_searches_total");
+static RANGE_COUNTS: LazyCounter = LazyCounter::new("range_counts_total");
 
 /// One hit of a range search: an idle period that covers the whole queried
 /// window.
@@ -44,11 +48,13 @@ impl CoAllocScheduler {
     /// first). Returns an empty vector when the window is degenerate or
     /// starts outside the live horizon.
     pub fn range_search(&mut self, start: Time, end: Time) -> Vec<Availability> {
+        RANGE_SEARCHES.inc();
         let start = start.max(self.now());
         let horizon = self.horizon_end();
         if end <= start || start >= horizon || end > horizon {
             return Vec::new();
         }
+        let mut span = obs_span!("sched.range_search", "start_s" => start.secs(), "end_s" => end.secs());
         let q = self.ring().config().slot_of(start);
         // Split borrows: the search needs &ring, &trailing and &mut stats.
         let (ring, trailing, stats) = self.search_parts();
@@ -57,6 +63,9 @@ impl CoAllocScheduler {
         let mut ids = Vec::new();
         trailing.collect_candidates(start, usize::MAX, &mut ids, stats);
         ids.extend(tree.find_feasible(start, end, usize::MAX, stats));
+        if span.active() {
+            span.record("hits", ids.len());
+        }
         ids.iter()
             .map(|id| {
                 let period = *self
@@ -75,6 +84,7 @@ impl CoAllocScheduler {
     /// them (subtree-size counting only — cheaper than
     /// [`Self::range_search`] when only the count matters).
     pub fn range_count(&mut self, start: Time, end: Time) -> usize {
+        RANGE_COUNTS.inc();
         let start = start.max(self.now());
         let horizon = self.horizon_end();
         if end <= start || start >= horizon || end > horizon {

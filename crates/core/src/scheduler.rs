@@ -22,10 +22,49 @@ use crate::stats::OpStats;
 use crate::time::{Dur, SlotConfig, Time};
 use crate::timeline::{PeriodDelta, Reservation, Timeline};
 use crate::trailing::TrailingSet;
+use obs::{obs_span, obs_span_detail, LazyCounter, LazyHistogram};
 use std::collections::HashMap;
 
 /// Slot advances between history prunes (amortizes the O(N) prune scan).
 const PRUNE_EVERY_SLOTS: i64 = 32;
+
+// Scheduler metrics. Counters and histograms are process-global (the
+// scheduler itself is Clone, so they aggregate over every instance);
+// per-instance numbers remain available via [`CoAllocScheduler::stats`].
+// Tree-op counters are bulk-added once per request from the OpStats delta,
+// never per node visit, keeping the hot-path cost to a handful of relaxed
+// atomic adds per request.
+static REQUESTS: LazyCounter = LazyCounter::new("sched_requests_total");
+static GRANTS: LazyCounter = LazyCounter::new("sched_grants_total");
+static REJECTS: LazyCounter = LazyCounter::new("sched_rejects_total");
+static ATTEMPTS_HIST: LazyHistogram = LazyHistogram::new("sched_attempts");
+static PHASE1_TOTAL: LazyCounter = LazyCounter::new("sched_phase1_total");
+static PHASE2_TOTAL: LazyCounter = LazyCounter::new("sched_phase2_total");
+static PHASE1_CANDIDATES: LazyHistogram = LazyHistogram::new("sched_phase1_candidates");
+static PHASE2_DEPTH: LazyHistogram = LazyHistogram::new("sched_phase2_depth");
+static PRIMARY_VISITS: LazyCounter = LazyCounter::new("tree_primary_visits_total");
+static SECONDARY_VISITS: LazyCounter = LazyCounter::new("tree_secondary_visits_total");
+static UPDATE_VISITS: LazyCounter = LazyCounter::new("tree_update_visits_total");
+static REBUILDS: LazyCounter = LazyCounter::new("tree_rebuilds_total");
+
+/// Fold the per-request [`OpStats`] delta into the global metric counters
+/// (one atomic add per non-zero counter).
+fn record_op_delta(delta: &OpStats) {
+    if delta.primary_visits > 0 {
+        PRIMARY_VISITS.add(delta.primary_visits);
+    }
+    if delta.secondary_visits > 0 {
+        SECONDARY_VISITS.add(delta.secondary_visits);
+    }
+    if delta.update_visits > 0 {
+        UPDATE_VISITS.add(delta.update_visits);
+    }
+    if delta.rebuilds > 0 {
+        REBUILDS.add(delta.rebuilds);
+    }
+    PHASE1_TOTAL.add(delta.phase1_searches);
+    PHASE2_TOTAL.add(delta.phase2_searches);
+}
 
 /// Configuration of a [`CoAllocScheduler`].
 #[derive(Clone, Copy, Debug)]
@@ -286,12 +325,20 @@ impl CoAllocScheduler {
         // Jobs cannot start in the past; on-demand requests start "now".
         let earliest = req.earliest_start.max(self.now);
         let r_max = self.cfg.effective_r_max();
+        REQUESTS.inc();
+        let before = self.stats;
+        let mut span = obs_span!(
+            "sched.submit",
+            "servers" => req.servers,
+            "duration_s" => req.duration.secs().max(0) as u64,
+            "earliest_s" => earliest.secs()
+        );
         let mut attempts = 0u32;
         let mut start = earliest;
-        loop {
+        let result = loop {
             let end = start + req.duration;
             if end > self.ring.horizon_end() {
-                return Err(ScheduleError::HorizonExceeded {
+                break Err(ScheduleError::HorizonExceeded {
                     horizon_end: self.ring.horizon_end(),
                 });
             }
@@ -299,16 +346,37 @@ impl CoAllocScheduler {
             self.stats.attempts += 1;
             if let Some(chosen) = self.try_once(start, end, req.servers) {
                 let grant = self.commit(&chosen, start, end, attempts, earliest);
-                return Ok(grant);
+                break Ok(grant);
             }
             if attempts > r_max {
-                return Err(ScheduleError::Exhausted {
+                break Err(ScheduleError::Exhausted {
                     attempts,
                     last_tried: start,
                 });
             }
             start += self.cfg.delta_t;
+        };
+        ATTEMPTS_HIST.observe(attempts as u64);
+        record_op_delta(&self.stats.since(&before));
+        match &result {
+            Ok(grant) => {
+                GRANTS.inc();
+                if span.active() {
+                    span.record("outcome", "granted");
+                    span.record("attempts", attempts);
+                    span.record("start_s", grant.start.secs());
+                }
+            }
+            Err(e) => {
+                REJECTS.inc();
+                if span.active() {
+                    span.record("outcome", "rejected");
+                    span.record("attempts", attempts);
+                    span.record("error", format!("{e:?}"));
+                }
+            }
         }
+        result
     }
 
     /// One scheduling attempt at a fixed start time: Phase 1 + Phase 2 +
@@ -327,8 +395,17 @@ impl CoAllocScheduler {
             .tree(q)
             .expect("start within horizon implies a live slot");
         // Phase 1: count candidates via subtree sizes.
+        let p1_visits = self.stats.primary_visits;
+        let mut p1_span = obs_span_detail!("sched.phase1", "start_s" => start.secs(), "need" => n);
         let trailing_count = self.trailing.count_candidates(start, &mut self.stats);
         let (finite_count, marked) = tree.phase1_candidates(start, &mut self.stats);
+        PHASE1_CANDIDATES.observe((trailing_count + finite_count) as u64);
+        if p1_span.active() {
+            p1_span.record("trailing", trailing_count);
+            p1_span.record("marked", finite_count);
+            p1_span.record("visits", self.stats.primary_visits - p1_visits);
+        }
+        drop(p1_span);
         if trailing_count + finite_count < n {
             return None;
         }
@@ -342,6 +419,9 @@ impl CoAllocScheduler {
         } else {
             n
         };
+        let p2_visits = self.stats.secondary_visits;
+        let mut p2_span =
+            obs_span_detail!("sched.phase2", "end_s" => end.secs(), "limit" => limit.min(u32::MAX as usize));
         let mut ids = Vec::with_capacity(n.min(trailing_count + finite_count));
         self.trailing
             .collect_candidates(start, limit, &mut ids, &mut self.stats);
@@ -349,6 +429,13 @@ impl CoAllocScheduler {
             let finite = tree.phase2_feasible(&marked, end, limit - ids.len(), &mut self.stats);
             ids.extend(finite);
         }
+        let depth = self.stats.secondary_visits - p2_visits;
+        PHASE2_DEPTH.observe(depth);
+        if p2_span.active() {
+            p2_span.record("retrieved", ids.len());
+            p2_span.record("visits", depth);
+        }
+        drop(p2_span);
         if ids.len() < n {
             return None;
         }
@@ -478,26 +565,47 @@ impl CoAllocScheduler {
             });
         }
         let r_max = self.cfg.effective_r_max();
+        REQUESTS.inc();
+        let before = self.stats;
+        let mut span = obs_span!(
+            "sched.submit",
+            "servers" => req.servers,
+            "duration_s" => req.duration.secs().max(0) as u64,
+            "deadline_s" => deadline.secs()
+        );
         let mut attempts = 0u32;
         let mut start = earliest;
-        while start <= latest_start && attempts <= r_max {
-            let end = start + req.duration;
-            if end > self.ring.horizon_end() {
-                return Err(ScheduleError::HorizonExceeded {
-                    horizon_end: self.ring.horizon_end(),
-                });
+        let result = 'search: {
+            while start <= latest_start && attempts <= r_max {
+                let end = start + req.duration;
+                if end > self.ring.horizon_end() {
+                    break 'search Err(ScheduleError::HorizonExceeded {
+                        horizon_end: self.ring.horizon_end(),
+                    });
+                }
+                attempts += 1;
+                self.stats.attempts += 1;
+                if let Some(chosen) = self.try_once(start, end, req.servers) {
+                    break 'search Ok(self.commit(&chosen, start, end, attempts, earliest));
+                }
+                start += self.cfg.delta_t;
             }
-            attempts += 1;
-            self.stats.attempts += 1;
-            if let Some(chosen) = self.try_once(start, end, req.servers) {
-                return Ok(self.commit(&chosen, start, end, attempts, earliest));
-            }
-            start += self.cfg.delta_t;
+            Err(ScheduleError::Exhausted {
+                attempts,
+                last_tried: start - self.cfg.delta_t,
+            })
+        };
+        ATTEMPTS_HIST.observe(attempts as u64);
+        record_op_delta(&self.stats.since(&before));
+        match &result {
+            Ok(_) => GRANTS.inc(),
+            Err(_) => REJECTS.inc(),
         }
-        Err(ScheduleError::Exhausted {
-            attempts,
-            last_tried: start - self.cfg.delta_t,
-        })
+        if span.active() {
+            span.record("outcome", if result.is_ok() { "granted" } else { "rejected" });
+            span.record("attempts", attempts);
+        }
+        result
     }
 
     /// Assign capability tags to a server (see [`crate::attrs`]).

@@ -21,6 +21,7 @@ use crate::messages::{CommitOutcome, Envelope, SiteId, SiteReply, SiteRequest, T
 use crate::site::SiteHandle;
 use coalloc_core::prelude::{Dur, JobId, ServerId, Time};
 use crossbeam::channel::{unbounded, Sender};
+use obs::{obs_event, obs_span, LazyCounter, LazyHistogram};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
@@ -29,6 +30,17 @@ use std::time::Duration;
 
 /// Global transaction-id source (unique across coordinators in-process).
 static NEXT_TXN: AtomicU64 = AtomicU64::new(1);
+
+// Protocol metrics, aggregated over every coordinator in the process (each
+// coordinator also keeps its own [`CoordinatorStats`]).
+static RPC_ATTEMPTS: LazyCounter = LazyCounter::new("rpc_attempts_total");
+static RPC_RETRIES: LazyCounter = LazyCounter::new("rpc_retries_total");
+static RPC_TIMEOUTS: LazyCounter = LazyCounter::new("rpc_timeouts_total");
+static RPC_BACKOFF_NS: LazyHistogram = LazyHistogram::new("rpc_backoff_ns");
+static COORD_GRANTS: LazyCounter = LazyCounter::new("coord_grants_total");
+static COORD_FAILURES: LazyCounter = LazyCounter::new("coord_failures_total");
+static COORD_COMPENSATIONS: LazyCounter = LazyCounter::new("coord_compensations_total");
+static COORD_WINDOW_ATTEMPTS: LazyHistogram = LazyHistogram::new("coord_window_attempts");
 
 /// A coordinator's address for one site: the site's id plus a channel the
 /// site (or a fault-injecting relay in front of it — see
@@ -240,40 +252,69 @@ impl Coordinator {
                 return Err(MultiSiteError::UnknownSite(*site));
             }
         }
+        let mut span = obs_span!(
+            "coord.co_allocate",
+            "sites" => req.parts.len(),
+            "earliest_s" => req.earliest_start.secs(),
+            "duration_s" => req.duration.secs().max(0) as u64
+        );
         let mut attempts = 0u32;
         let mut start = req.earliest_start;
-        while attempts < self.cfg.r_max {
-            attempts += 1;
-            self.stats.window_attempts += 1;
-            let txn = TxnId(NEXT_TXN.fetch_add(1, Ordering::Relaxed));
-            match self.try_window(txn, start, req) {
-                Ok(parts) => match self.commit_all(txn, &parts) {
-                    Ok(()) => {
-                        self.stats.granted += 1;
-                        return Ok(MultiGrant {
-                            txn,
-                            start,
-                            end: start + req.duration,
-                            parts,
-                            attempts,
-                        });
-                    }
-                    Err(e) => {
+        let result = 'alloc: {
+            while attempts < self.cfg.r_max {
+                attempts += 1;
+                self.stats.window_attempts += 1;
+                let txn = TxnId(NEXT_TXN.fetch_add(1, Ordering::Relaxed));
+                match self.try_window(txn, start, req) {
+                    Ok(parts) => match self.commit_all(txn, &parts) {
+                        Ok(()) => {
+                            self.stats.granted += 1;
+                            break 'alloc Ok(MultiGrant {
+                                txn,
+                                start,
+                                end: start + req.duration,
+                                parts,
+                                attempts,
+                            });
+                        }
+                        Err(e) => {
+                            self.stats.failed += 1;
+                            break 'alloc Err(e);
+                        }
+                    },
+                    Err(HoldFailure::Unresponsive(site)) => {
                         self.stats.failed += 1;
-                        return Err(e);
+                        break 'alloc Err(MultiSiteError::SiteUnresponsive(site));
                     }
-                },
-                Err(HoldFailure::Unresponsive(site)) => {
-                    self.stats.failed += 1;
-                    return Err(MultiSiteError::SiteUnresponsive(site));
+                    Err(HoldFailure::Denied) => {
+                        start += self.cfg.delta_t;
+                    }
                 }
-                Err(HoldFailure::Denied) => {
-                    start += self.cfg.delta_t;
+            }
+            self.stats.failed += 1;
+            Err(MultiSiteError::Exhausted { attempts })
+        };
+        COORD_WINDOW_ATTEMPTS.observe(attempts as u64);
+        match &result {
+            Ok(grant) => {
+                COORD_GRANTS.inc();
+                if span.active() {
+                    span.record("outcome", "granted");
+                    span.record("txn", grant.txn.0);
+                    span.record("attempts", attempts);
+                    span.record("start_s", grant.start.secs());
+                }
+            }
+            Err(e) => {
+                COORD_FAILURES.inc();
+                if span.active() {
+                    span.record("outcome", "failed");
+                    span.record("attempts", attempts);
+                    span.record("error", format!("{e}"));
                 }
             }
         }
-        self.stats.failed += 1;
-        Err(MultiSiteError::Exhausted { attempts })
+        result
     }
 
     /// One RPC with bounded retries: up to `1 + rpc_retries` attempts, each
@@ -289,6 +330,7 @@ impl Coordinator {
         for attempt in 0..=self.cfg.rpc_retries {
             if attempt > 0 {
                 self.stats.rpc_retries += 1;
+                RPC_RETRIES.inc();
                 let base = self.cfg.retry_base.as_nanos() as u64;
                 let backoff = base.saturating_mul(1u64 << (attempt - 1).min(20));
                 let jitter = if base == 0 {
@@ -296,12 +338,36 @@ impl Coordinator {
                 } else {
                     self.rng.random_range(0..base)
                 };
+                RPC_BACKOFF_NS.observe(backoff + jitter);
+                obs_event!(
+                    "rpc.backoff",
+                    "site" => site_id.0,
+                    "attempt" => attempt,
+                    "wait_ns" => backoff + jitter
+                );
                 std::thread::sleep(Duration::from_nanos(backoff + jitter));
             }
             let seq = self.next_seq;
             self.next_seq += 1;
-            if let Some(reply) = endpoint.call_timeout(make(seq), self.cfg.rpc_timeout) {
+            RPC_ATTEMPTS.inc();
+            let request = make(seq);
+            let mut span = obs_span!(
+                "rpc.call",
+                "site" => site_id.0,
+                "kind" => request.kind(),
+                "txn" => request.txn().map(|t| t.0).unwrap_or(0),
+                "seq" => seq,
+                "attempt" => attempt
+            );
+            if let Some(reply) = endpoint.call_timeout(request, self.cfg.rpc_timeout) {
+                if span.active() {
+                    span.record("outcome", "reply");
+                }
                 return Some(reply);
+            }
+            RPC_TIMEOUTS.inc();
+            if span.active() {
+                span.record("outcome", "timeout");
             }
         }
         None
@@ -322,10 +388,17 @@ impl Coordinator {
                     if outcome == CommitOutcome::AlreadyCommitted {
                         self.stats.duplicate_commits += 1;
                     }
+                    obs_event!(
+                        "coord.commit_ok",
+                        "txn" => txn.0,
+                        "site" => site_id.0,
+                        "duplicate" => outcome == CommitOutcome::AlreadyCommitted
+                    );
                 }
                 Some(SiteReply::CommitResult { .. }) => {
                     // Expired: the TTL ran out before any commit attempt
                     // landed. Undo the transaction everywhere.
+                    obs_event!("coord.commit_expired", "txn" => txn.0, "site" => site_id.0);
                     self.compensate(txn, parts);
                     return Err(MultiSiteError::CommitExpired(*site_id));
                 }
@@ -334,6 +407,7 @@ impl Coordinator {
                     // commit may or may not have landed, so roll the whole
                     // transaction back — aborts are idempotent and undo
                     // commits, which makes the rollback safe either way.
+                    obs_event!("coord.commit_unresolved", "txn" => txn.0, "site" => site_id.0);
                     self.compensate(txn, parts);
                     return Err(MultiSiteError::SiteUnresponsive(*site_id));
                 }
@@ -346,6 +420,8 @@ impl Coordinator {
     /// hold-phase cleanup and as the commit-phase compensation path.
     fn compensate(&mut self, txn: TxnId, parts: &[(SiteId, JobId, Vec<ServerId>)]) {
         self.stats.compensations += 1;
+        COORD_COMPENSATIONS.inc();
+        obs_event!("coord.compensate", "txn" => txn.0, "sites" => parts.len());
         for (site_id, _, _) in parts {
             let _ = self.call_retry(*site_id, |seq| SiteRequest::Abort { txn, seq });
         }
@@ -372,13 +448,26 @@ impl Coordinator {
             });
             match reply {
                 Some(SiteReply::HoldGranted { job, servers, .. }) => {
+                    obs_event!(
+                        "coord.hold_granted",
+                        "txn" => txn.0,
+                        "site" => site_id.0,
+                        "servers" => servers.len()
+                    );
                     acquired.push((site_id, job, servers));
                 }
-                Some(SiteReply::HoldDenied { .. }) => {
+                Some(SiteReply::HoldDenied { available, .. }) => {
+                    obs_event!(
+                        "coord.hold_denied",
+                        "txn" => txn.0,
+                        "site" => site_id.0,
+                        "available" => available
+                    );
                     self.abort_all(txn, &acquired);
                     return Err(HoldFailure::Denied);
                 }
                 _ => {
+                    obs_event!("coord.hold_unresolved", "txn" => txn.0, "site" => site_id.0);
                     self.abort_all(txn, &acquired);
                     return Err(HoldFailure::Unresponsive(site_id));
                 }
@@ -390,6 +479,7 @@ impl Coordinator {
     fn abort_all(&mut self, txn: TxnId, acquired: &[(SiteId, JobId, Vec<ServerId>)]) {
         for (site_id, _, _) in acquired {
             self.stats.aborts += 1;
+            obs_event!("coord.abort", "txn" => txn.0, "site" => site_id.0);
             let site_id = *site_id;
             let _ = self.call_retry(site_id, |seq| SiteRequest::Abort { txn, seq });
         }

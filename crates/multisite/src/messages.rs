@@ -183,6 +183,31 @@ impl CommitOutcome {
     }
 }
 
+impl SiteRequest {
+    /// Stable lowercase name of the request kind (tracing label).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SiteRequest::Hold { .. } => "hold",
+            SiteRequest::Commit { .. } => "commit",
+            SiteRequest::Abort { .. } => "abort",
+            SiteRequest::Crash => "crash",
+            SiteRequest::Query { .. } => "query",
+            SiteRequest::Tick { .. } => "tick",
+            SiteRequest::Shutdown => "shutdown",
+        }
+    }
+
+    /// The transaction this request refers to, if any.
+    pub fn txn(&self) -> Option<TxnId> {
+        match self {
+            SiteRequest::Hold { txn, .. }
+            | SiteRequest::Commit { txn, .. }
+            | SiteRequest::Abort { txn, .. } => Some(*txn),
+            _ => None,
+        }
+    }
+}
+
 impl SiteReply {
     /// The transaction this reply refers to, if any.
     pub fn txn(&self) -> Option<TxnId> {

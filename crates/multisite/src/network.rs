@@ -17,6 +17,7 @@
 
 use crate::messages::{Envelope, SiteReply};
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use obs::{obs_event, LazyCounter};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::thread::JoinHandle;
@@ -89,6 +90,23 @@ pub struct LinkStats {
     pub replies_duplicated: u64,
 }
 
+// Link-fault metrics, aggregated over every FlakyLink in the process.
+static LINK_DROPS: LazyCounter = LazyCounter::new("link_drops_total");
+static LINK_DUPS: LazyCounter = LazyCounter::new("link_dups_total");
+static LINK_REORDERS: LazyCounter = LazyCounter::new("link_reorders_total");
+static LINK_REPLY_DROPS: LazyCounter = LazyCounter::new("link_reply_drops_total");
+static LINK_REPLY_DUPS: LazyCounter = LazyCounter::new("link_reply_dups_total");
+
+/// Emit a link fault event carrying the affected request's kind and txn so
+/// post-mortem timelines show which protocol step the fault hit.
+fn link_event(name: &'static str, env: &Envelope) {
+    obs_event!(
+        name,
+        "kind" => env.request.kind(),
+        "txn" => env.request.txn().map(|t| t.0).unwrap_or(0)
+    );
+}
+
 /// A proxied in-flight reply: messages arriving on `proxy` are forwarded to
 /// `requester` with the reply faults applied.
 struct ReplyRoute {
@@ -114,6 +132,8 @@ impl Relay {
     fn handle(&mut self, mut env: Envelope) -> bool {
         if self.cfg.drop_prob > 0.0 && self.rng.random_bool(self.cfg.drop_prob) {
             self.stats.dropped += 1;
+            LINK_DROPS.inc();
+            link_event("link.drop", &env);
             return true;
         }
         if self.cfg.drop_reply_prob > 0.0 || self.cfg.duplicate_reply_prob > 0.0 {
@@ -137,6 +157,8 @@ impl Relay {
             self.cfg.duplicate_prob > 0.0 && self.rng.random_bool(self.cfg.duplicate_prob);
         if duplicate {
             self.stats.duplicated += 1;
+            LINK_DUPS.inc();
+            link_event("link.dup", &env);
             if !self.deliver(env.clone()) {
                 return false;
             }
@@ -148,6 +170,8 @@ impl Relay {
             // Hold this one back; it goes out right after the next request
             // (or on the idle flush).
             self.stats.reordered += 1;
+            LINK_REORDERS.inc();
+            link_event("link.reorder", &env);
             self.held = Some(env);
             return true;
         }
@@ -189,12 +213,22 @@ impl Relay {
                             && self.rng.random_bool(self.cfg.drop_reply_prob)
                         {
                             self.stats.replies_dropped += 1;
+                            LINK_REPLY_DROPS.inc();
+                            obs_event!(
+                                "link.reply_drop",
+                                "txn" => reply.txn().map(|t| t.0).unwrap_or(0)
+                            );
                             continue;
                         }
                         if self.cfg.duplicate_reply_prob > 0.0
                             && self.rng.random_bool(self.cfg.duplicate_reply_prob)
                         {
                             self.stats.replies_duplicated += 1;
+                            LINK_REPLY_DUPS.inc();
+                            obs_event!(
+                                "link.reply_dup",
+                                "txn" => reply.txn().map(|t| t.0).unwrap_or(0)
+                            );
                             if self.routes[i].requester.send(reply.clone()).is_ok() {
                                 self.stats.replies_delivered += 1;
                             }

@@ -17,6 +17,7 @@
 
 use crate::messages::{CommitOutcome, Envelope, SiteId, SiteReply, SiteRequest, TxnId};
 use coalloc_core::prelude::*;
+use obs::obs_event;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::collections::HashMap;
 use std::thread::JoinHandle;
@@ -124,6 +125,7 @@ impl Site {
                     debug_assert!(false, "expired hold {txn:?} had no backing job: {e}");
                     continue;
                 }
+                obs_event!("site.expired", "txn" => txn.0, "site" => self.id.0);
                 self.finish(txn, Terminal::Expired, now);
                 self.stats.expired += 1;
             }
@@ -160,6 +162,7 @@ impl Site {
                         },
                     );
                     self.stats.commits += 1;
+                    obs_event!("site.commit", "txn" => txn.0, "site" => self.id.0);
                     CommitOutcome::Committed
                 } else if self.committed.contains_key(&txn) {
                     self.stats.duplicate_commits += 1;
@@ -168,6 +171,7 @@ impl Site {
                     // Expired, aborted, or never held here. Record the
                     // outcome so a reordered late Hold cannot resurrect the
                     // transaction after the coordinator compensates.
+                    obs_event!("site.commit_expired", "txn" => txn.0, "site" => self.id.0);
                     self.finish(txn, Terminal::Expired, Instant::now());
                     CommitOutcome::Expired
                 };
@@ -190,6 +194,7 @@ impl Site {
                     let _ = self.sched.release(c.job);
                     self.stats.commits_undone += 1;
                 }
+                obs_event!("site.abort", "txn" => txn.0, "site" => self.id.0);
                 self.finish(txn, Terminal::Aborted, Instant::now());
                 Some(SiteReply::Aborted { txn, site: self.id })
             }
@@ -211,6 +216,7 @@ impl Site {
                 // (in a real deployment: redo-log replay drops uncommitted
                 // reservations).
                 let lost: Vec<HoldState> = self.holds.drain().map(|(_, h)| h).collect();
+                obs_event!("site.crash", "site" => self.id.0, "holds_lost" => lost.len());
                 for hold in lost {
                     let _ = self.sched.release(hold.job);
                     self.stats.holds_lost += 1;
@@ -269,6 +275,12 @@ impl Site {
         let hits = self.sched.range_search(start, end);
         if (hits.len() as u32) < servers {
             self.stats.holds_denied += 1;
+            obs_event!(
+                "site.hold_denied",
+                "txn" => txn.0,
+                "site" => self.id.0,
+                "available" => hits.len()
+            );
             return SiteReply::HoldDenied {
                 txn,
                 site: self.id,
@@ -291,6 +303,12 @@ impl Site {
                     },
                 );
                 self.stats.holds_granted += 1;
+                obs_event!(
+                    "site.hold_granted",
+                    "txn" => txn.0,
+                    "site" => self.id.0,
+                    "servers" => grant.servers.len()
+                );
                 SiteReply::HoldGranted {
                     txn,
                     site: self.id,

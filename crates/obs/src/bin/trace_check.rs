@@ -1,0 +1,83 @@
+//! Validate a JSONL trace file (CI gate for `--trace-out` output).
+//!
+//! Usage: `trace_check <trace.jsonl> [--require-txn-timelines]`
+//!
+//! Exits 0 iff the file is non-empty and every line parses as a JSON object
+//! with the mandatory trace keys. With `--require-txn-timelines`, also
+//! requires at least one transaction that has both a hold event and a
+//! terminal (commit/abort/expired) event — i.e. the trace really contains
+//! per-txn protocol timelines, not just scheduler spans.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(path) = args.first() else {
+        eprintln!("usage: trace_check <trace.jsonl> [--require-txn-timelines]");
+        return ExitCode::from(2);
+    };
+    let require_txn = args.iter().any(|a| a == "--require-txn-timelines");
+
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("trace_check: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut lines = 0usize;
+    // txn -> (has hold event, has terminal commit/abort/expired event)
+    let mut txns: BTreeMap<String, (bool, bool)> = BTreeMap::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        lines += 1;
+        let value = match obs::json::parse(line) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("trace_check: line {}: invalid JSON: {e}", i + 1);
+                return ExitCode::FAILURE;
+            }
+        };
+        for key in ["ts_ns", "thread", "kind", "name"] {
+            if value.get(key).is_none() {
+                eprintln!("trace_check: line {}: missing key '{key}'", i + 1);
+                return ExitCode::FAILURE;
+            }
+        }
+        let name = value.get("name").and_then(|v| v.as_str()).unwrap_or("");
+        if let Some(txn) = value.get("txn").map(|v| match v.as_num() {
+            Some(n) => format!("{n}"),
+            None => v.as_str().unwrap_or("?").to_string(),
+        }) {
+            let entry = txns.entry(txn).or_insert((false, false));
+            if name.contains("hold") {
+                entry.0 = true;
+            }
+            if name.contains("commit") || name.contains("abort") || name.contains("expired") {
+                entry.1 = true;
+            }
+        }
+    }
+
+    if lines == 0 {
+        eprintln!("trace_check: {path} contains no events");
+        return ExitCode::FAILURE;
+    }
+    let complete = txns.values().filter(|(h, t)| *h && *t).count();
+    if require_txn && complete == 0 {
+        eprintln!(
+            "trace_check: {path} has no complete per-txn timelines ({} txns seen)",
+            txns.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "trace_check: {path} ok — {lines} events, {} txns ({complete} with full hold→commit/abort timelines)",
+        txns.len()
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,123 @@
+//! # obs — dependency-free observability for the co-allocation system
+//!
+//! The paper's evaluation (Section 5) hinges on knowing *where* scheduling
+//! time goes — Phase-1 candidate marking vs. Phase-2 secondary-tree descent
+//! vs. retries at `s_r + Δt` — and the multi-site chaos harness needs to
+//! reconstruct *which* Hold/Commit/Abort interleaving broke an invariant.
+//! This crate provides the shared substrate for both, with **zero external
+//! dependencies** (pure std, like the vendored stubs — the container has no
+//! crates.io access):
+//!
+//! * [`trace`] — span/event tracing: thread-local span stacks, monotonic
+//!   timestamps, an in-memory ring buffer of structured events with
+//!   key=value fields, and pluggable sinks (null, stderr pretty-printer,
+//!   JSONL file writer for post-mortem analysis).
+//! * [`metrics`] — a process-global registry of named counters, gauges and
+//!   log-linear-bucket histograms with relaxed-atomic updates (safe under
+//!   the multisite crate's concurrent coordinators and site threads),
+//!   snapshot-able to a Prometheus-style text exposition.
+//! * [`json`] — the minimal JSON escape/parse helpers the JSONL sink and
+//!   its round-trip validation (`trace_check` bin, tests, CI) share.
+//!
+//! ## Overhead budget
+//!
+//! Tracing is **off by default**. The disabled path of [`obs_span!`] /
+//! [`obs_event!`] is a single relaxed atomic load and a branch — field
+//! expressions are not even evaluated. Metrics are always live (one relaxed
+//! atomic add each), cheap enough that the scheduler instrumentation stays
+//! within a <5% throughput budget with tracing enabled on the null sink
+//! (asserted by `crates/bench/tests/obs_overhead.rs`).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use obs::{obs_event, obs_span};
+//!
+//! obs::trace::set_enabled(true);
+//! obs::trace::set_ring_capacity(1024);
+//! {
+//!     let mut span = obs_span!("demo.work", "items" => 3u64);
+//!     obs_event!("demo.step", "i" => 1u64);
+//!     span.record("outcome", "done");
+//! } // span end (with duration) is recorded on drop
+//! let events = obs::trace::ring_events();
+//! assert_eq!(events.len(), 3); // start, step, end
+//! obs::trace::set_enabled(false);
+//!
+//! let reqs = obs::metrics::counter("demo_requests_total");
+//! reqs.inc();
+//! assert!(obs::metrics::exposition().contains("demo_requests_total 1"));
+//! ```
+//!
+//! ## Environment control
+//!
+//! Binaries call [`init_from_env`], which reads `COALLOC_OBS`:
+//!
+//! | value | effect |
+//! |---|---|
+//! | unset, `""`, `off` | tracing disabled (metrics still live) |
+//! | `on`, `ring` | tracing enabled, ring buffer only (post-mortem dumps) |
+//! | `stderr` | tracing enabled, pretty-printed to stderr |
+//! | `jsonl:PATH` | tracing enabled, JSONL events appended to `PATH` |
+//!
+//! Appending `,detail` to any enabling mode (e.g. `jsonl:/tmp/t.jsonl,detail`)
+//! also turns on **detail-level** tracing: the per-attempt `sched.phase1` /
+//! `sched.phase2` spans inside the retry loop, which are too voluminous for
+//! the default level's overhead budget (hundreds of events per request under
+//! retry churn) but exactly what a post-mortem wants.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod json;
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{Counter, Gauge, Histogram, LazyCounter, LazyGauge, LazyHistogram};
+pub use trace::{Event, EventKind, Sink, SpanGuard, Value};
+
+/// Configure tracing from the `COALLOC_OBS` environment variable (see the
+/// crate docs for the accepted values). Unknown values are treated as `off`
+/// so a typo cannot take a production binary down. Returns a short
+/// human-readable description of what was configured.
+pub fn init_from_env() -> String {
+    let spec = std::env::var("COALLOC_OBS").unwrap_or_default();
+    // "MODE" or "MODE,detail": the detail flag additionally enables the
+    // per-attempt phase spans (see `trace::detail_enabled`).
+    let (mode, flags) = match spec.split_once(',') {
+        Some((m, f)) => (m, f),
+        None => (spec.as_str(), ""),
+    };
+    let detail = flags.split(',').any(|f| f.trim() == "detail");
+    let msg = match mode {
+        "" | "off" => "obs: tracing off".to_string(),
+        "on" | "ring" => {
+            trace::set_ring_capacity(trace::DEFAULT_RING_CAPACITY);
+            trace::set_enabled(true);
+            "obs: tracing to ring buffer".to_string()
+        }
+        "stderr" => {
+            trace::set_sink(Some(std::sync::Arc::new(trace::StderrSink)));
+            trace::set_enabled(true);
+            "obs: tracing to stderr".to_string()
+        }
+        s if s.starts_with("jsonl:") => {
+            let path = &s["jsonl:".len()..];
+            match trace::JsonlSink::create(path) {
+                Ok(sink) => {
+                    trace::set_sink(Some(std::sync::Arc::new(sink)));
+                    trace::set_enabled(true);
+                    format!("obs: tracing to {path} (jsonl)")
+                }
+                Err(e) => format!("obs: cannot open {path}: {e}; tracing off"),
+            }
+        }
+        other => format!("obs: unknown COALLOC_OBS value '{other}'; tracing off"),
+    };
+    if detail && trace::enabled() {
+        trace::set_detail(true);
+        format!("{msg} (detail level)")
+    } else {
+        msg
+    }
+}

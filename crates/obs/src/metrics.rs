@@ -1,0 +1,362 @@
+//! Process-global metrics registry: counters, gauges, log-linear histograms.
+//!
+//! Metrics are **always live** (no enabled flag): every update is a single
+//! relaxed atomic RMW, cheap enough for the scheduler hot path. Handles are
+//! `Clone` + cheap (an `Arc` around the atomics), so call sites either fetch
+//! once via [`counter`]/[`gauge`]/[`histogram`] or use the `static`-friendly
+//! [`LazyCounter`]/[`LazyGauge`]/[`LazyHistogram`] wrappers that resolve the
+//! registry entry on first touch.
+//!
+//! [`exposition`] renders every registered metric in Prometheus text format
+//! (histograms as cumulative `_bucket{le=...}` series plus `_sum`/`_count`),
+//! which is what `coallocd --metrics-dump` and the chaos binaries print.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A monotonically increasing counter.
+#[derive(Clone, Debug, Default)]
+pub struct Counter {
+    value: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Add 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a signed value that can move both ways.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge {
+    value: Arc<AtomicI64>,
+}
+
+impl Gauge {
+    /// Set to an absolute value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Add a (possibly negative) delta.
+    #[inline]
+    pub fn add(&self, d: i64) {
+        self.value.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Sub-buckets per power-of-two octave (see [`bucket_index`]).
+const SUB: u64 = 4;
+const SUB_BITS: u32 = 2; // log2(SUB)
+/// Number of histogram buckets (covers all of u64 at ~19% resolution).
+pub const BUCKETS: usize = ((64 - SUB_BITS as usize - 1) * SUB as usize) + SUB as usize + 1;
+
+/// Map a value to its log-linear bucket: values below [`SUB`] get exact
+/// buckets, and each octave `[2^k, 2^(k+1))` above that is split into
+/// [`SUB`] equal sub-buckets, giving a constant ~1/SUB relative error with
+/// pure integer math (no floats on the hot path).
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < SUB {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros();
+    let shift = msb - SUB_BITS;
+    let sub = (v >> shift) - SUB;
+    let idx = ((msb - SUB_BITS) as u64 * SUB + SUB + sub) as usize;
+    idx.min(BUCKETS - 1)
+}
+
+/// Inclusive upper bound of bucket `idx` (the Prometheus `le` label).
+pub fn bucket_upper(idx: usize) -> u64 {
+    if idx < SUB as usize {
+        return idx as u64;
+    }
+    let rel = (idx - SUB as usize) as u64;
+    let octave = rel / SUB; // 0 => values in [4,8)
+    let sub = rel % SUB;
+    let base = SUB << octave; // 2^(octave+2)
+    let width = 1u64 << octave; // base / SUB
+    // Upper bound is the next bucket's lower bound minus one.
+    (base + (sub + 1) * width).saturating_sub(1)
+}
+
+/// A log-linear histogram of u64 observations (latencies in ns, depths,
+/// counts). Concurrent [`Histogram::observe`] calls are lock-free.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    buckets: Arc<[AtomicU64]>,
+    sum: Arc<AtomicU64>,
+    count: Arc<AtomicU64>,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            sum: Arc::new(AtomicU64::new(0)),
+            count: Arc::new(AtomicU64::new(0)),
+        }
+    }
+}
+
+impl Histogram {
+    /// Record one observation.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Mean observation, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        let n = self.count();
+        (n > 0).then(|| self.sum() as f64 / n as f64)
+    }
+
+    /// Non-empty buckets as `(upper_bound, count)` pairs, ascending.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let c = b.load(Ordering::Relaxed);
+                (c > 0).then_some((bucket_upper(i), c))
+            })
+            .collect()
+    }
+
+    /// Approximate quantile `q` in `[0,1]` (upper bound of the bucket where
+    /// the cumulative count crosses `q`), or `None` if empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let n = self.count();
+        if n == 0 {
+            return None;
+        }
+        let target = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut acc = 0;
+        for (i, b) in self.buckets.iter().enumerate() {
+            acc += b.load(Ordering::Relaxed);
+            if acc >= target {
+                return Some(bucket_upper(i));
+            }
+        }
+        Some(bucket_upper(BUCKETS - 1))
+    }
+}
+
+#[derive(Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+fn registry() -> &'static Mutex<BTreeMap<&'static str, Metric>> {
+    static REGISTRY: OnceLock<Mutex<BTreeMap<&'static str, Metric>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// Fetch (registering on first use) the counter named `name`.
+pub fn counter(name: &'static str) -> Counter {
+    let mut reg = registry().lock().expect("metrics registry");
+    match reg
+        .entry(name)
+        .or_insert_with(|| Metric::Counter(Counter::default()))
+    {
+        Metric::Counter(c) => c.clone(),
+        _ => panic!("metric '{name}' already registered with a different type"),
+    }
+}
+
+/// Fetch (registering on first use) the gauge named `name`.
+pub fn gauge(name: &'static str) -> Gauge {
+    let mut reg = registry().lock().expect("metrics registry");
+    match reg
+        .entry(name)
+        .or_insert_with(|| Metric::Gauge(Gauge::default()))
+    {
+        Metric::Gauge(g) => g.clone(),
+        _ => panic!("metric '{name}' already registered with a different type"),
+    }
+}
+
+/// Fetch (registering on first use) the histogram named `name`.
+pub fn histogram(name: &'static str) -> Histogram {
+    let mut reg = registry().lock().expect("metrics registry");
+    match reg
+        .entry(name)
+        .or_insert_with(|| Metric::Histogram(Histogram::default()))
+    {
+        Metric::Histogram(h) => h.clone(),
+        _ => panic!("metric '{name}' already registered with a different type"),
+    }
+}
+
+/// Remove every registered metric (test isolation helper).
+pub fn reset() {
+    registry().lock().expect("metrics registry").clear();
+}
+
+/// Render all registered metrics as Prometheus-style text exposition.
+/// Histograms emit cumulative `_bucket{le="..."}` lines for their non-empty
+/// buckets plus `{le="+Inf"}`, `_sum`, and `_count`.
+pub fn exposition() -> String {
+    let reg = registry().lock().expect("metrics registry");
+    let mut out = String::new();
+    for (name, metric) in reg.iter() {
+        match metric {
+            Metric::Counter(c) => {
+                out.push_str(&format!("# TYPE {name} counter\n{name} {}\n", c.get()));
+            }
+            Metric::Gauge(g) => {
+                out.push_str(&format!("# TYPE {name} gauge\n{name} {}\n", g.get()));
+            }
+            Metric::Histogram(h) => {
+                out.push_str(&format!("# TYPE {name} histogram\n"));
+                let mut cum = 0;
+                for (upper, count) in h.nonzero_buckets() {
+                    cum += count;
+                    out.push_str(&format!("{name}_bucket{{le=\"{upper}\"}} {cum}\n"));
+                }
+                out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count()));
+                out.push_str(&format!("{name}_sum {}\n", h.sum()));
+                out.push_str(&format!("{name}_count {}\n", h.count()));
+            }
+        }
+    }
+    out
+}
+
+/// A counter handle resolvable from a `static` context:
+///
+/// ```
+/// static REQS: obs::LazyCounter = obs::LazyCounter::new("myapp_requests_total");
+/// REQS.inc();
+/// ```
+pub struct LazyCounter {
+    name: &'static str,
+    cell: OnceLock<Counter>,
+}
+
+impl LazyCounter {
+    /// Declare a counter bound to `name` (registered on first use).
+    pub const fn new(name: &'static str) -> LazyCounter {
+        LazyCounter {
+            name,
+            cell: OnceLock::new(),
+        }
+    }
+
+    /// The underlying registered counter.
+    #[inline]
+    pub fn get(&self) -> &Counter {
+        self.cell.get_or_init(|| counter(self.name))
+    }
+
+    /// Add 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.get().inc();
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.get().add(n);
+    }
+}
+
+/// A gauge handle resolvable from a `static` context (see [`LazyCounter`]).
+pub struct LazyGauge {
+    name: &'static str,
+    cell: OnceLock<Gauge>,
+}
+
+impl LazyGauge {
+    /// Declare a gauge bound to `name` (registered on first use).
+    pub const fn new(name: &'static str) -> LazyGauge {
+        LazyGauge {
+            name,
+            cell: OnceLock::new(),
+        }
+    }
+
+    /// The underlying registered gauge.
+    #[inline]
+    pub fn get(&self) -> &Gauge {
+        self.cell.get_or_init(|| gauge(self.name))
+    }
+
+    /// Set to an absolute value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.get().set(v);
+    }
+
+    /// Add a (possibly negative) delta.
+    #[inline]
+    pub fn add(&self, d: i64) {
+        self.get().add(d);
+    }
+}
+
+/// A histogram handle resolvable from a `static` context (see
+/// [`LazyCounter`]).
+pub struct LazyHistogram {
+    name: &'static str,
+    cell: OnceLock<Histogram>,
+}
+
+impl LazyHistogram {
+    /// Declare a histogram bound to `name` (registered on first use).
+    pub const fn new(name: &'static str) -> LazyHistogram {
+        LazyHistogram {
+            name,
+            cell: OnceLock::new(),
+        }
+    }
+
+    /// The underlying registered histogram.
+    #[inline]
+    pub fn get(&self) -> &Histogram {
+        self.cell.get_or_init(|| histogram(self.name))
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        self.get().observe(v);
+    }
+}

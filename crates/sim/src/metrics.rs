@@ -70,14 +70,15 @@ impl StreamingStats {
         self.variance().sqrt()
     }
 
-    /// Smallest observation (`NaN`-free; +inf when empty).
-    pub fn min(&self) -> f64 {
-        self.min
+    /// Smallest observation, or `None` when empty (previously returned
+    /// `+inf`, which leaked into JSON/text renders as `inf`).
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
     }
 
-    /// Largest observation (-inf when empty).
-    pub fn max(&self) -> f64 {
-        self.max
+    /// Largest observation, or `None` when empty (previously `-inf`).
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
     }
 
     /// Merge another accumulator into this one (parallel reduction).
@@ -259,8 +260,19 @@ mod tests {
         assert!((s.mean() - 5.0).abs() < 1e-12);
         assert!((s.variance() - 4.0).abs() < 1e-12);
         assert!((s.stddev() - 2.0).abs() < 1e-12);
-        assert_eq!(s.min(), 2.0);
-        assert_eq!(s.max(), 9.0);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+    }
+
+    #[test]
+    fn empty_stats_have_no_min_max() {
+        let s = StreamingStats::new();
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        let mut s = StreamingStats::new();
+        s.push(1.5);
+        assert_eq!(s.min(), Some(1.5));
+        assert_eq!(s.max(), Some(1.5));
     }
 
     #[test]

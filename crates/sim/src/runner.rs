@@ -175,8 +175,9 @@ impl RunResult {
     }
 
     /// Largest waiting time in hours (the "tail length" the paper compares).
+    /// 0 when no job was accepted.
     pub fn max_waiting_hours(&self) -> f64 {
-        self.waiting_stats_hours().max().max(0.0)
+        self.waiting_stats_hours().max().unwrap_or(0.0)
     }
 
     /// Utilization profile: committed busy fraction per time bin of width
@@ -217,6 +218,11 @@ impl RunResult {
 /// online scheduler. Each request is handled immediately on arrival, as in
 /// Section 5.1.
 pub fn run_online(sched: &mut CoAllocScheduler, requests: &[Request], label: &str) -> RunResult {
+    let mut span = obs::obs_span!("sim.run", "requests" => requests.len());
+    if span.active() {
+        span.record("scheduler", "online");
+    }
+    let run_start = *sched.stats();
     let mut outcomes = Vec::with_capacity(requests.len());
     let mut makespan = sched.now();
     let mut prev_submit = Time(i64::MIN);
@@ -245,6 +251,18 @@ pub fn run_online(sched: &mut CoAllocScheduler, requests: &[Request], label: &st
         });
     }
     let utilization = sched.utilization(makespan);
+    if span.active() {
+        // Per-run phase breakdown: where the data-structure work went.
+        let d = sched.stats().since(&run_start);
+        span.record("accepted", outcomes.iter().filter(|o| o.accepted()).count());
+        span.record("phase1_searches", d.phase1_searches);
+        span.record("phase2_searches", d.phase2_searches);
+        span.record("primary_visits", d.primary_visits);
+        span.record("secondary_visits", d.secondary_visits);
+        span.record("update_visits", d.update_visits);
+        span.record("rebuilds", d.rebuilds);
+        span.record("attempts", d.attempts);
+    }
     RunResult {
         label: label.to_string(),
         outcomes,
@@ -257,6 +275,10 @@ pub fn run_online(sched: &mut CoAllocScheduler, requests: &[Request], label: &st
 /// Replay `requests` through the naive linear-scan co-allocator (the
 /// sequential baseline of Section 1).
 pub fn run_naive(sched: &mut NaiveScheduler, requests: &[Request], label: &str) -> RunResult {
+    let mut span = obs::obs_span!("sim.run", "requests" => requests.len());
+    if span.active() {
+        span.record("scheduler", "naive");
+    }
     let mut outcomes = Vec::with_capacity(requests.len());
     let mut makespan = sched.now();
     for req in requests {
@@ -282,6 +304,10 @@ pub fn run_naive(sched: &mut NaiveScheduler, requests: &[Request], label: &str) 
         });
     }
     let utilization = sched.utilization(makespan);
+    if span.active() {
+        span.record("accepted", outcomes.iter().filter(|o| o.accepted()).count());
+        span.record("total_ops", sched.stats().total_ops());
+    }
     RunResult {
         label: label.to_string(),
         outcomes,

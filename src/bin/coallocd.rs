@@ -27,8 +27,14 @@
 //! | `release JOB` | cancel a job |
 //! | `advance T` | move the clock |
 //! | `stats` | op counters and utilization |
+//! | `metrics` | Prometheus-style text exposition of all obs counters |
 //! | `snapshot PATH` / `load PATH` | persist / restore state |
 //! | `help`, `exit` | |
+//!
+//! CLI flags: `--trace-out PATH` writes span/event traces as JSONL to
+//! `PATH`; `--metrics-dump` prints the metrics exposition on exit. The
+//! `COALLOC_OBS` environment variable (see the `obs` crate) configures
+//! tracing when `--trace-out` is not given.
 
 use coalloc::core::attrs::AttrSet;
 use coalloc::prelude::*;
@@ -66,7 +72,7 @@ impl Session {
         match f.as_slice() {
             [] | ["#", ..] => Ok(String::new()),
             ["help"] => Ok("commands: init submit deadline constrained attrs query \
-                            release advance stats snapshot load help exit"
+                            release advance stats metrics snapshot load help exit"
                 .into()),
             ["init", n, rest @ ..] => {
                 let n: u32 = parse(n, "server count")?;
@@ -175,6 +181,7 @@ impl Session {
                     s.attempts
                 ))
             }
+            ["metrics"] => Ok(obs::metrics::exposition().trim_end().to_string()),
             ["snapshot", path] => {
                 let text = self.sched()?.snapshot();
                 std::fs::write(path, text).map_err(|e| format!("write {path}: {e}"))?;
@@ -195,6 +202,36 @@ impl Session {
 }
 
 fn main() {
+    obs::init_from_env();
+    let mut metrics_dump = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--trace-out" => {
+                let path = args.next().unwrap_or_else(|| {
+                    eprintln!("--trace-out needs a path");
+                    std::process::exit(2);
+                });
+                match obs::trace::JsonlSink::create(&path) {
+                    Ok(sink) => {
+                        obs::trace::set_sink(Some(std::sync::Arc::new(sink)));
+                        obs::trace::set_enabled(true);
+                        obs::trace::set_detail(true);
+                        eprintln!("tracing to {path} (jsonl)");
+                    }
+                    Err(e) => {
+                        eprintln!("cannot open trace file {path}: {e}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--metrics-dump" => metrics_dump = true,
+            other => {
+                eprintln!("unknown flag: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
     let stdin = std::io::stdin();
     let mut stdout = std::io::stdout().lock();
     let mut session = Session { sched: None };
@@ -215,6 +252,12 @@ fn main() {
                 let _ = writeln!(stdout, "error: {e}");
             }
         }
+        let _ = stdout.flush();
+    }
+    obs::trace::flush_sink();
+    if metrics_dump {
+        let _ = writeln!(stdout, "--- metrics ---");
+        let _ = write!(stdout, "{}", obs::metrics::exposition());
         let _ = stdout.flush();
     }
 }
@@ -302,6 +345,35 @@ mod tests {
         assert_eq!(out[0], "");
         assert_eq!(out[1], "");
         assert!(out[2].contains("commands:"));
+    }
+
+    #[test]
+    fn metrics_command_shows_phase_counters() {
+        // The advance reservation at t=100 splits two timelines into a
+        // finite idle gap [0, 100) plus a trailing tail; the 4-server
+        // request then has to search the finite slot tree (Phase 2), not
+        // just the trailing index.
+        let out = run(&[
+            "init 4 10 400 10",
+            "submit 0 100 50 2",
+            "submit 0 0 50 4",
+            "deadline 0 0 20 1 100",
+            "query 0 50",
+            "metrics",
+        ]);
+        let m = out.last().unwrap();
+        let value_of = |name: &str| -> u64 {
+            m.lines()
+                .find(|l| l.split_whitespace().next() == Some(name))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("metric {name} missing in:\n{m}"))
+        };
+        assert!(value_of("sched_phase1_total") > 0, "phase-1 counter zero");
+        assert!(value_of("sched_phase2_total") > 0, "phase-2 counter zero");
+        assert!(value_of("sched_grants_total") > 0);
+        assert!(value_of("range_searches_total") > 0);
+        assert!(value_of("sched_attempts_count") > 0, "retry histogram empty");
     }
 
     #[test]
