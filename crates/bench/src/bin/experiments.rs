@@ -1,7 +1,7 @@
 //! CLI for the experiment suite.
 //!
 //! ```text
-//! experiments <exp-id | all> [--scale F] [--seed N] [--out DIR]
+//! experiments <exp-id | all> [--scale F] [--seed N] [--out DIR] [--shards K]
 //! ```
 
 use coalloc_bench::{ExpConfig, ALL_EXPERIMENTS};
@@ -9,7 +9,9 @@ use coalloc_bench::{ExpConfig, ALL_EXPERIMENTS};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
-        eprintln!("usage: experiments <exp-id|all> [--scale F] [--seed N] [--out DIR]");
+        eprintln!(
+            "usage: experiments <exp-id|all> [--scale F] [--seed N] [--out DIR] [--shards K]"
+        );
         eprintln!("experiments: {}", ALL_EXPERIMENTS.join(", "));
         std::process::exit(if args.is_empty() { 2 } else { 0 });
     }
@@ -30,6 +32,11 @@ fn main() {
                 cfg.out_dir = args[i + 1].clone().into();
                 i += 2;
             }
+            "--shards" => {
+                cfg.shards = args[i + 1].parse().expect("--shards takes an integer >= 1");
+                assert!(cfg.shards >= 1, "--shards takes an integer >= 1");
+                i += 2;
+            }
             other => {
                 eprintln!("unknown flag {other}");
                 std::process::exit(2);
@@ -37,9 +44,11 @@ fn main() {
         }
     }
     println!(
-        "running '{id}' at scale {} (seed {}) -> {}",
+        "running '{id}' at scale {} (seed {}, {} shard{}) -> {}",
         cfg.scale,
         cfg.seed,
+        cfg.shards,
+        if cfg.shards == 1 { "" } else { "s" },
         cfg.out_dir.display()
     );
     if let Err(e) = coalloc_bench::run(&id, &cfg) {

@@ -1,0 +1,293 @@
+//! End-to-end scheduler throughput gate: naive vs online vs sharded.
+//!
+//! Replays a workload-twin request stream through the naive oracle, the
+//! single tree-based online scheduler, and the sharded scheduler at
+//! `K ∈ {1, 2, 4, 8}`, timing every request. Emits `BENCH_sched.json`
+//! with requests/sec and p50/p99 per-request latency for each scheduler.
+//!
+//! ```text
+//! cargo run -p coalloc-bench --release --bin sched_throughput -- \
+//!     [--smoke] [--scale F] [--seed N] [--out PATH] [--guard R] \
+//!     [--validate PATH]
+//! ```
+//!
+//! * `--smoke` — tiny workload slice for CI (also skips the slow naive
+//!   baseline's full stream: the stream is already small).
+//! * `--guard R` — exit non-zero if the sharded `K=1` configuration's
+//!   throughput falls below `R ×` the single scheduler's (coordination
+//!   overhead regression gate; CI uses `0.9`). The guarded pair is
+//!   re-measured interleaved and compared on the best of three trials,
+//!   so one scheduling hiccup cannot fail the gate.
+//! * `--validate PATH` — parse an existing result file and check its shape
+//!   instead of running; used by CI after the bench run.
+
+use coalloc_core::naive::NaiveScheduler;
+use coalloc_core::prelude::*;
+use coalloc_shard::ShardedScheduler;
+use coalloc_workloads::synthetic::WorkloadSpec;
+use obs::json::{self, Json};
+use std::time::Instant;
+
+const SHARD_COUNTS: [u32; 4] = [1, 2, 4, 8];
+
+/// One scheduler's measured replay.
+struct Measured {
+    label: String,
+    shards: Option<u32>,
+    granted: usize,
+    secs: f64,
+    rps: f64,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+/// Nearest-rank percentile over an ascending slice of nanosecond latencies,
+/// reported in microseconds.
+fn percentile_us(sorted_ns: &[u64], p: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ns.len() as f64 - 1.0) * p).round() as usize;
+    sorted_ns[idx] as f64 / 1_000.0
+}
+
+/// Replay `reqs` through `step` (advance + submit), timing each request.
+fn replay(
+    label: &str,
+    shards: Option<u32>,
+    reqs: &[Request],
+    mut step: impl FnMut(&Request) -> bool,
+) -> Measured {
+    let mut lat_ns = Vec::with_capacity(reqs.len());
+    let mut granted = 0usize;
+    let t0 = Instant::now();
+    for r in reqs {
+        let t = Instant::now();
+        if step(r) {
+            granted += 1;
+        }
+        lat_ns.push(t.elapsed().as_nanos() as u64);
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    lat_ns.sort_unstable();
+    Measured {
+        label: label.to_string(),
+        shards,
+        granted,
+        secs,
+        rps: reqs.len() as f64 / secs.max(1e-9),
+        p50_us: percentile_us(&lat_ns, 0.50),
+        p99_us: percentile_us(&lat_ns, 0.99),
+    }
+}
+
+fn bench_cfg() -> SchedulerConfig {
+    SchedulerConfig::builder()
+        .tau(Dur::from_mins(15))
+        .horizon(Dur::from_hours(72))
+        .delta_t(Dur::from_mins(15))
+        .build()
+}
+
+fn render(results: &[Measured], spec: &WorkloadSpec, scale: f64, seed: u64, n_reqs: usize) -> String {
+    let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"sched_throughput\",\n");
+    out.push_str(&format!("  \"workload\": \"{}\",\n", json::escape(&spec.name)));
+    out.push_str(&format!("  \"servers\": {},\n", spec.servers));
+    out.push_str(&format!("  \"scale\": {scale},\n"));
+    out.push_str(&format!("  \"seed\": {seed},\n"));
+    out.push_str(&format!("  \"requests\": {n_reqs},\n"));
+    out.push_str(&format!("  \"cpus\": {cpus},\n"));
+    out.push_str("  \"schedulers\": [\n");
+    for (i, m) in results.iter().enumerate() {
+        let shards = m
+            .shards
+            .map(|k| format!("\"shards\": {k}, "))
+            .unwrap_or_default();
+        out.push_str(&format!(
+            "    {{\"label\": \"{}\", {}\"granted\": {}, \"secs\": {:.6}, \"rps\": {:.3}, \"p50_us\": {:.3}, \"p99_us\": {:.3}}}{}\n",
+            json::escape(&m.label),
+            shards,
+            m.granted,
+            m.secs,
+            m.rps,
+            m.p50_us,
+            m.p99_us,
+            if i + 1 < results.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Shape-check a `BENCH_sched.json` document. Returns the parsed schedulers
+/// keyed by label on success.
+fn validate(text: &str) -> Result<Vec<(String, f64)>, String> {
+    let doc = json::parse(text)?;
+    if doc.get("bench").and_then(Json::as_str) != Some("sched_throughput") {
+        return Err("missing or wrong \"bench\" tag".into());
+    }
+    for key in ["requests", "cpus", "servers", "scale", "seed"] {
+        if doc.get(key).and_then(Json::as_num).is_none() {
+            return Err(format!("missing numeric \"{key}\""));
+        }
+    }
+    if doc.get("requests").and_then(Json::as_num).unwrap_or(0.0) <= 0.0 {
+        return Err("\"requests\" must be positive".into());
+    }
+    let Some(Json::Arr(entries)) = doc.get("schedulers") else {
+        return Err("missing \"schedulers\" array".into());
+    };
+    let mut seen = Vec::new();
+    for e in entries {
+        let label = e
+            .get("label")
+            .and_then(Json::as_str)
+            .ok_or("scheduler entry without string \"label\"")?;
+        for key in ["granted", "secs", "rps", "p50_us", "p99_us"] {
+            e.get(key)
+                .and_then(Json::as_num)
+                .ok_or_else(|| format!("entry \"{label}\" missing numeric \"{key}\""))?;
+        }
+        seen.push((
+            label.to_string(),
+            e.get("rps").and_then(Json::as_num).unwrap_or(0.0),
+        ));
+    }
+    for want in ["naive", "online", "sharded-k1", "sharded-k2", "sharded-k4", "sharded-k8"] {
+        if !seen.iter().any(|(l, _)| l == want) {
+            return Err(format!("missing scheduler entry \"{want}\""));
+        }
+    }
+    Ok(seen)
+}
+
+fn main() {
+    let mut scale = 0.02f64;
+    let mut seed = 42u64;
+    let mut out_path = String::from("BENCH_sched.json");
+    let mut guard: Option<f64> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => scale = 0.002,
+            "--scale" => scale = args.next().expect("--scale F").parse().expect("float"),
+            "--seed" => seed = args.next().expect("--seed N").parse().expect("integer"),
+            "--out" => out_path = args.next().expect("--out PATH"),
+            "--guard" => {
+                guard = Some(args.next().expect("--guard R").parse().expect("float"));
+            }
+            "--validate" => {
+                let path = args.next().expect("--validate PATH");
+                let text = std::fs::read_to_string(&path)
+                    .unwrap_or_else(|e| panic!("read {path}: {e}"));
+                match validate(&text) {
+                    Ok(entries) => {
+                        println!("{path}: ok ({} schedulers)", entries.len());
+                        return;
+                    }
+                    Err(e) => {
+                        eprintln!("{path}: INVALID: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: sched_throughput [--smoke] [--scale F] [--seed N] \
+                     [--out PATH] [--guard R] [--validate PATH]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let spec = WorkloadSpec::kth().scaled(scale);
+    let reqs = spec.generate(seed);
+    println!(
+        "sched_throughput: {} requests over {} servers (kth × {scale}, seed {seed})",
+        reqs.len(),
+        spec.servers
+    );
+
+    let mut results = Vec::new();
+    {
+        let mut s = NaiveScheduler::new(spec.servers, bench_cfg());
+        results.push(replay("naive", None, &reqs, |r| {
+            s.advance_to(r.submit);
+            s.submit(r).is_ok()
+        }));
+    }
+    {
+        let mut s = CoAllocScheduler::new(spec.servers, bench_cfg());
+        results.push(replay("online", None, &reqs, |r| {
+            s.advance_to(r.submit);
+            s.submit(r).is_ok()
+        }));
+    }
+    for k in SHARD_COUNTS {
+        let mut s = ShardedScheduler::new(spec.servers, k, bench_cfg());
+        results.push(replay(&format!("sharded-k{k}"), Some(k), &reqs, |r| {
+            s.advance_to(r.submit);
+            s.submit(r).is_ok()
+        }));
+    }
+
+    for m in &results {
+        println!(
+            "  {:<12} {:>10.0} req/s  p50 {:>8.1} µs  p99 {:>9.1} µs  ({} granted, {:.3} s)",
+            m.label, m.rps, m.p50_us, m.p99_us, m.granted, m.secs
+        );
+    }
+
+    let doc = render(&results, &spec, scale, seed, reqs.len());
+    validate(&doc).expect("self-validation of the emitted document");
+    std::fs::write(&out_path, &doc).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
+    println!("wrote {out_path}");
+
+    if let Some(ratio) = guard {
+        let rps_of = |label: &str| {
+            results
+                .iter()
+                .find(|m| m.label == label)
+                .map(|m| m.rps)
+                .expect("label present")
+        };
+        // A single replay is too noisy for a pass/fail gate on a busy host:
+        // re-measure the guarded pair interleaved and compare each label's
+        // best of three trials.
+        let mut online = rps_of("online");
+        let mut k1 = rps_of("sharded-k1");
+        for _ in 0..2 {
+            let mut s = CoAllocScheduler::new(spec.servers, bench_cfg());
+            online = online.max(
+                replay("online", None, &reqs, |r| {
+                    s.advance_to(r.submit);
+                    s.submit(r).is_ok()
+                })
+                .rps,
+            );
+            let mut s = ShardedScheduler::new(spec.servers, 1, bench_cfg());
+            k1 = k1.max(
+                replay("sharded-k1", Some(1), &reqs, |r| {
+                    s.advance_to(r.submit);
+                    s.submit(r).is_ok()
+                })
+                .rps,
+            );
+        }
+        if k1 < ratio * online {
+            eprintln!(
+                "GUARD FAILED: sharded-k1 at {k1:.0} req/s is below {ratio} × online ({online:.0} req/s)"
+            );
+            std::process::exit(1);
+        }
+        println!("guard ok: sharded-k1/online = {:.3} >= {ratio}", k1 / online);
+    }
+}

@@ -5,8 +5,13 @@
 //!
 //! ```text
 //! cargo run -p coalloc-bench --release --bin soak -- \
-//!     [seconds] [seed] [--trace-out PATH] [--metrics-dump]
+//!     [seconds] [seed] [--shards K] [--trace-out PATH] [--metrics-dump]
 //! ```
+//!
+//! With `--shards K` (K > 1) every round also drives a [`ShardedScheduler`]
+//! over the same stream and asserts its grants, rejections, and releases
+//! are identical to the tree scheduler's — the three-way differential
+//! exercises the worker pool under randomized load.
 //!
 //! A divergence (any failed equivalence assertion) prints
 //! `INVARIANT VIOLATED: ...` on stderr and exits non-zero instead of
@@ -16,6 +21,7 @@
 
 use coalloc_core::naive::NaiveScheduler;
 use coalloc_core::prelude::*;
+use coalloc_shard::ShardedScheduler;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -37,9 +43,15 @@ fn main() {
     println!("{}", obs::init_from_env());
     let mut positional = Vec::new();
     let mut metrics_dump = false;
+    let mut shards = 1u32;
     let mut raw = std::env::args().skip(1);
     while let Some(a) = raw.next() {
         match a.as_str() {
+            "--shards" => {
+                let k = raw.next().expect("--shards needs a count");
+                shards = k.parse().expect("--shards takes an integer >= 1");
+                assert!(shards >= 1, "--shards takes an integer >= 1");
+            }
             "--trace-out" => {
                 let path = raw.next().expect("--trace-out needs a path");
                 let sink = obs::trace::JsonlSink::create(&path).expect("open trace file");
@@ -54,14 +66,18 @@ fn main() {
     }
     let seconds: u64 = positional.first().map(|s| s.parse().expect("seconds")).unwrap_or(10);
     let seed: u64 = positional.get(1).map(|s| s.parse().expect("seed")).unwrap_or(42);
-    println!("soak: {seconds}s with seed {seed}");
+    if shards > 1 {
+        println!("soak: {seconds}s with seed {seed} (+ {shards}-shard mirror)");
+    } else {
+        println!("soak: {seconds}s with seed {seed}");
+    }
     let deadline = Instant::now() + std::time::Duration::from_secs(seconds);
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut rounds: u64 = 0;
     let mut total_ops: u64 = 0;
     while Instant::now() < deadline {
         rounds += 1;
-        let round = catch_unwind(AssertUnwindSafe(|| run_round(&mut rng)));
+        let round = catch_unwind(AssertUnwindSafe(|| run_round(&mut rng, shards)));
         match round {
             Ok(ops) => total_ops += ops,
             Err(payload) => {
@@ -85,7 +101,7 @@ fn main() {
 
 /// One randomized differential round; returns the tree op count. Panics (via
 /// the assertions) on any divergence — caught and reported by `main`.
-fn run_round(rng: &mut SmallRng) -> u64 {
+fn run_round(rng: &mut SmallRng, shards: u32) -> u64 {
     let _span = obs::obs_span!("soak.round");
     {
         let n = rng.random_range(1..=12u32);
@@ -100,7 +116,8 @@ fn run_round(rng: &mut SmallRng) -> u64 {
             .build();
         let mut tree = CoAllocScheduler::new(n, cfg);
         let mut naive = NaiveScheduler::new(n, cfg);
-        let mut jobs: Vec<(JobId, JobId)> = Vec::new();
+        let mut mirror = (shards > 1).then(|| ShardedScheduler::new(n, shards, cfg));
+        let mut jobs: Vec<(JobId, JobId, Option<JobId>)> = Vec::new();
         let steps = rng.random_range(50..400);
         let mut now = 0i64;
         for step in 0..steps {
@@ -116,11 +133,25 @@ fn run_round(rng: &mut SmallRng) -> u64 {
                     );
                     let a = tree.submit(&req);
                     let b = naive.submit(&req);
+                    let c = mirror.as_mut().map(|m| m.submit(&req));
+                    if let Some(c) = &c {
+                        match (&a, c) {
+                            (Ok(x), Ok(z)) => {
+                                assert_eq!(x.start, z.start, "shard start div at step {step}");
+                                assert_eq!(x.servers, z.servers, "shard servers at step {step}");
+                                assert_eq!(x.attempts, z.attempts);
+                            }
+                            (Err(x), Err(z)) => {
+                                assert_eq!(x, z, "shard error divergence at step {step}")
+                            }
+                            _ => panic!("shard accept/reject div at step {step}: {a:?} vs {c:?}"),
+                        }
+                    }
                     match (&a, &b) {
                         (Ok(x), Ok(y)) => {
                             assert_eq!(x.start, y.start, "start divergence at step {step}");
                             assert_eq!(x.servers.len(), y.servers.len());
-                            jobs.push((x.job, y.job));
+                            jobs.push((x.job, y.job, c.map(|g| g.unwrap().job)));
                         }
                         (Err(x), Err(y)) => assert_eq!(x, y, "error divergence at step {step}"),
                         _ => panic!("accept/reject divergence at step {step}: {a:?} vs {b:?}"),
@@ -135,25 +166,38 @@ fn run_round(rng: &mut SmallRng) -> u64 {
                         Dur(rng.random_range(1..tau * 2)),
                         rng.random_range(1..=n),
                     );
-                    if let Ok(g) = tree.submit_with_deadline(&req, Time(dl)) {
-                        assert!(g.end <= Time(dl), "late grant");
-                        // Mirror into the oracle so states stay equal.
-                        for srv in &g.servers {
-                            // The oracle cannot replay a specific-server
-                            // commit; release from the tree instead to keep
-                            // the states aligned.
-                            let _ = srv;
+                    let a = tree.submit_with_deadline(&req, Time(dl));
+                    if let Some(m) = mirror.as_mut() {
+                        let c = m.submit_with_deadline(&req, Time(dl));
+                        match (&a, &c) {
+                            (Ok(x), Ok(z)) => {
+                                assert_eq!(x.start, z.start, "shard dl start at step {step}");
+                                assert_eq!(x.servers, z.servers);
+                                m.release(z.job).unwrap();
+                            }
+                            (Err(x), Err(z)) => {
+                                assert_eq!(x, z, "shard dl error at step {step}")
+                            }
+                            _ => panic!("shard deadline div at step {step}: {a:?} vs {c:?}"),
                         }
+                    }
+                    if let Ok(g) = a {
+                        assert!(g.end <= Time(dl), "late grant");
+                        // The oracle cannot replay a specific-server commit;
+                        // release from the tree instead to keep states equal.
                         tree.release(g.job).unwrap();
                     }
                 }
                 7 => {
                     // Release a random live job from both.
                     if !jobs.is_empty() {
-                        let (jt, jn) = jobs.swap_remove(rng.random_range(0..jobs.len()));
+                        let (jt, jn, jm) = jobs.swap_remove(rng.random_range(0..jobs.len()));
                         let a = tree.release(jt);
                         let b = naive.release(jn);
                         assert_eq!(a.is_ok(), b.is_ok());
+                        if let (Some(m), Some(j)) = (mirror.as_mut(), jm) {
+                            assert_eq!(a.is_ok(), m.release(j).is_ok());
+                        }
                     }
                 }
                 8 => {
@@ -161,6 +205,9 @@ fn run_round(rng: &mut SmallRng) -> u64 {
                     now += rng.random_range(0..tau * 3);
                     tree.advance_to(Time(now));
                     naive.advance_to(Time(now));
+                    if let Some(m) = mirror.as_mut() {
+                        m.advance_to(Time(now));
+                    }
                 }
                 _ => {
                     // Range search vs oracle scan.
@@ -185,6 +232,9 @@ fn run_round(rng: &mut SmallRng) -> u64 {
             }
         }
         tree.check_consistency();
+        if let Some(m) = mirror.as_mut() {
+            m.check_consistency();
+        }
         tree.stats().total_ops()
     }
 }

@@ -55,7 +55,7 @@ pub fn fig3(cfg: &ExpConfig) -> io::Result<()> {
     println!("\n== Figure 3: temporal penalty vs temporal size (KTH) ==");
     let spec = spec_by_name(cfg, "KTH");
     let reqs = spec.generate(cfg.seed);
-    let online = online_run(&spec, &reqs, "online");
+    let online = online_run(&spec, &reqs, "online", cfg.shards);
     let batch = batch_run(&spec, BatchPolicy::EasyBackfill, &reqs, "batch");
     let po = online.penalty_by_duration_hours();
     let pb = batch.penalty_by_duration_hours();
@@ -98,7 +98,7 @@ pub fn fig4a(cfg: &ExpConfig) -> io::Result<()> {
     for name in ["CTC", "KTH"] {
         let spec = spec_by_name(cfg, name);
         let reqs = spec.generate(cfg.seed);
-        let online = online_run(&spec, &reqs, "online");
+        let online = online_run(&spec, &reqs, "online", cfg.shards);
         let batch = batch_run(&spec, BatchPolicy::EasyBackfill, &reqs, "batch");
         maxima.push((
             name,
@@ -153,7 +153,7 @@ pub fn fig5(cfg: &ExpConfig) -> io::Result<()> {
     for name in ["CTC", "KTH"] {
         let spec = spec_by_name(cfg, name);
         let reqs = spec.generate(cfg.seed);
-        let online = online_run(&spec, &reqs, "online");
+        let online = online_run(&spec, &reqs, "online", cfg.shards);
         let batch = batch_run(&spec, BatchPolicy::EasyBackfill, &reqs, "batch");
         let go = online.waiting_by_spatial();
         let gb = batch.waiting_by_spatial();
@@ -186,7 +186,7 @@ pub fn table2(cfg: &ExpConfig) -> io::Result<()> {
     for name in ["CTC", "KTH"] {
         let spec = spec_by_name(cfg, name);
         let reqs = spec.generate(cfg.seed);
-        let online = online_run(&spec, &reqs, "online");
+        let online = online_run(&spec, &reqs, "online", cfg.shards);
         for (k, st) in online.attempts_by_spatial().iter() {
             csv.rowf(&[&name, &k, &r3(st.mean()), &st.count()]);
         }
@@ -217,7 +217,7 @@ pub fn fig6(cfg: &ExpConfig) -> io::Result<()> {
         let mut cols: Vec<Vec<(f64, f64)>> = Vec::new();
         for rho in rhos {
             let reqs = with_paper_reservations(&base, rho, cfg.seed);
-            let run = online_run(&spec, &reqs, &format!("rho={rho}"));
+            let run = online_run(&spec, &reqs, &format!("rho={rho}"), cfg.shards);
             cols.push(run.waiting_from_submit_histogram_hours(1.0, 14).frequencies());
         }
         let batch = batch_run(&spec, BatchPolicy::EasyBackfill, &base, "batch");
@@ -253,7 +253,7 @@ pub fn fig7a(cfg: &ExpConfig) -> io::Result<()> {
                     let base = spec.generate(cfg.seed);
                     rhos.map(|rho| {
                         let reqs = with_paper_reservations(&base, rho, cfg.seed);
-                        let run = online_run(&spec, &reqs, "online");
+                        let run = online_run(&spec, &reqs, "online", cfg.shards);
                         run.waiting_from_submit_stats_hours().mean() * 3600.0
                     })
                     .to_vec()
@@ -290,7 +290,7 @@ pub fn fig7b(cfg: &ExpConfig) -> io::Result<()> {
                     let base = spec.generate(cfg.seed);
                     rhos.map(|rho| {
                         let reqs = with_paper_reservations(&base, rho, cfg.seed);
-                        let run = online_run(&spec, &reqs, "online");
+                        let run = online_run(&spec, &reqs, "online", cfg.shards);
                         run.mean_ops_per_request()
                     })
                     .to_vec()
@@ -668,7 +668,7 @@ pub fn fairness(cfg: &ExpConfig) -> io::Result<()> {
         let reqs = spec.generate(cfg.seed);
         let tagged = assign_users(&reqs, 64, 0.5, cfg.seed);
         let runs = [
-            online_run(&spec, &reqs, "online"),
+            online_run(&spec, &reqs, "online", cfg.shards),
             batch_run(&spec, BatchPolicy::EasyBackfill, &reqs, "batch"),
         ];
         for run in runs {

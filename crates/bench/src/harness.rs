@@ -4,7 +4,8 @@
 use coalloc_batch::{run_batch, BatchPolicy};
 use coalloc_core::naive::NaiveScheduler;
 use coalloc_core::prelude::*;
-use coalloc_sim::runner::{run_naive, run_online, RunResult};
+use coalloc_shard::ShardedScheduler;
+use coalloc_sim::runner::{run_naive, run_online, run_with, RunResult};
 use coalloc_workloads::synthetic::WorkloadSpec;
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -19,6 +20,10 @@ pub struct ExpConfig {
     pub seed: u64,
     /// Output directory for CSV files.
     pub out_dir: PathBuf,
+    /// Shard count for the online scheduler (1 = the single
+    /// [`CoAllocScheduler`]; more partitions the servers over parallel
+    /// shard workers — decisions are identical either way).
+    pub shards: u32,
 }
 
 impl Default for ExpConfig {
@@ -27,6 +32,7 @@ impl Default for ExpConfig {
             scale: 0.05,
             seed: 42,
             out_dir: PathBuf::from("results"),
+            shards: 1,
         }
     }
 }
@@ -41,11 +47,23 @@ pub fn paper_scheduler_config() -> SchedulerConfig {
         .build()
 }
 
-/// Run one workload through the online tree-based scheduler.
-pub fn online_run(spec: &WorkloadSpec, requests: &[Request], label: &str) -> RunResult {
+/// Run one workload through the online tree-based scheduler — the single
+/// [`CoAllocScheduler`] for `shards == 1`, the decision-identical
+/// [`ShardedScheduler`] otherwise.
+pub fn online_run(
+    spec: &WorkloadSpec,
+    requests: &[Request],
+    label: &str,
+    shards: u32,
+) -> RunResult {
     let mut span = bench_span("online", spec, requests, label);
-    let mut sched = CoAllocScheduler::new(spec.servers, paper_scheduler_config());
-    let result = run_online(&mut sched, requests, label);
+    let result = if shards > 1 {
+        let mut sched = ShardedScheduler::new(spec.servers, shards, paper_scheduler_config());
+        run_with(&mut sched, requests, label)
+    } else {
+        let mut sched = CoAllocScheduler::new(spec.servers, paper_scheduler_config());
+        run_online(&mut sched, requests, label)
+    };
     finish_bench_span(&mut span, &result);
     result
 }
@@ -193,11 +211,23 @@ mod tests {
     fn harness_runs_all_three_schedulers() {
         let spec = WorkloadSpec::kth().scaled(0.002);
         let reqs = spec.generate(1);
-        let a = online_run(&spec, &reqs, "online");
+        let a = online_run(&spec, &reqs, "online", 1);
         let b = naive_run(&spec, &reqs, "naive");
         let c = batch_run(&spec, BatchPolicy::EasyBackfill, &reqs, "easy");
         assert_eq!(a.outcomes.len(), reqs.len());
         assert_eq!(b.outcomes.len(), reqs.len());
         assert_eq!(c.outcomes.len(), reqs.len());
+    }
+
+    #[test]
+    fn sharded_online_run_matches_single() {
+        let spec = WorkloadSpec::kth().scaled(0.002);
+        let reqs = spec.generate(7);
+        let single = online_run(&spec, &reqs, "online", 1);
+        let sharded = online_run(&spec, &reqs, "online", 4);
+        let starts = |r: &RunResult| -> Vec<Option<Time>> {
+            r.outcomes.iter().map(|o| o.start).collect()
+        };
+        assert_eq!(starts(&single), starts(&sharded));
     }
 }

@@ -60,6 +60,7 @@ pub mod range_search;
 pub mod request;
 pub mod ring;
 pub mod scheduler;
+pub mod scratch;
 pub mod snapshot;
 pub mod stats;
 pub mod time;
@@ -79,6 +80,7 @@ pub mod prelude {
     pub use crate::range_search::Availability;
     pub use crate::request::{Request, RequestError};
     pub use crate::scheduler::{CoAllocScheduler, Grant, SchedulerConfig};
+    pub use crate::scratch::Scratch;
     pub use crate::stats::OpStats;
     pub use crate::time::{Dur, SlotConfig, SlotIdx, Time};
     pub use crate::timeline::{PeriodDelta, Reservation, Timeline};

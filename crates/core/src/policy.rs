@@ -2,10 +2,15 @@
 //!
 //! The paper retrieves the first `n_r` feasible periods found when searching
 //! the marked subtrees in reverse marking order — i.e. candidates with the
-//! *latest* starting times first ([`SelectionPolicy::PaperOrder`]). Because
-//! the choice shapes future fragmentation, the crate also offers classic
-//! best-fit and worst-fit variants as ablations, plus a deterministic
-//! order-independent policy used for oracle testing.
+//! *latest* starting times first ([`SelectionPolicy::PaperOrder`]). Raw
+//! retrieval order is tree-shape dependent among equal start times, so this
+//! crate canonicalises it to the total key *(start desc, server asc, id)*:
+//! the same latest-start-first intent, but deterministic regardless of tree
+//! shape — and therefore identical between the single scheduler and any
+//! sharded partition of the servers. Because the choice shapes future
+//! fragmentation, the crate also offers classic best-fit and worst-fit
+//! variants as ablations, plus a deterministic order-independent policy used
+//! for oracle testing.
 
 use crate::idle::IdlePeriod;
 use crate::time::Time;
@@ -13,9 +18,9 @@ use crate::time::Time;
 /// How the scheduler picks `n_r` periods out of the feasible set.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum SelectionPolicy {
-    /// First `n_r` feasible periods in reverse marking order (the paper's
-    /// behaviour). Phase 2 stops as soon as enough are found, so this is the
-    /// cheapest policy.
+    /// Latest starting times first (the paper's behaviour), canonicalised to
+    /// the total key *(start desc, server asc, id)* so the selection does not
+    /// depend on tree shape or server partitioning.
     #[default]
     PaperOrder,
     /// Minimize leftover tail `et_i - e_r`: keeps large idle periods intact
@@ -29,37 +34,33 @@ pub enum SelectionPolicy {
 }
 
 impl SelectionPolicy {
-    /// Does this policy need the *entire* feasible set, or may Phase 2 stop
-    /// after the first `n_r` hits?
-    pub fn needs_full_enumeration(&self) -> bool {
-        !matches!(self, SelectionPolicy::PaperOrder)
-    }
-
     /// Reduce `feasible` (already feasibility-checked) to at most `n`
     /// periods according to the policy. `end` is the job end `e_r`.
     /// `feasible` arrives in the order Phase 2 produced it.
     pub fn select(&self, mut feasible: Vec<IdlePeriod>, n: usize, end: Time) -> Vec<IdlePeriod> {
+        self.select_in_place(&mut feasible, n, end);
+        feasible
+    }
+
+    /// In-place variant of [`SelectionPolicy::select`] for the allocation-free
+    /// hot path. Every sort key is total (the period id breaks ties), so the
+    /// unstable in-place sort is deterministic.
+    pub fn select_in_place(&self, feasible: &mut Vec<IdlePeriod>, n: usize, end: Time) {
         match self {
             SelectionPolicy::PaperOrder => {
-                feasible.truncate(n);
-                feasible
+                feasible.sort_unstable_by_key(|p| (std::cmp::Reverse(p.start), p.server, p.id));
             }
             SelectionPolicy::BestFit => {
-                feasible.sort_by_key(|p| (p.end - end, p.server, p.id));
-                feasible.truncate(n);
-                feasible
+                feasible.sort_unstable_by_key(|p| (p.end - end, p.server, p.id));
             }
             SelectionPolicy::WorstFit => {
-                feasible.sort_by_key(|p| (std::cmp::Reverse(p.end - end), p.server, p.id));
-                feasible.truncate(n);
-                feasible
+                feasible.sort_unstable_by_key(|p| (std::cmp::Reverse(p.end - end), p.server, p.id));
             }
             SelectionPolicy::ByServerId => {
-                feasible.sort_by_key(|p| (p.server, p.id));
-                feasible.truncate(n);
-                feasible
+                feasible.sort_unstable_by_key(|p| (p.server, p.id));
             }
         }
+        feasible.truncate(n);
     }
 }
 
@@ -82,10 +83,15 @@ mod tests {
     }
 
     #[test]
-    fn paper_order_keeps_arrival_order() {
+    fn paper_order_takes_latest_starts_first() {
+        // Starts: id1→0, id2→5, id3→2, id4→1; latest two are ids 2 and 3.
         let sel = SelectionPolicy::PaperOrder.select(sample(), 2, Time(20));
-        assert_eq!(sel.iter().map(|x| x.id.0).collect::<Vec<_>>(), vec![1, 2]);
-        assert!(!SelectionPolicy::PaperOrder.needs_full_enumeration());
+        assert_eq!(sel.iter().map(|x| x.id.0).collect::<Vec<_>>(), vec![2, 3]);
+        // Order independence: reversing the input changes nothing.
+        let mut shuffled = sample();
+        shuffled.reverse();
+        let again = SelectionPolicy::PaperOrder.select(shuffled, 2, Time(20));
+        assert_eq!(sel, again);
     }
 
     #[test]

@@ -16,6 +16,7 @@
 
 use crate::idle::{EndKey, IdlePeriod, StartKey};
 use crate::ids::PeriodId;
+use crate::scratch::Scratch;
 use crate::stats::OpStats;
 use crate::time::Time;
 use crate::treap::{Treap, TreapArena};
@@ -81,16 +82,17 @@ impl SlotTree {
         }
     }
 
-    /// Build directly from a slice of periods (used when a new slot tree is
-    /// created at the horizon edge). `O(k log k)`.
-    pub fn from_periods(seed: u64, periods: &[IdlePeriod], ops: &mut OpStats) -> SlotTree {
+    /// Build directly from an owned list of periods (used when a slot tree
+    /// must be seeded wholesale, e.g. on snapshot restore). Takes ownership
+    /// so the periods are sorted in place — no intermediate copy. `O(k log k)`.
+    pub fn from_periods(seed: u64, mut periods: Vec<IdlePeriod>, ops: &mut OpStats) -> SlotTree {
         let mut tree = SlotTree::new(seed);
-        let mut sorted: Vec<IdlePeriod> = periods.to_vec();
-        sorted.sort_by_key(|p| p.start_key());
-        tree.size = sorted.len() as u32;
+        periods.sort_unstable_by_key(|p| p.start_key());
+        tree.size = periods.len() as u32;
         tree.max_size_since_rebuild = tree.size;
-        tree.root = tree.build_balanced(&sorted, ops);
         ops.periods_inserted += periods.len() as u64;
+        let mut scratch = Scratch::new();
+        tree.root = tree.build_balanced(&periods, &mut scratch.ends, &mut scratch.ends_aux, ops);
         tree
     }
 
@@ -143,7 +145,19 @@ impl SlotTree {
     // ------------------------------------------------------------------
 
     /// Insert an idle period. Amortized `O(log^2 n)`.
+    ///
+    /// Convenience wrapper over [`SlotTree::insert_with`] that allocates its
+    /// own temporaries; the scheduler hot path threads a shared [`Scratch`]
+    /// instead.
     pub fn insert(&mut self, period: IdlePeriod, ops: &mut OpStats) {
+        let mut scratch = Scratch::new();
+        self.insert_with(period, &mut scratch, ops);
+    }
+
+    /// Insert an idle period, reusing `scratch` for the update path and any
+    /// rebuild staging. Amortized `O(log^2 n)`, allocation-free once the
+    /// scratch buffers are warm.
+    pub fn insert_with(&mut self, period: IdlePeriod, scratch: &mut Scratch, ops: &mut OpStats) {
         ops.periods_inserted += 1;
         self.size += 1;
         self.max_size_since_rebuild = self.max_size_since_rebuild.max(self.size);
@@ -153,8 +167,11 @@ impl SlotTree {
         }
         let key = period.start_key();
         let end_key = period.end_key();
-        // Descend to the leaf position, updating ancestors on the way.
-        let mut path: Vec<u32> = Vec::with_capacity(32);
+        // Descend to the leaf position, updating ancestors on the way. The
+        // path buffer is taken out of the scratch so the rebuild below can
+        // borrow the rest of it.
+        let mut path = std::mem::take(&mut scratch.path);
+        path.clear();
         let mut cur = self.root;
         loop {
             ops.update_visits += 1;
@@ -203,12 +220,27 @@ impl SlotTree {
                 PNode::Free => unreachable!("descended into freed node"),
             }
         }
-        self.rebalance_path(&path, ops);
+        self.rebalance_path(&path, scratch, ops);
+        scratch.path = path;
     }
 
     /// Remove a period (identified by its full record, so both tree keys are
     /// known). Returns whether it was present. Amortized `O(log^2 n)`.
+    ///
+    /// Convenience wrapper over [`SlotTree::remove_with`].
     pub fn remove(&mut self, period: &IdlePeriod, ops: &mut OpStats) -> bool {
+        let mut scratch = Scratch::new();
+        self.remove_with(period, &mut scratch, ops)
+    }
+
+    /// Remove a period, reusing `scratch` for the update path and any rebuild
+    /// staging. Amortized `O(log^2 n)`, allocation-free once warm.
+    pub fn remove_with(
+        &mut self,
+        period: &IdlePeriod,
+        scratch: &mut Scratch,
+        ops: &mut OpStats,
+    ) -> bool {
         if self.root == NIL {
             return false;
         }
@@ -241,7 +273,8 @@ impl SlotTree {
         // grandparent for the structural splice.
         let mut parent: u32 = NIL;
         let mut grandparent: u32 = NIL;
-        let mut path: Vec<u32> = Vec::with_capacity(32);
+        let mut path = std::mem::take(&mut scratch.path);
+        path.clear();
         let mut cur = self.root;
         loop {
             ops.update_visits += 1;
@@ -307,45 +340,50 @@ impl SlotTree {
         if self.size > 0
             && (self.size as u64) * ALPHA_DEN < (self.max_size_since_rebuild as u64) * ALPHA_NUM
         {
-            self.rebuild_root(ops);
+            self.rebuild_root(scratch, ops);
         } else {
-            self.rebalance_path(&path, ops);
+            self.rebalance_path(&path, scratch, ops);
         }
+        scratch.path = path;
         true
     }
 
     /// Find the highest weight-unbalanced node on `path` and rebuild it.
-    fn rebalance_path(&mut self, path: &[u32], ops: &mut OpStats) {
+    fn rebalance_path(&mut self, path: &[u32], scratch: &mut Scratch, ops: &mut OpStats) {
         for (idx, &n) in path.iter().enumerate() {
             if let PNode::Internal { left, right, size, .. } = &self.nodes[n as usize] {
                 let max_child = self.node_size(*left).max(self.node_size(*right)) as u64;
                 if max_child * ALPHA_DEN > (*size as u64) * ALPHA_NUM {
                     let parent = if idx == 0 { NIL } else { path[idx - 1] };
-                    self.rebuild_at(n, parent, ops);
+                    self.rebuild_at(n, parent, scratch, ops);
                     return;
                 }
             }
         }
     }
 
-    fn rebuild_root(&mut self, ops: &mut OpStats) {
+    fn rebuild_root(&mut self, scratch: &mut Scratch, ops: &mut OpStats) {
         if self.root != NIL {
-            self.rebuild_at(self.root, NIL, ops);
+            self.rebuild_at(self.root, NIL, scratch, ops);
         }
         self.max_size_since_rebuild = self.size;
     }
 
     /// Flatten the subtree at `node` and rebuild it perfectly balanced,
-    /// reconstructing every secondary tree.
-    fn rebuild_at(&mut self, node: u32, parent: u32, ops: &mut OpStats) {
+    /// reconstructing every secondary tree. The leaf and end-key staging
+    /// buffers come from `scratch`, so repeated rebuilds reuse one
+    /// allocation each.
+    fn rebuild_at(&mut self, node: u32, parent: u32, scratch: &mut Scratch, ops: &mut OpStats) {
         ops.rebuilds += 1;
         static REBUILD_SIZE: obs::LazyHistogram = obs::LazyHistogram::new("tree_rebuild_size");
         let size = self.node_size(node);
         REBUILD_SIZE.observe(size as u64);
         obs::obs_event!("tree.rebuild", "size" => size as u64, "root" => parent == NIL);
-        let mut leaves: Vec<IdlePeriod> = Vec::with_capacity(self.node_size(node) as usize);
+        let mut leaves = std::mem::take(&mut scratch.leaves);
+        leaves.clear();
         self.collect_and_free(node, &mut leaves);
-        let rebuilt = self.build_balanced(&leaves, ops);
+        let rebuilt = self.build_balanced(&leaves, &mut scratch.ends, &mut scratch.ends_aux, ops);
+        scratch.leaves = leaves;
         if parent == NIL {
             self.root = rebuilt;
         } else if let PNode::Internal { left, right, .. } = &mut self.nodes[parent as usize] {
@@ -388,47 +426,70 @@ impl SlotTree {
     /// node's end-key list is the `O(k)` merge of its children's lists, and
     /// the treap itself is bulk-built from the sorted list in `O(k)`, for
     /// `O(k log k)` per rebuild overall (vs `O(k log^2 k)` with repeated
-    /// inserts).
-    fn build_balanced(&mut self, sorted: &[IdlePeriod], ops: &mut OpStats) -> u32 {
-        let (node, _ends) = self.build_rec(sorted, ops);
-        node
+    /// inserts). Instead of allocating one end-key vector per internal node,
+    /// the recursion keeps all runs on a single shared stack (`ends`) and
+    /// merges adjacent runs through one auxiliary buffer (`aux`), so a
+    /// rebuild allocates nothing once both buffers are warm.
+    fn build_balanced(
+        &mut self,
+        sorted: &[IdlePeriod],
+        ends: &mut Vec<EndKey>,
+        aux: &mut Vec<EndKey>,
+        ops: &mut OpStats,
+    ) -> u32 {
+        ends.clear();
+        self.build_rec(sorted, ends, aux, ops)
     }
 
-    fn build_rec(&mut self, sorted: &[IdlePeriod], ops: &mut OpStats) -> (u32, Vec<EndKey>) {
+    /// Builds the subtree over `sorted`; on return, that subtree's end keys
+    /// are the top `sorted.len()` entries of `ends`, in ascending order.
+    fn build_rec(
+        &mut self,
+        sorted: &[IdlePeriod],
+        ends: &mut Vec<EndKey>,
+        aux: &mut Vec<EndKey>,
+        ops: &mut OpStats,
+    ) -> u32 {
         match sorted.len() {
-            0 => (NIL, Vec::new()),
-            1 => (
-                self.alloc(PNode::Leaf { period: sorted[0] }),
-                vec![sorted[0].end_key()],
-            ),
+            0 => NIL,
+            1 => {
+                ends.push(sorted[0].end_key());
+                self.alloc(PNode::Leaf { period: sorted[0] })
+            }
             len => {
                 ops.update_visits += len as u64;
                 let mid = len / 2; // left gets [0, mid), right [mid, len)
-                let (left, lends) = self.build_rec(&sorted[..mid], ops);
-                let (right, rends) = self.build_rec(&sorted[mid..], ops);
-                // Merge the children's sorted end-key lists.
-                let mut ends = Vec::with_capacity(len);
-                let (mut i, mut j) = (0, 0);
-                while i < lends.len() && j < rends.len() {
-                    if lends[i] <= rends[j] {
-                        ends.push(lends[i]);
-                        i += 1;
-                    } else {
-                        ends.push(rends[j]);
-                        j += 1;
+                let base = ends.len();
+                let left = self.build_rec(&sorted[..mid], ends, aux, ops);
+                let right = self.build_rec(&sorted[mid..], ends, aux, ops);
+                // Merge the two adjacent sorted runs the children left on
+                // the stack: ends[base..base+mid] and ends[base+mid..].
+                aux.clear();
+                {
+                    let (l, r) = ends[base..].split_at(mid);
+                    let (mut i, mut j) = (0, 0);
+                    while i < l.len() && j < r.len() {
+                        if l[i] <= r[j] {
+                            aux.push(l[i]);
+                            i += 1;
+                        } else {
+                            aux.push(r[j]);
+                            j += 1;
+                        }
                     }
+                    aux.extend_from_slice(&l[i..]);
+                    aux.extend_from_slice(&r[j..]);
                 }
-                ends.extend_from_slice(&lends[i..]);
-                ends.extend_from_slice(&rends[j..]);
-                let secondary = Treap::from_sorted(&mut self.arena, &ends, ops);
-                let node = self.alloc(PNode::Internal {
+                ends.truncate(base);
+                ends.extend_from_slice(aux);
+                let secondary = Treap::from_sorted(&mut self.arena, &ends[base..], ops);
+                self.alloc(PNode::Internal {
                     left,
                     right,
                     size: len as u32,
                     split: sorted[mid - 1].start_key(),
                     secondary,
-                });
-                (node, ends)
+                })
             }
         }
     }
@@ -441,9 +502,24 @@ impl SlotTree {
     ///
     /// Returns the total candidate count (from subtree-size annotations, no
     /// enumeration) and the marked subtrees, in marking order. `O(log n)`.
+    ///
+    /// Convenience wrapper over [`SlotTree::phase1_candidates_into`].
     pub fn phase1_candidates(&self, start: Time, ops: &mut OpStats) -> (usize, Vec<MarkedNode>) {
-        ops.phase1_searches += 1;
         let mut marked = Vec::new();
+        let count = self.phase1_candidates_into(start, &mut marked, ops);
+        (count, marked)
+    }
+
+    /// Phase 1 into a caller-supplied marked-node buffer (cleared first);
+    /// returns the candidate count. Allocation-free once `marked` is warm.
+    pub fn phase1_candidates_into(
+        &self,
+        start: Time,
+        marked: &mut Vec<MarkedNode>,
+        ops: &mut OpStats,
+    ) -> usize {
+        ops.phase1_searches += 1;
+        marked.clear();
         let mut count = 0usize;
         let mut cur = self.root;
         while cur != NIL {
@@ -472,13 +548,15 @@ impl SlotTree {
                 PNode::Free => unreachable!(),
             }
         }
-        (count, marked)
+        count
     }
 
     /// Phase 2: among the Phase-1 candidates, find up to `limit` *feasible*
     /// periods (`et_i >= end`), searching marked subtrees in reverse marking
     /// order (latest-starting candidates first, as in the paper's example).
     /// `O(log^2 n)` plus `O(limit)` retrieval.
+    ///
+    /// Convenience wrapper over [`SlotTree::phase2_feasible_into`].
     pub fn phase2_feasible(
         &self,
         marked: &[MarkedNode],
@@ -486,8 +564,24 @@ impl SlotTree {
         limit: usize,
         ops: &mut OpStats,
     ) -> Vec<PeriodId> {
-        ops.phase2_searches += 1;
         let mut out: Vec<PeriodId> = Vec::new();
+        self.phase2_feasible_into(marked, end, limit, &mut out, ops);
+        out
+    }
+
+    /// Phase 2 appending into a caller-supplied buffer. `limit` caps the
+    /// *total* length of `out` (pre-existing entries — e.g. trailing-set
+    /// candidates collected first — count against it). Allocation-free once
+    /// `out` is warm.
+    pub fn phase2_feasible_into(
+        &self,
+        marked: &[MarkedNode],
+        end: Time,
+        limit: usize,
+        out: &mut Vec<PeriodId>,
+        ops: &mut OpStats,
+    ) {
+        ops.phase2_searches += 1;
         for &MarkedNode(n) in marked.iter().rev() {
             if out.len() >= limit {
                 break;
@@ -504,14 +598,13 @@ impl SlotTree {
                         &self.arena,
                         EndKey { end, id: PeriodId(0) },
                         limit,
-                        &mut out,
+                        out,
                         ops,
                     );
                 }
                 PNode::Free => unreachable!(),
             }
         }
-        out
     }
 
     /// Count (without retrieving) the feasible periods among the marked
@@ -794,7 +887,7 @@ mod tests {
         let periods: Vec<IdlePeriod> = (0..64)
             .map(|i| p(i, (i % 8) as u32, (i * 37 % 100) as i64, (200 + i * 13 % 97) as i64))
             .collect();
-        let bulk = SlotTree::from_periods(9, &periods, &mut ops);
+        let bulk = SlotTree::from_periods(9, periods.clone(), &mut ops);
         bulk.check_invariants();
         let mut inc = SlotTree::new(9);
         for q in &periods {

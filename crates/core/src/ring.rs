@@ -16,6 +16,7 @@
 
 use crate::idle::IdlePeriod;
 use crate::primary::SlotTree;
+use crate::scratch::Scratch;
 use crate::stats::OpStats;
 use crate::time::{SlotConfig, SlotIdx, Time};
 use crate::timeline::Timeline;
@@ -103,10 +104,17 @@ impl SlotRing {
     /// overlaps. Trailing (open-ended) periods belong in the trailing
     /// index instead.
     pub fn insert_period(&mut self, p: &IdlePeriod, ops: &mut OpStats) {
+        let mut scratch = Scratch::new();
+        self.insert_period_with(p, &mut scratch, ops);
+    }
+
+    /// [`SlotRing::insert_period`] reusing the caller's scratch buffers
+    /// (allocation-free once warm).
+    pub fn insert_period_with(&mut self, p: &IdlePeriod, scratch: &mut Scratch, ops: &mut OpStats) {
         debug_assert!(!p.end.is_inf(), "trailing periods live in TrailingSet");
         if let Some((first, last)) = self.live_slots(p) {
             for q in first.0..=last.0 {
-                self.tree_mut(SlotIdx(q)).insert(*p, ops);
+                self.tree_mut(SlotIdx(q)).insert_with(*p, scratch, ops);
             }
         }
     }
@@ -114,10 +122,17 @@ impl SlotRing {
     /// Remove a dead finite idle period from every live slot tree it
     /// overlaps.
     pub fn remove_period(&mut self, p: &IdlePeriod, ops: &mut OpStats) {
+        let mut scratch = Scratch::new();
+        self.remove_period_with(p, &mut scratch, ops);
+    }
+
+    /// [`SlotRing::remove_period`] reusing the caller's scratch buffers
+    /// (allocation-free once warm).
+    pub fn remove_period_with(&mut self, p: &IdlePeriod, scratch: &mut Scratch, ops: &mut OpStats) {
         debug_assert!(!p.end.is_inf(), "trailing periods live in TrailingSet");
         if let Some((first, last)) = self.live_slots(p) {
             for q in first.0..=last.0 {
-                let removed = self.tree_mut(SlotIdx(q)).remove(p, ops);
+                let removed = self.tree_mut(SlotIdx(q)).remove_with(p, scratch, ops);
                 debug_assert!(removed, "period {p:?} missing from slot {q}");
             }
         }

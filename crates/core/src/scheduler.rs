@@ -18,6 +18,7 @@ use crate::ids::{JobId, ServerId};
 use crate::policy::SelectionPolicy;
 use crate::request::Request;
 use crate::ring::SlotRing;
+use crate::scratch::Scratch;
 use crate::stats::OpStats;
 use crate::time::{Dur, SlotConfig, Time};
 use crate::timeline::{PeriodDelta, Reservation, Timeline};
@@ -38,6 +39,7 @@ static REQUESTS: LazyCounter = LazyCounter::new("sched_requests_total");
 static GRANTS: LazyCounter = LazyCounter::new("sched_grants_total");
 static REJECTS: LazyCounter = LazyCounter::new("sched_rejects_total");
 static ATTEMPTS_HIST: LazyHistogram = LazyHistogram::new("sched_attempts");
+static RETRIES_SKIPPED: LazyCounter = LazyCounter::new("sched_retries_skipped_total");
 static PHASE1_TOTAL: LazyCounter = LazyCounter::new("sched_phase1_total");
 static PHASE2_TOTAL: LazyCounter = LazyCounter::new("sched_phase2_total");
 static PHASE1_CANDIDATES: LazyHistogram = LazyHistogram::new("sched_phase1_candidates");
@@ -189,6 +191,17 @@ pub struct Grant {
     pub waiting: Dur,
 }
 
+/// A single queued index update (deferred mode). Deltas are flattened into
+/// these ops so the pending queue is one flat `Vec` whose capacity is reused
+/// across flushes instead of a `Vec` of freshly allocated `PeriodDelta`s.
+#[derive(Clone, Copy, Debug)]
+enum PendingOp {
+    /// Remove this idle period from the indexes.
+    Remove(IdlePeriod),
+    /// Insert this idle period into the indexes.
+    Add(IdlePeriod),
+}
+
 /// The online co-allocation scheduler.
 #[derive(Clone, Debug)]
 pub struct CoAllocScheduler {
@@ -203,8 +216,10 @@ pub struct CoAllocScheduler {
     jobs: HashMap<JobId, Vec<Reservation>>,
     next_job: u64,
     stats: OpStats,
-    /// Deltas committed but not yet applied to the indexes (deferred mode).
-    pending: Vec<PeriodDelta>,
+    /// Reusable buffers for the per-request hot path.
+    scratch: Scratch,
+    /// Index updates committed but not yet applied (deferred mode).
+    pending: Vec<PendingOp>,
     /// Window start at the last history prune.
     last_prune: Time,
 }
@@ -240,6 +255,7 @@ impl CoAllocScheduler {
             jobs: HashMap::new(),
             next_job: 0,
             stats,
+            scratch: Scratch::new(),
             pending: Vec::new(),
             last_prune: origin,
         }
@@ -333,26 +349,44 @@ impl CoAllocScheduler {
             "duration_s" => req.duration.secs().max(0) as u64,
             "earliest_s" => earliest.secs()
         );
+        // Short-circuit: starts whose shifted end `e_r` falls past the
+        // horizon can never succeed, so the retry loop only runs over starts
+        // that fit. Attempts the R_max budget allowed but the horizon ruled
+        // out are counted as skipped instead of searched.
+        let horizon_end = self.ring.horizon_end();
+        let budget = r_max as u64 + 1;
+        let horizon_attempts = if earliest + req.duration > horizon_end {
+            0
+        } else {
+            ((horizon_end - req.duration - earliest).secs() / self.cfg.delta_t.secs()) as u64 + 1
+        };
+        let tries = budget.min(horizon_attempts);
         let mut attempts = 0u32;
         let mut start = earliest;
         let result = loop {
-            let end = start + req.duration;
-            if end > self.ring.horizon_end() {
-                break Err(ScheduleError::HorizonExceeded {
-                    horizon_end: self.ring.horizon_end(),
-                });
+            if attempts as u64 >= tries {
+                let skipped = budget - attempts as u64;
+                if skipped > 0 {
+                    self.stats.attempts_skipped += skipped;
+                    RETRIES_SKIPPED.add(skipped);
+                }
+                break if horizon_attempts < budget {
+                    Err(ScheduleError::HorizonExceeded { horizon_end })
+                } else {
+                    Err(ScheduleError::Exhausted {
+                        attempts,
+                        last_tried: start - self.cfg.delta_t,
+                    })
+                };
             }
+            let end = start + req.duration;
             attempts += 1;
             self.stats.attempts += 1;
-            if let Some(chosen) = self.try_once(start, end, req.servers) {
+            if self.try_once(start, end, req.servers) {
+                let chosen = std::mem::take(&mut self.scratch.feasible);
                 let grant = self.commit(&chosen, start, end, attempts, earliest);
+                self.scratch.feasible = chosen;
                 break Ok(grant);
-            }
-            if attempts > r_max {
-                break Err(ScheduleError::Exhausted {
-                    attempts,
-                    last_tried: start,
-                });
             }
             start += self.cfg.delta_t;
         };
@@ -380,13 +414,15 @@ impl CoAllocScheduler {
     }
 
     /// One scheduling attempt at a fixed start time: Phase 1 + Phase 2 +
-    /// policy selection. Returns the chosen periods on success.
+    /// policy selection. On success returns `true` with the chosen periods
+    /// (exactly `n` of them) left in `self.scratch.feasible`.
     ///
     /// Candidates come from two places: the slot tree of the slot containing
     /// `start` (finite periods) and the global trailing index (open-ended
     /// periods, which are candidates iff `st <= start` and then feasible for
-    /// any end).
-    fn try_once(&mut self, start: Time, end: Time, n: u32) -> Option<Vec<IdlePeriod>> {
+    /// any end). All working storage lives in [`Scratch`], so a steady-state
+    /// attempt performs no heap allocation.
+    fn try_once(&mut self, start: Time, end: Time, n: u32) -> bool {
         self.flush_updates();
         let n = n as usize;
         let q = self.slot_cfg.slot_of(start);
@@ -398,7 +434,8 @@ impl CoAllocScheduler {
         let p1_visits = self.stats.primary_visits;
         let mut p1_span = obs_span_detail!("sched.phase1", "start_s" => start.secs(), "need" => n);
         let trailing_count = self.trailing.count_candidates(start, &mut self.stats);
-        let (finite_count, marked) = tree.phase1_candidates(start, &mut self.stats);
+        let finite_count =
+            tree.phase1_candidates_into(start, &mut self.scratch.marked, &mut self.stats);
         PHASE1_CANDIDATES.observe((trailing_count + finite_count) as u64);
         if p1_span.active() {
             p1_span.record("trailing", trailing_count);
@@ -407,57 +444,64 @@ impl CoAllocScheduler {
         }
         drop(p1_span);
         if trailing_count + finite_count < n {
-            return None;
+            return false;
         }
-        // Phase 2: retrieve feasible periods; PaperOrder stops at n, the
-        // other policies enumerate the full feasible set first. Trailing
-        // candidates are collected first: they are the schedule's tail and
-        // thus typically the latest-starting candidates, matching the
-        // reverse-marking retrieval order.
-        let limit = if self.cfg.policy.needs_full_enumeration() {
-            usize::MAX
-        } else {
-            n
-        };
+        // Phase 2: enumerate the full feasible set. Every policy then sorts
+        // by a total key, so the selection is deterministic regardless of the
+        // tree shape (and identical under any sharded partition of the
+        // servers). Trailing candidates (feasible for any end) come first.
         let p2_visits = self.stats.secondary_visits;
-        let mut p2_span =
-            obs_span_detail!("sched.phase2", "end_s" => end.secs(), "limit" => limit.min(u32::MAX as usize));
-        let mut ids = Vec::with_capacity(n.min(trailing_count + finite_count));
+        let mut p2_span = obs_span_detail!("sched.phase2", "end_s" => end.secs(), "need" => n);
+        self.scratch.ids.clear();
         self.trailing
-            .collect_candidates(start, limit, &mut ids, &mut self.stats);
-        if ids.len() < limit {
-            let finite = tree.phase2_feasible(&marked, end, limit - ids.len(), &mut self.stats);
-            ids.extend(finite);
-        }
+            .collect_candidates(start, usize::MAX, &mut self.scratch.ids, &mut self.stats);
+        tree.phase2_feasible_into(
+            &self.scratch.marked,
+            end,
+            usize::MAX,
+            &mut self.scratch.ids,
+            &mut self.stats,
+        );
         let depth = self.stats.secondary_visits - p2_visits;
         PHASE2_DEPTH.observe(depth);
         if p2_span.active() {
-            p2_span.record("retrieved", ids.len());
+            p2_span.record("retrieved", self.scratch.ids.len());
             p2_span.record("visits", depth);
         }
         drop(p2_span);
-        if ids.len() < n {
-            return None;
+        if self.scratch.ids.len() < n {
+            return false;
         }
-        let feasible: Vec<IdlePeriod> = ids
-            .iter()
-            .map(|id| {
+        self.scratch.feasible.clear();
+        for id in &self.scratch.ids {
+            self.scratch.feasible.push(
                 *self
                     .timeline
                     .period(*id)
-                    .expect("slot tree refers to live period")
-            })
-            .collect();
-        let chosen = self.cfg.policy.select(feasible, n, end);
-        debug_assert_eq!(chosen.len(), n);
-        Some(chosen)
+                    .expect("slot tree refers to live period"),
+            );
+        }
+        self.cfg
+            .policy
+            .select_in_place(&mut self.scratch.feasible, n, end);
+        debug_assert_eq!(self.scratch.feasible.len(), n);
+        true
     }
 
     /// Route a timeline delta: applied immediately, or queued for the next
     /// search in deferred mode (the paper's background-update option).
+    ///
+    /// The delta must not alias `self.scratch.delta` (callers `mem::take` it
+    /// first), so the index updates below are free to use the scratch
+    /// buffers.
     fn apply_delta(&mut self, delta: &PeriodDelta) {
         if self.cfg.deferred_updates {
-            self.pending.push(delta.clone());
+            for p in &delta.removed {
+                self.pending.push(PendingOp::Remove(*p));
+            }
+            for p in &delta.added {
+                self.pending.push(PendingOp::Add(*p));
+            }
             return;
         }
         self.apply_delta_now(delta);
@@ -467,9 +511,20 @@ impl CoAllocScheduler {
     /// search in deferred mode; exposed so embedders can flush during idle
     /// time ("in the background").
     pub fn flush_updates(&mut self) {
-        let pending = std::mem::take(&mut self.pending);
-        for delta in &pending {
-            self.apply_delta_now(delta);
+        if self.pending.is_empty() {
+            return;
+        }
+        let mut pending = std::mem::take(&mut self.pending);
+        for op in pending.drain(..) {
+            match op {
+                PendingOp::Remove(p) => self.remove_from_indexes(&p),
+                PendingOp::Add(p) => self.add_to_indexes(&p),
+            }
+        }
+        // Hand the (now empty) buffer back so its capacity is reused. Any
+        // ops a re-entrant call queued in the meantime are preserved.
+        if self.pending.is_empty() {
+            self.pending = pending;
         }
     }
 
@@ -482,19 +537,29 @@ impl CoAllocScheduler {
     /// slot-tree ring, open-ended ones to the trailing set.
     fn apply_delta_now(&mut self, delta: &PeriodDelta) {
         for p in &delta.removed {
-            if p.end.is_inf() {
-                let removed = self.trailing.remove(p, &mut self.stats);
-                debug_assert!(removed, "trailing period {p:?} missing");
-            } else {
-                self.ring.remove_period(p, &mut self.stats);
-            }
+            self.remove_from_indexes(p);
         }
         for p in &delta.added {
-            if p.end.is_inf() {
-                self.trailing.insert(p, &mut self.stats);
-            } else {
-                self.ring.insert_period(p, &mut self.stats);
-            }
+            self.add_to_indexes(p);
+        }
+    }
+
+    fn remove_from_indexes(&mut self, p: &IdlePeriod) {
+        if p.end.is_inf() {
+            let removed = self.trailing.remove(p, &mut self.stats);
+            debug_assert!(removed, "trailing period {p:?} missing");
+        } else {
+            self.ring
+                .remove_period_with(p, &mut self.scratch, &mut self.stats);
+        }
+    }
+
+    fn add_to_indexes(&mut self, p: &IdlePeriod) {
+        if p.end.is_inf() {
+            self.trailing.insert(p, &mut self.stats);
+        } else {
+            self.ring
+                .insert_period_with(p, &mut self.scratch, &mut self.stats);
         }
     }
 
@@ -512,8 +577,9 @@ impl CoAllocScheduler {
         self.next_job += 1;
         let mut servers = Vec::with_capacity(chosen.len());
         let mut reservations = Vec::with_capacity(chosen.len());
+        let mut delta = std::mem::take(&mut self.scratch.delta);
         for p in chosen {
-            let delta = self.timeline.reserve(p.id, job, start, end);
+            self.timeline.reserve_into(p.id, job, start, end, &mut delta);
             self.apply_delta(&delta);
             servers.push(p.server);
             reservations.push(Reservation {
@@ -523,6 +589,7 @@ impl CoAllocScheduler {
                 end,
             });
         }
+        self.scratch.delta = delta;
         self.jobs.insert(job, reservations);
         Grant {
             job,
@@ -573,27 +640,46 @@ impl CoAllocScheduler {
             "duration_s" => req.duration.secs().max(0) as u64,
             "deadline_s" => deadline.secs()
         );
+        // Same short-circuit as `submit`, with the deadline as an extra cap:
+        // no start later than `deadline - l_r` and none whose end would pass
+        // the horizon is ever searched.
+        let horizon_end = self.ring.horizon_end();
+        let budget = (r_max as u64 + 1)
+            .min(((latest_start - earliest).secs() / self.cfg.delta_t.secs()) as u64 + 1);
+        let horizon_attempts = if earliest + req.duration > horizon_end {
+            0
+        } else {
+            ((horizon_end - req.duration - earliest).secs() / self.cfg.delta_t.secs()) as u64 + 1
+        };
+        let tries = budget.min(horizon_attempts);
         let mut attempts = 0u32;
         let mut start = earliest;
-        let result = 'search: {
-            while start <= latest_start && attempts <= r_max {
-                let end = start + req.duration;
-                if end > self.ring.horizon_end() {
-                    break 'search Err(ScheduleError::HorizonExceeded {
-                        horizon_end: self.ring.horizon_end(),
-                    });
+        let result = loop {
+            if attempts as u64 >= tries {
+                let skipped = budget - attempts as u64;
+                if skipped > 0 {
+                    self.stats.attempts_skipped += skipped;
+                    RETRIES_SKIPPED.add(skipped);
                 }
-                attempts += 1;
-                self.stats.attempts += 1;
-                if let Some(chosen) = self.try_once(start, end, req.servers) {
-                    break 'search Ok(self.commit(&chosen, start, end, attempts, earliest));
-                }
-                start += self.cfg.delta_t;
+                break if horizon_attempts < budget {
+                    Err(ScheduleError::HorizonExceeded { horizon_end })
+                } else {
+                    Err(ScheduleError::Exhausted {
+                        attempts,
+                        last_tried: start - self.cfg.delta_t,
+                    })
+                };
             }
-            Err(ScheduleError::Exhausted {
-                attempts,
-                last_tried: start - self.cfg.delta_t,
-            })
+            let end = start + req.duration;
+            attempts += 1;
+            self.stats.attempts += 1;
+            if self.try_once(start, end, req.servers) {
+                let chosen = std::mem::take(&mut self.scratch.feasible);
+                let grant = self.commit(&chosen, start, end, attempts, earliest);
+                self.scratch.feasible = chosen;
+                break Ok(grant);
+            }
+            start += self.cfg.delta_t;
         };
         ATTEMPTS_HIST.observe(attempts as u64);
         record_op_delta(&self.stats.since(&before));
@@ -689,8 +775,10 @@ impl CoAllocScheduler {
         let Some(p) = self.timeline.covering_idle(server, start, end) else {
             return Err(());
         };
-        let delta = self.timeline.reserve(p.id, job, start, end);
+        let mut delta = std::mem::take(&mut self.scratch.delta);
+        self.timeline.reserve_into(p.id, job, start, end, &mut delta);
         self.apply_delta(&delta);
+        self.scratch.delta = delta;
         self.jobs.entry(job).or_default().push(Reservation {
             job,
             server,
@@ -722,13 +810,16 @@ impl CoAllocScheduler {
     /// Reservations whose history was already pruned are simply dropped.
     pub fn release(&mut self, job: JobId) -> Result<(), ScheduleError> {
         let reservations = self.jobs.remove(&job).ok_or(ScheduleError::UnknownJob(job))?;
+        let mut delta = std::mem::take(&mut self.scratch.delta);
         for r in reservations {
             if r.end <= self.ring.window_start() {
                 continue; // fully in pruned history
             }
-            let delta = self.timeline.release(r.server, r.job, r.start, r.end);
+            self.timeline
+                .release_into(r.server, r.job, r.start, r.end, &mut delta);
             self.apply_delta(&delta);
         }
+        self.scratch.delta = delta;
         Ok(())
     }
 

@@ -1,0 +1,52 @@
+//! Reusable hot-path buffers.
+//!
+//! Every scheduling attempt needs a handful of temporary vectors: the
+//! Phase-1 marked-node list, the Phase-2 candidate-id and feasible-period
+//! buffers, the root-to-leaf path of a tree update, and the leaf/end-key
+//! staging areas of a partial rebuild. Allocating them per call dominates
+//! the per-request cost once the trees are warm, so the scheduler threads a
+//! single [`Scratch`] through [`crate::primary::SlotTree`],
+//! [`crate::ring::SlotRing`] and [`crate::timeline::Timeline`] instead: each
+//! buffer is cleared (an `O(1)` length reset) and refilled in place, and in
+//! steady state — once every buffer has grown to its high-water mark — the
+//! reject path of a request performs **zero** heap allocations.
+
+use crate::idle::{EndKey, IdlePeriod};
+use crate::ids::PeriodId;
+use crate::primary::MarkedNode;
+use crate::timeline::PeriodDelta;
+
+/// Reusable buffers for the allocation-free scheduling hot path.
+///
+/// A `Scratch` is plain data: dropping it or creating a fresh one is always
+/// correct, only slower. Buffers never carry information between calls —
+/// every user clears what it fills — so a single instance may be shared
+/// across all trees of a ring and all phases of a request.
+#[derive(Clone, Debug, Default)]
+pub struct Scratch {
+    /// Phase-1 output: subtrees whose periods are all candidates.
+    pub marked: Vec<MarkedNode>,
+    /// Phase-2 output: feasible period ids, retrieval order.
+    pub ids: Vec<PeriodId>,
+    /// Feasible periods resolved from [`Scratch::ids`], then reduced in
+    /// place by the selection policy.
+    pub feasible: Vec<IdlePeriod>,
+    /// Root-to-leaf path of the current primary-tree update.
+    pub path: Vec<u32>,
+    /// Leaves collected while flattening a subtree for rebuild.
+    pub leaves: Vec<IdlePeriod>,
+    /// End-key stack of the bottom-up rebuild: each recursion level leaves
+    /// its subtree's sorted end keys on top.
+    pub ends: Vec<EndKey>,
+    /// Merge buffer for combining two adjacent sorted runs of `ends`.
+    pub ends_aux: Vec<EndKey>,
+    /// Reusable timeline delta (see [`crate::timeline::Timeline::reserve_into`]).
+    pub delta: PeriodDelta,
+}
+
+impl Scratch {
+    /// Fresh, empty scratch space. No allocation happens until first use.
+    pub fn new() -> Scratch {
+        Scratch::default()
+    }
+}

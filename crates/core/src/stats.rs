@@ -21,6 +21,10 @@ pub struct OpStats {
     pub phase2_searches: u64,
     /// Scheduling attempts (one per candidate start time tried).
     pub attempts: u64,
+    /// Retry attempts skipped because a shifted start provably pushed the
+    /// job end past the horizon (or deadline) — the short-circuit avoids
+    /// running searches that cannot succeed.
+    pub attempts_skipped: u64,
     /// Partial rebuilds triggered by the weight-balance rule.
     pub rebuilds: u64,
     /// Idle periods inserted into slot trees.
@@ -57,6 +61,7 @@ impl OpStats {
             phase1_searches: self.phase1_searches - earlier.phase1_searches,
             phase2_searches: self.phase2_searches - earlier.phase2_searches,
             attempts: self.attempts - earlier.attempts,
+            attempts_skipped: self.attempts_skipped - earlier.attempts_skipped,
             rebuilds: self.rebuilds - earlier.rebuilds,
             periods_inserted: self.periods_inserted - earlier.periods_inserted,
             periods_removed: self.periods_removed - earlier.periods_removed,

@@ -152,6 +152,24 @@ impl Timeline {
         start: Time,
         end: Time,
     ) -> PeriodDelta {
+        let mut delta = PeriodDelta::default();
+        self.reserve_into(period_id, job, start, end, &mut delta);
+        delta
+    }
+
+    /// [`Timeline::reserve`] writing into a caller-supplied delta (cleared
+    /// first), so the commit path can reuse one pair of vectors for every
+    /// reservation instead of allocating per call.
+    pub fn reserve_into(
+        &mut self,
+        period_id: PeriodId,
+        job: JobId,
+        start: Time,
+        end: Time,
+        delta: &mut PeriodDelta,
+    ) {
+        delta.removed.clear();
+        delta.added.clear();
         assert!(start < end, "empty reservation window");
         let period = *self
             .periods
@@ -166,10 +184,7 @@ impl Timeline {
         st.idle.remove(&period.start);
         self.periods.remove(&period_id);
         st.busy.insert(start, (end, job));
-        let mut delta = PeriodDelta {
-            removed: vec![period],
-            added: Vec::new(),
-        };
+        delta.removed.push(period);
         if period.start < start {
             let id = self.fresh_period_id();
             let frag = IdlePeriod {
@@ -194,7 +209,6 @@ impl Timeline {
             self.servers[server.0 as usize].idle.insert(frag.start, id);
             delta.added.push(frag);
         }
-        delta
     }
 
     /// Release the reservation of `job` on `server` covering `[start, end)`,
@@ -207,6 +221,23 @@ impl Timeline {
         start: Time,
         end: Time,
     ) -> PeriodDelta {
+        let mut delta = PeriodDelta::default();
+        self.release_into(server, job, start, end, &mut delta);
+        delta
+    }
+
+    /// [`Timeline::release`] writing into a caller-supplied delta (cleared
+    /// first).
+    pub fn release_into(
+        &mut self,
+        server: ServerId,
+        job: JobId,
+        start: Time,
+        end: Time,
+        delta: &mut PeriodDelta,
+    ) {
+        delta.removed.clear();
+        delta.added.clear();
         let st = &mut self.servers[server.0 as usize];
         match st.busy.get(&start) {
             Some(&(e, j)) if e == end && j == job => {
@@ -214,7 +245,6 @@ impl Timeline {
             }
             _ => panic!("release: no reservation of {job:?} at {start} on {server:?}"),
         }
-        let mut delta = PeriodDelta::default();
         let mut merged_start = start;
         let mut merged_end = end;
         // Coalesce with the idle period ending exactly at `start`.
@@ -253,7 +283,6 @@ impl Timeline {
             .idle
             .insert(merged_start, id);
         delta.added.push(merged);
-        delta
     }
 
     /// Drop idle periods and reservations that ended at or before `t`.

@@ -1,0 +1,146 @@
+//! Counter-based allocation guard for the scheduler hot path.
+//!
+//! A counting `#[global_allocator]` wraps the system allocator; after a
+//! warm-up phase grows every scratch buffer and slab free list, the guard
+//! asserts that **steady-state rejected submissions perform zero heap
+//! allocations** — both the phase-1 (candidate count) and phase-2
+//! (feasibility) rejection paths — and that the grant path stays within a
+//! small bounded budget (the returned `Grant::servers` vector plus the
+//! per-job reservation record).
+//!
+//! This is an integration test on purpose: the counting allocator needs
+//! `unsafe impl GlobalAlloc`, which the library crate forbids.
+
+use coalloc_core::prelude::*;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    ALLOCS.load(Ordering::SeqCst)
+}
+
+fn cfg() -> SchedulerConfig {
+    SchedulerConfig::builder()
+        .tau(Dur(10))
+        .horizon(Dur(400))
+        .delta_t(Dur(10))
+        .build()
+}
+
+/// One test function: the counter is process-global, so the three
+/// measurements must run sequentially, not on parallel test threads.
+#[test]
+fn steady_state_submissions_do_not_allocate() {
+    // ---- Phase-1 rejects: a pinned server makes 8-wide requests uncountable.
+    let mut sched = CoAllocScheduler::new(8, cfg());
+    sched
+        .submit(&Request::on_demand(Time::ZERO, Dur(390), 1))
+        .unwrap();
+
+    // Warm-up: grow scratch buffers, the pending-op queue, metric
+    // registries, and slab free lists with a mixed grant/reject/release
+    // load, including one request identical to each measured shape.
+    let mut jobs = Vec::with_capacity(64);
+    for i in 0..200i64 {
+        let req = Request::advance(
+            Time::ZERO,
+            Time((i % 30) * 10),
+            Dur(10 + (i % 5) * 20),
+            1 + (i % 6) as u32,
+        );
+        if let Ok(g) = sched.submit(&req) {
+            jobs.push(g.job);
+        }
+        if i % 2 == 0 {
+            if let Some(j) = jobs.pop() {
+                sched.release(j).unwrap();
+            }
+        }
+    }
+    for j in jobs.drain(..) {
+        sched.release(j).unwrap();
+    }
+    let probe = Request::on_demand(Time::ZERO, Dur(50), 8);
+    assert!(sched.submit(&probe).is_err(), "7 free servers < 8 wanted");
+
+    let before = allocs();
+    for _ in 0..100 {
+        assert!(sched.submit(&probe).is_err());
+    }
+    assert_eq!(
+        allocs() - before,
+        0,
+        "steady-state phase-1 rejections must not allocate"
+    );
+
+    // ---- Phase-2 rejects: enough candidates, none feasible. All four
+    // servers are busy over [60, 100), so a 310 s job counts 4 candidate
+    // periods at every start in its horizon-bounded window but never finds a
+    // feasible one (finite periods end at 60 < e_r; the trailing periods
+    // start at 100 > every tried start).
+    let mut sched2 = CoAllocScheduler::new(4, cfg());
+    sched2
+        .submit(&Request::advance(Time::ZERO, Time(60), Dur(40), 4))
+        .unwrap();
+    let long = Request::on_demand(Time::ZERO, Dur(310), 4);
+    assert!(matches!(
+        sched2.submit(&long),
+        Err(ScheduleError::HorizonExceeded { .. })
+    ));
+
+    let before = allocs();
+    for _ in 0..100 {
+        assert!(sched2.submit(&long).is_err());
+    }
+    assert_eq!(
+        allocs() - before,
+        0,
+        "steady-state phase-2 rejections must not allocate"
+    );
+
+    // ---- Grant path: bounded, not zero. Each grant returns an owned
+    // `Grant::servers` vector and records a per-job reservation list; both
+    // are O(n_r) and independent of schedule size. Guard against gross
+    // regressions with a generous per-grant budget.
+    let warm = sched2.submit(&Request::on_demand(Time::ZERO, Dur(30), 4)).unwrap();
+    sched2.release(warm.job).unwrap();
+    let iters = 50u64;
+    let before = allocs();
+    for _ in 0..iters {
+        let g = sched2
+            .submit(&Request::on_demand(Time::ZERO, Dur(30), 4))
+            .unwrap();
+        sched2.release(g.job).unwrap();
+    }
+    let per_grant = (allocs() - before) / iters;
+    println!("grant+release allocations per cycle: {per_grant}");
+    assert!(
+        per_grant <= 64,
+        "grant+release cycle allocated {per_grant} times; expected a small bounded number"
+    );
+}

@@ -1,0 +1,698 @@
+//! # coalloc-shard
+//!
+//! A sharded, parallel front-end for the co-allocation scheduler.
+//!
+//! The `M` servers are partitioned into `K` contiguous shards, each owning
+//! an independent timeline + slot-ring + trailing index over its servers
+//! ([`state::ShardState`]). A coordinator ([`ShardedScheduler`]) drives the
+//! paper's online algorithm: Phase-1/Phase-2 searches fan out to all shards
+//! (as feasible-count queries batched over several `Delta_t` attempts),
+//! per-shard feasible sets are merged deterministically under the active
+//! [`SelectionPolicy`], and commit deltas are dispatched only to the shards
+//! owning the chosen servers.
+//!
+//! **Decision equivalence.** Feasible counts are partition sums and every
+//! feasible set holds at most one period per server, so every policy's
+//! selection key is total before its id tie-break: a sharded run makes the
+//! same grant/reject decisions, start times, attempt counts, *and server
+//! choices* as [`CoAllocScheduler`] for every policy and every `K`. See
+//! DESIGN.md §9 for the full argument.
+//!
+//! With `K = 1` the coordinator runs the shard inline — no threads, no
+//! channels — so the single-shard configuration measures pure coordinator
+//! overhead against [`CoAllocScheduler`].
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod state;
+
+mod pool;
+
+use crate::pool::{Cmd, Reply, MAX_BATCH};
+use crate::state::ShardState;
+use coalloc_core::prelude::*;
+use coalloc_sim::runner::OnlineScheduler;
+use std::collections::HashMap;
+
+/// How the coordinator talks to its shards.
+#[derive(Debug)]
+enum Backend {
+    /// `K = 1`: the single shard lives in the coordinator, zero threads.
+    Inline(Box<ShardState>),
+    /// `K > 1`: one persistent worker thread per shard.
+    Threads {
+        cmd: Vec<crossbeam::channel::Sender<Cmd>>,
+        reply: crossbeam::channel::Receiver<Reply>,
+        handles: Vec<std::thread::JoinHandle<()>>,
+    },
+}
+
+/// The sharded parallel co-allocation scheduler.
+///
+/// Drop-in equivalent of [`CoAllocScheduler`] for the submit/advance/release
+/// flow; see the crate docs for the equivalence guarantees. Index updates
+/// are always applied eagerly (the `deferred_updates` knob only shapes the
+/// single scheduler's latency profile, never its decisions).
+#[derive(Debug)]
+pub struct ShardedScheduler {
+    cfg: SchedulerConfig,
+    slot_cfg: SlotConfig,
+    num_servers: u32,
+    origin: Time,
+    now: Time,
+    /// First live slot — mirrors every shard ring's base.
+    base_slot: SlotIdx,
+    /// `(base, count)` of each shard's server range.
+    layout: Vec<(u32, u32)>,
+    backend: Backend,
+    /// Latest cumulative [`OpStats`] seen from each shard.
+    shard_stats: Vec<OpStats>,
+    /// Coordinator-side counters (attempts, attempts_skipped).
+    local: OpStats,
+    /// Bitmask of shards holding reservations of each live job.
+    job_shards: HashMap<JobId, u64>,
+    next_job: u64,
+}
+
+impl ShardedScheduler {
+    /// Create a sharded scheduler over `num_servers` servers split into `k`
+    /// shards, clock at the epoch. `k` is clamped to `[1, min(64,
+    /// num_servers)]` so every shard owns at least one server and the
+    /// per-job shard mask fits a word.
+    pub fn new(num_servers: u32, k: u32, cfg: SchedulerConfig) -> ShardedScheduler {
+        ShardedScheduler::starting_at(num_servers, k, Time::ZERO, cfg)
+    }
+
+    /// Create a sharded scheduler with the clock at `origin`.
+    pub fn starting_at(
+        num_servers: u32,
+        k: u32,
+        origin: Time,
+        cfg: SchedulerConfig,
+    ) -> ShardedScheduler {
+        assert!(num_servers > 0, "a system needs at least one server");
+        let k = k.clamp(1, num_servers.min(64));
+        let slot_cfg = cfg.slot_config();
+        // Contiguous partition: the first `rem` shards get one extra server.
+        let per = num_servers / k;
+        let rem = num_servers % k;
+        let mut layout = Vec::with_capacity(k as usize);
+        let mut base = 0u32;
+        for i in 0..k {
+            let count = per + u32::from(i < rem);
+            layout.push((base, count));
+            base += count;
+        }
+        let states: Vec<ShardState> = layout
+            .iter()
+            .enumerate()
+            .map(|(i, &(base, count))| {
+                let seed = cfg.seed ^ (i as u64).wrapping_mul(0xA24BAED4963EE407);
+                ShardState::new(&cfg, base, count, origin, seed)
+            })
+            .collect();
+        let backend = if k == 1 {
+            Backend::Inline(Box::new(states.into_iter().next().expect("one shard")))
+        } else {
+            let (cmd, reply, handles) = pool::spawn_workers(states);
+            Backend::Threads {
+                cmd,
+                reply,
+                handles,
+            }
+        };
+        ShardedScheduler {
+            cfg,
+            slot_cfg,
+            num_servers,
+            origin,
+            now: origin,
+            base_slot: slot_cfg.slot_of(origin),
+            layout,
+            backend,
+            shard_stats: vec![OpStats::new(); k as usize],
+            local: OpStats::new(),
+            job_shards: HashMap::new(),
+            next_job: 0,
+        }
+    }
+
+    /// The number of shards.
+    pub fn num_shards(&self) -> u32 {
+        self.layout.len() as u32
+    }
+
+    /// Number of servers `N`.
+    pub fn num_servers(&self) -> u32 {
+        self.num_servers
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &SchedulerConfig {
+        &self.cfg
+    }
+
+    /// The scheduler's current clock.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// The clock value the scheduler started at.
+    pub fn origin(&self) -> Time {
+        self.origin
+    }
+
+    /// First instant covered by the live slot window.
+    pub fn window_start(&self) -> Time {
+        self.slot_cfg.slot_start(self.base_slot)
+    }
+
+    /// End of the current scheduling horizon.
+    pub fn horizon_end(&self) -> Time {
+        self.slot_cfg
+            .slot_start(SlotIdx(self.base_slot.0 + self.slot_cfg.num_slots as i64))
+    }
+
+    /// Aggregated operation counters: the sum of every shard's tree work
+    /// plus the coordinator's attempt accounting.
+    pub fn stats(&self) -> OpStats {
+        let mut total = self.local;
+        for s in &self.shard_stats {
+            total.primary_visits += s.primary_visits;
+            total.secondary_visits += s.secondary_visits;
+            total.update_visits += s.update_visits;
+            total.phase1_searches += s.phase1_searches;
+            total.phase2_searches += s.phase2_searches;
+            total.rebuilds += s.rebuilds;
+            total.periods_inserted += s.periods_inserted;
+            total.periods_removed += s.periods_removed;
+        }
+        total
+    }
+
+    /// Advance the clock. Shards only hear about it when the live slot
+    /// window actually moves (ring rotation and prune cadence depend only on
+    /// the slot index, so intra-slot advances are a coordinator-local no-op).
+    pub fn advance_to(&mut self, now: Time) {
+        if now <= self.now {
+            return;
+        }
+        self.now = now;
+        let target = self.slot_cfg.slot_of(now);
+        if target <= self.base_slot {
+            return;
+        }
+        self.base_slot = target;
+        match &mut self.backend {
+            Backend::Inline(st) => st.advance_to(now),
+            Backend::Threads { cmd, .. } => {
+                for tx in cmd {
+                    tx.send(Cmd::Advance { now }).expect("shard worker alive");
+                }
+            }
+        }
+    }
+
+    /// Handle a request — the same online algorithm as
+    /// [`CoAllocScheduler::submit`], with each attempt's feasibility decided
+    /// by summing per-shard counts. Attempts are probed in staged doubling
+    /// batches (1, 2, 4, … capped at a small constant) so a request that
+    /// needs many `Delta_t` shifts costs `O(log attempts)` fan-out rounds
+    /// rather than one round per attempt.
+    pub fn submit(&mut self, req: &Request) -> Result<Grant, ScheduleError> {
+        req.validate().map_err(ScheduleError::InvalidRequest)?;
+        if req.servers > self.num_servers {
+            return Err(ScheduleError::TooManyServers {
+                requested: req.servers,
+                available: self.num_servers,
+            });
+        }
+        let earliest = req.earliest_start.max(self.now);
+        let r_max = self.cfg.effective_r_max();
+        let budget = r_max as u64 + 1;
+        self.run_search(req, earliest, budget, budget)
+    }
+
+    /// Deadline-bounded submission — the sharded analogue of
+    /// [`CoAllocScheduler::submit_with_deadline`]: no start later than
+    /// `deadline - l_r` is ever probed.
+    pub fn submit_with_deadline(
+        &mut self,
+        req: &Request,
+        deadline: Time,
+    ) -> Result<Grant, ScheduleError> {
+        req.validate().map_err(ScheduleError::InvalidRequest)?;
+        if req.servers > self.num_servers {
+            return Err(ScheduleError::TooManyServers {
+                requested: req.servers,
+                available: self.num_servers,
+            });
+        }
+        let earliest = req.earliest_start.max(self.now);
+        let latest_start = deadline - req.duration;
+        if latest_start < earliest {
+            return Err(ScheduleError::Exhausted {
+                attempts: 0,
+                last_tried: earliest,
+            });
+        }
+        let r_max = self.cfg.effective_r_max();
+        let full = r_max as u64 + 1;
+        let budget = full
+            .min(((latest_start - earliest).secs() / self.cfg.delta_t.secs()) as u64 + 1);
+        self.run_search(req, earliest, budget, full)
+    }
+
+    /// The shared retry loop. `budget` is the number of starts the caller's
+    /// bounds allow (R_max, possibly deadline-capped); `full_budget` is the
+    /// plain R_max budget, used only to account skipped attempts the same
+    /// way the core scheduler does.
+    fn run_search(
+        &mut self,
+        req: &Request,
+        earliest: Time,
+        budget: u64,
+        full_budget: u64,
+    ) -> Result<Grant, ScheduleError> {
+        debug_assert!(budget <= full_budget);
+        let horizon_end = self.horizon_end();
+        let horizon_attempts = if earliest + req.duration > horizon_end {
+            0
+        } else {
+            ((horizon_end - req.duration - earliest).secs() / self.cfg.delta_t.secs()) as u64 + 1
+        };
+        let tries = budget.min(horizon_attempts);
+        let n = req.servers;
+        let mut tried = 0u64;
+        let mut batch = 1u64;
+        let mut winner: Option<(u32, Time)> = None;
+        'probe: while tried < tries {
+            let m = batch.min(tries - tried).min(MAX_BATCH as u64) as u32;
+            let first = earliest + self.cfg.delta_t * (tried as i64);
+            let totals = self.sync_counts(first, req.duration, m);
+            for (i, &total) in totals.iter().take(m as usize).enumerate() {
+                if total >= n as u64 {
+                    let attempts = (tried + i as u64 + 1) as u32;
+                    winner = Some((attempts, first + self.cfg.delta_t * (i as i64)));
+                    tried += i as u64 + 1;
+                    break 'probe;
+                }
+            }
+            tried += m as u64;
+            batch = (batch * 2).min(MAX_BATCH as u64);
+        }
+        self.local.attempts += tried;
+        if let Some((attempts, start)) = winner {
+            let end = start + req.duration;
+            let mut feasible = self.sync_enumerate(start, end);
+            // At most one period per server is feasible for a given start, so
+            // every policy key is total before its id tie-break and the merged
+            // selection is independent of shard count and reply order — and
+            // identical to the single scheduler's, server for server.
+            self.cfg.policy.select_in_place(&mut feasible, n as usize, end);
+            debug_assert_eq!(feasible.len(), n as usize, "count/enumerate mismatch");
+            let job = JobId(self.next_job);
+            self.next_job += 1;
+            let mask = self.sync_commit(job, start, end, &feasible);
+            self.job_shards.insert(job, mask);
+            return Ok(Grant {
+                job,
+                start,
+                end,
+                servers: feasible.iter().map(|p| p.server).collect(),
+                attempts,
+                waiting: start.saturating_since(earliest),
+            });
+        }
+        let skipped = full_budget - tried;
+        if skipped > 0 {
+            self.local.attempts_skipped += skipped;
+        }
+        if horizon_attempts < budget {
+            Err(ScheduleError::HorizonExceeded { horizon_end })
+        } else {
+            Err(ScheduleError::Exhausted {
+                attempts: tried as u32,
+                last_tried: earliest + self.cfg.delta_t * (tried as i64 - 1),
+            })
+        }
+    }
+
+    /// Cancel a committed job on every shard holding part of it.
+    pub fn release(&mut self, job: JobId) -> Result<(), ScheduleError> {
+        let mask = self
+            .job_shards
+            .remove(&job)
+            .ok_or(ScheduleError::UnknownJob(job))?;
+        match &mut self.backend {
+            Backend::Inline(st) => st.release(job),
+            Backend::Threads { cmd, reply, .. } => {
+                let mut expect = 0u32;
+                for (i, tx) in cmd.iter().enumerate() {
+                    if mask & (1 << i) != 0 {
+                        tx.send(Cmd::Release { job }).expect("shard worker alive");
+                        expect += 1;
+                    }
+                }
+                for _ in 0..expect {
+                    match reply.recv().expect("shard worker alive") {
+                        Reply::Done { shard, stats } => {
+                            self.shard_stats[shard as usize] = stats;
+                        }
+                        Reply::Died { shard } => panic!("shard worker {shard} died"),
+                        other => panic!("unexpected shard reply {other:?}"),
+                    }
+                }
+            }
+        }
+        if let Backend::Inline(st) = &self.backend {
+            self.shard_stats[0] = st.stats();
+        }
+        Ok(())
+    }
+
+    /// System utilization over `[origin, until)` — the partition sum of
+    /// per-shard busy time over total capacity, identical to
+    /// [`CoAllocScheduler::utilization`].
+    pub fn utilization(&mut self, until: Time) -> f64 {
+        let span = (until - self.origin).secs();
+        if span <= 0 {
+            return 0.0;
+        }
+        let mut busy = 0i64;
+        match &mut self.backend {
+            Backend::Inline(st) => busy = st.busy_secs_before(until),
+            Backend::Threads { cmd, reply, .. } => {
+                for tx in cmd.iter() {
+                    tx.send(Cmd::Busy { until }).expect("shard worker alive");
+                }
+                for _ in 0..cmd.len() {
+                    match reply.recv().expect("shard worker alive") {
+                        Reply::BusySecs { shard, secs, stats } => {
+                            self.shard_stats[shard as usize] = stats;
+                            busy += secs;
+                        }
+                        Reply::Died { shard } => panic!("shard worker {shard} died"),
+                        other => panic!("unexpected shard reply {other:?}"),
+                    }
+                }
+            }
+        }
+        busy as f64 / (span as f64 * self.num_servers as f64)
+    }
+
+    /// Cross-check every shard's indexes against its timeline (test helper;
+    /// expensive).
+    #[doc(hidden)]
+    pub fn check_consistency(&mut self) {
+        match &mut self.backend {
+            Backend::Inline(st) => st.check(),
+            Backend::Threads { cmd, reply, .. } => {
+                for tx in cmd.iter() {
+                    tx.send(Cmd::Check).expect("shard worker alive");
+                }
+                for _ in 0..cmd.len() {
+                    match reply.recv().expect("shard worker alive") {
+                        Reply::Done { shard, stats } => {
+                            self.shard_stats[shard as usize] = stats;
+                        }
+                        Reply::Died { shard } => panic!("shard worker {shard} died"),
+                        other => panic!("unexpected shard reply {other:?}"),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Which shard owns a global server id.
+    fn shard_of(&self, server: ServerId) -> usize {
+        let k = self.layout.len() as u32;
+        let per = self.num_servers / k;
+        let rem = self.num_servers % k;
+        let s = server.0;
+        if s < rem * (per + 1) {
+            (s / (per + 1)) as usize
+        } else {
+            (rem + (s - rem * (per + 1)) / per) as usize
+        }
+    }
+
+    /// Fan a count batch to every shard and sum the per-attempt totals.
+    fn sync_counts(&mut self, first: Time, duration: Dur, m: u32) -> [u64; MAX_BATCH] {
+        let mut totals = [0u64; MAX_BATCH];
+        let step = self.cfg.delta_t;
+        match &mut self.backend {
+            Backend::Inline(st) => {
+                let mut counts = [0u32; MAX_BATCH];
+                st.count_batch(first, step, duration, m, &mut counts);
+                for (t, c) in totals.iter_mut().zip(counts) {
+                    *t += c as u64;
+                }
+                self.shard_stats[0] = st.stats();
+            }
+            Backend::Threads { cmd, reply, .. } => {
+                for tx in cmd.iter() {
+                    tx.send(Cmd::Count {
+                        first,
+                        step,
+                        duration,
+                        m,
+                    })
+                    .expect("shard worker alive");
+                }
+                for _ in 0..cmd.len() {
+                    match reply.recv().expect("shard worker alive") {
+                        Reply::Counts {
+                            shard,
+                            counts,
+                            stats,
+                        } => {
+                            self.shard_stats[shard as usize] = stats;
+                            for (t, c) in totals.iter_mut().zip(counts) {
+                                *t += c as u64;
+                            }
+                        }
+                        Reply::Died { shard } => panic!("shard worker {shard} died"),
+                        other => panic!("unexpected shard reply {other:?}"),
+                    }
+                }
+            }
+        }
+        totals
+    }
+
+    /// Fan a feasible-set enumeration to every shard and concatenate.
+    fn sync_enumerate(&mut self, start: Time, end: Time) -> Vec<IdlePeriod> {
+        let mut feasible = Vec::new();
+        match &mut self.backend {
+            Backend::Inline(st) => {
+                st.enumerate(start, end, &mut feasible);
+                self.shard_stats[0] = st.stats();
+            }
+            Backend::Threads { cmd, reply, .. } => {
+                for tx in cmd.iter() {
+                    tx.send(Cmd::Enumerate { start, end })
+                        .expect("shard worker alive");
+                }
+                for _ in 0..cmd.len() {
+                    match reply.recv().expect("shard worker alive") {
+                        Reply::Feasible {
+                            shard,
+                            periods,
+                            stats,
+                        } => {
+                            self.shard_stats[shard as usize] = stats;
+                            feasible.extend(periods);
+                        }
+                        Reply::Died { shard } => panic!("shard worker {shard} died"),
+                        other => panic!("unexpected shard reply {other:?}"),
+                    }
+                }
+            }
+        }
+        feasible
+    }
+
+    /// Dispatch the commit to the shards owning the chosen servers; returns
+    /// the shard bitmask for the job.
+    fn sync_commit(&mut self, job: JobId, start: Time, end: Time, chosen: &[IdlePeriod]) -> u64 {
+        let k = self.layout.len();
+        let mut per_shard: Vec<Vec<ServerId>> = vec![Vec::new(); k];
+        let mut mask = 0u64;
+        for p in chosen {
+            let s = self.shard_of(p.server);
+            per_shard[s].push(p.server);
+            mask |= 1 << s;
+        }
+        match &mut self.backend {
+            Backend::Inline(st) => {
+                st.commit(job, start, end, &per_shard[0]);
+                self.shard_stats[0] = st.stats();
+            }
+            Backend::Threads { cmd, reply, .. } => {
+                let mut expect = 0u32;
+                for (i, servers) in per_shard.into_iter().enumerate() {
+                    if !servers.is_empty() {
+                        cmd[i]
+                            .send(Cmd::Commit {
+                                job,
+                                start,
+                                end,
+                                servers,
+                            })
+                            .expect("shard worker alive");
+                        expect += 1;
+                    }
+                }
+                for _ in 0..expect {
+                    match reply.recv().expect("shard worker alive") {
+                        Reply::Done { shard, stats } => {
+                            self.shard_stats[shard as usize] = stats;
+                        }
+                        Reply::Died { shard } => panic!("shard worker {shard} died"),
+                        other => panic!("unexpected shard reply {other:?}"),
+                    }
+                }
+            }
+        }
+        mask
+    }
+}
+
+impl Drop for ShardedScheduler {
+    fn drop(&mut self) {
+        if let Backend::Threads { cmd, handles, .. } = &mut self.backend {
+            cmd.clear(); // disconnects the workers' command receivers
+            for h in handles.drain(..) {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+impl OnlineScheduler for ShardedScheduler {
+    fn advance_to(&mut self, now: Time) {
+        ShardedScheduler::advance_to(self, now);
+    }
+    fn submit(&mut self, req: &Request) -> Result<Grant, ScheduleError> {
+        ShardedScheduler::submit(self, req)
+    }
+    fn total_ops(&mut self) -> u64 {
+        self.stats().total_ops()
+    }
+    fn utilization(&mut self, until: Time) -> f64 {
+        ShardedScheduler::utilization(self, until)
+    }
+    fn now(&self) -> Time {
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> SchedulerConfig {
+        SchedulerConfig::builder()
+            .tau(Dur(10))
+            .horizon(Dur(100))
+            .delta_t(Dur(10))
+            .build()
+    }
+
+    #[test]
+    fn sharded_matches_basic_grant() {
+        for k in [1, 2, 4] {
+            let mut s = ShardedScheduler::new(4, k, small_cfg());
+            let g = s.submit(&Request::on_demand(Time::ZERO, Dur(30), 3)).unwrap();
+            assert_eq!(g.start, Time::ZERO, "k={k}");
+            assert_eq!(g.servers.len(), 3);
+            assert_eq!(g.attempts, 1);
+            s.check_consistency();
+        }
+    }
+
+    #[test]
+    fn sharded_delays_like_plain() {
+        for k in [1, 2] {
+            let mut s = ShardedScheduler::new(2, k, small_cfg());
+            s.submit(&Request::on_demand(Time::ZERO, Dur(30), 2)).unwrap();
+            let g = s.submit(&Request::on_demand(Time::ZERO, Dur(20), 1)).unwrap();
+            assert_eq!(g.start, Time(30), "k={k}");
+            assert_eq!(g.attempts, 4);
+            assert_eq!(g.waiting, Dur(30));
+        }
+    }
+
+    #[test]
+    fn sharded_horizon_and_exhaustion_errors_match() {
+        let mut s = ShardedScheduler::new(1, 1, small_cfg());
+        let err = s.submit(&Request::on_demand(Time::ZERO, Dur(200), 1)).unwrap_err();
+        assert!(matches!(err, ScheduleError::HorizonExceeded { .. }));
+
+        let cfg = SchedulerConfig::builder()
+            .tau(Dur(10))
+            .horizon(Dur(100))
+            .delta_t(Dur(10))
+            .r_max(2)
+            .build();
+        let mut s = ShardedScheduler::new(1, 1, cfg);
+        s.submit(&Request::on_demand(Time::ZERO, Dur(90), 1)).unwrap();
+        let err = s.submit(&Request::on_demand(Time::ZERO, Dur(10), 1)).unwrap_err();
+        assert_eq!(
+            err,
+            ScheduleError::Exhausted {
+                attempts: 3,
+                last_tried: Time(20)
+            }
+        );
+    }
+
+    #[test]
+    fn release_restores_capacity_across_shards() {
+        let mut s = ShardedScheduler::new(4, 2, small_cfg());
+        let g = s.submit(&Request::on_demand(Time::ZERO, Dur(100), 4)).unwrap();
+        assert!(s.submit(&Request::on_demand(Time::ZERO, Dur(20), 1)).is_err());
+        s.release(g.job).unwrap();
+        let g2 = s.submit(&Request::on_demand(Time::ZERO, Dur(20), 4)).unwrap();
+        assert_eq!(g2.start, Time::ZERO);
+        assert_eq!(
+            s.release(JobId(999)),
+            Err(ScheduleError::UnknownJob(JobId(999)))
+        );
+        s.check_consistency();
+    }
+
+    #[test]
+    fn deadline_path_matches_plain_semantics() {
+        let mut s = ShardedScheduler::new(1, 1, small_cfg());
+        s.submit(&Request::on_demand(Time::ZERO, Dur(30), 1)).unwrap();
+        let g = s
+            .submit_with_deadline(&Request::on_demand(Time::ZERO, Dur(20), 1), Time(60))
+            .unwrap();
+        assert_eq!(g.start, Time(30));
+        let err = s
+            .submit_with_deadline(&Request::on_demand(Time::ZERO, Dur(50), 1), Time(40))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ScheduleError::Exhausted {
+                attempts: 0,
+                last_tried: Time::ZERO
+            }
+        );
+    }
+
+    #[test]
+    fn shard_of_is_the_inverse_of_the_layout() {
+        for (n, k) in [(7u32, 3u32), (8, 4), (64, 8), (5, 5), (9, 2)] {
+            let s = ShardedScheduler::new(n, k, small_cfg());
+            for (i, &(base, count)) in s.layout.iter().enumerate() {
+                for srv in base..base + count {
+                    assert_eq!(s.shard_of(ServerId(srv)), i, "n={n} k={k} srv={srv}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! The persistent worker pool: one thread per shard, fed over channels.
+//!
+//! The coordinator issues one synchronous operation at a time, so replies
+//! need no sequence numbers — each worker sends at most one reply per
+//! command and the coordinator counts replies per fan-out. Commands to a
+//! single shard are FIFO (channel order), which is what makes the no-reply
+//! [`Cmd::Advance`] safe: any later search on that shard observes it.
+
+use crate::state::ShardState;
+use coalloc_core::prelude::*;
+use crossbeam::channel::{Receiver, Sender};
+use std::thread::JoinHandle;
+
+/// Upper bound on attempts counted per fan-out round (the staged-doubling
+/// batch cap). Chosen so a `Counts` reply stays a small flat array.
+pub(crate) const MAX_BATCH: usize = 32;
+
+/// A command from the coordinator to one shard worker.
+#[derive(Clone, Debug)]
+pub(crate) enum Cmd {
+    /// Count feasible periods for `m` attempt windows starting at `first`,
+    /// spaced `step` apart, each `duration` long.
+    Count {
+        first: Time,
+        step: Dur,
+        duration: Dur,
+        m: u32,
+    },
+    /// Enumerate the full feasible set for `[start, end)`.
+    Enumerate { start: Time, end: Time },
+    /// Reserve `[start, end)` for `job` on these (shard-owned) servers.
+    Commit {
+        job: JobId,
+        start: Time,
+        end: Time,
+        servers: Vec<ServerId>,
+    },
+    /// Release the shard's reservations of `job`.
+    Release { job: JobId },
+    /// Advance the shard clock (fire-and-forget: no reply).
+    Advance { now: Time },
+    /// Run the shard's consistency checks.
+    Check,
+    /// Report committed busy server-seconds before `until`.
+    Busy { until: Time },
+}
+
+/// A reply from a shard worker. Every synced reply carries the shard's full
+/// cumulative [`OpStats`] so the coordinator's cache is always current.
+#[derive(Clone, Debug)]
+pub(crate) enum Reply {
+    Counts {
+        shard: u32,
+        counts: [u32; MAX_BATCH],
+        stats: OpStats,
+    },
+    Feasible {
+        shard: u32,
+        periods: Vec<IdlePeriod>,
+        stats: OpStats,
+    },
+    Done {
+        shard: u32,
+        stats: OpStats,
+    },
+    BusySecs {
+        shard: u32,
+        secs: i64,
+        stats: OpStats,
+    },
+    /// Sent by the panic canary when a worker dies mid-command, so the
+    /// coordinator fails loudly instead of hanging on a missing reply.
+    Died {
+        shard: u32,
+    },
+}
+
+/// Notifies the coordinator if the worker thread unwinds.
+struct Canary {
+    shard: u32,
+    tx: Sender<Reply>,
+}
+
+impl Drop for Canary {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            let _ = self.tx.send(Reply::Died { shard: self.shard });
+        }
+    }
+}
+
+/// Spawn one worker thread per shard state. Returns the per-shard command
+/// senders, the shared reply receiver, and the join handles.
+pub(crate) fn spawn_workers(
+    states: Vec<ShardState>,
+) -> (Vec<Sender<Cmd>>, Receiver<Reply>, Vec<JoinHandle<()>>) {
+    let (reply_tx, reply_rx) = crossbeam::channel::unbounded();
+    let mut cmd_txs = Vec::with_capacity(states.len());
+    let mut handles = Vec::with_capacity(states.len());
+    for (i, state) in states.into_iter().enumerate() {
+        let (tx, rx) = crossbeam::channel::unbounded();
+        cmd_txs.push(tx);
+        let reply_tx = reply_tx.clone();
+        handles.push(
+            std::thread::Builder::new()
+                .name(format!("coalloc-shard-{i}"))
+                .spawn(move || worker(i as u32, state, rx, reply_tx))
+                .expect("spawn shard worker"),
+        );
+    }
+    (cmd_txs, reply_rx, handles)
+}
+
+/// Execute one command against a shard state, producing its reply (`None`
+/// for fire-and-forget commands). Shared by the threaded workers and the
+/// inline (K = 1) backend so both run the exact same code.
+pub(crate) fn execute(shard: u32, st: &mut ShardState, cmd: Cmd) -> Option<Reply> {
+    match cmd {
+        Cmd::Count {
+            first,
+            step,
+            duration,
+            m,
+        } => {
+            let mut counts = [0u32; MAX_BATCH];
+            st.count_batch(first, step, duration, m, &mut counts);
+            Some(Reply::Counts {
+                shard,
+                counts,
+                stats: st.stats(),
+            })
+        }
+        Cmd::Enumerate { start, end } => {
+            let mut periods = Vec::new();
+            st.enumerate(start, end, &mut periods);
+            Some(Reply::Feasible {
+                shard,
+                periods,
+                stats: st.stats(),
+            })
+        }
+        Cmd::Commit {
+            job,
+            start,
+            end,
+            servers,
+        } => {
+            st.commit(job, start, end, &servers);
+            Some(Reply::Done {
+                shard,
+                stats: st.stats(),
+            })
+        }
+        Cmd::Release { job } => {
+            st.release(job);
+            Some(Reply::Done {
+                shard,
+                stats: st.stats(),
+            })
+        }
+        Cmd::Advance { now } => {
+            st.advance_to(now);
+            None
+        }
+        Cmd::Check => {
+            st.check();
+            Some(Reply::Done {
+                shard,
+                stats: st.stats(),
+            })
+        }
+        Cmd::Busy { until } => Some(Reply::BusySecs {
+            shard,
+            secs: st.busy_secs_before(until),
+            stats: st.stats(),
+        }),
+    }
+}
+
+fn worker(shard: u32, mut st: ShardState, rx: Receiver<Cmd>, tx: Sender<Reply>) {
+    let _canary = Canary {
+        shard,
+        tx: tx.clone(),
+    };
+    // Exits when the coordinator drops the command sender.
+    for cmd in rx.iter() {
+        if let Some(reply) = execute(shard, &mut st, cmd) {
+            if tx.send(reply).is_err() {
+                break; // coordinator gone
+            }
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! Per-shard scheduler state: a self-contained slice of the system.
+//!
+//! A shard owns a contiguous range of servers `[base, base + count)` and
+//! maintains its own [`Timeline`], [`SlotRing`] and [`TrailingSet`] over
+//! exactly those servers. Internally everything is indexed by *local* server
+//! ids `0..count`; the shard translates to global ids at its API boundary so
+//! the coordinator never sees the offset.
+//!
+//! Because a server's idle periods are disjoint, the union of per-shard
+//! feasible sets equals the whole system's feasible set, and feasible counts
+//! sum across shards — the foundation of the decision-equivalence argument
+//! (see DESIGN.md §9).
+
+use coalloc_core::prelude::*;
+use coalloc_core::ring::SlotRing;
+use coalloc_core::trailing::TrailingSet;
+use std::collections::HashMap;
+
+/// Slot advances between history prunes (mirrors the core scheduler).
+const PRUNE_EVERY_SLOTS: i64 = 32;
+
+/// The scheduler state owned by one shard worker.
+#[derive(Debug)]
+pub struct ShardState {
+    slot_cfg: SlotConfig,
+    /// First global server id owned by this shard.
+    base: u32,
+    timeline: Timeline,
+    ring: SlotRing,
+    trailing: TrailingSet,
+    jobs: HashMap<JobId, Vec<Reservation>>,
+    stats: OpStats,
+    scratch: Scratch,
+    last_prune: Time,
+}
+
+impl ShardState {
+    /// Create the state for a shard owning global servers
+    /// `[base, base + count)`, with the clock at `origin`.
+    pub fn new(cfg: &SchedulerConfig, base: u32, count: u32, origin: Time, seed: u64) -> ShardState {
+        assert!(count > 0, "empty shards are not allowed");
+        let slot_cfg = cfg.slot_config();
+        let timeline = Timeline::new(count, origin);
+        let ring = SlotRing::new(slot_cfg, origin, seed);
+        let mut stats = OpStats::new();
+        let mut trailing = TrailingSet::new(seed);
+        for srv in 0..count {
+            let p = timeline.trailing_period(ServerId(srv));
+            trailing.insert(&p, &mut stats);
+        }
+        ShardState {
+            slot_cfg,
+            base,
+            timeline,
+            ring,
+            trailing,
+            jobs: HashMap::new(),
+            stats,
+            scratch: Scratch::new(),
+            last_prune: origin,
+        }
+    }
+
+    /// Number of servers owned by this shard.
+    pub fn num_servers(&self) -> u32 {
+        self.timeline.num_servers()
+    }
+
+    /// The shard's cumulative operation counters.
+    pub fn stats(&self) -> OpStats {
+        self.stats
+    }
+
+    /// Feasible-period counts for a batch of attempt windows: window `i`
+    /// (`i < m`) is `[first + i*step, first + i*step + duration)`. Counts are
+    /// written to `out[..m]`. Every start must lie within the horizon.
+    ///
+    /// A window's count is the number of this shard's idle periods that
+    /// could host the job: open-ended periods with `st <= start` (always
+    /// feasible) plus finite candidates whose end covers the window.
+    pub fn count_batch(&mut self, first: Time, step: Dur, duration: Dur, m: u32, out: &mut [u32]) {
+        for (i, slot) in out.iter_mut().take(m as usize).enumerate() {
+            let start = first + step * (i as i64);
+            let end = start + duration;
+            let q = self.slot_cfg.slot_of(start);
+            let tree = self
+                .ring
+                .tree(q)
+                .expect("batched start within horizon implies a live slot");
+            let trailing = self.trailing.count_candidates(start, &mut self.stats);
+            let finite =
+                tree.phase1_candidates_into(start, &mut self.scratch.marked, &mut self.stats);
+            let feasible = if finite == 0 {
+                0
+            } else {
+                tree.count_feasible(&self.scratch.marked, end, &mut self.stats)
+            };
+            *slot = (trailing + feasible) as u32;
+        }
+    }
+
+    /// Enumerate the shard's full feasible set for a job over
+    /// `[start, end)`, appending periods (with **global** server ids) to
+    /// `out` after clearing it.
+    pub fn enumerate(&mut self, start: Time, end: Time, out: &mut Vec<IdlePeriod>) {
+        out.clear();
+        let q = self.slot_cfg.slot_of(start);
+        let Some(tree) = self.ring.tree(q) else {
+            return;
+        };
+        self.scratch.ids.clear();
+        self.trailing
+            .collect_candidates(start, usize::MAX, &mut self.scratch.ids, &mut self.stats);
+        let finite = tree.phase1_candidates_into(start, &mut self.scratch.marked, &mut self.stats);
+        if finite > 0 {
+            tree.phase2_feasible_into(
+                &self.scratch.marked,
+                end,
+                usize::MAX,
+                &mut self.scratch.ids,
+                &mut self.stats,
+            );
+        }
+        for id in &self.scratch.ids {
+            let p = *self
+                .timeline
+                .period(*id)
+                .expect("shard index refers to live period");
+            out.push(IdlePeriod {
+                server: ServerId(self.base + p.server.0),
+                ..p
+            });
+        }
+    }
+
+    /// Commit `job` over `[start, end)` on the given **global** servers
+    /// (all owned by this shard). The coordinator only commits servers whose
+    /// feasibility this shard just reported, so the covering idle period
+    /// must exist.
+    pub fn commit(&mut self, job: JobId, start: Time, end: Time, servers: &[ServerId]) {
+        let mut delta = std::mem::take(&mut self.scratch.delta);
+        for s in servers {
+            let local = ServerId(s.0 - self.base);
+            let p = self
+                .timeline
+                .covering_idle(local, start, end)
+                .expect("coordinator commits only servers it found feasible");
+            self.timeline.reserve_into(p.id, job, start, end, &mut delta);
+            self.apply_delta(&delta);
+            self.jobs.entry(job).or_default().push(Reservation {
+                job,
+                server: local,
+                start,
+                end,
+            });
+        }
+        self.scratch.delta = delta;
+    }
+
+    /// Release this shard's reservations of `job` (no-op if the shard holds
+    /// none). Windows fully inside pruned history are dropped, matching the
+    /// core scheduler.
+    pub fn release(&mut self, job: JobId) {
+        let Some(reservations) = self.jobs.remove(&job) else {
+            return;
+        };
+        let mut delta = std::mem::take(&mut self.scratch.delta);
+        for r in reservations {
+            if r.end <= self.ring.window_start() {
+                continue;
+            }
+            self.timeline
+                .release_into(r.server, r.job, r.start, r.end, &mut delta);
+            self.apply_delta(&delta);
+        }
+        self.scratch.delta = delta;
+    }
+
+    /// Advance the shard clock: rotate the slot ring and prune dead history
+    /// on the same cadence as the core scheduler.
+    pub fn advance_to(&mut self, now: Time) {
+        self.ring.advance_to(now);
+        let window_start = self.ring.window_start();
+        if (window_start - self.last_prune).secs() >= PRUNE_EVERY_SLOTS * self.slot_cfg.tau.secs()
+        {
+            self.timeline.prune_before(window_start);
+            self.last_prune = window_start;
+        }
+    }
+
+    /// Committed busy server-seconds before `until` on this shard's servers.
+    pub fn busy_secs_before(&self, until: Time) -> i64 {
+        self.timeline.busy_secs_before(until)
+    }
+
+    /// Cross-check the shard's indexes against its timeline (test helper;
+    /// expensive).
+    #[doc(hidden)]
+    pub fn check(&self) {
+        self.timeline.check_invariants();
+        self.ring.check_mirror(&self.timeline);
+        self.trailing.check_invariants();
+        let mut expect: Vec<u64> = (0..self.num_servers())
+            .map(|s| self.timeline.trailing_period(ServerId(s)).id.0)
+            .collect();
+        expect.sort_unstable();
+        let mut got: Vec<u64> = self.trailing.ids_in_order().iter().map(|p| p.0).collect();
+        got.sort_unstable();
+        assert_eq!(got, expect, "shard trailing set out of sync with timeline");
+    }
+
+    /// Mirror a timeline delta into the slot ring and trailing index. The
+    /// delta must not alias `self.scratch.delta` (callers `mem::take` it).
+    fn apply_delta(&mut self, delta: &PeriodDelta) {
+        for p in &delta.removed {
+            if p.end.is_inf() {
+                let removed = self.trailing.remove(p, &mut self.stats);
+                debug_assert!(removed, "shard trailing period {p:?} missing");
+            } else {
+                self.ring
+                    .remove_period_with(p, &mut self.scratch, &mut self.stats);
+            }
+        }
+        for p in &delta.added {
+            if p.end.is_inf() {
+                self.trailing.insert(p, &mut self.stats);
+            } else {
+                self.ring
+                    .insert_period_with(p, &mut self.scratch, &mut self.stats);
+            }
+        }
+    }
+}

@@ -214,6 +214,86 @@ impl RunResult {
     }
 }
 
+/// Anything that can play the online-scheduler role in a replay: handle
+/// requests immediately on arrival with a monotone clock. Implemented by
+/// [`CoAllocScheduler`] here and by the sharded scheduler in
+/// `coalloc-shard`, so one generic driver ([`run_with`]) replays the same
+/// trace through either.
+pub trait OnlineScheduler {
+    /// Advance the scheduler clock (never backwards).
+    fn advance_to(&mut self, now: Time);
+    /// Handle one request, committing on success.
+    fn submit(&mut self, req: &Request) -> Result<Grant, ScheduleError>;
+    /// Cumulative data-structure operations so far. Takes `&mut self` so
+    /// distributed implementations may sync their counters.
+    fn total_ops(&mut self) -> u64;
+    /// System utilization over `[origin, until)`.
+    fn utilization(&mut self, until: Time) -> f64;
+    /// The scheduler's current clock.
+    fn now(&self) -> Time;
+}
+
+impl OnlineScheduler for CoAllocScheduler {
+    fn advance_to(&mut self, now: Time) {
+        CoAllocScheduler::advance_to(self, now);
+    }
+    fn submit(&mut self, req: &Request) -> Result<Grant, ScheduleError> {
+        CoAllocScheduler::submit(self, req)
+    }
+    fn total_ops(&mut self) -> u64 {
+        self.stats().total_ops()
+    }
+    fn utilization(&mut self, until: Time) -> f64 {
+        CoAllocScheduler::utilization(self, until)
+    }
+    fn now(&self) -> Time {
+        CoAllocScheduler::now(self)
+    }
+}
+
+/// Replay `requests` (sorted by submission time) through any
+/// [`OnlineScheduler`]. The per-request protocol is identical to
+/// [`run_online`]: advance the clock to the submission time, submit, record
+/// the outcome.
+pub fn run_with<S: OnlineScheduler>(sched: &mut S, requests: &[Request], label: &str) -> RunResult {
+    let mut outcomes = Vec::with_capacity(requests.len());
+    let mut makespan = sched.now();
+    let mut prev_submit = Time(i64::MIN);
+    for req in requests {
+        debug_assert!(req.submit >= prev_submit, "requests must be sorted by q_r");
+        prev_submit = req.submit;
+        sched.advance_to(req.submit);
+        let before = sched.total_ops();
+        let (start, attempts) = match sched.submit(req) {
+            Ok(grant) => {
+                makespan = makespan.max(grant.end);
+                (Some(grant.start), grant.attempts)
+            }
+            Err(ScheduleError::Exhausted { attempts, .. }) => (None, attempts),
+            Err(_) => (None, 0),
+        };
+        let total = sched.total_ops();
+        outcomes.push(Outcome {
+            submit: req.submit,
+            earliest: req.earliest_start.max(req.submit),
+            duration: req.duration,
+            servers: req.servers,
+            start,
+            attempts,
+            ops: total - before,
+        });
+    }
+    let utilization = sched.utilization(makespan);
+    let total_ops = sched.total_ops();
+    RunResult {
+        label: label.to_string(),
+        outcomes,
+        utilization,
+        makespan,
+        total_ops,
+    }
+}
+
 /// Replay `requests` (sorted by submission time) through the tree-based
 /// online scheduler. Each request is handled immediately on arrival, as in
 /// Section 5.1.

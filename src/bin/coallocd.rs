@@ -31,17 +31,73 @@
 //! | `snapshot PATH` / `load PATH` | persist / restore state |
 //! | `help`, `exit` | |
 //!
-//! CLI flags: `--trace-out PATH` writes span/event traces as JSONL to
-//! `PATH`; `--metrics-dump` prints the metrics exposition on exit. The
-//! `COALLOC_OBS` environment variable (see the `obs` crate) configures
-//! tracing when `--trace-out` is not given.
+//! CLI flags: `--shards K` partitions the servers over `K` parallel shard
+//! workers (`init` then builds a sharded scheduler making the same decisions
+//! as the single one; `query`, `constrained`, `attrs`, `snapshot` and `load`
+//! require the default `K = 1`). `--trace-out PATH` writes span/event traces
+//! as JSONL to `PATH`; `--metrics-dump` prints the metrics exposition on
+//! exit. The `COALLOC_OBS` environment variable (see the `obs` crate)
+//! configures tracing when `--trace-out` is not given.
 
 use coalloc::core::attrs::AttrSet;
 use coalloc::prelude::*;
 use std::io::{BufRead, Write};
 
+/// Either back-end behind the command loop; both make identical decisions
+/// (DESIGN.md §9), so which one serves `submit` is invisible to clients.
+enum Sched {
+    Plain(Box<CoAllocScheduler>),
+    Sharded(Box<ShardedScheduler>),
+}
+
+impl Sched {
+    fn submit(&mut self, req: &Request) -> Result<Grant, ScheduleError> {
+        match self {
+            Sched::Plain(s) => s.submit(req),
+            Sched::Sharded(s) => s.submit(req),
+        }
+    }
+
+    fn submit_with_deadline(
+        &mut self,
+        req: &Request,
+        deadline: Time,
+    ) -> Result<Grant, ScheduleError> {
+        match self {
+            Sched::Plain(s) => s.submit_with_deadline(req, deadline),
+            Sched::Sharded(s) => s.submit_with_deadline(req, deadline),
+        }
+    }
+
+    fn release(&mut self, job: JobId) -> Result<(), ScheduleError> {
+        match self {
+            Sched::Plain(s) => s.release(job),
+            Sched::Sharded(s) => s.release(job),
+        }
+    }
+
+    fn advance_to(&mut self, now: Time) {
+        match self {
+            Sched::Plain(s) => s.advance_to(now),
+            Sched::Sharded(s) => s.advance_to(now),
+        }
+    }
+
+    /// The single-scheduler back-end, for commands the sharded front-end
+    /// does not serve.
+    fn plain(&mut self) -> Result<&mut CoAllocScheduler, String> {
+        match self {
+            Sched::Plain(s) => Ok(s),
+            Sched::Sharded(_) => {
+                Err("command requires a single-shard scheduler (run without --shards)".into())
+            }
+        }
+    }
+}
+
 struct Session {
-    sched: Option<CoAllocScheduler>,
+    sched: Option<Sched>,
+    shards: u32,
 }
 
 fn parse<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
@@ -49,7 +105,7 @@ fn parse<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
 }
 
 impl Session {
-    fn sched(&mut self) -> Result<&mut CoAllocScheduler, String> {
+    fn sched(&mut self) -> Result<&mut Sched, String> {
         self.sched.as_mut().ok_or_else(|| "no scheduler; run 'init N' first".to_string())
     }
 
@@ -85,8 +141,17 @@ impl Session {
                 } else if !rest.is_empty() {
                     return Err("usage: init N [tau horizon delta_t]".into());
                 }
-                self.sched = Some(CoAllocScheduler::new(n, b.build()));
-                Ok(format!("ok {n} servers"))
+                if self.shards > 1 {
+                    self.sched = Some(Sched::Sharded(Box::new(ShardedScheduler::new(
+                        n,
+                        self.shards,
+                        b.build(),
+                    ))));
+                    Ok(format!("ok {n} servers over {} shards", self.shards))
+                } else {
+                    self.sched = Some(Sched::Plain(Box::new(CoAllocScheduler::new(n, b.build()))));
+                    Ok(format!("ok {n} servers"))
+                }
             }
             ["submit", q, s, l, n] => {
                 let req = Request::advance(
@@ -121,7 +186,7 @@ impl Session {
                     parse(n, "n_r")?,
                 );
                 let required = AttrSet(parse(mask, "mask")?);
-                match self.sched()?.submit_constrained(&req, required) {
+                match self.sched()?.plain()?.submit_constrained(&req, required) {
                     Ok(g) => Ok(Self::grant_line(&g)),
                     Err(e) => Ok(format!("rejected {e}")),
                 }
@@ -129,7 +194,7 @@ impl Session {
             ["attrs", server, mask] => {
                 let srv = ServerId(parse(server, "server")?);
                 let mask = AttrSet(parse(mask, "mask")?);
-                let sched = self.sched()?;
+                let sched = self.sched()?.plain()?;
                 if srv.0 >= sched.num_servers() {
                     return Err(format!("no such server {}", srv.0));
                 }
@@ -138,7 +203,7 @@ impl Session {
             }
             ["query", a, b] => {
                 let (a, b) = (Time(parse(a, "start")?), Time(parse(b, "end")?));
-                let hits = self.sched()?.range_search(a, b);
+                let hits = self.sched()?.plain()?.range_search(a, b);
                 let mut out = format!("free {}", hits.len());
                 for h in hits {
                     out.push_str(&format!(
@@ -168,14 +233,28 @@ impl Session {
                 Ok(format!("ok now={}", t.secs()))
             }
             ["stats"] => {
-                let sched = self.sched()?;
-                let now = sched.now();
-                let s = *sched.stats();
+                let (now, horizon_end, util, s) = match self.sched()? {
+                    Sched::Plain(sched) => {
+                        let now = sched.now();
+                        (
+                            now,
+                            sched.horizon_end(),
+                            sched.utilization(now.max(Time(1))),
+                            *sched.stats(),
+                        )
+                    }
+                    Sched::Sharded(sched) => {
+                        let now = sched.now();
+                        let horizon_end = sched.horizon_end();
+                        let util = sched.utilization(now.max(Time(1)));
+                        (now, horizon_end, util, sched.stats())
+                    }
+                };
                 Ok(format!(
                     "now={} horizon_end={} util={:.4} ops={} searches={} attempts={}",
                     now.secs(),
-                    sched.horizon_end().secs(),
-                    sched.utilization(now.max(Time(1))),
+                    horizon_end.secs(),
+                    util,
                     s.total_ops(),
                     s.phase1_searches,
                     s.attempts
@@ -183,17 +262,22 @@ impl Session {
             }
             ["metrics"] => Ok(obs::metrics::exposition().trim_end().to_string()),
             ["snapshot", path] => {
-                let text = self.sched()?.snapshot();
+                let text = self.sched()?.plain()?.snapshot();
                 std::fs::write(path, text).map_err(|e| format!("write {path}: {e}"))?;
                 Ok(format!("ok wrote {path}"))
             }
             ["load", path] => {
+                if self.shards > 1 {
+                    return Err(
+                        "load requires a single-shard scheduler (run without --shards)".into()
+                    );
+                }
                 let text =
                     std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
                 let sched =
                     CoAllocScheduler::restore(&text).map_err(|e| format!("restore: {e}"))?;
                 let n = sched.num_servers();
-                self.sched = Some(sched);
+                self.sched = Some(Sched::Plain(Box::new(sched)));
                 Ok(format!("ok {n} servers restored"))
             }
             _ => Err(format!("unknown command: '{line}' (try 'help')")),
@@ -204,9 +288,24 @@ impl Session {
 fn main() {
     obs::init_from_env();
     let mut metrics_dump = false;
+    let mut shards = 1u32;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
+            "--shards" => {
+                let k = args.next().unwrap_or_else(|| {
+                    eprintln!("--shards needs a count");
+                    std::process::exit(2);
+                });
+                shards = k.parse().unwrap_or_else(|_| {
+                    eprintln!("bad shard count: '{k}'");
+                    std::process::exit(2);
+                });
+                if shards == 0 {
+                    eprintln!("--shards must be at least 1");
+                    std::process::exit(2);
+                }
+            }
             "--trace-out" => {
                 let path = args.next().unwrap_or_else(|| {
                     eprintln!("--trace-out needs a path");
@@ -234,7 +333,7 @@ fn main() {
     }
     let stdin = std::io::stdin();
     let mut stdout = std::io::stdout().lock();
-    let mut session = Session { sched: None };
+    let mut session = Session { sched: None, shards };
     for line in stdin.lock().lines() {
         let line = match line {
             Ok(l) => l,
@@ -266,14 +365,18 @@ fn main() {
 mod tests {
     use super::*;
 
-    fn run(cmds: &[&str]) -> Vec<String> {
-        let mut s = Session { sched: None };
+    fn run_sharded(cmds: &[&str], shards: u32) -> Vec<String> {
+        let mut s = Session { sched: None, shards };
         cmds.iter()
             .map(|c| match s.exec(c) {
                 Ok(r) => r,
                 Err(e) => format!("error: {e}"),
             })
             .collect()
+    }
+
+    fn run(cmds: &[&str]) -> Vec<String> {
+        run_sharded(cmds, 1)
     }
 
     #[test]
@@ -374,6 +477,41 @@ mod tests {
         assert!(value_of("sched_grants_total") > 0);
         assert!(value_of("range_searches_total") > 0);
         assert!(value_of("sched_attempts_count") > 0, "retry histogram empty");
+    }
+
+    #[test]
+    fn sharded_session_matches_plain_decisions() {
+        let cmds = [
+            "init 8 10 400 10",
+            "submit 0 0 50 4",
+            "submit 0 100 60 8",
+            "deadline 0 0 20 2 100",
+            "submit 0 0 500 1",
+            "release 0",
+            "submit 0 0 50 6",
+        ];
+        let plain = run(&cmds);
+        for k in [2u32, 4] {
+            let sharded = run_sharded(&cmds, k);
+            assert_eq!(sharded[0], format!("ok 8 servers over {k} shards"));
+            // Every decision line matches the single scheduler exactly
+            // (grant/reject, job id, start, end, attempts, servers).
+            assert_eq!(&plain[1..], &sharded[1..], "k={k}");
+        }
+    }
+
+    #[test]
+    fn sharded_session_rejects_single_shard_commands() {
+        let out = run_sharded(
+            &["init 4 10 200 10", "query 0 50", "attrs 0 1", "snapshot /tmp/x"],
+            2,
+        );
+        for line in &out[1..] {
+            assert!(
+                line.starts_with("error: command requires a single-shard"),
+                "{line}"
+            );
+        }
     }
 
     #[test]

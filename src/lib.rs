@@ -13,6 +13,8 @@
 //! * [`sim`] — discrete-event replay and the paper's metrics;
 //! * [`workloads`] — SWF trace parsing and CTC/KTH/HPC2N statistical twins;
 //! * [`batch`] — FCFS / EASY / conservative backfilling baselines;
+//! * [`shard`] — sharded parallel front-end making decisions bit-identical
+//!   to the single scheduler (DESIGN.md §9);
 //! * [`multisite`] — atomic cross-site co-allocation (hold/commit protocol);
 //! * [`lambda`] — the PCE wavelength-scheduling application (Section 3.2);
 //! * [`workflow`] — DAG co-allocation via chained advance reservations.
@@ -54,6 +56,7 @@ pub use coalloc_batch as batch;
 pub use coalloc_core as core;
 pub use coalloc_lambda as lambda;
 pub use coalloc_multisite as multisite;
+pub use coalloc_shard as shard;
 pub use coalloc_sim as sim;
 pub use coalloc_workflow as workflow;
 pub use coalloc_workloads as workloads;
@@ -66,7 +69,8 @@ pub mod prelude {
     pub use coalloc_multisite::{
         Coordinator, CoordinatorConfig, MultiRequest, SiteHandle, SiteId,
     };
-    pub use coalloc_sim::runner::{run_naive, run_online, Outcome, RunResult};
+    pub use coalloc_shard::ShardedScheduler;
+    pub use coalloc_sim::runner::{run_naive, run_online, run_with, Outcome, RunResult};
     pub use coalloc_workflow::{Dag, Mode, Stage, StageId, WorkflowPlan};
     pub use coalloc_workloads::{with_paper_reservations, WorkloadSpec, WorkloadStats};
 }
