@@ -1,0 +1,483 @@
+//! `netload` — closed-loop load generator for the TCP serving path.
+//!
+//! Spins up an in-process `coalloc-net` server (or targets an external one
+//! via `--addr`), drives it with `C` concurrent clients replaying a
+//! fixed-seed workload twin from `crates/workloads`, and emits
+//! `BENCH_net.json` with requests/sec and p50/p99 per-command latency.
+//! After the storm it verifies the conservation invariants end to end:
+//! every client-observed grant is releasable exactly once, the scheduler
+//! passes its internal `check`, and (plain back-end) the server's
+//! `sched_grants_total` metric equals the clients' count and releasing
+//! everything returns the system to full idle capacity.
+//!
+//! ```text
+//! cargo run -p coalloc-bench --release --bin netload -- \
+//!     [--smoke] [--clients C] [--scale F] [--seed N] [--shards K] \
+//!     [--addr HOST:PORT] [--out PATH] [--validate PATH]
+//! ```
+//!
+//! * `--smoke` — tiny workload slice for CI (8 clients, ~hundreds of
+//!   commands) that still runs every invariant check.
+//! * `--addr` — drive an already-running `coallocd serve` instead of an
+//!   in-process server (the metric-equality check is skipped: an external
+//!   server's counters may include other traffic).
+//! * `--validate PATH` — parse an existing result file and check its shape
+//!   instead of running; used by CI after the bench run.
+
+use coalloc_net::{Client, NetConfig, Server, BUSY_REPLY};
+use coalloc_workloads::synthetic::WorkloadSpec;
+use obs::json::{self, Json};
+use std::time::{Duration, Instant};
+
+/// One client's tally of a replay slice.
+#[derive(Default)]
+struct ClientOutcome {
+    granted_jobs: Vec<u64>,
+    rejected: u64,
+    busy_retries: u64,
+    lat_ns: Vec<u64>,
+    violations: Vec<String>,
+}
+
+/// Send one command, retrying on `busy retry-after` sheds. Queue-level
+/// sheds leave the connection open; accept-level sheds close it (seen as
+/// a busy-then-EOF, a write error, or — if the command raced the close —
+/// a connection reset), so retries reconnect as PROTOCOL.md prescribes.
+/// Returns the first real reply and the number of retries absorbed.
+fn roundtrip_retry(
+    c: &mut Client,
+    addr: std::net::SocketAddr,
+    line: &str,
+) -> std::io::Result<(String, u64)> {
+    let mut retries = 0u64;
+    loop {
+        match c.roundtrip(line) {
+            Ok(reply) if reply == BUSY_REPLY => {}
+            // EOF: the connection died between commands (shed or reaped).
+            Ok(reply) if reply.is_empty() => {}
+            Ok(reply) => return Ok((reply, retries)),
+            Err(e) if retries >= 100 => return Err(e),
+            Err(_) => {}
+        }
+        retries += 1;
+        std::thread::sleep(Duration::from_millis(5));
+        // The cheap way to be correct about half-dead sockets: start over.
+        let mut fresh = Client::connect(addr)?;
+        let _ = fresh.set_timeout(Duration::from_secs(30));
+        *c = fresh;
+    }
+}
+
+fn client_worker(
+    addr: std::net::SocketAddr,
+    reqs: Vec<(i64, i64, i64, u32)>,
+) -> ClientOutcome {
+    let mut out = ClientOutcome::default();
+    let mut c = match Client::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            out.violations.push(format!("connect failed: {e}"));
+            return out;
+        }
+    };
+    let _ = c.set_timeout(Duration::from_secs(30));
+    for (q, s, l, n) in reqs {
+        // Closed loop: move the shared clock to this request's submit
+        // instant, then submit and wait for the decision.
+        match roundtrip_retry(&mut c, addr, &format!("advance {q}")) {
+            Ok((r, busy)) => {
+                out.busy_retries += busy;
+                if !r.starts_with("ok now=") {
+                    out.violations.push(format!("bad advance reply: {r}"));
+                }
+            }
+            Err(e) => {
+                out.violations.push(format!("advance io error: {e}"));
+                return out;
+            }
+        }
+        let t0 = Instant::now();
+        match roundtrip_retry(&mut c, addr, &format!("submit {q} {s} {l} {n}")) {
+            Ok((r, busy)) => {
+                out.busy_retries += busy;
+                out.lat_ns.push(t0.elapsed().as_nanos() as u64);
+                if let Some(rest) = r.strip_prefix("granted job=") {
+                    let id: u64 = rest
+                        .split_whitespace()
+                        .next()
+                        .and_then(|x| x.parse().ok())
+                        .unwrap_or_else(|| {
+                            out.violations.push(format!("unparsable grant: {r}"));
+                            u64::MAX
+                        });
+                    out.granted_jobs.push(id);
+                } else if r.starts_with("rejected") {
+                    out.rejected += 1;
+                } else {
+                    out.violations.push(format!("unexpected submit reply: {r}"));
+                }
+            }
+            Err(e) => {
+                out.violations.push(format!("submit io error: {e}"));
+                return out;
+            }
+        }
+    }
+    out
+}
+
+fn percentile_us(sorted_ns: &[u64], p: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ns.len() as f64 - 1.0) * p).round() as usize;
+    sorted_ns[idx] as f64 / 1_000.0
+}
+
+/// Pull one metric value out of a `metrics` exposition.
+fn metric_value(exposition: &str, name: &str) -> Option<u64> {
+    exposition
+        .lines()
+        .find(|l| l.split_whitespace().next() == Some(name))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+}
+
+/// The measured half of a run, ready to serialize.
+struct RunSummary {
+    n_cmds: usize,
+    secs: f64,
+    rps: f64,
+    p50_us: f64,
+    p99_us: f64,
+    granted: usize,
+    rejected: u64,
+    busy_retries: u64,
+    violations: usize,
+}
+
+fn render(spec: &WorkloadSpec, args: &Args, s: &RunSummary) -> String {
+    let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    format!(
+        "{{\n  \"bench\": \"netload\",\n  \"workload\": \"{}\",\n  \"servers\": {},\n  \
+         \"scale\": {},\n  \"seed\": {},\n  \"clients\": {},\n  \"shards\": {},\n  \
+         \"commands\": {},\n  \"cpus\": {},\n  \"secs\": {:.6},\n  \"rps\": {:.3},\n  \
+         \"p50_us\": {:.3},\n  \"p99_us\": {:.3},\n  \"granted\": {},\n  \
+         \"rejected\": {},\n  \"busy_retries\": {},\n  \"violations\": {}\n}}\n",
+        json::escape(&spec.name),
+        spec.servers,
+        args.scale,
+        args.seed,
+        args.clients,
+        args.shards,
+        s.n_cmds,
+        cpus,
+        s.secs,
+        s.rps,
+        s.p50_us,
+        s.p99_us,
+        s.granted,
+        s.rejected,
+        s.busy_retries,
+        s.violations,
+    )
+}
+
+/// Shape-check a `BENCH_net.json` document.
+fn validate(text: &str) -> Result<(), String> {
+    let doc = json::parse(text)?;
+    if doc.get("bench").and_then(Json::as_str) != Some("netload") {
+        return Err("missing or wrong \"bench\" tag".into());
+    }
+    for key in [
+        "servers", "scale", "seed", "clients", "shards", "commands", "cpus", "secs", "rps",
+        "p50_us", "p99_us", "granted", "rejected", "busy_retries", "violations",
+    ] {
+        if doc.get(key).and_then(Json::as_num).is_none() {
+            return Err(format!("missing numeric \"{key}\""));
+        }
+    }
+    let num = |k: &str| doc.get(k).and_then(Json::as_num).unwrap_or(-1.0);
+    if num("commands") <= 0.0 || num("rps") <= 0.0 {
+        return Err("\"commands\" and \"rps\" must be positive".into());
+    }
+    if num("clients") < 1.0 {
+        return Err("\"clients\" must be at least 1".into());
+    }
+    if num("violations") != 0.0 {
+        return Err(format!("{} invariant violations recorded", num("violations")));
+    }
+    Ok(())
+}
+
+struct Args {
+    clients: usize,
+    scale: f64,
+    seed: u64,
+    shards: u32,
+    addr: Option<String>,
+    out_path: String,
+}
+
+fn main() {
+    let mut args = Args {
+        clients: 8,
+        scale: 0.01,
+        seed: 42,
+        shards: 1,
+        addr: None,
+        out_path: "BENCH_net.json".to_string(),
+    };
+    let mut cli = std::env::args().skip(1);
+    while let Some(a) = cli.next() {
+        match a.as_str() {
+            "--smoke" => args.scale = 0.002,
+            "--clients" => {
+                args.clients = cli.next().expect("--clients C").parse().expect("integer")
+            }
+            "--scale" => args.scale = cli.next().expect("--scale F").parse().expect("float"),
+            "--seed" => args.seed = cli.next().expect("--seed N").parse().expect("integer"),
+            "--shards" => args.shards = cli.next().expect("--shards K").parse().expect("integer"),
+            "--addr" => args.addr = Some(cli.next().expect("--addr HOST:PORT")),
+            "--out" => args.out_path = cli.next().expect("--out PATH"),
+            "--validate" => {
+                let path = cli.next().expect("--validate PATH");
+                let text = std::fs::read_to_string(&path)
+                    .unwrap_or_else(|e| panic!("read {path}: {e}"));
+                match validate(&text) {
+                    Ok(()) => {
+                        println!("{path}: ok");
+                        return;
+                    }
+                    Err(e) => {
+                        eprintln!("{path}: INVALID: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: netload [--smoke] [--clients C] [--scale F] [--seed N] \
+                     [--shards K] [--addr HOST:PORT] [--out PATH] [--validate PATH]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    assert!(args.clients >= 1, "--clients must be at least 1");
+
+    // The workload twin: same generator the throughput gate replays.
+    let spec = WorkloadSpec::kth().scaled(args.scale);
+    let reqs = spec.generate(args.seed);
+    println!(
+        "netload: {} requests over {} servers (kth × {}, seed {}), {} clients, {} shard(s)",
+        reqs.len(),
+        spec.servers,
+        args.scale,
+        args.seed,
+        args.clients,
+        args.shards
+    );
+
+    // In-process server unless an external address was given. The pool is
+    // sized so every load client plus the control session has a worker.
+    let server = if args.addr.is_none() {
+        Some(
+            Server::bind(NetConfig {
+                workers: args.clients + 2,
+                queue_depth: (args.clients * 2).max(8),
+                accept_backlog: args.clients.max(8),
+                read_timeout: Duration::from_secs(30),
+                shards: args.shards,
+                ..NetConfig::default()
+            })
+            .expect("bind in-process server"),
+        )
+    } else {
+        None
+    };
+    let addr: std::net::SocketAddr = match (&args.addr, &server) {
+        (Some(a), _) => a.parse().expect("parse --addr"),
+        (None, Some(s)) => s.local_addr(),
+        _ => unreachable!(),
+    };
+
+    // Control session: initialize the shared scheduler with the paper-bench
+    // settings (15-minute slots, 72-hour horizon).
+    let mut control = Client::connect(addr).expect("connect control session");
+    control.set_timeout(Duration::from_secs(30)).expect("timeouts");
+    let init = control
+        .roundtrip(&format!("init {} 900 259200 900", spec.servers))
+        .expect("init");
+    assert!(init.starts_with("ok"), "init failed: {init}");
+
+    // Round-robin the request stream over the clients, preserving each
+    // slice's submit-time order (the shared clock only moves forward).
+    let mut slices: Vec<Vec<(i64, i64, i64, u32)>> = vec![Vec::new(); args.clients];
+    for (i, r) in reqs.iter().enumerate() {
+        slices[i % args.clients].push((
+            r.submit.secs(),
+            r.earliest_start.secs(),
+            r.duration.secs(),
+            r.servers,
+        ));
+    }
+
+    let t0 = Instant::now();
+    let handles: Vec<_> = slices
+        .into_iter()
+        .map(|slice| std::thread::spawn(move || client_worker(addr, slice)))
+        .collect();
+    let outcomes: Vec<ClientOutcome> = handles
+        .into_iter()
+        .map(|h| h.join().expect("client thread"))
+        .collect();
+    let secs = t0.elapsed().as_secs_f64();
+
+    let mut lat_ns: Vec<u64> = Vec::new();
+    let mut granted_jobs: Vec<u64> = Vec::new();
+    let mut rejected = 0u64;
+    let mut busy_retries = 0u64;
+    let mut violations: Vec<String> = Vec::new();
+    for o in outcomes {
+        lat_ns.extend(o.lat_ns);
+        granted_jobs.extend(o.granted_jobs);
+        rejected += o.rejected;
+        busy_retries += o.busy_retries;
+        violations.extend(o.violations);
+    }
+    lat_ns.sort_unstable();
+    // Two commands (advance + submit) per request actually crossed the
+    // wire; rps counts them both since each is a served roundtrip.
+    let n_cmds = lat_ns.len() * 2;
+
+    // ---- Invariant sweep (the acceptance gate's "zero violations") ----
+    // 1. The scheduler's internal indexes are consistent after the storm.
+    match control.roundtrip("check") {
+        Ok(r) if r == "ok" => {}
+        Ok(r) => violations.push(format!("check failed: {r}")),
+        Err(e) => violations.push(format!("check io error: {e}")),
+    }
+    // 2. Grant conservation against the server's own counters (only sound
+    //    when the server is ours and the back-end increments the metric).
+    if server.is_some() && args.shards == 1 {
+        let metrics = Client::connect(addr)
+            .and_then(|c| c.exchange_script("metrics\nexit\n"))
+            .unwrap_or_default();
+        match metric_value(&metrics, "sched_grants_total") {
+            Some(g) if g as usize == granted_jobs.len() => {}
+            Some(g) => violations.push(format!(
+                "grant conservation: server counted {g}, clients observed {}",
+                granted_jobs.len()
+            )),
+            None => violations.push("sched_grants_total missing from metrics".into()),
+        }
+    }
+    // 3. Every observed grant is releasable exactly once (no phantom or
+    //    double-counted jobs), and releasing all of them returns the
+    //    system to full idle capacity.
+    granted_jobs.sort_unstable();
+    granted_jobs.dedup();
+    if granted_jobs.len() != lat_ns.len() - rejected as usize {
+        violations.push(format!(
+            "duplicate job ids: {} unique grants vs {} granted replies",
+            granted_jobs.len(),
+            lat_ns.len() - rejected as usize
+        ));
+    }
+    for job in &granted_jobs {
+        match control.roundtrip(&format!("release {job}")) {
+            Ok(r) if r == "ok" => {}
+            Ok(r) => violations.push(format!("release {job}: {r}")),
+            Err(e) => violations.push(format!("release {job} io error: {e}")),
+        }
+    }
+    if let Some(&job) = granted_jobs.first() {
+        match control.roundtrip(&format!("release {job}")) {
+            Ok(r) if r.starts_with("error unknown job") => {}
+            Ok(r) => violations.push(format!("double release not rejected: {r}")),
+            Err(e) => violations.push(format!("double release io error: {e}")),
+        }
+    }
+    if args.shards == 1 {
+        // Plain back-end: after releasing everything, every server is idle
+        // over the slot after the final clock (nothing leaked, nothing
+        // stuck). The window is read back from `stats` because the load
+        // clients advanced the shared clock.
+        let now: Option<i64> = control
+            .roundtrip("stats")
+            .ok()
+            .and_then(|r| {
+                r.split_whitespace()
+                    .find_map(|f| f.strip_prefix("now=").and_then(|v| v.parse().ok()))
+            });
+        match now {
+            Some(now) => match control.roundtrip(&format!("query {} {}", now, now + 900)) {
+                Ok(r) if r == format!("free {}", spec.servers) => {
+                    for _ in 0..spec.servers {
+                        let _ = control.recv_line();
+                    }
+                }
+                Ok(r) => violations.push(format!("capacity not restored: {r}")),
+                Err(e) => violations.push(format!("query io error: {e}")),
+            },
+            None => violations.push("stats reply missing now=".into()),
+        }
+    }
+    match control.roundtrip("check") {
+        Ok(r) if r == "ok" => {}
+        Ok(r) => violations.push(format!("post-release check failed: {r}")),
+        Err(e) => violations.push(format!("post-release check io error: {e}")),
+    }
+
+    let rps = n_cmds as f64 / secs.max(1e-9);
+    let p50 = percentile_us(&lat_ns, 0.50);
+    let p99 = percentile_us(&lat_ns, 0.99);
+    println!(
+        "  {} commands in {:.3} s = {:.0} cmd/s; submit p50 {:.1} µs p99 {:.1} µs; \
+         {} granted, {} rejected, {} busy retries",
+        n_cmds,
+        secs,
+        rps,
+        p50,
+        p99,
+        granted_jobs.len(),
+        rejected,
+        busy_retries
+    );
+    for v in &violations {
+        eprintln!("INVARIANT VIOLATED: {v}");
+    }
+
+    let doc = render(
+        &spec,
+        &args,
+        &RunSummary {
+            n_cmds,
+            secs,
+            rps,
+            p50_us: p50,
+            p99_us: p99,
+            granted: granted_jobs.len(),
+            rejected,
+            busy_retries,
+            violations: violations.len(),
+        },
+    );
+    std::fs::write(&args.out_path, &doc)
+        .unwrap_or_else(|e| panic!("write {}: {e}", args.out_path));
+    println!("wrote {}", args.out_path);
+
+    drop(control);
+    if let Some(s) = server {
+        s.shutdown();
+    }
+    if !violations.is_empty() {
+        std::process::exit(1);
+    }
+    validate(&doc).expect("self-validation of the emitted document");
+}

@@ -47,6 +47,22 @@ impl CoAllocScheduler {
     /// the two-phase search discovers them (latest-starting candidates
     /// first). Returns an empty vector when the window is degenerate or
     /// starts outside the live horizon.
+    ///
+    /// ```
+    /// use coalloc_core::prelude::*;
+    ///
+    /// let mut sched = CoAllocScheduler::new(3, SchedulerConfig::default());
+    /// sched.submit(&Request::on_demand(Time::ZERO, Dur::from_hours(2), 1)).unwrap();
+    /// // One server is busy for two hours; the other two are free.
+    /// let free = sched.range_search(Time::from_hours(1), Time::from_hours(2));
+    /// assert_eq!(free.len(), 2);
+    /// // Query-then-commit: reserve one of them atomically.
+    /// let pick = [free[0].period.id];
+    /// let grant = sched
+    ///     .commit_selection(&pick, Time::from_hours(1), Time::from_hours(2))
+    ///     .unwrap();
+    /// assert_eq!(grant.servers.len(), 1);
+    /// ```
     pub fn range_search(&mut self, start: Time, end: Time) -> Vec<Availability> {
         RANGE_SEARCHES.inc();
         let start = start.max(self.now());

@@ -24,6 +24,20 @@ pub struct Request {
 
 impl Request {
     /// An on-demand request (`s_r = q_r`), i.e. "start as soon as possible".
+    ///
+    /// ```
+    /// use coalloc_core::prelude::*;
+    ///
+    /// let now = Request::on_demand(Time::from_hours(1), Dur::from_mins(30), 4);
+    /// assert!(!now.is_advance());
+    /// let later = Request::advance(
+    ///     Time::from_hours(1),  // submitted at t = 1 h ...
+    ///     Time::from_hours(24), // ... for a slot tomorrow
+    ///     Dur::from_mins(30),
+    ///     4,
+    /// );
+    /// assert!(later.is_advance() && later.validate().is_ok());
+    /// ```
     pub fn on_demand(submit: Time, duration: Dur, servers: u32) -> Request {
         Request {
             submit,

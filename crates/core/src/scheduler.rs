@@ -330,6 +330,17 @@ impl CoAllocScheduler {
     /// Handle a request: the full online algorithm of Section 4.2, including
     /// the `Delta_t` / `R_max` retry loop. On success the reservation is
     /// committed and a [`Grant`] returned.
+    ///
+    /// ```
+    /// use coalloc_core::prelude::*;
+    ///
+    /// let mut sched = CoAllocScheduler::new(4, SchedulerConfig::default());
+    /// let grant = sched
+    ///     .submit(&Request::on_demand(Time::ZERO, Dur::from_hours(1), 2))
+    ///     .unwrap();
+    /// assert_eq!(grant.servers.len(), 2);
+    /// assert_eq!(grant.start, Time::ZERO); // idle system: no waiting
+    /// ```
     pub fn submit(&mut self, req: &Request) -> Result<Grant, ScheduleError> {
         req.validate()?;
         if req.servers > self.num_servers() {
@@ -611,6 +622,26 @@ impl CoAllocScheduler {
     /// `deadline - l_r` is tried; if none works the request fails with
     /// [`ScheduleError::Exhausted`] (a deadline miss) rather than being
     /// scheduled late.
+    ///
+    /// ```
+    /// use coalloc_core::prelude::*;
+    ///
+    /// let mut sched = CoAllocScheduler::new(1, SchedulerConfig::default());
+    /// // The single server is busy for the first hour...
+    /// sched.submit(&Request::on_demand(Time::ZERO, Dur::from_hours(1), 1)).unwrap();
+    /// // ...so a job that must finish within that hour misses its deadline,
+    /// let miss = sched.submit_with_deadline(
+    ///     &Request::on_demand(Time::ZERO, Dur::from_mins(30), 1),
+    ///     Time::from_hours(1),
+    /// );
+    /// assert!(miss.is_err());
+    /// // while a laxer deadline lets the retry loop shift past the hour.
+    /// let grant = sched.submit_with_deadline(
+    ///     &Request::on_demand(Time::ZERO, Dur::from_mins(30), 1),
+    ///     Time::from_hours(2),
+    /// ).unwrap();
+    /// assert!(grant.end <= Time::from_hours(2));
+    /// ```
     pub fn submit_with_deadline(
         &mut self,
         req: &Request,
@@ -808,6 +839,21 @@ impl CoAllocScheduler {
     /// Cancel a committed job, returning its windows to the idle pool (used
     /// by users cancelling reservations and by the multi-site abort path).
     /// Reservations whose history was already pruned are simply dropped.
+    ///
+    /// ```
+    /// use coalloc_core::prelude::*;
+    ///
+    /// let mut sched = CoAllocScheduler::new(2, SchedulerConfig::default());
+    /// let grant = sched
+    ///     .submit(&Request::on_demand(Time::ZERO, Dur::from_hours(1), 2))
+    ///     .unwrap();
+    /// sched.release(grant.job).unwrap();
+    /// // Releasing twice is an error, not a silent no-op.
+    /// assert!(matches!(
+    ///     sched.release(grant.job),
+    ///     Err(ScheduleError::UnknownJob(_))
+    /// ));
+    /// ```
     pub fn release(&mut self, job: JobId) -> Result<(), ScheduleError> {
         let reservations = self.jobs.remove(&job).ok_or(ScheduleError::UnknownJob(job))?;
         let mut delta = std::mem::take(&mut self.scratch.delta);

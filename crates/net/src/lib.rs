@@ -1,0 +1,48 @@
+//! # coalloc-net
+//!
+//! The network edge of the co-allocation scheduler: a dependency-free
+//! (std-only) TCP server speaking the same line protocol as `coallocd`'s
+//! stdin/stdout session, specified normatively in `docs/PROTOCOL.md`.
+//!
+//! * [`proto`] — the shared command table: single source of truth for the
+//!   parser surface, the generated `help` reply and the protocol docs;
+//! * [`session`] — the command interpreter ([`Session`]), shared verbatim
+//!   by the stdin loop and the TCP path;
+//! * [`server`] — the concurrent front-end ([`Server`]): accept loop →
+//!   fixed worker pool → bounded command queue → one scheduler thread,
+//!   with admission control (`busy retry-after` sheds), per-connection
+//!   read/write timeouts, a max-line bound and graceful drain;
+//! * [`client`] — a blocking scripting client ([`Client`]) used by the
+//!   `netload` load generator and the end-to-end tests.
+//!
+//! Because every session multiplexes onto one scheduler thread, a TCP
+//! session's reply stream is byte-identical to the same script on stdin —
+//! `crates/net/tests/e2e.rs` enforces this for both the plain and the
+//! sharded back-end.
+//!
+//! ```
+//! use coalloc_net::{Client, NetConfig, Server, Session};
+//!
+//! // In-process server on an ephemeral port.
+//! let server = Server::bind(NetConfig::default()).unwrap();
+//! let client = Client::connect(server.local_addr()).unwrap();
+//! let script = "init 4 10 200 10\nsubmit 0 0 50 2\nexit\n";
+//! let over_tcp = client.exchange_script(script).unwrap();
+//!
+//! // Identical bytes to the same script interpreted locally (= stdin).
+//! assert_eq!(over_tcp, Session::new(1).run_script(script));
+//! server.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod client;
+pub mod proto;
+pub mod server;
+pub mod session;
+
+pub use client::Client;
+pub use proto::{help_text, CommandSpec, BUSY_REPLY, COMMANDS, PROTOCOL_VERSION};
+pub use server::{NetConfig, Server};
+pub use session::{Sched, Session};

@@ -1,0 +1,417 @@
+//! The concurrent TCP front-end.
+//!
+//! Threading model (DESIGN.md §10): one **accept thread** feeds accepted
+//! sockets into a bounded hand-off channel; a fixed pool of **worker
+//! threads** each drives one connection at a time (line framing, timeouts,
+//! reply writes); every parsed command line crosses a bounded MPSC queue to
+//! the single **scheduler thread**, which owns the [`Session`] and executes
+//! commands strictly in arrival order. Serializing all sessions through one
+//! queue is what makes the server's decisions deterministic and its per-
+//! session reply stream byte-identical to the same script on stdin.
+//!
+//! Admission control happens at both bounded edges: a full accept backlog
+//! or a full command queue sheds with the [`BUSY_REPLY`] line instead of
+//! queueing unboundedly (`net_shed_total`). Slow or hostile clients are
+//! bounded by per-connection read/write timeouts, a per-line read deadline
+//! (anti-slow-loris) and a maximum line length.
+
+use crate::proto::BUSY_REPLY;
+use crate::session::Session;
+use obs::{LazyCounter, LazyGauge, LazyHistogram};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+static CONNECTIONS: LazyCounter = LazyCounter::new("net_connections_total");
+static ACTIVE: LazyGauge = LazyGauge::new("net_conns_active");
+static LINES: LazyCounter = LazyCounter::new("net_lines_total");
+static REPLIES: LazyCounter = LazyCounter::new("net_replies_total");
+static SHED: LazyCounter = LazyCounter::new("net_shed_total");
+static SHED_ACCEPT: LazyCounter = LazyCounter::new("net_shed_accept_total");
+static SHED_QUEUE: LazyCounter = LazyCounter::new("net_shed_queue_total");
+static ERRORS: LazyCounter = LazyCounter::new("net_errors_total");
+static REQUEST_US: LazyHistogram = LazyHistogram::new("net_request_us");
+static QUEUE_WAIT_US: LazyHistogram = LazyHistogram::new("net_queue_wait_us");
+
+/// Configuration of a [`Server`]. The defaults suit an interactive
+/// deployment; load tests shrink the timeouts and grow the pool.
+#[derive(Clone, Debug)]
+pub struct NetConfig {
+    /// Address to bind, e.g. `127.0.0.1:7077` (port 0 picks a free port).
+    pub addr: String,
+    /// Worker threads; also the number of concurrently served connections.
+    pub workers: usize,
+    /// Bound of the command queue between workers and the scheduler thread.
+    pub queue_depth: usize,
+    /// Bound of the accepted-connection hand-off channel. Connections
+    /// beyond `workers + accept_backlog` are shed with [`BUSY_REPLY`].
+    pub accept_backlog: usize,
+    /// Maximum accepted line length in bytes (newline excluded).
+    pub max_line: usize,
+    /// Per-connection read deadline, applied twice: a connection idle this
+    /// long is closed (`error: idle timeout`), and a line still unfinished
+    /// this long after its first byte is closed (`error: line timeout`,
+    /// the anti-slow-loris bound).
+    pub read_timeout: Duration,
+    /// Per-connection write timeout for replies.
+    pub write_timeout: Duration,
+    /// Shard count handed to each session's `init` (1 = plain scheduler).
+    pub shards: u32,
+    /// Test hook: artificial delay before each command execution, to make
+    /// queue buildup reproducible in shed/backpressure tests.
+    #[doc(hidden)]
+    pub exec_delay: Duration,
+}
+
+impl Default for NetConfig {
+    fn default() -> NetConfig {
+        NetConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 8,
+            queue_depth: 64,
+            accept_backlog: 8,
+            max_line: crate::proto::DEFAULT_MAX_LINE,
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(10),
+            shards: 1,
+            exec_delay: Duration::ZERO,
+        }
+    }
+}
+
+/// A command line in flight from a worker to the scheduler thread.
+struct Job {
+    line: String,
+    queued_at: Instant,
+    reply: Sender<String>,
+}
+
+/// A running TCP server. Dropping it (or calling [`Server::shutdown`])
+/// drains gracefully: stop accepting, finish in-flight commands, join all
+/// threads.
+///
+/// ```no_run
+/// use coalloc_net::{NetConfig, Server};
+///
+/// let server = Server::bind(NetConfig::default()).unwrap();
+/// println!("listening on {}", server.local_addr());
+/// // ... serve until shutdown ...
+/// server.shutdown();
+/// ```
+pub struct Server {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_handle: Option<JoinHandle<()>>,
+    worker_handles: Vec<JoinHandle<()>>,
+    sched_handle: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `cfg.addr` and spawn the accept loop, worker pool and scheduler
+    /// thread. Returns once the listener is live (connections race no
+    /// startup window).
+    pub fn bind(cfg: NetConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let local_addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+
+        // The scheduler thread: sole owner of the session; executes command
+        // lines strictly in queue order.
+        let (job_tx, job_rx) = mpsc::sync_channel::<Job>(cfg.queue_depth.max(1));
+        let shards = cfg.shards;
+        let exec_delay = cfg.exec_delay;
+        let sched_handle = std::thread::Builder::new()
+            .name("coalloc-net-sched".into())
+            .spawn(move || scheduler_loop(job_rx, shards, exec_delay))
+            .expect("spawn scheduler thread");
+
+        // The worker pool: each worker serves one connection at a time.
+        let (conn_tx, conn_rx) = mpsc::sync_channel::<TcpStream>(cfg.accept_backlog.max(1));
+        let conn_rx = Arc::new(std::sync::Mutex::new(conn_rx));
+        let mut worker_handles = Vec::with_capacity(cfg.workers.max(1));
+        for i in 0..cfg.workers.max(1) {
+            let rx = Arc::clone(&conn_rx);
+            let tx = job_tx.clone();
+            let cfg = cfg.clone();
+            let stop = Arc::clone(&stop);
+            worker_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("coalloc-net-worker-{i}"))
+                    .spawn(move || worker_loop(rx, tx, cfg, stop))
+                    .expect("spawn net worker"),
+            );
+        }
+        drop(job_tx); // scheduler thread exits once all workers are gone
+
+        let accept_stop = Arc::clone(&stop);
+        let accept_handle = std::thread::Builder::new()
+            .name("coalloc-net-accept".into())
+            .spawn(move || accept_loop(listener, conn_tx, accept_stop))
+            .expect("spawn accept thread");
+
+        Ok(Server {
+            local_addr,
+            stop,
+            accept_handle: Some(accept_handle),
+            worker_handles,
+            sched_handle: Some(sched_handle),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Graceful drain: stop accepting, let workers finish their in-flight
+    /// command and close their connections, then join every thread. Safe to
+    /// call more than once.
+    pub fn shutdown(mut self) {
+        self.drain();
+    }
+
+    fn drain(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop with a no-op connection to ourselves.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+        // The accept thread owned the only conn sender, so each worker's
+        // next recv disconnects once the queued connections are drained;
+        // blocked reads wake within one read timeout and observe `stop`.
+        for h in self.worker_handles.drain(..) {
+            let _ = h.join();
+        }
+        // All job senders are gone now: the scheduler thread drains the
+        // queue and exits.
+        if let Some(h) = self.sched_handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.drain();
+    }
+}
+
+fn scheduler_loop(rx: Receiver<Job>, shards: u32, exec_delay: Duration) {
+    let mut session = Session::new(shards);
+    while let Ok(job) = rx.recv() {
+        QUEUE_WAIT_US.observe(job.queued_at.elapsed().as_micros() as u64);
+        if !exec_delay.is_zero() {
+            std::thread::sleep(exec_delay);
+        }
+        let reply = match session.exec(&job.line) {
+            Ok(r) => r,
+            Err(e) => format!("error: {e}"),
+        };
+        REQUEST_US.observe(job.queued_at.elapsed().as_micros() as u64);
+        // A dead worker/connection just drops the reply; the command's
+        // effect stands (documented at-most-once reply delivery).
+        let _ = job.reply.send(reply);
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    conn_tx: SyncSender<TcpStream>,
+    stop: Arc<AtomicBool>,
+) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        CONNECTIONS.inc();
+        match conn_tx.try_send(stream) {
+            Ok(()) => {}
+            Err(TrySendError::Full(mut stream)) | Err(TrySendError::Disconnected(mut stream)) => {
+                // Shed at the edge: tell the client to come back, drop it.
+                SHED.inc();
+                SHED_ACCEPT.inc();
+                let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+                let _ = stream.write_all(format!("{BUSY_REPLY}\n").as_bytes());
+                // Half-close so the busy reply travels with a FIN. If the
+                // client already pipelined a command the close may still
+                // surface as a reset on its side; PROTOCOL.md tells clients
+                // to treat that as a shed and reconnect.
+                let _ = stream.shutdown(std::net::Shutdown::Write);
+            }
+        }
+    }
+}
+
+fn worker_loop(
+    conn_rx: Arc<std::sync::Mutex<Receiver<TcpStream>>>,
+    job_tx: SyncSender<Job>,
+    cfg: NetConfig,
+    stop: Arc<AtomicBool>,
+) {
+    loop {
+        // Workers share the receiver behind a mutex (std mpsc has no
+        // multi-consumer receiver); the lock is held only while dequeuing.
+        let stream = {
+            let rx = conn_rx.lock().expect("conn queue lock");
+            rx.recv()
+        };
+        let Ok(stream) = stream else { break };
+        ACTIVE.add(1);
+        let conn_span = obs::trace::span_fields(
+            "net_conn",
+            vec![("id", obs::Value::U64(next_conn_id()))],
+        );
+        serve_connection(stream, &job_tx, &cfg, &stop);
+        drop(conn_span);
+        ACTIVE.add(-1);
+    }
+}
+
+fn next_conn_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Outcome of pulling one line out of the connection buffer.
+enum Framed {
+    Line(String),
+    Eof,
+    TooLong,
+    LineTimeout,
+    IdleTimeout,
+    IoError,
+}
+
+/// Read until `buf` holds a full `\n`-terminated line (or a terminal
+/// condition). `line_start` is the instant the current line began arriving:
+/// the anti-slow-loris deadline is measured from there.
+fn next_line(
+    stream: &mut TcpStream,
+    buf: &mut Vec<u8>,
+    cfg: &NetConfig,
+    stop: &AtomicBool,
+) -> Framed {
+    let mut line_start: Option<Instant> = if buf.is_empty() { None } else { Some(Instant::now()) };
+    loop {
+        if let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+            if pos > cfg.max_line {
+                return Framed::TooLong;
+            }
+            let rest = buf.split_off(pos + 1);
+            let mut line = std::mem::replace(buf, rest);
+            line.pop(); // the newline
+            if line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            return match String::from_utf8(line) {
+                Ok(s) => Framed::Line(s),
+                Err(_) => Framed::Line("\u{fffd}".into()), // hits `unknown command`
+            };
+        }
+        if buf.len() > cfg.max_line {
+            return Framed::TooLong;
+        }
+        if let Some(t0) = line_start {
+            if t0.elapsed() > cfg.read_timeout {
+                return Framed::LineTimeout;
+            }
+        }
+        let mut chunk = [0u8; 1024];
+        match stream.read(&mut chunk) {
+            Ok(0) => return Framed::Eof,
+            Ok(n) => {
+                if buf.is_empty() {
+                    line_start = Some(Instant::now());
+                }
+                buf.extend_from_slice(&chunk[..n]);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                // Idle tick: drain on shutdown, time out half-written lines.
+                if stop.load(Ordering::SeqCst) {
+                    return Framed::Eof;
+                }
+                if line_start.is_some() {
+                    return Framed::LineTimeout;
+                }
+                return Framed::IdleTimeout;
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return Framed::IoError,
+        }
+    }
+}
+
+fn serve_connection(
+    mut stream: TcpStream,
+    job_tx: &SyncSender<Job>,
+    cfg: &NetConfig,
+    stop: &AtomicBool,
+) {
+    let _ = stream.set_read_timeout(Some(cfg.read_timeout));
+    let _ = stream.set_write_timeout(Some(cfg.write_timeout));
+    let _ = stream.set_nodelay(true);
+    let mut buf: Vec<u8> = Vec::with_capacity(256);
+    loop {
+        let line = match next_line(&mut stream, &mut buf, cfg, stop) {
+            Framed::Line(l) => l,
+            Framed::Eof | Framed::IoError => break,
+            Framed::TooLong => {
+                ERRORS.inc();
+                let _ = stream.write_all(
+                    format!("error: line too long (max {} bytes)\n", cfg.max_line).as_bytes(),
+                );
+                break; // cannot resync framing: close
+            }
+            Framed::LineTimeout => {
+                ERRORS.inc();
+                let _ = stream.write_all(b"error: line timeout\n");
+                break;
+            }
+            Framed::IdleTimeout => {
+                let _ = stream.write_all(b"error: idle timeout\n");
+                break;
+            }
+        };
+        if Session::is_exit(&line) {
+            break;
+        }
+        LINES.inc();
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let job = Job {
+            line,
+            queued_at: Instant::now(),
+            reply: reply_tx,
+        };
+        let reply = match job_tx.try_send(job) {
+            Ok(()) => match reply_rx.recv() {
+                Ok(r) => r,
+                Err(_) => break, // server draining mid-command
+            },
+            Err(TrySendError::Full(_)) => {
+                SHED.inc();
+                SHED_QUEUE.inc();
+                BUSY_REPLY.to_string()
+            }
+            Err(TrySendError::Disconnected(_)) => break,
+        };
+        if !reply.is_empty() {
+            REPLIES.inc();
+            let mut out = reply.into_bytes();
+            out.push(b'\n');
+            if stream.write_all(&out).is_err() {
+                break;
+            }
+        }
+        if stop.load(Ordering::SeqCst) {
+            break; // drained: in-flight command finished and answered
+        }
+    }
+}

@@ -1,0 +1,535 @@
+//! The line-protocol interpreter: one command in, one reply out.
+//!
+//! [`Session`] is the single implementation of the protocol specified in
+//! `docs/PROTOCOL.md`, shared by `coallocd`'s stdin/stdout loop and by the
+//! TCP server in [`crate::server`] — which is what makes a TCP session's
+//! reply stream byte-identical to the same script on stdin (enforced by
+//! `crates/net/tests/e2e.rs`). The accepted command surface is described by
+//! the table in [`crate::proto`].
+
+use crate::proto;
+use coalloc_core::attrs::AttrSet;
+use coalloc_core::prelude::*;
+use coalloc_shard::ShardedScheduler;
+
+/// Either back-end behind the command loop; both make identical decisions
+/// (DESIGN.md §9), so which one serves `submit` is invisible to clients.
+pub enum Sched {
+    /// The single tree-based scheduler (serves every command).
+    Plain(Box<CoAllocScheduler>),
+    /// The sharded parallel front-end (`--shards K`).
+    Sharded(Box<ShardedScheduler>),
+}
+
+impl Sched {
+    fn submit(&mut self, req: &Request) -> Result<Grant, ScheduleError> {
+        match self {
+            Sched::Plain(s) => s.submit(req),
+            Sched::Sharded(s) => s.submit(req),
+        }
+    }
+
+    fn submit_with_deadline(
+        &mut self,
+        req: &Request,
+        deadline: Time,
+    ) -> Result<Grant, ScheduleError> {
+        match self {
+            Sched::Plain(s) => s.submit_with_deadline(req, deadline),
+            Sched::Sharded(s) => s.submit_with_deadline(req, deadline),
+        }
+    }
+
+    fn release(&mut self, job: JobId) -> Result<(), ScheduleError> {
+        match self {
+            Sched::Plain(s) => s.release(job),
+            Sched::Sharded(s) => s.release(job),
+        }
+    }
+
+    fn advance_to(&mut self, now: Time) {
+        match self {
+            Sched::Plain(s) => s.advance_to(now),
+            Sched::Sharded(s) => s.advance_to(now),
+        }
+    }
+
+    fn check(&mut self) {
+        match self {
+            Sched::Plain(s) => s.check_consistency(),
+            Sched::Sharded(s) => s.check_consistency(),
+        }
+    }
+
+    /// The single-scheduler back-end, for commands the sharded front-end
+    /// does not serve.
+    fn plain(&mut self) -> Result<&mut CoAllocScheduler, String> {
+        match self {
+            Sched::Plain(s) => Ok(s),
+            Sched::Sharded(_) => {
+                Err("command requires a single-shard scheduler (run without --shards)".into())
+            }
+        }
+    }
+}
+
+/// One protocol session: a scheduler (once `init` ran) plus the shard count
+/// the next `init` will use.
+///
+/// ```
+/// use coalloc_net::Session;
+///
+/// let mut s = Session::new(1);
+/// assert_eq!(s.exec("init 4 10 200 10").unwrap(), "ok 4 servers");
+/// let reply = s.exec("submit 0 0 50 2").unwrap();
+/// assert!(reply.starts_with("granted job=0 start=0 end=50"));
+/// ```
+pub struct Session {
+    sched: Option<Sched>,
+    shards: u32,
+}
+
+fn parse<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("bad {what}: '{s}'"))
+}
+
+impl Session {
+    /// A fresh session with no scheduler. `shards > 1` makes `init` build
+    /// the sharded back-end.
+    pub fn new(shards: u32) -> Session {
+        Session {
+            sched: None,
+            shards: shards.max(1),
+        }
+    }
+
+    /// Whether `line` is the session terminator. The caller owns the exit
+    /// action (stop reading stdin / close the connection), so `exit` never
+    /// reaches [`Session::exec`].
+    pub fn is_exit(line: &str) -> bool {
+        line.trim() == "exit"
+    }
+
+    fn sched(&mut self) -> Result<&mut Sched, String> {
+        self.sched.as_mut().ok_or_else(|| "no scheduler; run 'init N' first".to_string())
+    }
+
+    fn grant_line(g: &Grant) -> String {
+        let servers: Vec<String> = g.servers.iter().map(|s| s.0.to_string()).collect();
+        format!(
+            "granted job={} start={} end={} attempts={} wait={} servers={}",
+            g.job.0,
+            g.start.secs(),
+            g.end.secs(),
+            g.attempts,
+            g.waiting.secs(),
+            servers.join(",")
+        )
+    }
+
+    /// Execute one command line; returns the reply (possibly multi-line,
+    /// empty for blanks/comments) or a protocol error. Scheduling rejections
+    /// are *replies* (`rejected ...`), not errors — see `docs/PROTOCOL.md`.
+    pub fn exec(&mut self, line: &str) -> Result<String, String> {
+        let f: Vec<&str> = line.split_whitespace().collect();
+        match f.as_slice() {
+            [] | ["#", ..] => Ok(String::new()),
+            ["help"] => Ok(proto::help_text()),
+            ["version"] => Ok(proto::PROTOCOL_VERSION.to_string()),
+            ["init", n, rest @ ..] => {
+                let n: u32 = parse(n, "server count")?;
+                let mut b = SchedulerConfig::builder();
+                if let [tau, horizon, delta_t] = rest {
+                    b = b
+                        .tau(Dur(parse(tau, "tau")?))
+                        .horizon(Dur(parse(horizon, "horizon")?))
+                        .delta_t(Dur(parse(delta_t, "delta_t")?));
+                } else if !rest.is_empty() {
+                    return Err("usage: init N [tau horizon delta_t]".into());
+                }
+                if self.shards > 1 {
+                    self.sched = Some(Sched::Sharded(Box::new(ShardedScheduler::new(
+                        n,
+                        self.shards,
+                        b.build(),
+                    ))));
+                    Ok(format!("ok {n} servers over {} shards", self.shards))
+                } else {
+                    self.sched = Some(Sched::Plain(Box::new(CoAllocScheduler::new(n, b.build()))));
+                    Ok(format!("ok {n} servers"))
+                }
+            }
+            ["submit", q, s, l, n] => {
+                let req = Request::advance(
+                    Time(parse(q, "q_r")?),
+                    Time(parse(s, "s_r")?),
+                    Dur(parse(l, "l_r")?),
+                    parse(n, "n_r")?,
+                );
+                match self.sched()?.submit(&req) {
+                    Ok(g) => Ok(Self::grant_line(&g)),
+                    Err(e) => Ok(format!("rejected {e}")),
+                }
+            }
+            ["deadline", q, s, l, n, d] => {
+                let req = Request::advance(
+                    Time(parse(q, "q_r")?),
+                    Time(parse(s, "s_r")?),
+                    Dur(parse(l, "l_r")?),
+                    parse(n, "n_r")?,
+                );
+                let deadline = Time(parse(d, "deadline")?);
+                match self.sched()?.submit_with_deadline(&req, deadline) {
+                    Ok(g) => Ok(Self::grant_line(&g)),
+                    Err(e) => Ok(format!("rejected {e}")),
+                }
+            }
+            ["constrained", q, s, l, n, mask] => {
+                let req = Request::advance(
+                    Time(parse(q, "q_r")?),
+                    Time(parse(s, "s_r")?),
+                    Dur(parse(l, "l_r")?),
+                    parse(n, "n_r")?,
+                );
+                let required = AttrSet(parse(mask, "mask")?);
+                match self.sched()?.plain()?.submit_constrained(&req, required) {
+                    Ok(g) => Ok(Self::grant_line(&g)),
+                    Err(e) => Ok(format!("rejected {e}")),
+                }
+            }
+            ["attrs", server, mask] => {
+                let srv = ServerId(parse(server, "server")?);
+                let mask = AttrSet(parse(mask, "mask")?);
+                let sched = self.sched()?.plain()?;
+                if srv.0 >= sched.num_servers() {
+                    return Err(format!("no such server {}", srv.0));
+                }
+                sched.set_server_attrs(srv, mask);
+                Ok("ok".into())
+            }
+            ["query", a, b] => {
+                let (a, b) = (Time(parse(a, "start")?), Time(parse(b, "end")?));
+                let hits = self.sched()?.plain()?.range_search(a, b);
+                let mut out = format!("free {}", hits.len());
+                for h in hits {
+                    out.push_str(&format!(
+                        "\n  server={} idle=[{}, {}) slack={}",
+                        h.period.server.0,
+                        h.period.start.secs(),
+                        if h.period.end.is_inf() {
+                            "inf".to_string()
+                        } else {
+                            h.period.end.secs().to_string()
+                        },
+                        h.tail_slack.secs()
+                    ));
+                }
+                Ok(out)
+            }
+            ["release", job] => {
+                let job = JobId(parse(job, "job id")?);
+                match self.sched()?.release(job) {
+                    Ok(()) => Ok("ok".into()),
+                    Err(e) => Ok(format!("error {e}")),
+                }
+            }
+            ["advance", t] => {
+                let t = Time(parse(t, "time")?);
+                self.sched()?.advance_to(t);
+                Ok(format!("ok now={}", t.secs()))
+            }
+            ["stats"] => {
+                let (now, horizon_end, util, s) = match self.sched()? {
+                    Sched::Plain(sched) => {
+                        let now = sched.now();
+                        (
+                            now,
+                            sched.horizon_end(),
+                            sched.utilization(now.max(Time(1))),
+                            *sched.stats(),
+                        )
+                    }
+                    Sched::Sharded(sched) => {
+                        let now = sched.now();
+                        let horizon_end = sched.horizon_end();
+                        let util = sched.utilization(now.max(Time(1)));
+                        (now, horizon_end, util, sched.stats())
+                    }
+                };
+                Ok(format!(
+                    "now={} horizon_end={} util={:.4} ops={} searches={} attempts={}",
+                    now.secs(),
+                    horizon_end.secs(),
+                    util,
+                    s.total_ops(),
+                    s.phase1_searches,
+                    s.attempts
+                ))
+            }
+            ["metrics"] => Ok(obs::metrics::exposition().trim_end().to_string()),
+            ["check"] => {
+                self.sched()?.check();
+                Ok("ok".into())
+            }
+            ["snapshot", path] => {
+                let text = self.sched()?.plain()?.snapshot();
+                std::fs::write(path, text).map_err(|e| format!("write {path}: {e}"))?;
+                Ok(format!("ok wrote {path}"))
+            }
+            ["load", path] => {
+                if self.shards > 1 {
+                    return Err(
+                        "load requires a single-shard scheduler (run without --shards)".into()
+                    );
+                }
+                let text =
+                    std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+                let sched =
+                    CoAllocScheduler::restore(&text).map_err(|e| format!("restore: {e}"))?;
+                let n = sched.num_servers();
+                self.sched = Some(Sched::Plain(Box::new(sched)));
+                Ok(format!("ok {n} servers restored"))
+            }
+            _ => Err(format!("unknown command: '{line}' (try 'help')")),
+        }
+    }
+
+    /// Run a whole multi-line script, rendering replies and errors exactly
+    /// like the stdin loop does: one line per non-empty reply, errors as
+    /// `error: ...`, stopping at `exit`. This is the reference output the
+    /// TCP end-to-end tests compare a socket's byte stream against.
+    pub fn run_script(&mut self, script: &str) -> String {
+        let mut out = String::new();
+        for line in script.lines() {
+            if Session::is_exit(line) {
+                break;
+            }
+            match self.exec(line) {
+                Ok(reply) if reply.is_empty() => {}
+                Ok(reply) => {
+                    out.push_str(&reply);
+                    out.push('\n');
+                }
+                Err(e) => {
+                    out.push_str(&format!("error: {e}\n"));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::{Backends, COMMANDS};
+
+    fn run_sharded(cmds: &[&str], shards: u32) -> Vec<String> {
+        let mut s = Session::new(shards);
+        cmds.iter()
+            .map(|c| match s.exec(c) {
+                Ok(r) => r,
+                Err(e) => format!("error: {e}"),
+            })
+            .collect()
+    }
+
+    fn run(cmds: &[&str]) -> Vec<String> {
+        run_sharded(cmds, 1)
+    }
+
+    #[test]
+    fn happy_path_session() {
+        let out = run(&[
+            "init 4 10 200 10",
+            "submit 0 0 50 2",
+            "query 0 50",
+            "release 0",
+            "stats",
+        ]);
+        assert_eq!(out[0], "ok 4 servers");
+        assert!(out[1].starts_with("granted job=0 start=0 end=50"));
+        assert!(out[2].starts_with("free 2"));
+        assert_eq!(out[3], "ok");
+        assert!(out[4].contains("ops="));
+    }
+
+    #[test]
+    fn errors_are_reported_not_fatal() {
+        let out = run(&["submit 0 0 10 1", "init x", "init 2 10 100 10", "bogus"]);
+        assert!(out[0].starts_with("error: no scheduler"));
+        assert!(out[1].starts_with("error: bad server count"));
+        assert_eq!(out[2], "ok 2 servers");
+        assert!(out[3].starts_with("error: unknown command"));
+    }
+
+    #[test]
+    fn rejection_is_a_reply_not_an_error() {
+        let out = run(&["init 1 10 100 10", "submit 0 0 500 1", "submit 0 0 10 5"]);
+        assert!(out[1].starts_with("rejected"));
+        assert!(out[2].starts_with("rejected"));
+    }
+
+    #[test]
+    fn constrained_and_attrs() {
+        let out = run(&[
+            "init 3 10 200 10",
+            "attrs 2 5",
+            "constrained 0 0 30 1 5",
+            "constrained 0 0 30 2 5",
+        ]);
+        assert_eq!(out[1], "ok");
+        assert!(out[2].contains("servers=2"), "{}", out[2]);
+        assert!(out[3].starts_with("rejected"));
+    }
+
+    #[test]
+    fn snapshot_load_roundtrip() {
+        let path = std::env::temp_dir().join("coalloc-net-session-snap.txt");
+        let p = path.to_str().unwrap();
+        let out = run(&[
+            "init 2 10 100 10",
+            "submit 0 0 40 1",
+            &format!("snapshot {p}"),
+            "init 9",
+            &format!("load {p}"),
+            "query 0 40",
+        ]);
+        assert!(out[2].starts_with("ok wrote"));
+        assert_eq!(out[4], "ok 2 servers restored");
+        assert!(out[5].starts_with("free 1"), "{}", out[5]);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let out = run(&["", "# a comment", "help"]);
+        assert_eq!(out[0], "");
+        assert_eq!(out[1], "");
+        assert!(out[2].contains("commands:"));
+    }
+
+    #[test]
+    fn sharded_session_matches_plain_decisions() {
+        let cmds = [
+            "init 8 10 400 10",
+            "submit 0 0 50 4",
+            "submit 0 100 60 8",
+            "deadline 0 0 20 2 100",
+            "submit 0 0 500 1",
+            "release 0",
+            "submit 0 0 50 6",
+        ];
+        let plain = run(&cmds);
+        for k in [2u32, 4] {
+            let sharded = run_sharded(&cmds, k);
+            assert_eq!(sharded[0], format!("ok 8 servers over {k} shards"));
+            assert_eq!(&plain[1..], &sharded[1..], "k={k}");
+        }
+    }
+
+    #[test]
+    fn sharded_session_rejects_single_shard_commands() {
+        let out = run_sharded(
+            &["init 4 10 200 10", "query 0 50", "attrs 0 1", "snapshot /tmp/x"],
+            2,
+        );
+        for line in &out[1..] {
+            assert!(
+                line.starts_with("error: command requires a single-shard"),
+                "{line}"
+            );
+        }
+    }
+
+    #[test]
+    fn deadline_command() {
+        let out = run(&["init 1 10 200 10", "submit 0 0 30 1", "deadline 0 0 20 1 40"]);
+        assert!(out[2].starts_with("rejected"), "{}", out[2]);
+        let out = run(&["init 1 10 200 10", "deadline 0 0 20 1 40"]);
+        assert!(out[1].starts_with("granted"));
+    }
+
+    #[test]
+    fn check_and_version_commands() {
+        let out = run(&["init 4 10 200 10", "submit 0 0 50 2", "check", "version"]);
+        assert_eq!(out[2], "ok");
+        assert_eq!(out[3], crate::proto::PROTOCOL_VERSION);
+        let out = run_sharded(&["init 4 10 200 10", "submit 0 0 50 2", "check"], 2);
+        assert_eq!(out[2], "ok");
+    }
+
+    #[test]
+    fn help_reply_is_generated_from_the_shared_table() {
+        let out = run(&["help"]);
+        assert_eq!(out[0], crate::proto::help_text());
+    }
+
+    /// The shared-table contract, parser half: every command in
+    /// [`COMMANDS`] is accepted by `exec` (its canonical example never hits
+    /// the `unknown command` arm), and words outside the table are rejected.
+    #[test]
+    fn every_table_command_is_accepted_by_the_parser() {
+        let mut s = Session::new(1);
+        for c in COMMANDS {
+            if c.name == "exit" {
+                assert!(Session::is_exit(c.example));
+                continue;
+            }
+            let reply = match s.exec(c.example) {
+                Ok(r) => r,
+                Err(e) => e,
+            };
+            assert!(
+                !reply.contains("unknown command"),
+                "table example for '{}' not accepted: {reply}",
+                c.name
+            );
+        }
+        let _ = std::fs::remove_file("/tmp/coalloc-proto-example.txt");
+        assert!(s
+            .exec("definitely-not-a-command")
+            .unwrap_err()
+            .contains("unknown command"));
+    }
+
+    /// The plain-only annotations in the table match the parser's behaviour
+    /// under a sharded session.
+    #[test]
+    fn table_backend_annotations_match_parser() {
+        for c in COMMANDS {
+            if c.name == "exit" || c.name == "init" || c.name == "load" {
+                continue; // exit never reaches exec; init builds; load checks shards itself
+            }
+            let mut s = Session::new(2);
+            s.exec("init 4 10 200 10").unwrap();
+            let reply = match s.exec(c.example) {
+                Ok(r) => r,
+                Err(e) => format!("error: {e}"),
+            };
+            let needs_plain = reply.contains("requires a single-shard");
+            match c.backends {
+                Backends::PlainOnly => assert!(
+                    needs_plain,
+                    "'{}' should be plain-only but sharded accepted it: {reply}",
+                    c.name
+                ),
+                Backends::Any => assert!(
+                    !needs_plain,
+                    "'{}' marked Any but sharded rejected it: {reply}",
+                    c.name
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn run_script_matches_line_by_line_exec() {
+        let script = "init 4 10 200 10\nsubmit 0 0 50 2\nbogus\nexit\nsubmit 0 0 50 1\n";
+        let mut s = Session::new(1);
+        let out = s.run_script(script);
+        assert!(out.starts_with("ok 4 servers\ngranted job=0"));
+        assert!(out.contains("error: unknown command"));
+        assert!(!out.contains("job=1"), "lines after exit must not run");
+    }
+}

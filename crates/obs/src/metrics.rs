@@ -71,10 +71,10 @@ const SUB_BITS: u32 = 2; // log2(SUB)
 /// Number of histogram buckets (covers all of u64 at ~19% resolution).
 pub const BUCKETS: usize = ((64 - SUB_BITS as usize - 1) * SUB as usize) + SUB as usize + 1;
 
-/// Map a value to its log-linear bucket: values below [`SUB`] get exact
-/// buckets, and each octave `[2^k, 2^(k+1))` above that is split into
-/// [`SUB`] equal sub-buckets, giving a constant ~1/SUB relative error with
-/// pure integer math (no floats on the hot path).
+/// Map a value to its log-linear bucket: values below `SUB` (= 4) get
+/// exact buckets, and each octave `[2^k, 2^(k+1))` above that is split
+/// into `SUB` equal sub-buckets, giving a constant ~1/SUB relative error
+/// with pure integer math (no floats on the hot path).
 #[inline]
 pub fn bucket_index(v: u64) -> usize {
     if v < SUB {

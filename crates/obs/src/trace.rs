@@ -12,7 +12,7 @@
 //! first use), so events from different threads order consistently.
 //!
 //! The enabled flag is a relaxed atomic: the *disabled* cost of the
-//! [`obs_span!`]/[`obs_event!`](crate::obs_event) macros is one load and a
+//! [`obs_span!`](crate::obs_span)/[`obs_event!`](crate::obs_event) macros is one load and a
 //! branch, and field expressions are not evaluated.
 
 use std::cell::RefCell;
@@ -65,7 +65,7 @@ pub fn thread_id() -> u64 {
 }
 
 /// Whether tracing is currently enabled. Check this before building fields
-/// (the [`obs_span!`]/[`obs_event!`](crate::obs_event) macros do).
+/// (the [`obs_span!`](crate::obs_span)/[`obs_event!`](crate::obs_event) macros do).
 #[inline]
 pub fn enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)

@@ -80,6 +80,20 @@ impl ShardedScheduler {
     /// shards, clock at the epoch. `k` is clamped to `[1, min(64,
     /// num_servers)]` so every shard owns at least one server and the
     /// per-job shard mask fits a word.
+    ///
+    /// Decisions are bit-identical to a single [`CoAllocScheduler`] over
+    /// the same servers, for every `k`:
+    ///
+    /// ```
+    /// use coalloc_core::prelude::*;
+    /// use coalloc_shard::ShardedScheduler;
+    ///
+    /// let req = Request::advance(Time::ZERO, Time::from_hours(2), Dur::from_hours(1), 3);
+    /// let mut single = CoAllocScheduler::new(8, SchedulerConfig::default());
+    /// let mut sharded = ShardedScheduler::new(8, 4, SchedulerConfig::default());
+    /// let (a, b) = (single.submit(&req).unwrap(), sharded.submit(&req).unwrap());
+    /// assert_eq!((a.job, a.start, a.end, a.servers), (b.job, b.start, b.end, b.servers));
+    /// ```
     pub fn new(num_servers: u32, k: u32, cfg: SchedulerConfig) -> ShardedScheduler {
         ShardedScheduler::starting_at(num_servers, k, Time::ZERO, cfg)
     }

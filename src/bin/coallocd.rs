@@ -1,316 +1,101 @@
-//! `coallocd` — a scriptable command-line front-end to the co-allocation
-//! scheduler: one command per line on stdin, one reply per line on stdout.
-//! This is the shape of the "resource manager \[that\] runs an algorithm to
-//! determine the availability of the resources and informs the user"
-//! from the paper's VCL description (Section 3.1).
+//! `coallocd` — the resource-manager front-end to the co-allocation
+//! scheduler: one command per line, one reply per line. This is the shape
+//! of the "resource manager \[that\] runs an algorithm to determine the
+//! availability of the resources and informs the user" from the paper's
+//! VCL description (Section 3.1).
 //!
-//! ```text
-//! $ cargo run --bin coallocd
-//! init 8 900 172800 900
-//! submit 0 0 3600 4
-//! query 0 7200
-//! release 0
-//! snapshot /tmp/state.txt
-//! exit
-//! ```
+//! Two modes share one interpreter ([`coalloc::net::Session`]), so their
+//! reply streams are byte-identical:
 //!
-//! Commands (times in seconds):
+//! * **stdin mode** (default) — read commands from stdin, reply on stdout:
 //!
-//! | command | effect |
-//! |---|---|
-//! | `init N [tau horizon delta_t]` | create an N-server scheduler |
-//! | `submit q s l n` | request `(q_r, s_r, l_r, n_r)` |
-//! | `deadline q s l n D` | like submit, but must complete by `D` |
-//! | `constrained q s l n MASK` | submit restricted to servers with tags |
-//! | `attrs SERVER MASK` | tag a server |
-//! | `query a b` | count + list resources free for all of `[a, b)` |
-//! | `release JOB` | cancel a job |
-//! | `advance T` | move the clock |
-//! | `stats` | op counters and utilization |
-//! | `metrics` | Prometheus-style text exposition of all obs counters |
-//! | `snapshot PATH` / `load PATH` | persist / restore state |
-//! | `help`, `exit` | |
+//!   ```text
+//!   $ cargo run --bin coallocd
+//!   init 8 900 172800 900
+//!   submit 0 0 3600 4
+//!   query 0 7200
+//!   release 0
+//!   snapshot /tmp/state.txt
+//!   exit
+//!   ```
 //!
-//! CLI flags: `--shards K` partitions the servers over `K` parallel shard
-//! workers (`init` then builds a sharded scheduler making the same decisions
-//! as the single one; `query`, `constrained`, `attrs`, `snapshot` and `load`
-//! require the default `K = 1`). `--trace-out PATH` writes span/event traces
-//! as JSONL to `PATH`; `--metrics-dump` prints the metrics exposition on
-//! exit. The `COALLOC_OBS` environment variable (see the `obs` crate)
-//! configures tracing when `--trace-out` is not given.
+//! * **serve mode** — a concurrent TCP front-end with admission control:
+//!
+//!   ```text
+//!   $ cargo run --bin coallocd -- serve --addr 127.0.0.1:7077
+//!   listening on 127.0.0.1:7077
+//!   ```
+//!
+//! The command surface (`init`, `submit`, `deadline`, `constrained`,
+//! `attrs`, `query`, `release`, `advance`, `stats`, `metrics`, `check`,
+//! `snapshot`, `load`, `version`, `help`, `exit`) is specified normatively
+//! in `docs/PROTOCOL.md`; `help` prints the live command list, generated
+//! from the same table the parser is tested against.
+//!
+//! CLI flags (both modes): `--shards K` partitions the servers over `K`
+//! parallel shard workers (`init` then builds a sharded scheduler making
+//! the same decisions as the single one; `query`, `constrained`, `attrs`,
+//! `snapshot` and `load` require the default `K = 1`). `--trace-out PATH`
+//! writes span/event traces as JSONL to `PATH`; `--metrics-dump` prints the
+//! metrics exposition on exit. The `COALLOC_OBS` environment variable (see
+//! the `obs` crate) configures tracing when `--trace-out` is not given.
+//!
+//! Serve-mode flags: `--addr HOST:PORT` (default `127.0.0.1:7077`; port 0
+//! picks a free port, printed on stdout), `--workers W`, `--queue-depth Q`,
+//! `--accept-backlog B`, `--max-line BYTES`, `--read-timeout-ms MS`,
+//! `--write-timeout-ms MS`. The server runs until SIGINT/EOF kills the
+//! process; `coalloc-net`'s [`coalloc::net::Server`] drains gracefully on
+//! shutdown.
 
-use coalloc::core::attrs::AttrSet;
-use coalloc::prelude::*;
+use coalloc::net::{NetConfig, Server, Session};
 use std::io::{BufRead, Write};
 
-/// Either back-end behind the command loop; both make identical decisions
-/// (DESIGN.md §9), so which one serves `submit` is invisible to clients.
-enum Sched {
-    Plain(Box<CoAllocScheduler>),
-    Sharded(Box<ShardedScheduler>),
+fn flag_value(args: &mut impl Iterator<Item = String>, flag: &str) -> String {
+    args.next().unwrap_or_else(|| {
+        eprintln!("{flag} needs a value");
+        std::process::exit(2);
+    })
 }
 
-impl Sched {
-    fn submit(&mut self, req: &Request) -> Result<Grant, ScheduleError> {
-        match self {
-            Sched::Plain(s) => s.submit(req),
-            Sched::Sharded(s) => s.submit(req),
-        }
-    }
-
-    fn submit_with_deadline(
-        &mut self,
-        req: &Request,
-        deadline: Time,
-    ) -> Result<Grant, ScheduleError> {
-        match self {
-            Sched::Plain(s) => s.submit_with_deadline(req, deadline),
-            Sched::Sharded(s) => s.submit_with_deadline(req, deadline),
-        }
-    }
-
-    fn release(&mut self, job: JobId) -> Result<(), ScheduleError> {
-        match self {
-            Sched::Plain(s) => s.release(job),
-            Sched::Sharded(s) => s.release(job),
-        }
-    }
-
-    fn advance_to(&mut self, now: Time) {
-        match self {
-            Sched::Plain(s) => s.advance_to(now),
-            Sched::Sharded(s) => s.advance_to(now),
-        }
-    }
-
-    /// The single-scheduler back-end, for commands the sharded front-end
-    /// does not serve.
-    fn plain(&mut self) -> Result<&mut CoAllocScheduler, String> {
-        match self {
-            Sched::Plain(s) => Ok(s),
-            Sched::Sharded(_) => {
-                Err("command requires a single-shard scheduler (run without --shards)".into())
-            }
-        }
-    }
+fn parse_or_die<T: std::str::FromStr>(v: &str, what: &str) -> T {
+    v.parse().unwrap_or_else(|_| {
+        eprintln!("bad {what}: '{v}'");
+        std::process::exit(2);
+    })
 }
 
-struct Session {
-    sched: Option<Sched>,
+struct CommonFlags {
     shards: u32,
-}
-
-fn parse<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
-    s.parse().map_err(|_| format!("bad {what}: '{s}'"))
-}
-
-impl Session {
-    fn sched(&mut self) -> Result<&mut Sched, String> {
-        self.sched.as_mut().ok_or_else(|| "no scheduler; run 'init N' first".to_string())
-    }
-
-    fn grant_line(g: &Grant) -> String {
-        let servers: Vec<String> = g.servers.iter().map(|s| s.0.to_string()).collect();
-        format!(
-            "granted job={} start={} end={} attempts={} wait={} servers={}",
-            g.job.0,
-            g.start.secs(),
-            g.end.secs(),
-            g.attempts,
-            g.waiting.secs(),
-            servers.join(",")
-        )
-    }
-
-    /// Execute one command line; returns the reply (possibly multi-line).
-    fn exec(&mut self, line: &str) -> Result<String, String> {
-        let f: Vec<&str> = line.split_whitespace().collect();
-        match f.as_slice() {
-            [] | ["#", ..] => Ok(String::new()),
-            ["help"] => Ok("commands: init submit deadline constrained attrs query \
-                            release advance stats metrics snapshot load help exit"
-                .into()),
-            ["init", n, rest @ ..] => {
-                let n: u32 = parse(n, "server count")?;
-                let mut b = SchedulerConfig::builder();
-                if let [tau, horizon, delta_t] = rest {
-                    b = b
-                        .tau(Dur(parse(tau, "tau")?))
-                        .horizon(Dur(parse(horizon, "horizon")?))
-                        .delta_t(Dur(parse(delta_t, "delta_t")?));
-                } else if !rest.is_empty() {
-                    return Err("usage: init N [tau horizon delta_t]".into());
-                }
-                if self.shards > 1 {
-                    self.sched = Some(Sched::Sharded(Box::new(ShardedScheduler::new(
-                        n,
-                        self.shards,
-                        b.build(),
-                    ))));
-                    Ok(format!("ok {n} servers over {} shards", self.shards))
-                } else {
-                    self.sched = Some(Sched::Plain(Box::new(CoAllocScheduler::new(n, b.build()))));
-                    Ok(format!("ok {n} servers"))
-                }
-            }
-            ["submit", q, s, l, n] => {
-                let req = Request::advance(
-                    Time(parse(q, "q_r")?),
-                    Time(parse(s, "s_r")?),
-                    Dur(parse(l, "l_r")?),
-                    parse(n, "n_r")?,
-                );
-                match self.sched()?.submit(&req) {
-                    Ok(g) => Ok(Self::grant_line(&g)),
-                    Err(e) => Ok(format!("rejected {e}")),
-                }
-            }
-            ["deadline", q, s, l, n, d] => {
-                let req = Request::advance(
-                    Time(parse(q, "q_r")?),
-                    Time(parse(s, "s_r")?),
-                    Dur(parse(l, "l_r")?),
-                    parse(n, "n_r")?,
-                );
-                let deadline = Time(parse(d, "deadline")?);
-                match self.sched()?.submit_with_deadline(&req, deadline) {
-                    Ok(g) => Ok(Self::grant_line(&g)),
-                    Err(e) => Ok(format!("rejected {e}")),
-                }
-            }
-            ["constrained", q, s, l, n, mask] => {
-                let req = Request::advance(
-                    Time(parse(q, "q_r")?),
-                    Time(parse(s, "s_r")?),
-                    Dur(parse(l, "l_r")?),
-                    parse(n, "n_r")?,
-                );
-                let required = AttrSet(parse(mask, "mask")?);
-                match self.sched()?.plain()?.submit_constrained(&req, required) {
-                    Ok(g) => Ok(Self::grant_line(&g)),
-                    Err(e) => Ok(format!("rejected {e}")),
-                }
-            }
-            ["attrs", server, mask] => {
-                let srv = ServerId(parse(server, "server")?);
-                let mask = AttrSet(parse(mask, "mask")?);
-                let sched = self.sched()?.plain()?;
-                if srv.0 >= sched.num_servers() {
-                    return Err(format!("no such server {}", srv.0));
-                }
-                sched.set_server_attrs(srv, mask);
-                Ok("ok".into())
-            }
-            ["query", a, b] => {
-                let (a, b) = (Time(parse(a, "start")?), Time(parse(b, "end")?));
-                let hits = self.sched()?.plain()?.range_search(a, b);
-                let mut out = format!("free {}", hits.len());
-                for h in hits {
-                    out.push_str(&format!(
-                        "\n  server={} idle=[{}, {}) slack={}",
-                        h.period.server.0,
-                        h.period.start.secs(),
-                        if h.period.end.is_inf() {
-                            "inf".to_string()
-                        } else {
-                            h.period.end.secs().to_string()
-                        },
-                        h.tail_slack.secs()
-                    ));
-                }
-                Ok(out)
-            }
-            ["release", job] => {
-                let job = JobId(parse(job, "job id")?);
-                match self.sched()?.release(job) {
-                    Ok(()) => Ok("ok".into()),
-                    Err(e) => Ok(format!("error {e}")),
-                }
-            }
-            ["advance", t] => {
-                let t = Time(parse(t, "time")?);
-                self.sched()?.advance_to(t);
-                Ok(format!("ok now={}", t.secs()))
-            }
-            ["stats"] => {
-                let (now, horizon_end, util, s) = match self.sched()? {
-                    Sched::Plain(sched) => {
-                        let now = sched.now();
-                        (
-                            now,
-                            sched.horizon_end(),
-                            sched.utilization(now.max(Time(1))),
-                            *sched.stats(),
-                        )
-                    }
-                    Sched::Sharded(sched) => {
-                        let now = sched.now();
-                        let horizon_end = sched.horizon_end();
-                        let util = sched.utilization(now.max(Time(1)));
-                        (now, horizon_end, util, sched.stats())
-                    }
-                };
-                Ok(format!(
-                    "now={} horizon_end={} util={:.4} ops={} searches={} attempts={}",
-                    now.secs(),
-                    horizon_end.secs(),
-                    util,
-                    s.total_ops(),
-                    s.phase1_searches,
-                    s.attempts
-                ))
-            }
-            ["metrics"] => Ok(obs::metrics::exposition().trim_end().to_string()),
-            ["snapshot", path] => {
-                let text = self.sched()?.plain()?.snapshot();
-                std::fs::write(path, text).map_err(|e| format!("write {path}: {e}"))?;
-                Ok(format!("ok wrote {path}"))
-            }
-            ["load", path] => {
-                if self.shards > 1 {
-                    return Err(
-                        "load requires a single-shard scheduler (run without --shards)".into()
-                    );
-                }
-                let text =
-                    std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
-                let sched =
-                    CoAllocScheduler::restore(&text).map_err(|e| format!("restore: {e}"))?;
-                let n = sched.num_servers();
-                self.sched = Some(Sched::Plain(Box::new(sched)));
-                Ok(format!("ok {n} servers restored"))
-            }
-            _ => Err(format!("unknown command: '{line}' (try 'help')")),
-        }
-    }
+    metrics_dump: bool,
 }
 
 fn main() {
     obs::init_from_env();
-    let mut metrics_dump = false;
-    let mut shards = 1u32;
-    let mut args = std::env::args().skip(1);
+    let mut common = CommonFlags {
+        shards: 1,
+        metrics_dump: false,
+    };
+    let mut serve: Option<NetConfig> = None;
+    let mut args = std::env::args().skip(1).peekable();
+    if args.peek().map(String::as_str) == Some("serve") {
+        args.next();
+        serve = Some(NetConfig {
+            addr: "127.0.0.1:7077".to_string(),
+            ..NetConfig::default()
+        });
+    }
     while let Some(a) = args.next() {
-        match a.as_str() {
-            "--shards" => {
-                let k = args.next().unwrap_or_else(|| {
-                    eprintln!("--shards needs a count");
-                    std::process::exit(2);
-                });
-                shards = k.parse().unwrap_or_else(|_| {
-                    eprintln!("bad shard count: '{k}'");
-                    std::process::exit(2);
-                });
-                if shards == 0 {
+        match (a.as_str(), &mut serve) {
+            ("--shards", _) => {
+                let k = flag_value(&mut args, "--shards");
+                common.shards = parse_or_die(&k, "shard count");
+                if common.shards == 0 {
                     eprintln!("--shards must be at least 1");
                     std::process::exit(2);
                 }
             }
-            "--trace-out" => {
-                let path = args.next().unwrap_or_else(|| {
-                    eprintln!("--trace-out needs a path");
-                    std::process::exit(2);
-                });
+            ("--trace-out", _) => {
+                let path = flag_value(&mut args, "--trace-out");
                 match obs::trace::JsonlSink::create(&path) {
                     Ok(sink) => {
                         obs::trace::set_sink(Some(std::sync::Arc::new(sink)));
@@ -324,201 +109,90 @@ fn main() {
                     }
                 }
             }
-            "--metrics-dump" => metrics_dump = true,
-            other => {
+            ("--metrics-dump", _) => common.metrics_dump = true,
+            ("--addr", Some(cfg)) => cfg.addr = flag_value(&mut args, "--addr"),
+            ("--workers", Some(cfg)) => {
+                cfg.workers = parse_or_die(&flag_value(&mut args, "--workers"), "worker count");
+            }
+            ("--queue-depth", Some(cfg)) => {
+                cfg.queue_depth =
+                    parse_or_die(&flag_value(&mut args, "--queue-depth"), "queue depth");
+            }
+            ("--accept-backlog", Some(cfg)) => {
+                cfg.accept_backlog =
+                    parse_or_die(&flag_value(&mut args, "--accept-backlog"), "accept backlog");
+            }
+            ("--max-line", Some(cfg)) => {
+                cfg.max_line = parse_or_die(&flag_value(&mut args, "--max-line"), "max line");
+            }
+            ("--read-timeout-ms", Some(cfg)) => {
+                cfg.read_timeout = std::time::Duration::from_millis(parse_or_die(
+                    &flag_value(&mut args, "--read-timeout-ms"),
+                    "read timeout",
+                ));
+            }
+            ("--write-timeout-ms", Some(cfg)) => {
+                cfg.write_timeout = std::time::Duration::from_millis(parse_or_die(
+                    &flag_value(&mut args, "--write-timeout-ms"),
+                    "write timeout",
+                ));
+            }
+            (other, _) => {
                 eprintln!("unknown flag: {other}");
                 std::process::exit(2);
             }
         }
     }
-    let stdin = std::io::stdin();
-    let mut stdout = std::io::stdout().lock();
-    let mut session = Session { sched: None, shards };
-    for line in stdin.lock().lines() {
-        let line = match line {
-            Ok(l) => l,
-            Err(_) => break,
-        };
-        if line.trim() == "exit" {
-            break;
-        }
-        match session.exec(&line) {
-            Ok(reply) if reply.is_empty() => {}
-            Ok(reply) => {
-                let _ = writeln!(stdout, "{reply}");
+
+    if let Some(mut cfg) = serve {
+        cfg.shards = common.shards;
+        let server = Server::bind(cfg).unwrap_or_else(|e| {
+            eprintln!("cannot bind: {e}");
+            std::process::exit(1);
+        });
+        // Printed on stdout so scripts (and the e2e tests) can discover the
+        // resolved port when binding port 0.
+        println!("listening on {}", server.local_addr());
+        let _ = std::io::stdout().flush();
+        // Serve until our stdin closes (or forever when detached): the
+        // parent killing the process or closing the pipe is the shutdown
+        // signal, after which the server drains gracefully.
+        let stdin = std::io::stdin();
+        for line in stdin.lock().lines() {
+            if line.is_err() {
+                break;
             }
-            Err(e) => {
-                let _ = writeln!(stdout, "error: {e}");
-            }
         }
-        let _ = stdout.flush();
+        server.shutdown();
+    } else {
+        let stdin = std::io::stdin();
+        let mut stdout = std::io::stdout().lock();
+        let mut session = Session::new(common.shards);
+        for line in stdin.lock().lines() {
+            let line = match line {
+                Ok(l) => l,
+                Err(_) => break,
+            };
+            if Session::is_exit(&line) {
+                break;
+            }
+            match session.exec(&line) {
+                Ok(reply) if reply.is_empty() => {}
+                Ok(reply) => {
+                    let _ = writeln!(stdout, "{reply}");
+                }
+                Err(e) => {
+                    let _ = writeln!(stdout, "error: {e}");
+                }
+            }
+            let _ = stdout.flush();
+        }
     }
     obs::trace::flush_sink();
-    if metrics_dump {
+    if common.metrics_dump {
+        let mut stdout = std::io::stdout().lock();
         let _ = writeln!(stdout, "--- metrics ---");
         let _ = write!(stdout, "{}", obs::metrics::exposition());
         let _ = stdout.flush();
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn run_sharded(cmds: &[&str], shards: u32) -> Vec<String> {
-        let mut s = Session { sched: None, shards };
-        cmds.iter()
-            .map(|c| match s.exec(c) {
-                Ok(r) => r,
-                Err(e) => format!("error: {e}"),
-            })
-            .collect()
-    }
-
-    fn run(cmds: &[&str]) -> Vec<String> {
-        run_sharded(cmds, 1)
-    }
-
-    #[test]
-    fn happy_path_session() {
-        let out = run(&[
-            "init 4 10 200 10",
-            "submit 0 0 50 2",
-            "query 0 50",
-            "release 0",
-            "stats",
-        ]);
-        assert_eq!(out[0], "ok 4 servers");
-        assert!(out[1].starts_with("granted job=0 start=0 end=50"));
-        assert!(out[2].starts_with("free 2"));
-        assert_eq!(out[3], "ok");
-        assert!(out[4].contains("ops="));
-    }
-
-    #[test]
-    fn errors_are_reported_not_fatal() {
-        let out = run(&["submit 0 0 10 1", "init x", "init 2 10 100 10", "bogus"]);
-        assert!(out[0].starts_with("error: no scheduler"));
-        assert!(out[1].starts_with("error: bad server count"));
-        assert_eq!(out[2], "ok 2 servers");
-        assert!(out[3].starts_with("error: unknown command"));
-    }
-
-    #[test]
-    fn rejection_is_a_reply_not_an_error() {
-        let out = run(&["init 1 10 100 10", "submit 0 0 500 1", "submit 0 0 10 5"]);
-        assert!(out[1].starts_with("rejected"));
-        assert!(out[2].starts_with("rejected"));
-    }
-
-    #[test]
-    fn constrained_and_attrs() {
-        let out = run(&[
-            "init 3 10 200 10",
-            "attrs 2 5",
-            "constrained 0 0 30 1 5",
-            "constrained 0 0 30 2 5",
-        ]);
-        assert_eq!(out[1], "ok");
-        assert!(out[2].contains("servers=2"), "{}", out[2]);
-        assert!(out[3].starts_with("rejected"));
-    }
-
-    #[test]
-    fn snapshot_load_roundtrip() {
-        let path = std::env::temp_dir().join("coallocd-test-snap.txt");
-        let p = path.to_str().unwrap();
-        let out = run(&[
-            "init 2 10 100 10",
-            "submit 0 0 40 1",
-            &format!("snapshot {p}"),
-            "init 9",
-            &format!("load {p}"),
-            "query 0 40",
-        ]);
-        assert!(out[2].starts_with("ok wrote"));
-        assert_eq!(out[4], "ok 2 servers restored");
-        assert!(out[5].starts_with("free 1"), "{}", out[5]);
-        let _ = std::fs::remove_file(path);
-    }
-
-    #[test]
-    fn comments_and_blanks_ignored() {
-        let out = run(&["", "# a comment", "help"]);
-        assert_eq!(out[0], "");
-        assert_eq!(out[1], "");
-        assert!(out[2].contains("commands:"));
-    }
-
-    #[test]
-    fn metrics_command_shows_phase_counters() {
-        // The advance reservation at t=100 splits two timelines into a
-        // finite idle gap [0, 100) plus a trailing tail; the 4-server
-        // request then has to search the finite slot tree (Phase 2), not
-        // just the trailing index.
-        let out = run(&[
-            "init 4 10 400 10",
-            "submit 0 100 50 2",
-            "submit 0 0 50 4",
-            "deadline 0 0 20 1 100",
-            "query 0 50",
-            "metrics",
-        ]);
-        let m = out.last().unwrap();
-        let value_of = |name: &str| -> u64 {
-            m.lines()
-                .find(|l| l.split_whitespace().next() == Some(name))
-                .and_then(|l| l.split_whitespace().nth(1))
-                .and_then(|v| v.parse().ok())
-                .unwrap_or_else(|| panic!("metric {name} missing in:\n{m}"))
-        };
-        assert!(value_of("sched_phase1_total") > 0, "phase-1 counter zero");
-        assert!(value_of("sched_phase2_total") > 0, "phase-2 counter zero");
-        assert!(value_of("sched_grants_total") > 0);
-        assert!(value_of("range_searches_total") > 0);
-        assert!(value_of("sched_attempts_count") > 0, "retry histogram empty");
-    }
-
-    #[test]
-    fn sharded_session_matches_plain_decisions() {
-        let cmds = [
-            "init 8 10 400 10",
-            "submit 0 0 50 4",
-            "submit 0 100 60 8",
-            "deadline 0 0 20 2 100",
-            "submit 0 0 500 1",
-            "release 0",
-            "submit 0 0 50 6",
-        ];
-        let plain = run(&cmds);
-        for k in [2u32, 4] {
-            let sharded = run_sharded(&cmds, k);
-            assert_eq!(sharded[0], format!("ok 8 servers over {k} shards"));
-            // Every decision line matches the single scheduler exactly
-            // (grant/reject, job id, start, end, attempts, servers).
-            assert_eq!(&plain[1..], &sharded[1..], "k={k}");
-        }
-    }
-
-    #[test]
-    fn sharded_session_rejects_single_shard_commands() {
-        let out = run_sharded(
-            &["init 4 10 200 10", "query 0 50", "attrs 0 1", "snapshot /tmp/x"],
-            2,
-        );
-        for line in &out[1..] {
-            assert!(
-                line.starts_with("error: command requires a single-shard"),
-                "{line}"
-            );
-        }
-    }
-
-    #[test]
-    fn deadline_command() {
-        let out = run(&["init 1 10 200 10", "submit 0 0 30 1", "deadline 0 0 20 1 40"]);
-        assert!(out[2].starts_with("rejected"), "{}", out[2]);
-        let out = run(&["init 1 10 200 10", "deadline 0 0 20 1 40"]);
-        assert!(out[1].starts_with("granted"));
     }
 }

@@ -15,6 +15,8 @@
 //! * [`batch`] — FCFS / EASY / conservative backfilling baselines;
 //! * [`shard`] — sharded parallel front-end making decisions bit-identical
 //!   to the single scheduler (DESIGN.md §9);
+//! * [`net`] — the TCP serving path: concurrent line-protocol server with
+//!   admission control (DESIGN.md §10, `docs/PROTOCOL.md`);
 //! * [`multisite`] — atomic cross-site co-allocation (hold/commit protocol);
 //! * [`lambda`] — the PCE wavelength-scheduling application (Section 3.2);
 //! * [`workflow`] — DAG co-allocation via chained advance reservations.
@@ -56,6 +58,7 @@ pub use coalloc_batch as batch;
 pub use coalloc_core as core;
 pub use coalloc_lambda as lambda;
 pub use coalloc_multisite as multisite;
+pub use coalloc_net as net;
 pub use coalloc_shard as shard;
 pub use coalloc_sim as sim;
 pub use coalloc_workflow as workflow;
@@ -69,6 +72,7 @@ pub mod prelude {
     pub use coalloc_multisite::{
         Coordinator, CoordinatorConfig, MultiRequest, SiteHandle, SiteId,
     };
+    pub use coalloc_net::{Client, NetConfig, Server, Session};
     pub use coalloc_shard::ShardedScheduler;
     pub use coalloc_sim::runner::{run_naive, run_online, run_with, Outcome, RunResult};
     pub use coalloc_workflow::{Dag, Mode, Stage, StageId, WorkflowPlan};

@@ -1,6 +1,8 @@
-//! End-to-end test of the `coallocd` binary over its stdin/stdout protocol.
+//! End-to-end tests of the `coallocd` binary: the stdin/stdout protocol
+//! and the `serve` TCP mode (same interpreter, byte-identical replies —
+//! see `docs/PROTOCOL.md`).
 
-use std::io::Write;
+use std::io::{BufRead, BufReader, Write};
 use std::process::{Command, Stdio};
 
 fn drive(script: &str) -> Vec<String> {
@@ -49,6 +51,48 @@ fn full_session_over_the_wire() {
         .filter(|l| l.as_str() == "ok" || l.starts_with("error unknown job"))
         .collect();
     assert!(releases.len() >= 2, "{lines:?}");
+}
+
+/// `coallocd serve` speaks the same protocol over TCP: spawn the real
+/// binary on an ephemeral port, script it through a socket, and check the
+/// reply stream matches what the same script produces on stdin.
+#[test]
+fn serve_mode_matches_stdin_session() {
+    let script = "init 4 900 86400 900\n\
+                  submit 0 0 3600 2\n\
+                  query 0 3600\n\
+                  stats\n\
+                  release 0\n\
+                  exit\n";
+    let expected = drive(script);
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_coallocd"))
+        .args(["serve", "--addr", "127.0.0.1:0"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn coallocd serve");
+    let mut stdout = BufReader::new(child.stdout.take().unwrap());
+    let mut banner = String::new();
+    stdout.read_line(&mut banner).expect("read banner");
+    let addr = banner
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner: {banner}"))
+        .to_string();
+
+    let mut sock = std::net::TcpStream::connect(&addr).expect("connect");
+    sock.write_all(script.as_bytes()).expect("send script");
+    sock.shutdown(std::net::Shutdown::Write).expect("half-close");
+    let mut over_tcp = String::new();
+    std::io::Read::read_to_string(&mut BufReader::new(sock), &mut over_tcp).expect("read replies");
+    let got: Vec<String> = over_tcp.lines().map(|l| l.to_string()).collect();
+    assert_eq!(got, expected, "TCP replies must match the stdin session");
+
+    // Closing stdin is the shutdown signal; the server must drain and exit 0.
+    drop(child.stdin.take());
+    let status = child.wait().expect("wait");
+    assert!(status.success());
 }
 
 #[test]
