@@ -8,11 +8,16 @@
 //! ```text
 //! cargo run -p coalloc-bench --release --bin sched_throughput -- \
 //!     [--smoke] [--scale F] [--seed N] [--out PATH] [--guard R] \
-//!     [--validate PATH]
+//!     [--profile kth|write-heavy] [--validate PATH]
 //! ```
 //!
 //! * `--smoke` — tiny workload slice for CI (also skips the slow naive
 //!   baseline's full stream: the stream is already small).
+//! * `--profile write-heavy` — replace the KTH submit-only stream with a
+//!   grant/release churn stream of long-spanning reservations (4–48 h over
+//!   15-minute slots), so the run is dominated by idle-period index updates
+//!   rather than searches. The emitted document carries the online
+//!   scheduler's write-path counters (`write_path` object).
 //! * `--guard R` — exit non-zero if the sharded `K=1` configuration's
 //!   throughput falls below `R ×` the single scheduler's (coordination
 //!   overhead regression gate; CI uses `0.9`). The guarded pair is
@@ -81,6 +86,102 @@ fn replay(
     }
 }
 
+/// One operation of a write-heavy replay stream: a submission, or the
+/// release of the grant an earlier submission produced (a no-op for the
+/// schedulers that rejected it — all of them, by decision equivalence).
+enum Op {
+    Submit(Request),
+    Release { submit_idx: usize, at: Time },
+}
+
+/// Write-heavy stream: long-spanning reservations (16–192 slots of 15
+/// minutes) booked with lead times scattered across the whole 72-hour
+/// horizon, plus mixed release traffic. The scatter leaves wide idle gaps
+/// between reservations on the same server, and every submission past the
+/// in-flight window releases the oldest outstanding job — so the deltas the
+/// schedulers apply are dominated by finite idle periods spanning dozens of
+/// slots (the worst case for per-slot mirroring) rather than by searches.
+fn write_heavy_ops(n_submits: usize, seed: u64) -> Vec<Op> {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    const IN_FLIGHT: usize = 24;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut ops = Vec::with_capacity(2 * n_submits);
+    let mut outstanding = std::collections::VecDeque::new();
+    let mut t = 0i64;
+    for idx in 0..n_submits {
+        t += rng.random_range(60i64..=600);
+        let slots = rng.random_range(16i64..=192);
+        // Book anywhere in the horizon that still fits the duration.
+        let max_lead = (71 * 3600 - slots * 900) / 900;
+        let lead = rng.random_range(0i64..=max_lead) * 900;
+        let req = Request::advance(
+            Time(t),
+            Time(t + lead),
+            Dur(slots * 900),
+            rng.random_range(1u32..=4),
+        );
+        ops.push(Op::Submit(req));
+        outstanding.push_back(idx);
+        while outstanding.len() > IN_FLIGHT {
+            let victim = outstanding.pop_front().expect("non-empty");
+            t += rng.random_range(30i64..=120);
+            ops.push(Op::Release {
+                submit_idx: victim,
+                at: Time(t),
+            });
+        }
+    }
+    ops
+}
+
+/// One scheduler call of an [`Op`] replay, resolved against earlier grants.
+enum Action<'a> {
+    Submit(&'a Request),
+    Release(JobId, Time),
+}
+
+/// Replay an [`Op`] stream, timing every operation. `act` returns the
+/// granted job id on submission so later `Release` ops can refer back to it.
+fn replay_ops(
+    label: &str,
+    shards: Option<u32>,
+    ops: &[Op],
+    mut act: impl FnMut(Action) -> Option<JobId>,
+) -> Measured {
+    let mut lat_ns = Vec::with_capacity(ops.len());
+    let mut jobs: Vec<Option<JobId>> = Vec::with_capacity(ops.len());
+    let mut granted = 0usize;
+    let t0 = Instant::now();
+    for op in ops {
+        let t = Instant::now();
+        match op {
+            Op::Submit(r) => {
+                let g = act(Action::Submit(r));
+                granted += g.is_some() as usize;
+                jobs.push(g);
+            }
+            Op::Release { submit_idx, at } => {
+                if let Some(job) = jobs[*submit_idx].take() {
+                    act(Action::Release(job, *at));
+                }
+            }
+        }
+        lat_ns.push(t.elapsed().as_nanos() as u64);
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    lat_ns.sort_unstable();
+    Measured {
+        label: label.to_string(),
+        shards,
+        granted,
+        secs,
+        rps: ops.len() as f64 / secs.max(1e-9),
+        p50_us: percentile_us(&lat_ns, 0.50),
+        p99_us: percentile_us(&lat_ns, 0.99),
+    }
+}
+
 fn bench_cfg() -> SchedulerConfig {
     SchedulerConfig::builder()
         .tau(Dur::from_mins(15))
@@ -89,17 +190,33 @@ fn bench_cfg() -> SchedulerConfig {
         .build()
 }
 
-fn render(results: &[Measured], spec: &WorkloadSpec, scale: f64, seed: u64, n_reqs: usize) -> String {
+/// Everything `render` needs besides the per-scheduler measurements.
+struct RunMeta<'a> {
+    profile: &'a str,
+    workload: &'a str,
+    servers: u32,
+    scale: f64,
+    seed: u64,
+    n_ops: usize,
+    /// Pre-rendered `"write_path"` JSON object (write-heavy profile only).
+    write_path: Option<String>,
+}
+
+fn render(results: &[Measured], meta: &RunMeta) -> String {
     let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"bench\": \"sched_throughput\",\n");
-    out.push_str(&format!("  \"workload\": \"{}\",\n", json::escape(&spec.name)));
-    out.push_str(&format!("  \"servers\": {},\n", spec.servers));
-    out.push_str(&format!("  \"scale\": {scale},\n"));
-    out.push_str(&format!("  \"seed\": {seed},\n"));
-    out.push_str(&format!("  \"requests\": {n_reqs},\n"));
+    out.push_str(&format!("  \"profile\": \"{}\",\n", json::escape(meta.profile)));
+    out.push_str(&format!("  \"workload\": \"{}\",\n", json::escape(meta.workload)));
+    out.push_str(&format!("  \"servers\": {},\n", meta.servers));
+    out.push_str(&format!("  \"scale\": {},\n", meta.scale));
+    out.push_str(&format!("  \"seed\": {},\n", meta.seed));
+    out.push_str(&format!("  \"requests\": {},\n", meta.n_ops));
     out.push_str(&format!("  \"cpus\": {cpus},\n"));
+    if let Some(wp) = &meta.write_path {
+        out.push_str(&format!("  \"write_path\": {wp},\n"));
+    }
     out.push_str("  \"schedulers\": [\n");
     for (i, m) in results.iter().enumerate() {
         let shards = m
@@ -128,6 +245,25 @@ fn validate(text: &str) -> Result<Vec<(String, f64)>, String> {
     let doc = json::parse(text)?;
     if doc.get("bench").and_then(Json::as_str) != Some("sched_throughput") {
         return Err("missing or wrong \"bench\" tag".into());
+    }
+    let profile = doc
+        .get("profile")
+        .and_then(Json::as_str)
+        .ok_or("missing string \"profile\"")?;
+    if profile == "write-heavy" {
+        let wp = doc.get("write_path").ok_or("write-heavy document missing \"write_path\"")?;
+        for key in [
+            "logical_period_updates",
+            "tree_entry_updates",
+            "tree_updates_per_period",
+            "periods_resident",
+            "tree_entries_resident",
+            "segment_nodes",
+        ] {
+            if wp.get(key).and_then(Json::as_num).is_none() {
+                return Err(format!("\"write_path\" missing numeric \"{key}\""));
+            }
+        }
     }
     for key in ["requests", "cpus", "servers", "scale", "seed"] {
         if doc.get(key).and_then(Json::as_num).is_none() {
@@ -164,11 +300,33 @@ fn validate(text: &str) -> Result<Vec<(String, f64)>, String> {
     Ok(seen)
 }
 
+/// The online scheduler's write-path counters, rendered as a JSON object.
+fn write_path_json(s: &CoAllocScheduler) -> String {
+    let st = *s.stats();
+    let tree_updates = st.periods_inserted + st.periods_removed;
+    let logical = st.ring_period_inserts + st.ring_period_removes;
+    let per_period = if logical == 0 {
+        0.0
+    } else {
+        tree_updates as f64 / logical as f64
+    };
+    let ring = s.ring();
+    format!(
+        "{{\"logical_period_updates\": {logical}, \"tree_entry_updates\": {tree_updates}, \
+         \"tree_updates_per_period\": {per_period:.3}, \"periods_resident\": {}, \
+         \"tree_entries_resident\": {}, \"segment_nodes\": {}}}",
+        ring.resident_periods(),
+        ring.resident_entries(),
+        ring.segment_nodes(),
+    )
+}
+
 fn main() {
     let mut scale = 0.02f64;
     let mut seed = 42u64;
     let mut out_path = String::from("BENCH_sched.json");
     let mut guard: Option<f64> = None;
+    let mut profile = String::from("kth");
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -176,6 +334,7 @@ fn main() {
             "--scale" => scale = args.next().expect("--scale F").parse().expect("float"),
             "--seed" => seed = args.next().expect("--seed N").parse().expect("integer"),
             "--out" => out_path = args.next().expect("--out PATH"),
+            "--profile" => profile = args.next().expect("--profile NAME"),
             "--guard" => {
                 guard = Some(args.next().expect("--guard R").parse().expect("float"));
             }
@@ -197,7 +356,8 @@ fn main() {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: sched_throughput [--smoke] [--scale F] [--seed N] \
-                     [--out PATH] [--guard R] [--validate PATH]"
+                     [--out PATH] [--guard R] [--profile kth|write-heavy] \
+                     [--validate PATH]"
                 );
                 return;
             }
@@ -208,35 +368,77 @@ fn main() {
         }
     }
 
-    let spec = WorkloadSpec::kth().scaled(scale);
-    let reqs = spec.generate(seed);
-    println!(
-        "sched_throughput: {} requests over {} servers (kth × {scale}, seed {seed})",
-        reqs.len(),
-        spec.servers
-    );
+    let (meta_workload, servers, reqs, ops);
+    match profile.as_str() {
+        "kth" => {
+            let spec = WorkloadSpec::kth().scaled(scale);
+            servers = spec.servers;
+            meta_workload = spec.name.clone();
+            reqs = spec.generate(seed);
+            ops = Vec::new();
+            println!(
+                "sched_throughput: {} requests over {servers} servers (kth × {scale}, seed {seed})",
+                reqs.len(),
+            );
+        }
+        "write-heavy" => {
+            servers = 64;
+            meta_workload = String::from("write-heavy-churn");
+            let n_submits = ((4000.0 * scale / 0.02).round() as usize).max(100);
+            reqs = Vec::new();
+            ops = write_heavy_ops(n_submits, seed);
+            println!(
+                "sched_throughput: {} ops ({n_submits} submits) over {servers} servers \
+                 (write-heavy × {scale}, seed {seed})",
+                ops.len(),
+            );
+        }
+        other => {
+            eprintln!("unknown profile {other} (want kth or write-heavy)");
+            std::process::exit(2);
+        }
+    }
+
+    // Replay one scheduler over whichever stream the profile selected.
+    macro_rules! run {
+        ($label:expr, $shards:expr, $s:ident) => {
+            if ops.is_empty() {
+                replay($label, $shards, &reqs, |r| {
+                    $s.advance_to(r.submit);
+                    $s.submit(r).is_ok()
+                })
+            } else {
+                replay_ops($label, $shards, &ops, |a| match a {
+                    Action::Submit(r) => {
+                        $s.advance_to(r.submit);
+                        $s.submit(r).ok().map(|g| g.job)
+                    }
+                    Action::Release(job, at) => {
+                        $s.advance_to(at);
+                        let _ = $s.release(job);
+                        None
+                    }
+                })
+            }
+        };
+    }
 
     let mut results = Vec::new();
+    let mut write_path = None;
     {
-        let mut s = NaiveScheduler::new(spec.servers, bench_cfg());
-        results.push(replay("naive", None, &reqs, |r| {
-            s.advance_to(r.submit);
-            s.submit(r).is_ok()
-        }));
+        let mut s = NaiveScheduler::new(servers, bench_cfg());
+        results.push(run!("naive", None, s));
     }
     {
-        let mut s = CoAllocScheduler::new(spec.servers, bench_cfg());
-        results.push(replay("online", None, &reqs, |r| {
-            s.advance_to(r.submit);
-            s.submit(r).is_ok()
-        }));
+        let mut s = CoAllocScheduler::new(servers, bench_cfg());
+        results.push(run!("online", None, s));
+        if profile == "write-heavy" {
+            write_path = Some(write_path_json(&s));
+        }
     }
     for k in SHARD_COUNTS {
-        let mut s = ShardedScheduler::new(spec.servers, k, bench_cfg());
-        results.push(replay(&format!("sharded-k{k}"), Some(k), &reqs, |r| {
-            s.advance_to(r.submit);
-            s.submit(r).is_ok()
-        }));
+        let mut s = ShardedScheduler::new(servers, k, bench_cfg());
+        results.push(run!(&format!("sharded-k{k}"), Some(k), s));
     }
 
     for m in &results {
@@ -245,8 +447,20 @@ fn main() {
             m.label, m.rps, m.p50_us, m.p99_us, m.granted, m.secs
         );
     }
+    if let Some(wp) = &write_path {
+        println!("  write_path: {wp}");
+    }
 
-    let doc = render(&results, &spec, scale, seed, reqs.len());
+    let meta = RunMeta {
+        profile: &profile,
+        workload: &meta_workload,
+        servers,
+        scale,
+        seed,
+        n_ops: if ops.is_empty() { reqs.len() } else { ops.len() },
+        write_path,
+    };
+    let doc = render(&results, &meta);
     validate(&doc).expect("self-validation of the emitted document");
     std::fs::write(&out_path, &doc).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
     println!("wrote {out_path}");
@@ -265,22 +479,10 @@ fn main() {
         let mut online = rps_of("online");
         let mut k1 = rps_of("sharded-k1");
         for _ in 0..2 {
-            let mut s = CoAllocScheduler::new(spec.servers, bench_cfg());
-            online = online.max(
-                replay("online", None, &reqs, |r| {
-                    s.advance_to(r.submit);
-                    s.submit(r).is_ok()
-                })
-                .rps,
-            );
-            let mut s = ShardedScheduler::new(spec.servers, 1, bench_cfg());
-            k1 = k1.max(
-                replay("sharded-k1", Some(1), &reqs, |r| {
-                    s.advance_to(r.submit);
-                    s.submit(r).is_ok()
-                })
-                .rps,
-            );
+            let mut s = CoAllocScheduler::new(servers, bench_cfg());
+            online = online.max(run!("online", None, s).rps);
+            let mut s = ShardedScheduler::new(servers, 1, bench_cfg());
+            k1 = k1.max(run!("sharded-k1", Some(1), s).rps);
         }
         if k1 < ratio * online {
             eprintln!(

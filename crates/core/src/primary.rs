@@ -520,6 +520,19 @@ impl SlotTree {
     ) -> usize {
         ops.phase1_searches += 1;
         marked.clear();
+        self.phase1_candidates_append(start, marked, ops)
+    }
+
+    /// Phase 1 that *appends* to `marked` without clearing it and without
+    /// counting as a separate search — the building block the segment-tree
+    /// ring uses to run one logical Phase 1 across every tree on a
+    /// stabbing path, accumulating marks in a single shared buffer.
+    pub fn phase1_candidates_append(
+        &self,
+        start: Time,
+        marked: &mut Vec<MarkedNode>,
+        ops: &mut OpStats,
+    ) -> usize {
         let mut count = 0usize;
         let mut cur = self.root;
         while cur != NIL {
@@ -582,6 +595,20 @@ impl SlotTree {
         ops: &mut OpStats,
     ) {
         ops.phase2_searches += 1;
+        self.phase2_collect(marked, end, limit, out, ops);
+    }
+
+    /// Phase 2 over one tree's slice of a shared marked buffer, without
+    /// counting as a separate search — the segment-tree ring's per-node
+    /// step of a single logical Phase 2.
+    pub fn phase2_collect(
+        &self,
+        marked: &[MarkedNode],
+        end: Time,
+        limit: usize,
+        out: &mut Vec<PeriodId>,
+        ops: &mut OpStats,
+    ) {
         for &MarkedNode(n) in marked.iter().rev() {
             if out.len() >= limit {
                 break;

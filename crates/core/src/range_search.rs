@@ -72,13 +72,13 @@ impl CoAllocScheduler {
         }
         let mut span = obs_span!("sched.range_search", "start_s" => start.secs(), "end_s" => end.secs());
         let q = self.ring().config().slot_of(start);
-        // Split borrows: the search needs &ring, &trailing and &mut stats.
-        let (ring, trailing, stats) = self.search_parts();
-        let tree = ring.tree(q).expect("start within horizon");
+        // Split borrows: the search needs &ring, &trailing, the stabbing
+        // scratch and &mut stats.
+        let (ring, trailing, stab, stats) = self.search_parts();
         // Trailing periods with st <= start are feasible for any window.
         let mut ids = Vec::new();
         trailing.collect_candidates(start, usize::MAX, &mut ids, stats);
-        ids.extend(tree.find_feasible(start, end, usize::MAX, stats));
+        ring.find_feasible_into(q, start, end, usize::MAX, stab, &mut ids, stats);
         if span.active() {
             span.record("hits", ids.len());
         }
@@ -107,14 +107,13 @@ impl CoAllocScheduler {
             return 0;
         }
         let q = self.ring().config().slot_of(start);
-        let (ring, trailing, stats) = self.search_parts();
-        let tree = ring.tree(q).expect("start within horizon");
+        let (ring, trailing, stab, stats) = self.search_parts();
         let trailing_count = trailing.count_candidates(start, stats);
-        let (count, marked) = tree.phase1_candidates(start, stats);
+        let count = ring.phase1_candidates_into(q, start, stab, stats);
         if count == 0 {
             return trailing_count;
         }
-        trailing_count + tree.count_feasible(&marked, end, stats)
+        trailing_count + ring.count_feasible(end, stab, stats)
     }
 
     /// Commit a user's post-processed selection: reserve `[start, end)` on

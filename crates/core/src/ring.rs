@@ -1,4 +1,4 @@
-//! The ring of `Q` live slot trees over **finite** idle periods.
+//! Segment-tree coverage of the `Q` live slots over **finite** idle periods.
 //!
 //! "The system always maintains `Q` trees, with each tree containing at most
 //! `N` idle periods. [...] as the time advances, the tree corresponding to
@@ -7,50 +7,118 @@
 //! [...] these discard and initialization operations are repeated every
 //! `tau` time units and take O(1) time" (Section 4.1).
 //!
-//! A finite idle period is mirrored into the tree of every live slot it
-//! overlaps. Open-ended trailing periods (`end == Time::INF`) are *not*
-//! stored here — they live once in the global [`crate::trailing`] index,
-//! which is what makes the O(1) horizon-edge initialization above possible
-//! (a brand-new edge tree starts empty; the periods overlapping it are
-//! exactly the trailing ones, represented virtually).
+//! The paper mirrors every finite idle period into the tree of every live
+//! slot it overlaps, which costs `O(W/tau)` tree updates per period delta
+//! and `O(N * W/tau)` resident copies. This implementation deviates: the
+//! `Q` live slots are the leaves of a **static segment tree** (padded to a
+//! power of two `M >= Q`), each of whose `2M` canonical nodes owns one 2-D
+//! [`SlotTree`]. A finite period covering slots `[first, last]` is stored
+//! once in each of the `O(log Q)` canonical nodes whose leaf interval its
+//! slot range decomposes into, and a Phase-1/Phase-2 query at slot `q`
+//! walks the leaf-to-root *stabbing path* of `q`, running the usual
+//! marking/counting in each tree it meets. Every period overlapping `q`
+//! lives in exactly one node of that path, so the union of the per-node
+//! results is the per-slot candidate set of the paper — see
+//! [`SlotRing::check_mirror`] for the invariant and DESIGN.md §12 for why
+//! the scheduler's decisions are bit-identical to per-slot mirroring.
+//!
+//! Ring advance keeps its O(1) amortized horizon edge: leaf positions are
+//! slot indices modulo `M`, so sliding the window is just a base bump plus
+//! the eviction of the periods whose last covered slot expired (tracked in
+//! per-slot expiry buckets — the amortized equivalent of discarding the
+//! expired slot's tree). Open-ended trailing periods (`end == Time::INF`)
+//! are *not* stored here — they live once in the global [`crate::trailing`]
+//! index, which is what keeps the horizon edge initialization-free (a
+//! brand-new edge slot is covered by exactly the trailing periods,
+//! represented virtually).
 
 use crate::idle::IdlePeriod;
-use crate::primary::SlotTree;
+use crate::ids::PeriodId;
+use crate::primary::{MarkedNode, SlotTree};
 use crate::scratch::Scratch;
 use crate::stats::OpStats;
 use crate::time::{SlotConfig, SlotIdx, Time};
 use crate::timeline::Timeline;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
-/// Ring buffer of the `Q` live slot trees.
+/// Where one finite period is stored: the inclusive live-slot range it was
+/// clamped to at insert time. Removal and eviction re-derive the same
+/// canonical-node decomposition from it, so the period always leaves
+/// exactly the nodes it entered.
+#[derive(Clone, Copy, Debug)]
+struct Coverage {
+    period: IdlePeriod,
+    first: SlotIdx,
+    last: SlotIdx,
+}
+
+/// The marks of one logical Phase 1 run across a stabbing path: each
+/// visited non-empty canonical tree contributes a contiguous segment of the
+/// shared `marked` buffer. Phase 2 and feasibility counting replay the
+/// segments tree by tree. Plain reusable data, like every [`Scratch`]
+/// buffer: cleared and refilled per query, allocation-free once warm.
+#[derive(Clone, Debug, Default)]
+pub struct StabMarks {
+    /// Canonical node indices visited, non-empty trees only.
+    trees: Vec<u32>,
+    /// `bounds[i]` = end of `trees[i]`'s segment within `marked`.
+    bounds: Vec<u32>,
+    /// Concatenated per-tree marked subtrees, in marking order.
+    marked: Vec<MarkedNode>,
+}
+
+impl StabMarks {
+    fn clear(&mut self) {
+        self.trees.clear();
+        self.bounds.clear();
+        self.marked.clear();
+    }
+}
+
+/// Segment tree of `2M` slot trees covering the `Q` live slots.
 #[derive(Clone, Debug)]
 pub struct SlotRing {
     cfg: SlotConfig,
     /// Index of the first live slot.
     base: SlotIdx,
-    trees: VecDeque<SlotTree>,
-    seed: u64,
+    /// Leaf count `M`: `num_slots` padded to a power of two. Leaf positions
+    /// are absolute slot indices modulo `M`.
+    span: usize,
+    /// `2 * span` canonical nodes, 1-indexed heap layout (`nodes[0]` is
+    /// unused); node `i`'s children are `2i` and `2i + 1`, leaf for
+    /// position `p` is `span + p`.
+    nodes: Vec<SlotTree>,
+    /// Periods currently stored, keyed by id, with their insert-time slot
+    /// range (`O(N)` — the one copy-independent record of each period).
+    cover: HashMap<u64, Coverage>,
+    /// `num_slots` buckets; bucket `i` holds the ids whose last covered
+    /// slot is `base + i`, so each advance drains exactly one bucket.
+    expiry: VecDeque<Vec<u64>>,
 }
 
 impl SlotRing {
-    /// Create the ring at `origin` with `Q` empty slot trees (at start-up
-    /// every server's availability is one trailing period, which lives in
-    /// the trailing index, not here).
+    /// Create the ring at `origin` with all-empty canonical trees (at
+    /// start-up every server's availability is one trailing period, which
+    /// lives in the trailing index, not here).
     pub fn new(cfg: SlotConfig, origin: Time, seed: u64) -> SlotRing {
         let base = cfg.slot_of(origin);
-        let trees = (0..cfg.num_slots)
-            .map(|i| SlotTree::new(Self::tree_seed(seed, SlotIdx(base.0 + i as i64))))
+        let span = cfg.num_slots.next_power_of_two();
+        let nodes = (0..2 * span)
+            .map(|i| SlotTree::new(Self::node_seed(seed, i)))
             .collect();
+        let expiry = (0..cfg.num_slots).map(|_| Vec::new()).collect();
         SlotRing {
             cfg,
             base,
-            trees,
-            seed,
+            span,
+            nodes,
+            cover: HashMap::new(),
+            expiry,
         }
     }
 
-    fn tree_seed(seed: u64, q: SlotIdx) -> u64 {
-        seed ^ (q.0 as u64).wrapping_mul(0x9E3779B97F4A7C15)
+    fn node_seed(seed: u64, i: usize) -> u64 {
+        seed ^ (i as u64).wrapping_mul(0x9E3779B97F4A7C15)
     }
 
     /// Slot geometry.
@@ -78,17 +146,80 @@ impl SlotRing {
         self.cfg.slot_start(self.end_slot())
     }
 
-    /// The tree for slot `q`, if it is live.
-    pub fn tree(&self, q: SlotIdx) -> Option<&SlotTree> {
-        if q < self.base || q >= self.end_slot() {
-            return None;
-        }
-        Some(&self.trees[(q.0 - self.base.0) as usize])
+    /// Whether slot `q` is inside the live window.
+    pub fn is_live(&self, q: SlotIdx) -> bool {
+        q >= self.base && q < self.end_slot()
     }
 
-    fn tree_mut(&mut self, q: SlotIdx) -> &mut SlotTree {
-        let i = (q.0 - self.base.0) as usize;
-        &mut self.trees[i]
+    /// Number of stored periods overlapping live slot `q`, or `None` if the
+    /// slot is not live. `O(N)` over the cover map — test/diagnostic helper,
+    /// not a query path.
+    pub fn slot_len(&self, q: SlotIdx) -> Option<usize> {
+        if !self.is_live(q) {
+            return None;
+        }
+        Some(
+            self.cover
+                .values()
+                .filter(|c| c.first <= q && q <= c.last)
+                .count(),
+        )
+    }
+
+    /// Number of distinct finite periods currently indexed by the ring.
+    pub fn resident_periods(&self) -> usize {
+        self.cover.len()
+    }
+
+    /// Total per-tree period entries across all canonical nodes (each
+    /// period appears in `O(log Q)` of them).
+    pub fn resident_entries(&self) -> usize {
+        self.nodes.iter().map(|t| t.len()).sum()
+    }
+
+    /// Number of canonical segment-tree nodes backing the ring.
+    pub fn segment_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Leaf position of an absolute slot index: modulo `span`, so the live
+    /// window (at most `num_slots <= span` slots) never self-overlaps.
+    fn pos(&self, q: SlotIdx) -> usize {
+        q.0.rem_euclid(self.span as i64) as usize
+    }
+
+    /// Append the canonical-node decomposition of the leaf-position range
+    /// `[a, b]` (non-wrapping, inclusive) to `out`.
+    fn push_canonical_range(&self, a: usize, b: usize, out: &mut Vec<u32>) {
+        let mut l = a + self.span;
+        let mut r = b + self.span + 1;
+        while l < r {
+            if l & 1 == 1 {
+                out.push(l as u32);
+                l += 1;
+            }
+            if r & 1 == 1 {
+                r -= 1;
+                out.push(r as u32);
+            }
+            l >>= 1;
+            r >>= 1;
+        }
+    }
+
+    /// Append the canonical nodes covering the absolute slot range
+    /// `[first, last]` (inclusive, at most `span` slots long — it may wrap
+    /// once around the modulus).
+    fn push_canonical(&self, first: SlotIdx, last: SlotIdx, out: &mut Vec<u32>) {
+        debug_assert!(first <= last && (last.0 - first.0) < self.span as i64);
+        let a = self.pos(first);
+        let b = self.pos(last);
+        if a <= b {
+            self.push_canonical_range(a, b, out);
+        } else {
+            self.push_canonical_range(a, self.span - 1, out);
+            self.push_canonical_range(0, b, out);
+        }
     }
 
     /// The inclusive live-slot range overlapped by a period, or `None` if the
@@ -100,9 +231,9 @@ impl SlotRing {
         (first <= last).then_some((first, last))
     }
 
-    /// Mirror a new finite idle period into every live slot tree it
-    /// overlaps. Trailing (open-ended) periods belong in the trailing
-    /// index instead.
+    /// Store a new finite idle period in the `O(log Q)` canonical nodes
+    /// covering its live-slot range. Trailing (open-ended) periods belong
+    /// in the trailing index instead.
     pub fn insert_period(&mut self, p: &IdlePeriod, ops: &mut OpStats) {
         let mut scratch = Scratch::new();
         self.insert_period_with(p, &mut scratch, ops);
@@ -112,15 +243,32 @@ impl SlotRing {
     /// (allocation-free once warm).
     pub fn insert_period_with(&mut self, p: &IdlePeriod, scratch: &mut Scratch, ops: &mut OpStats) {
         debug_assert!(!p.end.is_inf(), "trailing periods live in TrailingSet");
-        if let Some((first, last)) = self.live_slots(p) {
-            for q in first.0..=last.0 {
-                self.tree_mut(SlotIdx(q)).insert_with(*p, scratch, ops);
-            }
+        let Some((first, last)) = self.live_slots(p) else {
+            return;
+        };
+        ops.ring_period_inserts += 1;
+        let prev = self.cover.insert(
+            p.id.0,
+            Coverage {
+                period: *p,
+                first,
+                last,
+            },
+        );
+        debug_assert!(prev.is_none(), "period {p:?} inserted twice");
+        self.expiry[(last.0 - self.base.0) as usize].push(p.id.0);
+        let mut canon = std::mem::take(&mut scratch.canon);
+        canon.clear();
+        self.push_canonical(first, last, &mut canon);
+        for &n in &canon {
+            self.nodes[n as usize].insert_with(*p, scratch, ops);
         }
+        scratch.canon = canon;
     }
 
-    /// Remove a dead finite idle period from every live slot tree it
-    /// overlaps.
+    /// Remove a dead finite idle period from its canonical nodes. Unknown
+    /// periods (never stored, or already evicted because their last slot
+    /// expired) are ignored, mirroring the insert-side clamping.
     pub fn remove_period(&mut self, p: &IdlePeriod, ops: &mut OpStats) {
         let mut scratch = Scratch::new();
         self.remove_period_with(p, &mut scratch, ops);
@@ -130,59 +278,265 @@ impl SlotRing {
     /// (allocation-free once warm).
     pub fn remove_period_with(&mut self, p: &IdlePeriod, scratch: &mut Scratch, ops: &mut OpStats) {
         debug_assert!(!p.end.is_inf(), "trailing periods live in TrailingSet");
-        if let Some((first, last)) = self.live_slots(p) {
-            for q in first.0..=last.0 {
-                let removed = self.tree_mut(SlotIdx(q)).remove_with(p, scratch, ops);
-                debug_assert!(removed, "period {p:?} missing from slot {q}");
-            }
+        let Some(cov) = self.cover.remove(&p.id.0) else {
+            // Never stored (outside the live window at insert time) or
+            // already evicted. The expiry bucket may still hold a tombstone
+            // id; advance skips it via the failed cover lookup.
+            return;
+        };
+        ops.ring_period_removes += 1;
+        let mut canon = std::mem::take(&mut scratch.canon);
+        canon.clear();
+        self.push_canonical(cov.first, cov.last, &mut canon);
+        for &n in &canon {
+            let removed = self.nodes[n as usize].remove_with(p, scratch, ops);
+            debug_assert!(removed, "period {p:?} missing from canonical node {n}");
         }
+        scratch.canon = canon;
     }
 
-    /// Advance the ring so that `now` lies in the first live slot: discard
-    /// expired trees and create fresh, empty trees at the horizon edge —
-    /// the paper's O(1)-per-slot maintenance.
-    pub fn advance_to(&mut self, now: Time) {
+    /// Advance the ring so that `now` lies in the first live slot,
+    /// allocating private scratch space. Prefer
+    /// [`SlotRing::advance_to_with`] on hot paths.
+    pub fn advance_to(&mut self, now: Time, ops: &mut OpStats) {
+        let mut scratch = Scratch::new();
+        self.advance_to_with(now, &mut scratch, ops);
+    }
+
+    /// Advance the live window: bump the base slot and evict the periods
+    /// whose last covered slot expired — the amortized-O(1) equivalent of
+    /// the paper's discard-and-initialize step (each period is evicted at
+    /// most once in its lifetime, and the freshly exposed horizon-edge slot
+    /// needs no initialization at all).
+    pub fn advance_to_with(&mut self, now: Time, scratch: &mut Scratch, ops: &mut OpStats) {
         let target = self.cfg.slot_of(now);
         while self.base < target {
-            self.trees.pop_front();
-            let new_slot = self.end_slot(); // before bumping base
+            let mut bucket = self.expiry.pop_front().expect("Q expiry buckets");
             self.base = self.base.next();
-            self.trees
-                .push_back(SlotTree::new(Self::tree_seed(self.seed, new_slot)));
+            for id in bucket.drain(..) {
+                let Some(cov) = self.cover.remove(&id) else {
+                    continue; // explicitly removed earlier; stale bucket id
+                };
+                ops.ring_evictions += 1;
+                let mut canon = std::mem::take(&mut scratch.canon);
+                canon.clear();
+                self.push_canonical(cov.first, cov.last, &mut canon);
+                for &n in &canon {
+                    let removed = self.nodes[n as usize].remove_with(&cov.period, scratch, ops);
+                    debug_assert!(removed, "evicted period {:?} missing from node {n}", cov.period);
+                }
+                scratch.canon = canon;
+            }
+            self.expiry.push_back(bucket);
         }
     }
 
-    /// Check that every live slot tree contains exactly the timeline's
-    /// *finite* idle periods overlapping that slot (the core mirror
-    /// invariant). Test helper; panics on violation. `O(Q * N log N)` — use
-    /// on small systems.
+    // ------------------------------------------------------------------
+    // Stabbing-path queries
+    // ------------------------------------------------------------------
+
+    /// One logical Phase 1 at live slot `q`: walk the leaf-to-root stabbing
+    /// path, run the subtree-size candidate count in every non-empty tree
+    /// on it, and record the per-tree marked segments in `stab` for Phase 2.
+    /// Returns the summed candidate count.
+    ///
+    /// The count may include *aliased* periods (stored for a long-expired
+    /// slot that maps to the same leaf modulo `M`); those always fail the
+    /// Phase-2 end check, so callers using the count only for the
+    /// `candidates < n` early exit reach the same reject either way (see
+    /// DESIGN.md §12).
+    pub fn phase1_candidates_into(
+        &self,
+        q: SlotIdx,
+        start: Time,
+        stab: &mut StabMarks,
+        ops: &mut OpStats,
+    ) -> usize {
+        assert!(self.is_live(q), "slot {q:?} outside the live window");
+        ops.phase1_searches += 1;
+        stab.clear();
+        let mut count = 0usize;
+        let mut i = self.span + self.pos(q);
+        loop {
+            let tree = &self.nodes[i];
+            if !tree.is_empty() {
+                count += tree.phase1_candidates_append(start, &mut stab.marked, ops);
+                stab.trees.push(i as u32);
+                stab.bounds.push(stab.marked.len() as u32);
+            }
+            if i == 1 {
+                break;
+            }
+            i >>= 1;
+        }
+        count
+    }
+
+    /// One logical Phase 2 over the marks of a preceding
+    /// [`SlotRing::phase1_candidates_into`]: append the ids of feasible
+    /// periods (`et_i >= end`) to `out`, tree by tree along the stabbing
+    /// path. `limit` caps the *total* length of `out`.
+    pub fn phase2_feasible_into(
+        &self,
+        end: Time,
+        stab: &StabMarks,
+        limit: usize,
+        out: &mut Vec<PeriodId>,
+        ops: &mut OpStats,
+    ) {
+        ops.phase2_searches += 1;
+        let mut lo = 0usize;
+        for (k, &t) in stab.trees.iter().enumerate() {
+            let hi = stab.bounds[k] as usize;
+            self.nodes[t as usize].phase2_collect(&stab.marked[lo..hi], end, limit, out, ops);
+            lo = hi;
+        }
+    }
+
+    /// Count (without retrieving) the feasible periods among the Phase-1
+    /// marks — the counting twin of [`SlotRing::phase2_feasible_into`].
+    pub fn count_feasible(&self, end: Time, stab: &StabMarks, ops: &mut OpStats) -> usize {
+        let mut count = 0usize;
+        let mut lo = 0usize;
+        for (k, &t) in stab.trees.iter().enumerate() {
+            let hi = stab.bounds[k] as usize;
+            count += self.nodes[t as usize].count_feasible(&stab.marked[lo..hi], end, ops);
+            lo = hi;
+        }
+        count
+    }
+
+    /// Convenience composition of both phases: append up to `limit` feasible
+    /// period ids for a job occupying `[start, end)` at live slot `q`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn find_feasible_into(
+        &self,
+        q: SlotIdx,
+        start: Time,
+        end: Time,
+        limit: usize,
+        stab: &mut StabMarks,
+        out: &mut Vec<PeriodId>,
+        ops: &mut OpStats,
+    ) {
+        let count = self.phase1_candidates_into(q, start, stab, ops);
+        if count > 0 {
+            self.phase2_feasible_into(end, stab, limit, out, ops);
+        }
+    }
+
+    /// Check the segment-tree coverage invariants against the timeline.
+    /// Test helper; panics on violation. `O(Q * N log Q)` — use on small
+    /// systems.
+    ///
+    /// 1. The cover map holds exactly the timeline's finite periods
+    ///    overlapping the live window.
+    /// 2. Every covered period is stored in exactly the canonical nodes of
+    ///    its recorded slot range (no strays anywhere in the segment tree).
+    /// 3. Per live slot, the stabbing-path union contains exactly the
+    ///    periods overlapping that slot, plus only *benign* aliases (last
+    ///    covered slot strictly in the past, hence never Phase-2 feasible).
+    /// 4. Expiry buckets cover every stored period at its last slot.
     #[doc(hidden)]
     pub fn check_mirror(&self, timeline: &Timeline) {
-        use std::collections::BTreeSet;
-        let mut all: Vec<IdlePeriod> = Vec::new();
+        use std::collections::{BTreeMap, BTreeSet};
+        let (ws, he) = (self.window_start(), self.horizon_end());
+        let mut live: BTreeMap<u64, IdlePeriod> = BTreeMap::new();
         for s in 0..timeline.num_servers() {
-            all.extend(
-                timeline
-                    .idle_periods(crate::ids::ServerId(s))
-                    .into_iter()
-                    .filter(|p| !p.end.is_inf()),
-            );
+            for p in timeline.idle_periods(crate::ids::ServerId(s)) {
+                if !p.end.is_inf() && p.start < he && p.end > ws {
+                    live.insert(p.id.0, p);
+                }
+            }
         }
+        // 1. Cover map == live finite periods; ranges are sane.
+        let covered: BTreeSet<u64> = self.cover.keys().copied().collect();
+        let expected: BTreeSet<u64> = live.keys().copied().collect();
+        assert_eq!(covered, expected, "cover map out of sync with timeline");
+        for (id, cov) in &self.cover {
+            let p = &live[id];
+            assert_eq!(cov.period.id.0, *id);
+            assert!(cov.first <= cov.last);
+            assert!(cov.last >= self.base && cov.last < self.end_slot());
+            assert!(cov.first >= self.cfg.slot_of(p.start));
+            // first = max(slot_of(start), base-at-insert) for some past base.
+            assert!(
+                cov.first == self.cfg.slot_of(p.start) || cov.first <= self.base,
+                "cover range start of {p:?} matches neither its slot nor a past base"
+            );
+            assert_eq!(cov.last.0, self.cfg.slot_of(Time(p.end.0 - 1)).0.min(cov.last.0));
+        }
+        // 2. Exact canonical storage: node -> ids from the trees must equal
+        // node -> ids recomputed from the cover map.
+        let mut stored: BTreeMap<u32, BTreeSet<u64>> = BTreeMap::new();
+        for (n, tree) in self.nodes.iter().enumerate() {
+            tree.check_invariants();
+            for p in tree.periods_in_order() {
+                assert!(
+                    stored.entry(n as u32).or_default().insert(p.id.0),
+                    "duplicate period {p:?} in node {n}"
+                );
+            }
+        }
+        let mut want: BTreeMap<u32, BTreeSet<u64>> = BTreeMap::new();
+        let mut canon = Vec::new();
+        for (id, cov) in &self.cover {
+            canon.clear();
+            self.push_canonical(cov.first, cov.last, &mut canon);
+            for &n in &canon {
+                assert!(
+                    want.entry(n).or_default().insert(*id),
+                    "canonical decomposition of {cov:?} repeats node {n}"
+                );
+            }
+        }
+        assert_eq!(stored, want, "canonical-node storage out of sync");
+        // 3. Stabbing unions per live slot.
         for i in 0..self.cfg.num_slots {
             let q = SlotIdx(self.base.0 + i as i64);
             let (lo, hi) = (self.cfg.slot_start(q), self.cfg.slot_end(q));
-            let expect: BTreeSet<u64> = all
-                .iter()
+            let overlap: BTreeSet<u64> = live
+                .values()
                 .filter(|p| p.start < hi && p.end > lo)
                 .map(|p| p.id.0)
                 .collect();
-            let got: BTreeSet<u64> = self.trees[i]
-                .periods_in_order()
+            let by_range: BTreeSet<u64> = self
+                .cover
                 .iter()
-                .map(|p| p.id.0)
+                .filter(|(_, c)| c.first <= q && q <= c.last)
+                .map(|(id, _)| *id)
                 .collect();
-            assert_eq!(got, expect, "mirror mismatch in slot {}", q.0);
-            self.trees[i].check_invariants();
+            assert_eq!(by_range, overlap, "cover ranges disagree with overlap in slot {q:?}");
+            let mut stab = BTreeSet::new();
+            let mut n = self.span + self.pos(q);
+            loop {
+                stab.extend(self.nodes[n].periods_in_order().iter().map(|p| p.id.0));
+                if n == 1 {
+                    break;
+                }
+                n >>= 1;
+            }
+            assert!(
+                stab.is_superset(&overlap),
+                "stabbing path at slot {q:?} misses covered periods"
+            );
+            for id in stab.difference(&overlap) {
+                let cov = &self.cover[id];
+                assert!(
+                    cov.last < q,
+                    "alias {:?} on the stabbing path of slot {q:?} is not benign",
+                    cov.period
+                );
+            }
+        }
+        // 4. Expiry buckets reference every stored period at its last slot.
+        for (id, cov) in &self.cover {
+            let bucket = &self.expiry[(cov.last.0 - self.base.0) as usize];
+            assert!(
+                bucket.contains(id),
+                "period {:?} missing from its expiry bucket",
+                cov.period
+            );
         }
     }
 }
@@ -216,56 +570,88 @@ mod tests {
         }
     }
 
+    /// The finite fragment created by a reservation (reserving the middle
+    /// of a trailing period removes it and adds hole + new tail).
+    fn finite_added(delta: &crate::timeline::PeriodDelta) -> IdlePeriod {
+        *delta
+            .added
+            .iter()
+            .find(|p| !p.end.is_inf())
+            .expect("delta adds a finite fragment")
+    }
+
+    /// Feasible-set query via the public stabbing-path API.
+    fn feasible_ids(ring: &SlotRing, q: SlotIdx, start: Time, end: Time) -> Vec<u64> {
+        let mut stab = StabMarks::default();
+        let mut out = Vec::new();
+        let mut ops = OpStats::new();
+        ring.find_feasible_into(q, start, end, usize::MAX, &mut stab, &mut out, &mut ops);
+        let mut ids: Vec<u64> = out.iter().map(|id| id.0).collect();
+        ids.sort_unstable();
+        ids
+    }
+
     #[test]
     fn fresh_ring_is_empty_and_mirrors_fully_idle_timeline() {
         let (tl, ring, _) = setup(4, 10, 5);
         ring.check_mirror(&tl);
         assert_eq!(ring.window_start(), Time::ZERO);
         assert_eq!(ring.horizon_end(), Time(50));
-        assert_eq!(ring.tree(SlotIdx(0)).unwrap().len(), 0);
-        assert!(ring.tree(SlotIdx(5)).is_none());
-        assert!(ring.tree(SlotIdx(-1)).is_none());
+        assert_eq!(ring.slot_len(SlotIdx(0)), Some(0));
+        assert_eq!(ring.slot_len(SlotIdx(5)), None);
+        assert_eq!(ring.slot_len(SlotIdx(-1)), None);
+        assert_eq!(ring.resident_periods(), 0);
+        assert_eq!(ring.resident_entries(), 0);
+        // Q = 5 pads to M = 8 leaves: 16 canonical nodes.
+        assert_eq!(ring.segment_nodes(), 16);
     }
 
     #[test]
-    fn reserve_mirrors_only_finite_fragments() {
+    fn reserve_covers_only_finite_fragments() {
         let (mut tl, mut ring, mut ops) = setup(2, 10, 5);
         let p = tl.trailing_period(ServerId(0));
         // Reserve [12, 25) on server 0: fragments are [0, 12) — finite,
-        // slots 0..=1 — and [25, inf) — trailing, NOT mirrored here.
+        // slots 0..=1 — and [25, inf) — trailing, NOT stored here.
         let delta = tl.reserve(p.id, JobId(1), Time(12), Time(25));
         apply_finite(&mut ring, &delta, &mut ops);
         ring.check_mirror(&tl);
-        assert_eq!(ring.tree(SlotIdx(0)).unwrap().len(), 1); // [0,12)
-        assert_eq!(ring.tree(SlotIdx(1)).unwrap().len(), 1);
-        assert_eq!(ring.tree(SlotIdx(2)).unwrap().len(), 0);
+        assert_eq!(ring.slot_len(SlotIdx(0)), Some(1)); // [0,12)
+        assert_eq!(ring.slot_len(SlotIdx(1)), Some(1));
+        assert_eq!(ring.slot_len(SlotIdx(2)), Some(0));
+        assert_eq!(ring.resident_periods(), 1);
+        assert_eq!(ops.ring_period_inserts, 1);
+        // One logical period, O(log Q) canonical copies — never one per slot.
+        assert!(ring.resident_entries() <= 2);
     }
 
     #[test]
-    fn advance_discards_and_creates_empty_edge_trees() {
+    fn advance_evicts_expired_periods() {
         let (mut tl, mut ring, mut ops) = setup(3, 10, 4);
         let p = tl.trailing_period(ServerId(1));
         let delta = tl.reserve(p.id, JobId(7), Time(5), Time(18));
         apply_finite(&mut ring, &delta, &mut ops);
         ring.check_mirror(&tl);
-        // Advance two slots.
-        ring.advance_to(Time(25));
+        assert_eq!(ring.resident_periods(), 1); // [0, 5): slot 0 only
+        // Advance two slots: [0, 5) expired with slot 0.
+        ring.advance_to(Time(25), &mut ops);
         assert_eq!(ring.first_slot(), SlotIdx(2));
         assert_eq!(ring.horizon_end(), Time(60));
+        assert_eq!(ops.ring_evictions, 1);
+        assert_eq!(ring.resident_periods(), 0);
+        assert_eq!(ring.resident_entries(), 0);
         tl.prune_before(ring.window_start());
         ring.check_mirror(&tl);
-        // New edge trees are empty (trailing periods are virtual).
-        assert_eq!(ring.tree(SlotIdx(5)).unwrap().len(), 0);
+        assert_eq!(ring.slot_len(SlotIdx(5)), Some(0));
     }
 
     #[test]
     fn advance_is_idempotent_within_a_slot() {
-        let (tl, mut ring, _) = setup(2, 10, 4);
-        ring.advance_to(Time(9));
+        let (tl, mut ring, mut ops) = setup(2, 10, 4);
+        ring.advance_to(Time(9), &mut ops);
         assert_eq!(ring.first_slot(), SlotIdx(0));
-        ring.advance_to(Time(10));
+        ring.advance_to(Time(10), &mut ops);
         assert_eq!(ring.first_slot(), SlotIdx(1));
-        ring.advance_to(Time(10));
+        ring.advance_to(Time(10), &mut ops);
         assert_eq!(ring.first_slot(), SlotIdx(1));
         ring.check_mirror(&tl);
     }
@@ -281,8 +667,10 @@ mod tests {
         apply_finite(&mut ring, &d2, &mut ops);
         ring.check_mirror(&tl);
         // Back to no finite periods at all.
+        assert_eq!(ring.resident_periods(), 0);
+        assert_eq!(ring.resident_entries(), 0);
         for q in 0..6 {
-            assert_eq!(ring.tree(SlotIdx(q)).unwrap().len(), 0);
+            assert_eq!(ring.slot_len(SlotIdx(q)), Some(0));
         }
     }
 
@@ -297,18 +685,24 @@ mod tests {
         apply_finite(&mut ring, &d2, &mut ops);
         ring.check_mirror(&tl);
         // The finite hole [10, 40) lives in slots 1..=3 only.
-        assert_eq!(ring.tree(SlotIdx(0)).unwrap().len(), 0);
+        assert_eq!(ring.slot_len(SlotIdx(0)), Some(0));
         for q in 1..=3 {
-            assert_eq!(ring.tree(SlotIdx(q)).unwrap().len(), 1, "slot {q}");
+            assert_eq!(ring.slot_len(SlotIdx(q)), Some(1), "slot {q}");
         }
-        assert_eq!(ring.tree(SlotIdx(4)).unwrap().len(), 0);
+        assert_eq!(ring.slot_len(SlotIdx(4)), Some(0));
+        // Stabbing queries agree: the hole is feasible from any of its
+        // slots, invisible outside them.
+        let hole = finite_added(&d2);
+        assert_eq!(feasible_ids(&ring, SlotIdx(1), Time(10), Time(40)), vec![hole.id.0]);
+        assert_eq!(feasible_ids(&ring, SlotIdx(3), Time(35), Time(40)), vec![hole.id.0]);
+        assert_eq!(feasible_ids(&ring, SlotIdx(4), Time(45), Time(50)), Vec::<u64>::new());
     }
 
     #[test]
     fn period_outside_live_window_is_ignored() {
         let (_tl, mut ring, mut ops) = setup(1, 10, 4);
         let mut ring2 = ring.clone();
-        ring.advance_to(Time(35));
+        ring.advance_to(Time(35), &mut ops);
         let ghost = IdlePeriod {
             id: PeriodId(999),
             server: ServerId(0),
@@ -317,6 +711,8 @@ mod tests {
         };
         ring.insert_period(&ghost, &mut ops);
         ring.remove_period(&ghost, &mut ops);
+        assert_eq!(ops.ring_period_inserts, 0);
+        assert_eq!(ops.ring_period_removes, 0);
         let beyond = IdlePeriod {
             id: PeriodId(998),
             server: ServerId(0),
@@ -324,6 +720,94 @@ mod tests {
             end: Time(120),
         };
         ring2.insert_period(&beyond, &mut ops);
-        assert_eq!(ring2.tree(SlotIdx(3)).unwrap().len(), 0);
+        assert_eq!(ring2.slot_len(SlotIdx(3)), Some(0));
+    }
+
+    #[test]
+    fn wrapped_coverage_stays_consistent_across_rotation() {
+        // Rotate the window far enough that period coverage wraps the
+        // power-of-two leaf modulus, then check storage and queries.
+        let (mut tl, mut ring, mut ops) = setup(1, 10, 6); // M = 8
+        ring.advance_to(Time(50), &mut ops); // base slot 5; window [50, 110)
+        tl.prune_before(Time(50));
+        let p = tl.trailing_period(ServerId(0));
+        let d1 = tl.reserve(p.id, JobId(1), Time(50), Time(60));
+        apply_finite(&mut ring, &d1, &mut ops);
+        // The reservation also leaves a dead front fragment [0, 50), which
+        // the ring ignores (it ends at the window start).
+        let tail = *d1.added.iter().find(|p| p.end.is_inf()).unwrap(); // [60, inf)
+        // Hole [60, 100) covers slots 6..=9 — positions 6, 7, 0, 1: wrapped.
+        let d2 = tl.reserve(tail.id, JobId(2), Time(100), Time(110));
+        apply_finite(&mut ring, &d2, &mut ops);
+        ring.check_mirror(&tl);
+        let hole = finite_added(&d2);
+        assert_eq!(feasible_ids(&ring, SlotIdx(6), Time(60), Time(100)), vec![hole.id.0]);
+        assert_eq!(feasible_ids(&ring, SlotIdx(9), Time(95), Time(100)), vec![hole.id.0]);
+        // Slot 5 precedes the hole: not feasible there.
+        assert_eq!(feasible_ids(&ring, SlotIdx(5), Time(55), Time(60)), Vec::<u64>::new());
+        // Advance across the hole: it is evicted exactly when slot 9 dies.
+        ring.advance_to(Time(90), &mut ops);
+        assert_eq!(ring.resident_periods(), 1);
+        ring.advance_to(Time(100), &mut ops);
+        assert_eq!(ring.resident_periods(), 0);
+        assert_eq!(ring.resident_entries(), 0);
+        tl.prune_before(ring.window_start());
+        ring.check_mirror(&tl);
+    }
+
+    #[test]
+    fn aliased_periods_are_never_feasible() {
+        // A period stored for slot q must not satisfy queries at q + k*M
+        // after rotation, even though both map to the same leaf.
+        let (mut tl, mut ring, mut ops) = setup(1, 10, 6); // M = 8
+        let p = tl.trailing_period(ServerId(0));
+        let d1 = tl.reserve(p.id, JobId(1), Time(0), Time(10));
+        apply_finite(&mut ring, &d1, &mut ops);
+        let tail = d1.added[0];
+        let d2 = tl.reserve(tail.id, JobId(2), Time(30), Time(40));
+        apply_finite(&mut ring, &d2, &mut ops);
+        let hole = finite_added(&d2); // [10, 30): slots 1..=2
+        assert_eq!(feasible_ids(&ring, SlotIdx(1), Time(10), Time(30)), vec![hole.id.0]);
+        // Rotate so slot 9 (position 1 mod 8) becomes live while the hole,
+        // now expired, would still be on the stabbing path if not evicted.
+        // Eviction removes it; even *before* eviction the Phase-2 end check
+        // rejects it (end 30 < any live query's end), which check_mirror's
+        // benign-alias rule asserts structurally. Here, after advance, the
+        // union is simply empty.
+        ring.advance_to(Time(40), &mut ops);
+        tl.prune_before(Time(40));
+        ring.check_mirror(&tl);
+        assert_eq!(feasible_ids(&ring, SlotIdx(9), Time(90), Time(95)), Vec::<u64>::new());
+        assert_eq!(ring.resident_periods(), 0);
+    }
+
+    #[test]
+    fn canonical_copies_stay_logarithmic() {
+        // A period spanning all Q slots costs O(log Q) canonical entries,
+        // not Q mirrored copies.
+        let (mut tl, mut ring, mut ops) = setup(1, 10, 64); // M = 64
+        let p = tl.trailing_period(ServerId(0));
+        let d1 = tl.reserve(p.id, JobId(1), Time(0), Time(10));
+        apply_finite(&mut ring, &d1, &mut ops);
+        let tail = d1.added[0];
+        let d2 = tl.reserve(tail.id, JobId(2), Time(630), Time(640));
+        apply_finite(&mut ring, &d2, &mut ops);
+        ring.check_mirror(&tl);
+        // Reserving [0, 10) leaves no front fragment, so the spanning hole
+        // [10, 630) — slots 1..=62 — is the only resident period, and its
+        // canonical decomposition is at most 2 * log2(64) = 12 nodes.
+        assert_eq!(ring.resident_periods(), 1);
+        assert!(
+            ring.resident_entries() <= 12,
+            "entries {} exceed the canonical bound",
+            ring.resident_entries()
+        );
+        let before = ops.update_visits;
+        let d3 = tl.release(ServerId(0), JobId(2), Time(630), Time(640));
+        apply_finite(&mut ring, &d3, &mut ops);
+        ring.check_mirror(&tl);
+        // Removing the spanning hole touched O(log Q) trees, far fewer than
+        // the 62 per-slot copies the mirrored design would pay.
+        assert!(ops.update_visits - before < 62 * 2);
     }
 }

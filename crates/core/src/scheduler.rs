@@ -313,7 +313,8 @@ impl CoAllocScheduler {
             return;
         }
         self.now = now;
-        self.ring.advance_to(now);
+        self.ring
+            .advance_to_with(now, &mut self.scratch, &mut self.stats);
         // History pruning scans every server, so amortize it over many slot
         // advances; the ring's own discard/create stays O(1) per slot as
         // the paper claims. Correctness does not depend on prune timing —
@@ -428,25 +429,26 @@ impl CoAllocScheduler {
     /// policy selection. On success returns `true` with the chosen periods
     /// (exactly `n` of them) left in `self.scratch.feasible`.
     ///
-    /// Candidates come from two places: the slot tree of the slot containing
-    /// `start` (finite periods) and the global trailing index (open-ended
-    /// periods, which are candidates iff `st <= start` and then feasible for
-    /// any end). All working storage lives in [`Scratch`], so a steady-state
-    /// attempt performs no heap allocation.
+    /// Candidates come from two places: the canonical slot trees on the
+    /// stabbing path of the slot containing `start` (finite periods) and
+    /// the global trailing index (open-ended periods, which are candidates
+    /// iff `st <= start` and then feasible for any end). All working
+    /// storage lives in [`Scratch`], so a steady-state attempt performs no
+    /// heap allocation.
     fn try_once(&mut self, start: Time, end: Time, n: u32) -> bool {
         self.flush_updates();
         let n = n as usize;
         let q = self.slot_cfg.slot_of(start);
-        let tree = self
-            .ring
-            .tree(q)
-            .expect("start within horizon implies a live slot");
-        // Phase 1: count candidates via subtree sizes.
+        // Phase 1: count candidates via subtree sizes along the stabbing
+        // path. The count may include benign aliases (see DESIGN.md §12);
+        // they never survive Phase 2, so the early exit below reaches the
+        // same decision as exact per-slot counting.
         let p1_visits = self.stats.primary_visits;
         let mut p1_span = obs_span_detail!("sched.phase1", "start_s" => start.secs(), "need" => n);
         let trailing_count = self.trailing.count_candidates(start, &mut self.stats);
         let finite_count =
-            tree.phase1_candidates_into(start, &mut self.scratch.marked, &mut self.stats);
+            self.ring
+                .phase1_candidates_into(q, start, &mut self.scratch.stab, &mut self.stats);
         PHASE1_CANDIDATES.observe((trailing_count + finite_count) as u64);
         if p1_span.active() {
             p1_span.record("trailing", trailing_count);
@@ -466,9 +468,9 @@ impl CoAllocScheduler {
         self.scratch.ids.clear();
         self.trailing
             .collect_candidates(start, usize::MAX, &mut self.scratch.ids, &mut self.stats);
-        tree.phase2_feasible_into(
-            &self.scratch.marked,
+        self.ring.phase2_feasible_into(
             end,
+            &self.scratch.stab,
             usize::MAX,
             &mut self.scratch.ids,
             &mut self.stats,
@@ -742,16 +744,21 @@ impl CoAllocScheduler {
     pub fn enumerate_feasible(&mut self, start: Time, end: Time) -> Vec<IdlePeriod> {
         self.flush_updates();
         let q = self.slot_cfg.slot_of(start);
-        let Some(tree) = self.ring.tree(q) else {
+        if !self.ring.is_live(q) {
             return Vec::new();
-        };
+        }
         let mut ids = Vec::new();
         self.trailing
             .collect_candidates(start, usize::MAX, &mut ids, &mut self.stats);
-        let (count, marked) = tree.phase1_candidates(start, &mut self.stats);
-        if count > 0 {
-            ids.extend(tree.phase2_feasible(&marked, end, usize::MAX, &mut self.stats));
-        }
+        self.ring.find_feasible_into(
+            q,
+            start,
+            end,
+            usize::MAX,
+            &mut self.scratch.stab,
+            &mut ids,
+            &mut self.stats,
+        );
         ids.iter()
             .map(|id| {
                 *self
@@ -821,9 +828,21 @@ impl CoAllocScheduler {
 
     /// Split borrow helper for the read-only searches in
     /// [`crate::range_search`].
-    pub(crate) fn search_parts(&mut self) -> (&SlotRing, &TrailingSet, &mut OpStats) {
+    pub(crate) fn search_parts(
+        &mut self,
+    ) -> (
+        &SlotRing,
+        &TrailingSet,
+        &mut crate::ring::StabMarks,
+        &mut OpStats,
+    ) {
         self.flush_updates();
-        (&self.ring, &self.trailing, &mut self.stats)
+        (
+            &self.ring,
+            &self.trailing,
+            &mut self.scratch.stab,
+            &mut self.stats,
+        )
     }
 
     /// Commit an externally validated selection (query-then-commit flow).

@@ -14,6 +14,7 @@
 use crate::idle::{EndKey, IdlePeriod};
 use crate::ids::PeriodId;
 use crate::primary::MarkedNode;
+use crate::ring::StabMarks;
 use crate::timeline::PeriodDelta;
 
 /// Reusable buffers for the allocation-free scheduling hot path.
@@ -26,6 +27,12 @@ use crate::timeline::PeriodDelta;
 pub struct Scratch {
     /// Phase-1 output: subtrees whose periods are all candidates.
     pub marked: Vec<MarkedNode>,
+    /// Phase-1 output of a stabbing-path query: the per-tree marked
+    /// segments along the segment-tree path (see [`StabMarks`]).
+    pub stab: StabMarks,
+    /// Canonical segment-tree nodes of the period currently being inserted
+    /// or removed (at most `2 log2(Q) + 2` entries).
+    pub canon: Vec<u32>,
     /// Phase-2 output: feasible period ids, retrieval order.
     pub ids: Vec<PeriodId>,
     /// Feasible periods resolved from [`Scratch::ids`], then reduced in

@@ -316,6 +316,34 @@ mod tests {
     }
 
     #[test]
+    fn restore_rebuilds_segment_coverage() {
+        let mut s = busy_scheduler();
+        // Rotate the ring first so restore must re-derive canonical slot
+        // ranges against a moved base, not just the origin.
+        s.advance_to(Time(35));
+        let restored = CoAllocScheduler::restore(&s.snapshot()).unwrap();
+        // check_consistency runs SlotRing::check_mirror, which recomputes the
+        // canonical decomposition of every covered period from scratch and
+        // demands the trees store exactly that (DESIGN.md §12).
+        restored.check_consistency();
+        assert!(
+            s.ring().resident_periods() > 0,
+            "fixture must leave finite idle fragments in the ring"
+        );
+        assert_eq!(
+            restored.ring().resident_periods(),
+            s.ring().resident_periods(),
+            "restore must re-index every finite fragment"
+        );
+        assert_eq!(
+            restored.ring().resident_entries(),
+            s.ring().resident_entries(),
+            "identical slot ranges must decompose into identical canonical copies"
+        );
+        assert_eq!(restored.ring().segment_nodes(), s.ring().segment_nodes());
+    }
+
+    #[test]
     fn release_works_on_restored_jobs() {
         let s = busy_scheduler();
         let job = s

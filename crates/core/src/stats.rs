@@ -27,10 +27,18 @@ pub struct OpStats {
     pub attempts_skipped: u64,
     /// Partial rebuilds triggered by the weight-balance rule.
     pub rebuilds: u64,
-    /// Idle periods inserted into slot trees.
+    /// Idle periods inserted into slot trees (one count per tree copy
+    /// touched, i.e. the physical write amplification).
     pub periods_inserted: u64,
-    /// Idle periods removed from slot trees.
+    /// Idle periods removed from slot trees (per tree copy touched).
     pub periods_removed: u64,
+    /// Finite idle periods handed to the slot ring (one count per period,
+    /// however many trees the coverage spreads it over).
+    pub ring_period_inserts: u64,
+    /// Finite idle periods removed from the slot ring (per period).
+    pub ring_period_removes: u64,
+    /// Periods the ring evicted when their last covered slot expired.
+    pub ring_evictions: u64,
 }
 
 impl OpStats {
@@ -65,6 +73,9 @@ impl OpStats {
             rebuilds: self.rebuilds - earlier.rebuilds,
             periods_inserted: self.periods_inserted - earlier.periods_inserted,
             periods_removed: self.periods_removed - earlier.periods_removed,
+            ring_period_inserts: self.ring_period_inserts - earlier.ring_period_inserts,
+            ring_period_removes: self.ring_period_removes - earlier.ring_period_removes,
+            ring_evictions: self.ring_evictions - earlier.ring_evictions,
         }
     }
 }

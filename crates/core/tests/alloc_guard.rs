@@ -140,7 +140,7 @@ fn steady_state_submissions_do_not_allocate() {
     let per_grant = (allocs() - before) / iters;
     println!("grant+release allocations per cycle: {per_grant}");
     assert!(
-        per_grant <= 64,
+        per_grant <= 32,
         "grant+release cycle allocated {per_grant} times; expected a small bounded number"
     );
 }

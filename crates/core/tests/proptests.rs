@@ -236,4 +236,68 @@ proptest! {
             prop_assert_eq!(found, 2);
         }
     }
+
+    /// The segment-tree stabbing-path query returns exactly the feasible
+    /// finite periods that a brute-force per-slot enumeration of the
+    /// timeline finds, for every live slot and a spread of window shapes —
+    /// the external correctness contract of the canonical decomposition
+    /// (DESIGN.md §12).
+    #[test]
+    fn stabbing_path_matches_per_slot_enumeration(
+        reqs in request_stream(5, 30),
+        release_mask in prop::collection::vec(0u8..2, 30),
+    ) {
+        let mut s = CoAllocScheduler::new(5, small_cfg(SelectionPolicy::PaperOrder));
+        let mut jobs = Vec::new();
+        for (i, r) in reqs.iter().enumerate() {
+            s.advance_to(r.submit);
+            if let Ok(g) = s.submit(r) {
+                jobs.push(g.job);
+            }
+            if release_mask[i] == 1 {
+                if let Some(j) = jobs.pop() {
+                    s.release(j).unwrap();
+                }
+            }
+        }
+        s.check_consistency();
+        let cfg = s.ring().config();
+        let mut stats = OpStats::new();
+        let mut stab = coalloc_core::ring::StabMarks::default();
+        let mut ids: Vec<PeriodId> = Vec::new();
+        for qi in s.ring().first_slot().0..s.ring().end_slot().0 {
+            let q = SlotIdx(qi);
+            let slot_start = cfg.slot_start(q);
+            // Windows starting inside slot q: intra-slot, slot-spanning,
+            // and long enough to reach the horizon's tail.
+            for (off, len) in [(0i64, 5i64), (3, 40), (7, 170)] {
+                let start = slot_start + Dur(off);
+                let end = start + Dur(len);
+                ids.clear();
+                s.ring()
+                    .find_feasible_into(q, start, end, usize::MAX, &mut stab, &mut ids, &mut stats);
+                let mut got: Vec<u64> = ids.iter().map(|id| id.0).collect();
+                got.sort_unstable();
+                // Brute force: scan every server's finite idle periods.
+                let mut want = Vec::new();
+                for srv in 0..5 {
+                    for p in s.timeline().idle_periods(ServerId(srv)) {
+                        if !p.end.is_inf() && p.is_feasible(start, end) {
+                            want.push(p.id.0);
+                        }
+                    }
+                }
+                want.sort_unstable();
+                prop_assert_eq!(&got, &want, "slot {} window [{:?}, {:?})", qi, start, end);
+                // The counting path agrees with the enumeration.
+                let finite = s.ring().phase1_candidates_into(q, start, &mut stab, &mut stats);
+                let count = if finite == 0 {
+                    0
+                } else {
+                    s.ring().count_feasible(end, &stab, &mut stats)
+                };
+                prop_assert_eq!(count, want.len());
+            }
+        }
+    }
 }

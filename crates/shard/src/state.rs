@@ -83,17 +83,15 @@ impl ShardState {
             let start = first + step * (i as i64);
             let end = start + duration;
             let q = self.slot_cfg.slot_of(start);
-            let tree = self
-                .ring
-                .tree(q)
-                .expect("batched start within horizon implies a live slot");
             let trailing = self.trailing.count_candidates(start, &mut self.stats);
             let finite =
-                tree.phase1_candidates_into(start, &mut self.scratch.marked, &mut self.stats);
+                self.ring
+                    .phase1_candidates_into(q, start, &mut self.scratch.stab, &mut self.stats);
             let feasible = if finite == 0 {
                 0
             } else {
-                tree.count_feasible(&self.scratch.marked, end, &mut self.stats)
+                self.ring
+                    .count_feasible(end, &self.scratch.stab, &mut self.stats)
             };
             *slot = (trailing + feasible) as u32;
         }
@@ -105,17 +103,19 @@ impl ShardState {
     pub fn enumerate(&mut self, start: Time, end: Time, out: &mut Vec<IdlePeriod>) {
         out.clear();
         let q = self.slot_cfg.slot_of(start);
-        let Some(tree) = self.ring.tree(q) else {
+        if !self.ring.is_live(q) {
             return;
-        };
+        }
         self.scratch.ids.clear();
         self.trailing
             .collect_candidates(start, usize::MAX, &mut self.scratch.ids, &mut self.stats);
-        let finite = tree.phase1_candidates_into(start, &mut self.scratch.marked, &mut self.stats);
+        let finite =
+            self.ring
+                .phase1_candidates_into(q, start, &mut self.scratch.stab, &mut self.stats);
         if finite > 0 {
-            tree.phase2_feasible_into(
-                &self.scratch.marked,
+            self.ring.phase2_feasible_into(
                 end,
+                &self.scratch.stab,
                 usize::MAX,
                 &mut self.scratch.ids,
                 &mut self.stats,
@@ -179,7 +179,8 @@ impl ShardState {
     /// Advance the shard clock: rotate the slot ring and prune dead history
     /// on the same cadence as the core scheduler.
     pub fn advance_to(&mut self, now: Time) {
-        self.ring.advance_to(now);
+        self.ring
+            .advance_to_with(now, &mut self.scratch, &mut self.stats);
         let window_start = self.ring.window_start();
         if (window_start - self.last_prune).secs() >= PRUNE_EVERY_SLOTS * self.slot_cfg.tau.secs()
         {
