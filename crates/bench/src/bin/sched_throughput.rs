@@ -8,7 +8,7 @@
 //! ```text
 //! cargo run -p coalloc-bench --release --bin sched_throughput -- \
 //!     [--smoke] [--scale F] [--seed N] [--out PATH] [--guard R] \
-//!     [--profile kth|write-heavy] [--validate PATH]
+//!     [--profile kth|write-heavy|wal] [--validate PATH]
 //! ```
 //!
 //! * `--smoke` — tiny workload slice for CI (also skips the slow naive
@@ -18,17 +18,25 @@
 //!   15-minute slots), so the run is dominated by idle-period index updates
 //!   rather than searches. The emitted document carries the online
 //!   scheduler's write-path counters (`write_path` object).
-//! * `--guard R` — exit non-zero if the sharded `K=1` configuration's
-//!   throughput falls below `R ×` the single scheduler's (coordination
-//!   overhead regression gate; CI uses `0.9`). The guarded pair is
-//!   re-measured interleaved and compared on the best of three trials,
-//!   so one scheduling hiccup cannot fail the gate.
+//! * `--profile wal` — measure the cost of command durability: one churn
+//!   stream of protocol text commands replayed through a [`Session`] three
+//!   ways — no WAL, WAL with group commit (the server's write path: append
+//!   every mutating command, fsync per batch), and WAL with an fsync after
+//!   every mutating command. Emits `BENCH_wal.json`.
+//! * `--guard R` — exit non-zero on a throughput regression: for the
+//!   scheduler profiles, the sharded `K=1` configuration must reach `R ×`
+//!   the single scheduler (CI uses `0.9`); for `--profile wal`, group-commit
+//!   durability must reach `R ×` the WAL-off baseline (CI uses `0.5`). The
+//!   guarded pair is re-measured interleaved and compared on the best of
+//!   three trials, so one scheduling hiccup cannot fail the gate.
 //! * `--validate PATH` — parse an existing result file and check its shape
 //!   instead of running; used by CI after the bench run.
 
 use coalloc_core::naive::NaiveScheduler;
 use coalloc_core::prelude::*;
+use coalloc_net::{proto, Session};
 use coalloc_shard::ShardedScheduler;
+use coalloc_wal::{Wal, WalConfig};
 use coalloc_workloads::synthetic::WorkloadSpec;
 use obs::json::{self, Json};
 use std::time::Instant;
@@ -182,6 +190,110 @@ fn replay_ops(
     }
 }
 
+/// Protocol-text churn stream for the `wal` profile: the chaos harness's
+/// traffic mix (submit-heavy with releases, clock advances and consistency
+/// checks) as one replayable script. Release targets are guessed from the
+/// submission count, so a fraction hit unknown jobs — error replies are not
+/// appended to the log, exactly as on the server.
+fn wal_cmds(n: usize, seed: u64) -> Vec<String> {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut cmds = Vec::with_capacity(n + 1);
+    cmds.push("init 64 900 259200 900".to_string());
+    let mut now = 0i64;
+    let mut submitted = 0u64;
+    for _ in 0..n {
+        cmds.push(match rng.random_range(0u32..10) {
+            0..=5 => {
+                let s = now + rng.random_range(0i64..96) * 900;
+                let l = rng.random_range(1i64..=16) * 900;
+                let k = rng.random_range(1u32..=4);
+                submitted += 1;
+                format!("submit 0 {s} {l} {k}")
+            }
+            6 | 7 => format!("release {}", rng.random_range(0..submitted.max(1))),
+            8 => {
+                now += rng.random_range(1i64..=4) * 900;
+                format!("advance {now}")
+            }
+            _ => "check".to_string(),
+        });
+    }
+    cmds
+}
+
+/// Replay the command stream through a fresh [`Session`], optionally
+/// appending every successful mutating command to a WAL and fsyncing per
+/// `batch` records — `batch == 1` is sync-each, larger is group commit. A
+/// reply only counts as released once its batch is synced, so the timing
+/// charges each fsync to the command that triggered it (the group-commit
+/// amortization CI guards on).
+fn replay_wal(label: &str, cmds: &[String], mut wal: Option<&mut Wal>, batch: u64) -> Measured {
+    let mut session = Session::new(1);
+    let mut lat_ns = Vec::with_capacity(cmds.len());
+    let mut granted = 0usize;
+    let mut payload = Vec::new();
+    let t0 = Instant::now();
+    for cmd in cmds {
+        let t = Instant::now();
+        let verb = cmd.split_whitespace().next().unwrap_or("");
+        if let Ok(reply) = session.exec(cmd) {
+            granted += reply.starts_with("granted") as usize;
+            if proto::mutating(verb) {
+                if let Some(w) = wal.as_deref_mut() {
+                    payload.clear();
+                    payload.extend_from_slice(cmd.as_bytes());
+                    payload.push(b'\n');
+                    payload.extend_from_slice(reply.as_bytes());
+                    w.append(&payload).expect("wal append");
+                    if w.unsynced_records() >= batch {
+                        w.sync().expect("wal sync");
+                    }
+                }
+            }
+        }
+        lat_ns.push(t.elapsed().as_nanos() as u64);
+    }
+    if let Some(w) = wal {
+        w.sync().expect("wal final sync");
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    lat_ns.sort_unstable();
+    Measured {
+        label: label.to_string(),
+        shards: None,
+        granted,
+        secs,
+        rps: cmds.len() as f64 / secs.max(1e-9),
+        p50_us: percentile_us(&lat_ns, 0.50),
+        p99_us: percentile_us(&lat_ns, 0.99),
+    }
+}
+
+/// Group-commit size for the `wal-batched` variant. The server flushes by
+/// draining its queue (up to 512) or on a 1 ms timer; 32 is a conservative
+/// stand-in for what a moderately loaded server batches per fsync.
+const WAL_GROUP_COMMIT: u64 = 32;
+
+/// Run one `wal`-profile variant in a scratch directory (fresh per call so
+/// repeated guard trials never replay each other's segments).
+fn run_wal_variant(label: &str, cmds: &[String], durable: bool, batch: u64) -> Measured {
+    if !durable {
+        return replay_wal(label, cmds, None, 0);
+    }
+    let dir = std::env::temp_dir().join(format!(
+        "coalloc-bench-wal-{label}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (mut wal, _recovery) = Wal::open(WalConfig::new(&dir)).expect("open bench wal");
+    let m = replay_wal(label, cmds, Some(&mut wal), batch);
+    drop(wal);
+    let _ = std::fs::remove_dir_all(&dir);
+    m
+}
+
 fn bench_cfg() -> SchedulerConfig {
     SchedulerConfig::builder()
         .tau(Dur::from_mins(15))
@@ -292,8 +404,13 @@ fn validate(text: &str) -> Result<Vec<(String, f64)>, String> {
             e.get("rps").and_then(Json::as_num).unwrap_or(0.0),
         ));
     }
-    for want in ["naive", "online", "sharded-k1", "sharded-k2", "sharded-k4", "sharded-k8"] {
-        if !seen.iter().any(|(l, _)| l == want) {
+    let want: &[&str] = if profile == "wal" {
+        &["wal-off", "wal-batched", "wal-sync-each"]
+    } else {
+        &["naive", "online", "sharded-k1", "sharded-k2", "sharded-k4", "sharded-k8"]
+    };
+    for want in want {
+        if !seen.iter().any(|(l, _)| l == *want) {
             return Err(format!("missing scheduler entry \"{want}\""));
         }
     }
@@ -324,7 +441,7 @@ fn write_path_json(s: &CoAllocScheduler) -> String {
 fn main() {
     let mut scale = 0.02f64;
     let mut seed = 42u64;
-    let mut out_path = String::from("BENCH_sched.json");
+    let mut out_path: Option<String> = None;
     let mut guard: Option<f64> = None;
     let mut profile = String::from("kth");
     let mut args = std::env::args().skip(1);
@@ -333,7 +450,7 @@ fn main() {
             "--smoke" => scale = 0.002,
             "--scale" => scale = args.next().expect("--scale F").parse().expect("float"),
             "--seed" => seed = args.next().expect("--seed N").parse().expect("integer"),
-            "--out" => out_path = args.next().expect("--out PATH"),
+            "--out" => out_path = Some(args.next().expect("--out PATH")),
             "--profile" => profile = args.next().expect("--profile NAME"),
             "--guard" => {
                 guard = Some(args.next().expect("--guard R").parse().expect("float"));
@@ -356,7 +473,7 @@ fn main() {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: sched_throughput [--smoke] [--scale F] [--seed N] \
-                     [--out PATH] [--guard R] [--profile kth|write-heavy] \
+                     [--out PATH] [--guard R] [--profile kth|write-heavy|wal] \
                      [--validate PATH]"
                 );
                 return;
@@ -368,7 +485,10 @@ fn main() {
         }
     }
 
-    let (meta_workload, servers, reqs, ops);
+    let out_path = out_path.unwrap_or_else(|| {
+        String::from(if profile == "wal" { "BENCH_wal.json" } else { "BENCH_sched.json" })
+    });
+    let (meta_workload, servers, reqs, ops, cmds);
     match profile.as_str() {
         "kth" => {
             let spec = WorkloadSpec::kth().scaled(scale);
@@ -376,6 +496,7 @@ fn main() {
             meta_workload = spec.name.clone();
             reqs = spec.generate(seed);
             ops = Vec::new();
+            cmds = Vec::new();
             println!(
                 "sched_throughput: {} requests over {servers} servers (kth × {scale}, seed {seed})",
                 reqs.len(),
@@ -387,14 +508,28 @@ fn main() {
             let n_submits = ((4000.0 * scale / 0.02).round() as usize).max(100);
             reqs = Vec::new();
             ops = write_heavy_ops(n_submits, seed);
+            cmds = Vec::new();
             println!(
                 "sched_throughput: {} ops ({n_submits} submits) over {servers} servers \
                  (write-heavy × {scale}, seed {seed})",
                 ops.len(),
             );
         }
+        "wal" => {
+            servers = 64;
+            meta_workload = String::from("wal-churn");
+            let n = ((20_000.0 * scale / 0.02).round() as usize).max(500);
+            reqs = Vec::new();
+            ops = Vec::new();
+            cmds = wal_cmds(n, seed);
+            println!(
+                "sched_throughput: {} protocol commands over {servers} servers \
+                 (wal × {scale}, seed {seed}, group commit {WAL_GROUP_COMMIT})",
+                cmds.len(),
+            );
+        }
         other => {
-            eprintln!("unknown profile {other} (want kth or write-heavy)");
+            eprintln!("unknown profile {other} (want kth, write-heavy or wal)");
             std::process::exit(2);
         }
     }
@@ -425,20 +560,26 @@ fn main() {
 
     let mut results = Vec::new();
     let mut write_path = None;
-    {
-        let mut s = NaiveScheduler::new(servers, bench_cfg());
-        results.push(run!("naive", None, s));
-    }
-    {
-        let mut s = CoAllocScheduler::new(servers, bench_cfg());
-        results.push(run!("online", None, s));
-        if profile == "write-heavy" {
-            write_path = Some(write_path_json(&s));
+    if profile == "wal" {
+        results.push(run_wal_variant("wal-off", &cmds, false, 0));
+        results.push(run_wal_variant("wal-batched", &cmds, true, WAL_GROUP_COMMIT));
+        results.push(run_wal_variant("wal-sync-each", &cmds, true, 1));
+    } else {
+        {
+            let mut s = NaiveScheduler::new(servers, bench_cfg());
+            results.push(run!("naive", None, s));
         }
-    }
-    for k in SHARD_COUNTS {
-        let mut s = ShardedScheduler::new(servers, k, bench_cfg());
-        results.push(run!(&format!("sharded-k{k}"), Some(k), s));
+        {
+            let mut s = CoAllocScheduler::new(servers, bench_cfg());
+            results.push(run!("online", None, s));
+            if profile == "write-heavy" {
+                write_path = Some(write_path_json(&s));
+            }
+        }
+        for k in SHARD_COUNTS {
+            let mut s = ShardedScheduler::new(servers, k, bench_cfg());
+            results.push(run!(&format!("sharded-k{k}"), Some(k), s));
+        }
     }
 
     for m in &results {
@@ -457,7 +598,7 @@ fn main() {
         servers,
         scale,
         seed,
-        n_ops: if ops.is_empty() { reqs.len() } else { ops.len() },
+        n_ops: reqs.len().max(ops.len()).max(cmds.len()),
         write_path,
     };
     let doc = render(&results, &meta);
@@ -476,20 +617,38 @@ fn main() {
         // A single replay is too noisy for a pass/fail gate on a busy host:
         // re-measure the guarded pair interleaved and compare each label's
         // best of three trials.
-        let mut online = rps_of("online");
-        let mut k1 = rps_of("sharded-k1");
-        for _ in 0..2 {
-            let mut s = CoAllocScheduler::new(servers, bench_cfg());
-            online = online.max(run!("online", None, s).rps);
-            let mut s = ShardedScheduler::new(servers, 1, bench_cfg());
-            k1 = k1.max(run!("sharded-k1", Some(1), s).rps);
+        let (fast_label, slow_label);
+        let (mut fast, mut slow);
+        if profile == "wal" {
+            (fast_label, slow_label) = ("wal-off", "wal-batched");
+            fast = rps_of(fast_label);
+            slow = rps_of(slow_label);
+            for _ in 0..2 {
+                fast = fast.max(run_wal_variant(fast_label, &cmds, false, 0).rps);
+                slow = slow
+                    .max(run_wal_variant(slow_label, &cmds, true, WAL_GROUP_COMMIT).rps);
+            }
+        } else {
+            (fast_label, slow_label) = ("online", "sharded-k1");
+            fast = rps_of(fast_label);
+            slow = rps_of(slow_label);
+            for _ in 0..2 {
+                let mut s = CoAllocScheduler::new(servers, bench_cfg());
+                fast = fast.max(run!("online", None, s).rps);
+                let mut s = ShardedScheduler::new(servers, 1, bench_cfg());
+                slow = slow.max(run!("sharded-k1", Some(1), s).rps);
+            }
         }
-        if k1 < ratio * online {
+        if slow < ratio * fast {
             eprintln!(
-                "GUARD FAILED: sharded-k1 at {k1:.0} req/s is below {ratio} × online ({online:.0} req/s)"
+                "GUARD FAILED: {slow_label} at {slow:.0} req/s is below {ratio} × \
+                 {fast_label} ({fast:.0} req/s)"
             );
             std::process::exit(1);
         }
-        println!("guard ok: sharded-k1/online = {:.3} >= {ratio}", k1 / online);
+        println!(
+            "guard ok: {slow_label}/{fast_label} = {:.3} >= {ratio}",
+            slow / fast
+        );
     }
 }

@@ -36,6 +36,7 @@ pub struct NaiveScheduler {
     jobs: HashMap<JobId, Vec<Reservation>>,
     next_job: u64,
     stats: OpStats,
+    last_prune: Time,
 }
 
 impl NaiveScheduler {
@@ -56,6 +57,7 @@ impl NaiveScheduler {
             jobs: HashMap::new(),
             next_job: 0,
             stats: OpStats::new(),
+            last_prune: origin,
         }
     }
 
@@ -94,10 +96,25 @@ impl NaiveScheduler {
         self.timeline.utilization(self.origin, until)
     }
 
-    /// Advance the clock.
+    /// Advance the clock. Mirrors the tree scheduler's amortized history
+    /// prune exactly: prune timing is observable (releasing a pruned job
+    /// reports `UnknownJob`), so the oracle forgets jobs on the same
+    /// cadence — every `PRUNE_EVERY_SLOTS` slot advances, jobs whose
+    /// reservations all ended at or before the live window's start.
+    /// The timeline keeps its history (there is no memory pressure here),
+    /// so utilization accounting is unchanged.
     pub fn advance_to(&mut self, now: Time) {
-        if now > self.now {
-            self.now = now;
+        if now <= self.now {
+            return;
+        }
+        self.now = now;
+        let slot_cfg = self.cfg.slot_config();
+        let window_start = slot_cfg.slot_start(slot_cfg.slot_of(now));
+        if (window_start - self.last_prune).secs()
+            >= crate::scheduler::PRUNE_EVERY_SLOTS * slot_cfg.tau.secs()
+        {
+            self.jobs.retain(|_, rs| rs.iter().any(|r| r.end > window_start));
+            self.last_prune = window_start;
         }
     }
 

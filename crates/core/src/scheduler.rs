@@ -27,7 +27,11 @@ use obs::{obs_span, obs_span_detail, LazyCounter, LazyHistogram};
 use std::collections::HashMap;
 
 /// Slot advances between history prunes (amortizes the O(N) prune scan).
-const PRUNE_EVERY_SLOTS: i64 = 32;
+/// Public because prune timing is observable through
+/// [`CoAllocScheduler::release`] (pruned jobs report `UnknownJob`): the
+/// naive oracle and the sharded front-end must forget jobs on exactly the
+/// same cadence to stay decision-identical.
+pub const PRUNE_EVERY_SLOTS: i64 = 32;
 
 // Scheduler metrics. Counters and histograms are process-global (the
 // scheduler itself is Clone, so they aggregate over every instance);
@@ -324,7 +328,49 @@ impl CoAllocScheduler {
             >= PRUNE_EVERY_SLOTS * self.slot_cfg.tau.secs()
         {
             self.timeline.prune_before(window_start);
+            // Jobs whose reservations all fell to the prune are forgotten
+            // too: after this, `release` answers `UnknownJob` for them on
+            // the original and on any snapshot-restored twin alike —
+            // snapshots carry exactly the timeline's (unpruned) busy set,
+            // so the jobs map must not outlive it.
+            self.jobs.retain(|_, rs| rs.iter().any(|r| r.end > window_start));
             self.last_prune = window_start;
+        }
+    }
+
+    /// History boundary of the last amortized prune (snapshot state: prune
+    /// timing is observable through [`Self::release`], so a restored
+    /// scheduler must resume the same prune cadence).
+    pub(crate) fn last_prune(&self) -> Time {
+        self.last_prune
+    }
+
+    pub(crate) fn set_last_prune(&mut self, t: Time) {
+        self.last_prune = t;
+    }
+
+    /// Replace the timeline and rebuild both search indexes from explicit,
+    /// caller-validated parts (the id-faithful restore path): period ids
+    /// and the id counter are installed verbatim, so Phase-2 retrieval
+    /// order under a result limit — and therefore every future decision —
+    /// is bit-identical to the scheduler that wrote the snapshot.
+    pub(crate) fn install_state(
+        &mut self,
+        idle: Vec<IdlePeriod>,
+        busy: Vec<Reservation>,
+        next_period: u64,
+    ) {
+        self.timeline = Timeline::from_parts(self.num_servers(), &idle, &busy, next_period);
+        self.ring = SlotRing::new(self.slot_cfg, self.origin, self.cfg.seed);
+        self.ring.advance_to(self.now, &mut self.stats);
+        self.trailing = TrailingSet::new(self.cfg.seed);
+        self.pending.clear();
+        for p in &idle {
+            self.add_to_indexes(p);
+        }
+        self.jobs.clear();
+        for r in busy {
+            self.jobs.entry(r.job).or_default().push(r);
         }
     }
 
@@ -857,7 +903,11 @@ impl CoAllocScheduler {
 
     /// Cancel a committed job, returning its windows to the idle pool (used
     /// by users cancelling reservations and by the multi-site abort path).
-    /// Reservations whose history was already pruned are simply dropped.
+    /// Reservations that already ran to completion are retired (their busy
+    /// seconds stay in the utilization accounting); jobs whose history was
+    /// pruned by [`Self::advance_to`] were forgotten at prune time and
+    /// report [`ScheduleError::UnknownJob`] — identically on the original
+    /// and on any snapshot-restored twin.
     ///
     /// ```
     /// use coalloc_core::prelude::*;
@@ -874,11 +924,29 @@ impl CoAllocScheduler {
     /// ));
     /// ```
     pub fn release(&mut self, job: JobId) -> Result<(), ScheduleError> {
-        let reservations = self.jobs.remove(&job).ok_or(ScheduleError::UnknownJob(job))?;
+        let mut reservations =
+            self.jobs.remove(&job).ok_or(ScheduleError::UnknownJob(job))?;
+        // Canonical processing order. The stored order is the selection
+        // order on a live scheduler but snapshot order on a restored one;
+        // since releasing mints fresh period ids per server, processing in
+        // stored order would assign ids differently on the two — and period
+        // ids are decision-relevant (Phase-2 retrieval is keyed by
+        // `(end, id)`). Sorting makes release provenance-independent.
+        reservations.sort_unstable_by_key(|r| (r.server, r.start));
         let mut delta = std::mem::take(&mut self.scratch.delta);
         for r in reservations {
+            if r.end <= self.last_prune {
+                continue; // actually pruned from history
+            }
             if r.end <= self.ring.window_start() {
-                continue; // fully in pruned history
+                // Ran to completion but is still in unpruned history:
+                // retire it (count the busy seconds, drop the entry) so
+                // the timeline — and therefore every future snapshot — no
+                // longer carries it. Leaving it would make a
+                // snapshot-restored scheduler resurrect the job and answer
+                // a second `release` differently from the original.
+                self.timeline.retire(r.server, r.job, r.start, r.end);
+                continue;
             }
             self.timeline
                 .release_into(r.server, r.job, r.start, r.end, &mut delta);

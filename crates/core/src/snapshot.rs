@@ -8,21 +8,46 @@
 //! live reservation — and restore rebuilds the full index state (slot
 //! trees, trailing index) from them.
 //!
-//! The snapshot captures the *schedule*, not internal identifiers: period
-//! ids and tree shapes are regenerated, so follow-up behaviour is
-//! guaranteed identical under order-independent selection policies
-//! (`ByServerId`) and equivalent (same feasibility decisions) under the
-//! others. Pruned history is not included; utilization accounting restarts
-//! from the live reservations.
+//! A v2 snapshot captures the schedule *and* the period-id assignment:
+//! Phase-2 retrieval under a result limit is keyed by `(end, id)`, so ids
+//! are decision-relevant state — restore installs them verbatim (tree
+//! *shapes* are still regenerated; they affect only performance) and every
+//! future decision is bit-identical to the writer's, under every selection
+//! policy. Legacy v1 snapshots lack the id assignment; their restores make
+//! equivalent (same feasibility) but not necessarily identical choices.
+//! Pruned history is not included; utilization accounting restarts from
+//! the live reservations.
 
 use crate::attrs::AttrSet;
-use crate::ids::{JobId, ServerId};
+use crate::idle::IdlePeriod;
+use crate::ids::{JobId, PeriodId, ServerId};
 use crate::policy::SelectionPolicy;
 use crate::scheduler::{CoAllocScheduler, SchedulerConfig};
 use crate::time::{Dur, Time};
+use crate::timeline::Reservation;
 
-/// Snapshot format version tag.
-const MAGIC: &str = "coalloc-snapshot v1";
+/// Snapshot format version tag. v2 appends an `end <lines> <checksum>`
+/// integrity footer so truncation, reordering and bit-rot are detected —
+/// this format is the crash-recovery base of the write-ahead log
+/// (DESIGN.md §13), so it must reject anything it did not write.
+const MAGIC: &str = "coalloc-snapshot v2";
+
+/// The previous, footer-less format: still restorable (leniently) so
+/// snapshots written before the WAL existed keep loading.
+const MAGIC_V1: &str = "coalloc-snapshot v1";
+
+/// Hostile-input bounds: a snapshot is operator- or network-supplied data,
+/// so sizes that would make `restore` allocate unboundedly or loop for
+/// minutes are rejected up front rather than trusted.
+const MAX_SERVERS: u32 = 1 << 20;
+/// Upper bound on the derived slot count `ceil(horizon / tau)`.
+const MAX_SLOTS: i64 = 1 << 22;
+/// Magnitude bound on every timestamp (≈ 139,000 years in seconds): keeps
+/// all downstream slot arithmetic far from `i64` overflow.
+const MAX_ABS_TIME: i64 = 1 << 42;
+/// Bound on `(now - origin) / tau`: restore replays the clock advance slot
+/// by slot, so the span must not encode a multi-minute spin.
+const MAX_ADVANCE_SLOTS: i64 = 1 << 21;
 
 /// Errors from [`CoAllocScheduler::restore`].
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -39,6 +64,19 @@ pub enum SnapshotError {
         /// 1-based line number.
         line: usize,
     },
+    /// The v2 integrity footer is missing, malformed, or does not match
+    /// the content — the snapshot was truncated, reordered or otherwise
+    /// altered after it was written.
+    Integrity,
+    /// A field parsed but its value is outside the bounds a genuine
+    /// snapshot can contain (server out of range, absurd horizon, clock
+    /// running backwards, colliding job-id sequence, ...).
+    Invalid {
+        /// 1-based line number (0 when the violation spans lines).
+        line: usize,
+        /// Which bound was violated.
+        what: &'static str,
+    },
 }
 
 impl std::fmt::Display for SnapshotError {
@@ -49,11 +87,32 @@ impl std::fmt::Display for SnapshotError {
             SnapshotError::InconsistentReservation { line } => {
                 write!(f, "snapshot line {line}: overlapping or misplaced reservation")
             }
+            SnapshotError::Integrity => {
+                write!(f, "snapshot integrity footer missing or mismatched (truncated or altered)")
+            }
+            SnapshotError::Invalid { line, what } => {
+                write!(f, "snapshot line {line}: {what}")
+            }
         }
     }
 }
 
 impl std::error::Error for SnapshotError {}
+
+/// FNV-1a 64-bit hash, the integrity checksum of the v2 footer. Not
+/// cryptographic — it detects accidental damage (truncation, reordering,
+/// bit-rot), which is the failure model of a state file on local disk.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    fnv1a_update(0xcbf2_9ce4_8422_2325, bytes)
+}
+
+fn fnv1a_update(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
 
 fn policy_code(p: SelectionPolicy) -> u8 {
     match p {
@@ -95,11 +154,34 @@ impl CoAllocScheduler {
             self.origin().secs(),
             self.now().secs()
         ));
+        // Prune timing is observable (a fully-pruned job's `release` turns
+        // into `UnknownJob`), so the restored scheduler must resume the
+        // same amortized prune cadence as the original.
+        out.push_str(&format!("pruned {}\n", self.last_prune().secs()));
         out.push_str(&format!("servers {}\n", self.num_servers()));
         for s in 0..self.num_servers() {
             let a = self.server_attrs(ServerId(s));
             if !a.is_empty() {
                 out.push_str(&format!("attrs {s} {}\n", a.0));
+            }
+        }
+        // Idle periods verbatim, ids included: Phase-2 retrieval order
+        // under a result limit is keyed by (end, id), so a restore that
+        // regenerated ids would make *different* (if equivalent) grants.
+        // Bit-identical recovery requires the exact id assignment — and the
+        // id counter below it.
+        for s in 0..self.num_servers() {
+            for p in self.timeline().idle_periods(ServerId(s)) {
+                if p.end.is_inf() {
+                    out.push_str(&format!("idle {} {s} {} inf\n", p.id.0, p.start.secs()));
+                } else {
+                    out.push_str(&format!(
+                        "idle {} {s} {} {}\n",
+                        p.id.0,
+                        p.start.secs(),
+                        p.end.secs()
+                    ));
+                }
             }
         }
         // Live reservations, stable order: by server, then start.
@@ -114,26 +196,86 @@ impl CoAllocScheduler {
                 ));
             }
         }
+        out.push_str(&format!("next_period {}\n", self.timeline().next_period_id()));
         out.push_str(&format!("next_job {}\n", self.next_job_id()));
+        // Integrity footer: line count and FNV-1a over every preceding byte.
+        // Restore refuses a v2 snapshot whose footer does not match, so
+        // truncation, reordering and bit-flips are all detected up front.
+        let lines = out.lines().count();
+        let sum = fnv1a(out.as_bytes());
+        out.push_str(&format!("end {lines} {sum:016x}\n"));
         out
     }
 
     /// Rebuild a scheduler from a snapshot produced by [`Self::snapshot`].
+    ///
+    /// This is the crash-recovery base image of the WAL, so the input is
+    /// treated as hostile: a v2 snapshot must carry a matching integrity
+    /// footer, every field is bounds-checked before any internal
+    /// constructor (which `assert!` on their invariants) runs, and every
+    /// reservation must land on rebuilt idle time. Any deviation returns a
+    /// [`SnapshotError`]; no input panics or commits overlapping grants.
     pub fn restore(snapshot: &str) -> Result<CoAllocScheduler, SnapshotError> {
-        let mut lines = snapshot.lines().enumerate();
-        let (_, magic) = lines.next().ok_or(SnapshotError::BadMagic)?;
-        if magic.trim() != MAGIC {
-            return Err(SnapshotError::BadMagic);
+        let all: Vec<&str> = snapshot.lines().collect();
+        let magic = all.first().copied().ok_or(SnapshotError::BadMagic)?;
+        let body: &[&str] = match magic.trim() {
+            MAGIC => {
+                // v2: the last line must be a footer matching the rest.
+                if all.len() < 2 {
+                    return Err(SnapshotError::Integrity);
+                }
+                let f: Vec<&str> = all[all.len() - 1].split_whitespace().collect();
+                if f.len() != 3 || f[0] != "end" {
+                    return Err(SnapshotError::Integrity);
+                }
+                let count: usize = f[1].parse().map_err(|_| SnapshotError::Integrity)?;
+                let sum = u64::from_str_radix(f[2], 16).map_err(|_| SnapshotError::Integrity)?;
+                let content = &all[..all.len() - 1];
+                if count != content.len() {
+                    return Err(SnapshotError::Integrity);
+                }
+                // Hash exactly the bytes `snapshot` hashed: each content
+                // line terminated by '\n'. Re-joining also rejects exotic
+                // line endings the writer never produces.
+                let mut h = 0xcbf2_9ce4_8422_2325u64;
+                for l in content {
+                    h = fnv1a_update(h, l.as_bytes());
+                    h = fnv1a_update(h, b"\n");
+                }
+                if h != sum {
+                    return Err(SnapshotError::Integrity);
+                }
+                &all[1..all.len() - 1]
+            }
+            // v1 (pre-WAL) has no footer; parse leniently but validate the
+            // same bounds so a damaged v1 file still cannot panic us.
+            MAGIC_V1 => &all[1..],
+            _ => return Err(SnapshotError::BadMagic),
+        };
+
+        // Phase 1: parse every line into raw integers. Nothing is built yet,
+        // so malformed values cannot reach an asserting constructor.
+        struct RawConfig {
+            line: usize,
+            tau: i64,
+            horizon: i64,
+            delta_t: i64,
+            r_max: i64,
+            policy: SelectionPolicy,
+            seed: u64,
         }
-        let mut cfg: Option<SchedulerConfig> = None;
-        let mut origin = Time::ZERO;
-        let mut now = Time::ZERO;
-        let mut servers = 0u32;
-        let mut attrs: Vec<(u32, u64)> = Vec::new();
-        let mut reservations: Vec<(usize, u64, u32, i64, i64)> = Vec::new();
+        let mut raw_cfg: Option<RawConfig> = None;
+        let mut clock: Option<(usize, i64, i64)> = None;
+        let mut pruned: Option<(usize, i64)> = None;
+        let mut servers: Option<(usize, u64)> = None;
+        let mut attrs: Vec<(usize, u64, u64)> = Vec::new();
+        // (line, id, server, start, end) — end None = open-ended.
+        let mut idle: Vec<(usize, u64, u64, i64, Option<i64>)> = Vec::new();
+        let mut reservations: Vec<(usize, u64, u64, i64, i64)> = Vec::new();
+        let mut next_period: Option<u64> = None;
         let mut next_job: u64 = 0;
-        for (idx, raw) in lines {
-            let line_no = idx + 1;
+        for (idx, raw) in body.iter().enumerate() {
+            let line_no = idx + 2; // 1-based, after the magic line
             let bad = || SnapshotError::BadLine { line: line_no };
             let fields: Vec<&str> = raw.split_whitespace().collect();
             if fields.is_empty() {
@@ -141,32 +283,53 @@ impl CoAllocScheduler {
             }
             match fields[0] {
                 "config" if fields.len() == 7 => {
-                    let p =
-                        policy_from(fields[5].parse::<u8>().map_err(|_| bad())?).ok_or(bad())?;
-                    let r_max: i64 = fields[4].parse().map_err(|_| bad())?;
-                    let mut b = SchedulerConfig::builder()
-                        .tau(Dur(fields[1].parse().map_err(|_| bad())?))
-                        .horizon(Dur(fields[2].parse().map_err(|_| bad())?))
-                        .delta_t(Dur(fields[3].parse().map_err(|_| bad())?))
-                        .policy(p)
-                        .seed(fields[6].parse().map_err(|_| bad())?);
-                    if r_max >= 0 {
-                        b = b.r_max(r_max as u32);
-                    }
-                    cfg = Some(b.build());
+                    raw_cfg = Some(RawConfig {
+                        line: line_no,
+                        tau: fields[1].parse().map_err(|_| bad())?,
+                        horizon: fields[2].parse().map_err(|_| bad())?,
+                        delta_t: fields[3].parse().map_err(|_| bad())?,
+                        r_max: fields[4].parse().map_err(|_| bad())?,
+                        policy: policy_from(fields[5].parse::<u8>().map_err(|_| bad())?)
+                            .ok_or(bad())?,
+                        seed: fields[6].parse().map_err(|_| bad())?,
+                    });
                 }
                 "clock" if fields.len() == 3 => {
-                    origin = Time(fields[1].parse().map_err(|_| bad())?);
-                    now = Time(fields[2].parse().map_err(|_| bad())?);
-                }
-                "servers" if fields.len() == 2 => {
-                    servers = fields[1].parse().map_err(|_| bad())?;
-                }
-                "attrs" if fields.len() == 3 => {
-                    attrs.push((
+                    clock = Some((
+                        line_no,
                         fields[1].parse().map_err(|_| bad())?,
                         fields[2].parse().map_err(|_| bad())?,
                     ));
+                }
+                "pruned" if fields.len() == 2 => {
+                    pruned = Some((line_no, fields[1].parse().map_err(|_| bad())?));
+                }
+                "servers" if fields.len() == 2 => {
+                    servers = Some((line_no, fields[1].parse().map_err(|_| bad())?));
+                }
+                "attrs" if fields.len() == 3 => {
+                    attrs.push((
+                        line_no,
+                        fields[1].parse().map_err(|_| bad())?,
+                        fields[2].parse().map_err(|_| bad())?,
+                    ));
+                }
+                "idle" if fields.len() == 5 => {
+                    let end = if fields[4] == "inf" {
+                        None
+                    } else {
+                        Some(fields[4].parse().map_err(|_| bad())?)
+                    };
+                    idle.push((
+                        line_no,
+                        fields[1].parse().map_err(|_| bad())?,
+                        fields[2].parse().map_err(|_| bad())?,
+                        fields[3].parse().map_err(|_| bad())?,
+                        end,
+                    ));
+                }
+                "next_period" if fields.len() == 2 => {
+                    next_period = Some(fields[1].parse().map_err(|_| bad())?);
                 }
                 "res" if fields.len() == 5 => {
                     reservations.push((
@@ -183,23 +346,180 @@ impl CoAllocScheduler {
                 _ => return Err(bad()),
             }
         }
-        let cfg = cfg.ok_or(SnapshotError::BadMagic)?;
-        if servers == 0 {
-            return Err(SnapshotError::BadMagic);
+
+        // Phase 2: bounds-check everything against what a genuine snapshot
+        // can contain, in dependency order (config, clock, servers, rest).
+        let invalid = |line: usize, what: &'static str| SnapshotError::Invalid { line, what };
+        let rc = raw_cfg.ok_or(invalid(0, "missing config line"))?;
+        if rc.tau < 1 || rc.tau > MAX_ABS_TIME {
+            return Err(invalid(rc.line, "slot width out of range"));
         }
-        let mut sched = CoAllocScheduler::starting_at(servers, origin, cfg);
-        for (s, mask) in attrs {
-            sched.set_server_attrs(ServerId(s), AttrSet(mask));
+        if rc.horizon < rc.tau || rc.horizon > MAX_ABS_TIME {
+            return Err(invalid(rc.line, "horizon out of range"));
+        }
+        let num_slots = (rc.horizon + rc.tau - 1) / rc.tau;
+        if num_slots > MAX_SLOTS {
+            return Err(invalid(rc.line, "horizon/tau implies too many slots"));
+        }
+        if rc.delta_t < 1 || rc.delta_t > MAX_ABS_TIME {
+            return Err(invalid(rc.line, "delta_t out of range"));
+        }
+        if rc.r_max < -1 || rc.r_max > u32::MAX as i64 {
+            return Err(invalid(rc.line, "r_max out of range"));
+        }
+        let (clock_line, origin, now) = clock.unwrap_or((0, 0, 0));
+        if origin.abs() > MAX_ABS_TIME || now.abs() > MAX_ABS_TIME {
+            return Err(invalid(clock_line, "clock out of range"));
+        }
+        if now < origin {
+            return Err(invalid(clock_line, "clock runs backwards (now < origin)"));
+        }
+        if (now - origin) / rc.tau > MAX_ADVANCE_SLOTS {
+            return Err(invalid(clock_line, "clock span implies too many slot advances"));
+        }
+        // Absent in v1 (and harmlessly conservative there): prune from the
+        // origin, exactly what a freshly built scheduler would do.
+        let (pruned_line, last_prune) = pruned.unwrap_or((0, origin));
+        if last_prune < origin || last_prune > now {
+            return Err(invalid(pruned_line, "prune boundary outside [origin, now]"));
+        }
+        let (servers_line, n_servers) = servers.ok_or(invalid(0, "missing servers line"))?;
+        if n_servers == 0 || n_servers > MAX_SERVERS as u64 {
+            return Err(invalid(servers_line, "server count out of range"));
+        }
+        for &(line, s, _mask) in &attrs {
+            if s >= n_servers {
+                return Err(invalid(line, "attrs server out of range"));
+            }
+        }
+        // The committed window never extends past `now + Q*tau` (the slot
+        // ring rounds the horizon up to whole slots).
+        let window_end = now + num_slots * rc.tau;
+        for &(line, job, server, start, end) in &reservations {
+            if server >= n_servers {
+                return Err(invalid(line, "reservation server out of range"));
+            }
+            if start < origin || end > window_end || start >= end {
+                return Err(invalid(line, "reservation interval out of range"));
+            }
+            if job >= next_job {
+                return Err(invalid(line, "reservation job id collides with next_job"));
+            }
+        }
+        // Id-faithful snapshots also carry the idle periods and the
+        // period-id counter. Validate their geometry here — one pass over
+        // sorted spans, never O(servers × lines) — so the direct installer
+        // below cannot be handed an overlap or a missing trailing period.
+        let full = !idle.is_empty() || next_period.is_some();
+        let np = if full {
+            let np = next_period.ok_or(invalid(0, "idle lines without next_period line"))?;
+            if idle.is_empty() {
+                return Err(invalid(0, "next_period without idle lines"));
+            }
+            let mut seen_ids = std::collections::HashSet::with_capacity(idle.len());
+            // (server, start, end-or-sentinel, line); busy joins the same
+            // span list so idle/busy overlap falls out of one sorted scan.
+            let mut spans: Vec<(u64, i64, i64, usize)> = Vec::with_capacity(
+                idle.len() + reservations.len(),
+            );
+            let mut trailing = vec![0u32; n_servers as usize];
+            for &(line, id, server, start, end) in &idle {
+                if server >= n_servers {
+                    return Err(invalid(line, "idle server out of range"));
+                }
+                if id >= np {
+                    return Err(invalid(line, "idle period id not below next_period"));
+                }
+                if !seen_ids.insert(id) {
+                    return Err(invalid(line, "duplicate idle period id"));
+                }
+                if start < origin || start > MAX_ABS_TIME {
+                    return Err(invalid(line, "idle period start out of range"));
+                }
+                match end {
+                    Some(e) => {
+                        if e <= start || e > window_end {
+                            return Err(invalid(line, "idle period interval out of range"));
+                        }
+                        spans.push((server, start, e, line));
+                    }
+                    None => {
+                        trailing[server as usize] += 1;
+                        spans.push((server, start, i64::MAX, line));
+                    }
+                }
+            }
+            if trailing.iter().any(|&c| c != 1) {
+                return Err(invalid(0, "each server needs exactly one open-ended idle period"));
+            }
+            for &(line, _, server, start, end) in &reservations {
+                spans.push((server, start, end, line));
+            }
+            spans.sort_unstable();
+            for w in spans.windows(2) {
+                if w[0].0 == w[1].0 && w[1].1 < w[0].2 {
+                    return Err(SnapshotError::InconsistentReservation { line: w[1].3 });
+                }
+            }
+            np
+        } else {
+            0
+        };
+
+        // Phase 3: build. Every assert inside these constructors is now
+        // unreachable; the only remaining failure is a reservation that
+        // does not fit the rebuilt timeline.
+        let mut b = SchedulerConfig::builder()
+            .tau(Dur(rc.tau))
+            .horizon(Dur(rc.horizon))
+            .delta_t(Dur(rc.delta_t))
+            .policy(rc.policy)
+            .seed(rc.seed);
+        if rc.r_max >= 0 {
+            b = b.r_max(rc.r_max as u32);
+        }
+        let mut sched = CoAllocScheduler::starting_at(n_servers as u32, Time(origin), b.build());
+        for (_, s, mask) in attrs {
+            sched.set_server_attrs(ServerId(s as u32), AttrSet(mask));
         }
         // Advance to the snapshot clock *before* re-committing reservations:
         // the live slot window must match the original's, or fragments near
         // the (original) horizon would fall outside the ring and never be
         // mirrored when the window later advances over them.
-        sched.advance_to(now);
-        for (line, job, server, start, end) in reservations {
-            sched
-                .restore_reservation(JobId(job), ServerId(server), Time(start), Time(end))
-                .map_err(|_| SnapshotError::InconsistentReservation { line })?;
+        sched.advance_to(Time(now));
+        sched.set_last_prune(Time(last_prune));
+        if full {
+            // Id-faithful path: install the persisted idle periods (and the
+            // id counter) verbatim and rebuild the indexes from them, so
+            // future decisions are bit-identical to the writer's.
+            let periods: Vec<IdlePeriod> = idle
+                .iter()
+                .map(|&(_, id, server, start, end)| IdlePeriod {
+                    id: PeriodId(id),
+                    server: ServerId(server as u32),
+                    start: Time(start),
+                    end: end.map(Time).unwrap_or(Time::INF),
+                })
+                .collect();
+            let busy: Vec<Reservation> = reservations
+                .iter()
+                .map(|&(_, job, server, start, end)| Reservation {
+                    job: JobId(job),
+                    server: ServerId(server as u32),
+                    start: Time(start),
+                    end: Time(end),
+                })
+                .collect();
+            sched.install_state(periods, busy, np);
+        } else {
+            // Legacy (v1) path: re-derive the idle geometry by re-committing
+            // each reservation. Equivalent decisions, not bit-identical —
+            // period ids are regenerated.
+            for (line, job, server, start, end) in reservations {
+                sched
+                    .restore_reservation(JobId(job), ServerId(server as u32), Time(start), Time(end))
+                    .map_err(|_| SnapshotError::InconsistentReservation { line })?;
+            }
         }
         sched.set_next_job_id(next_job);
         Ok(sched)
@@ -294,6 +614,21 @@ mod tests {
         restored.check_consistency();
     }
 
+    /// Recompute a valid v2 footer for (possibly hand-altered) content, so
+    /// tests can reach the semantic checks *behind* the integrity check.
+    fn refooter(content: &str) -> String {
+        let body: String = content
+            .lines()
+            .filter(|l| !l.starts_with("end "))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        format!(
+            "{body}end {} {:016x}\n",
+            body.lines().count(),
+            fnv1a(body.as_bytes())
+        )
+    }
+
     #[test]
     fn corrupt_snapshots_rejected() {
         assert_eq!(
@@ -302,17 +637,118 @@ mod tests {
         );
         let s = busy_scheduler();
         let snap = s.snapshot();
-        let truncated = snap.replace("servers 4", "servers x");
+        // Any in-place edit trips the integrity footer before parsing...
+        assert_eq!(
+            CoAllocScheduler::restore(&snap.replace("servers 4", "servers x")).unwrap_err(),
+            SnapshotError::Integrity
+        );
+        // ...as does appending after the footer.
+        assert_eq!(
+            CoAllocScheduler::restore(&format!("{snap}res 99 0 0 40\n")).unwrap_err(),
+            SnapshotError::Integrity
+        );
+        // With the footer recomputed, the edits reach the parser/validator.
         assert!(matches!(
-            CoAllocScheduler::restore(&truncated),
+            CoAllocScheduler::restore(&refooter(&snap.replace("servers 4", "servers x"))),
             Err(SnapshotError::BadLine { .. })
         ));
-        // Overlapping reservation injected.
-        let evil = format!("{snap}res 99 0 0 40\n");
+        // A duplicated reservation line overlaps itself: rejected, not
+        // double-committed (job id stays below next_job, so it passes the
+        // collision check and must be caught by the timeline itself).
+        let res_line = snap
+            .lines()
+            .find(|l| l.starts_with("res "))
+            .expect("fixture has reservations");
         assert!(matches!(
-            CoAllocScheduler::restore(&evil),
+            CoAllocScheduler::restore(&refooter(&format!("{snap}{res_line}\n"))),
             Err(SnapshotError::InconsistentReservation { .. })
         ));
+        // A reservation whose job id is not below next_job is a forgery.
+        assert!(matches!(
+            CoAllocScheduler::restore(&refooter(&format!("{snap}res 99 3 200 210\n"))),
+            Err(SnapshotError::Invalid { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_and_reordered_snapshots_rejected() {
+        let snap = busy_scheduler().snapshot();
+        // Dropping any line (including the footer) is detected.
+        let n = snap.lines().count();
+        for skip in 0..n {
+            let mutated: String = snap
+                .lines()
+                .enumerate()
+                .filter(|(i, _)| *i != skip)
+                .map(|(_, l)| format!("{l}\n"))
+                .collect();
+            let err = CoAllocScheduler::restore(&mutated).unwrap_err();
+            assert!(
+                matches!(err, SnapshotError::Integrity | SnapshotError::BadMagic),
+                "dropping line {skip} gave {err:?}"
+            );
+        }
+        // Swapping two interior lines is detected (order is hashed).
+        let mut lines: Vec<&str> = snap.lines().collect();
+        lines.swap(1, 2);
+        let swapped: String = lines.iter().map(|l| format!("{l}\n")).collect();
+        assert_eq!(
+            CoAllocScheduler::restore(&swapped).unwrap_err(),
+            SnapshotError::Integrity
+        );
+    }
+
+    #[test]
+    fn v1_snapshots_still_restore() {
+        let s = busy_scheduler();
+        let v1: String = s
+            .snapshot()
+            .lines()
+            .filter(|l| !l.starts_with("end "))
+            .map(|l| format!("{l}\n"))
+            .collect::<String>()
+            .replace("coalloc-snapshot v2", "coalloc-snapshot v1");
+        let restored = CoAllocScheduler::restore(&v1).unwrap();
+        restored.check_consistency();
+        assert_eq!(restored.snapshot(), s.snapshot(), "v1 upgrade is lossless");
+    }
+
+    #[test]
+    fn hostile_bounds_rejected_not_panicked() {
+        let snap = busy_scheduler().snapshot();
+        let cases: &[(&str, &str)] = &[
+            // (search, replace) — each would assert or overflow if trusted.
+            ("config 10 300", "config 0 300"),    // tau = 0
+            ("config 10 300", "config -5 300"),   // tau < 0
+            ("config 10 300", "config 10 5"),     // horizon < tau
+            ("config 10 300 10", "config 10 300 0"), // delta_t = 0
+            ("config 10 300 10", "config 1 4400000000000 10"), // too many slots
+            ("servers 4", "servers 0"),
+            ("servers 4", "servers 99999999"),
+            ("clock 0 0", "clock 0 -10"),         // now < origin
+            ("clock 0 0", "clock 0 4400000000000"), // |now| too large
+            ("clock 0 0", "clock 0 30000000000"), // huge advance span
+            ("pruned 0", "pruned -5"),            // prune boundary < origin
+            ("pruned 0", "pruned 5"),             // prune boundary > now
+        ];
+        for (from, to) in cases {
+            let mutated = snap.replace(from, to);
+            assert_ne!(&mutated, &snap, "pattern {from:?} must match the fixture");
+            let err = CoAllocScheduler::restore(&refooter(&mutated)).unwrap_err();
+            assert!(
+                matches!(err, SnapshotError::Invalid { .. }),
+                "{from:?} -> {to:?} gave {err:?}"
+            );
+        }
+        // Out-of-range attrs / reservation targets.
+        for extra in ["attrs 4 1", "res 0 4 200 210", "res 0 0 200 199"] {
+            let err = CoAllocScheduler::restore(&refooter(&format!("{snap}{extra}\n")))
+                .unwrap_err();
+            assert!(
+                matches!(err, SnapshotError::Invalid { .. }),
+                "{extra:?} gave {err:?}"
+            );
+        }
     }
 
     #[test]
@@ -341,6 +777,41 @@ mod tests {
             "identical slot ranges must decompose into identical canonical copies"
         );
         assert_eq!(restored.ring().segment_nodes(), s.ring().segment_nodes());
+    }
+
+    /// Regression (found by the kill -9 chaos harness): releasing a job
+    /// that already ran to completion must remove it from the timeline —
+    /// otherwise the snapshot still carries its reservations and a restored
+    /// scheduler resurrects the job, answering a second `release` with `ok`
+    /// where the original says `UnknownJob`.
+    #[test]
+    fn released_finished_jobs_stay_released_across_restore() {
+        let mut s = CoAllocScheduler::new(2, cfg());
+        let g = s.submit(&Request::on_demand(Time::ZERO, Dur(20), 1)).unwrap();
+        s.advance_to(Time(50)); // the job is finished, history not yet pruned
+        s.release(g.job).unwrap();
+        let mut restored = CoAllocScheduler::restore(&s.snapshot()).unwrap();
+        assert!(
+            matches!(restored.release(g.job), Err(ScheduleError::UnknownJob(_))),
+            "restored scheduler resurrected a released job"
+        );
+        assert_eq!(restored.snapshot(), s.snapshot());
+        restored.check_consistency();
+    }
+
+    /// Prune timing is observable through `release`, so the snapshot pins
+    /// it: after history pruning, a finished job is unknown to the original
+    /// and to any restored twin alike.
+    #[test]
+    fn prune_cadence_survives_restore() {
+        let mut s = CoAllocScheduler::new(2, cfg());
+        let g = s.submit(&Request::on_demand(Time::ZERO, Dur(20), 1)).unwrap();
+        s.advance_to(Time(330)); // past PRUNE_EVERY_SLOTS * tau: prune fires
+        let mut restored = CoAllocScheduler::restore(&s.snapshot()).unwrap();
+        assert!(matches!(s.release(g.job), Err(ScheduleError::UnknownJob(_))));
+        assert!(matches!(restored.release(g.job), Err(ScheduleError::UnknownJob(_))));
+        assert_eq!(restored.snapshot(), s.snapshot());
+        restored.check_consistency();
     }
 
     #[test]

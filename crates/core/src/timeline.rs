@@ -78,6 +78,41 @@ impl Timeline {
         tl
     }
 
+    /// Rebuild a timeline verbatim from explicit parts (the id-faithful
+    /// snapshot-restore path). The caller has validated the geometry: no
+    /// overlaps, exactly one open-ended idle period per server, unique
+    /// period ids below `next_period`.
+    pub(crate) fn from_parts(
+        num_servers: u32,
+        idle: &[IdlePeriod],
+        busy: &[Reservation],
+        next_period: u64,
+    ) -> Timeline {
+        let mut tl = Timeline {
+            servers: vec![ServerTimeline::default(); num_servers as usize],
+            periods: HashMap::new(),
+            next_period,
+            pruned_busy_secs: 0,
+        };
+        for p in idle {
+            tl.periods.insert(p.id, *p);
+            tl.servers[p.server.0 as usize].idle.insert(p.start, p.id);
+        }
+        for r in busy {
+            tl.servers[r.server.0 as usize]
+                .busy
+                .insert(r.start, (r.end, r.job));
+        }
+        tl
+    }
+
+    /// The next period id this timeline will hand out (snapshot state:
+    /// Phase-2 retrieval order under a result limit depends on period ids,
+    /// so restore must reproduce the id sequence exactly).
+    pub(crate) fn next_period_id(&self) -> u64 {
+        self.next_period
+    }
+
     /// Number of servers.
     pub fn num_servers(&self) -> u32 {
         self.servers.len() as u32
@@ -283,6 +318,22 @@ impl Timeline {
             .idle
             .insert(merged_start, id);
         delta.added.push(merged);
+    }
+
+    /// Drop a reservation that already ran to completion (its whole window
+    /// lies at or before the live slot window) and count its busy seconds
+    /// as completed, exactly as [`Timeline::prune_before`] would have. The
+    /// idle map is left untouched: dead-history idle periods are
+    /// unreferenced and fall to the next prune.
+    pub fn retire(&mut self, server: ServerId, job: JobId, start: Time, end: Time) {
+        let st = &mut self.servers[server.0 as usize];
+        match st.busy.get(&start) {
+            Some(&(e, j)) if e == end && j == job => {
+                st.busy.remove(&start);
+                self.pruned_busy_secs += (end - start).secs();
+            }
+            _ => panic!("retire: no reservation of {job:?} at {start} on {server:?}"),
+        }
     }
 
     /// Drop idle periods and reservations that ended at or before `t`.

@@ -106,10 +106,31 @@ fn clock_advance_beyond_entire_horizon() {
 fn release_after_clock_advance_past_history() {
     let mut s = CoAllocScheduler::new(1, cfg(10, 100, 10));
     let g = s.submit(&Request::on_demand(Time::ZERO, Dur(20), 1)).unwrap();
-    // Advance far enough that the reservation is pruned history.
+    // Advance far enough that the reservation is pruned history. Pruning
+    // forgets the job entirely (so a snapshot-restored twin agrees), hence
+    // releasing the ancient job reports it unknown — and corrupts nothing.
     s.advance_to(Time(500));
-    // Releasing the ancient job must not corrupt anything.
+    assert!(matches!(
+        s.release(g.job),
+        Err(ScheduleError::UnknownJob(_))
+    ));
+    s.check_consistency();
+}
+
+#[test]
+fn release_of_finished_but_unpruned_job_retires_it() {
+    let mut s = CoAllocScheduler::new(1, cfg(10, 100, 10));
+    let g = s.submit(&Request::on_demand(Time::ZERO, Dur(20), 1)).unwrap();
+    // Finished (end=20 < now=100) but before the amortized prune threshold:
+    // the job is still known and releasable exactly once.
+    s.advance_to(Time(100));
     s.release(g.job).unwrap();
+    assert!(matches!(
+        s.release(g.job),
+        Err(ScheduleError::UnknownJob(_))
+    ));
+    // Its busy seconds still count as completed work.
+    assert!(s.utilization(Time(100)) > 0.0);
     s.check_consistency();
 }
 
@@ -227,8 +248,12 @@ fn grant_ending_exactly_at_horizon_edge_survives_advance() {
     s.check_consistency();
     s.advance_to(Time(500));
     s.check_consistency();
-    // History was pruned; releasing is still safe.
-    s.release(g.job).unwrap();
+    // History was pruned, and pruning forgets the job: releasing is still
+    // safe but reports it unknown (identically on any restored twin).
+    assert!(matches!(
+        s.release(g.job),
+        Err(ScheduleError::UnknownJob(_))
+    ));
     s.check_consistency();
 }
 

@@ -11,7 +11,10 @@
 //! * [`server`] — the concurrent front-end ([`Server`]): accept loop →
 //!   fixed worker pool → bounded command queue → one scheduler thread,
 //!   with admission control (`busy retry-after` sheds), per-connection
-//!   read/write timeouts, a max-line bound and graceful drain;
+//!   read/write timeouts, a max-line bound and graceful drain. With
+//!   [`WalOptions`] set, the scheduler thread write-ahead-logs every
+//!   mutating command before its reply is released, and [`Server::bind`]
+//!   recovers the pre-crash state from that log (DESIGN.md §13);
 //! * [`client`] — a blocking scripting client ([`Client`]) used by the
 //!   `netload` load generator and the end-to-end tests.
 //!
@@ -44,5 +47,5 @@ pub mod session;
 
 pub use client::Client;
 pub use proto::{help_text, CommandSpec, BUSY_REPLY, COMMANDS, PROTOCOL_VERSION};
-pub use server::{NetConfig, Server};
+pub use server::{NetConfig, Server, WalOptions};
 pub use session::{Sched, Session};

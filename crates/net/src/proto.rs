@@ -51,6 +51,11 @@ pub struct CommandSpec {
     pub example: &'static str,
     /// Which back-ends serve it.
     pub backends: Backends,
+    /// Whether an `Ok` reply implies scheduler state may have changed.
+    /// The write-ahead log appends exactly these commands (with their
+    /// replies) before releasing the reply, so recovery can replay them
+    /// and verify byte-identical decisions (DESIGN.md §13).
+    pub mutates: bool,
 }
 
 /// Every command the session parser accepts, in `help` display order.
@@ -61,6 +66,7 @@ pub const COMMANDS: &[CommandSpec] = &[
         summary: "create an N-server scheduler (times in seconds)",
         example: "init 4 10 400 10",
         backends: Backends::Any,
+        mutates: true,
     },
     CommandSpec {
         name: "submit",
@@ -68,6 +74,7 @@ pub const COMMANDS: &[CommandSpec] = &[
         summary: "request n servers for [s, s+l) submitted at q",
         example: "submit 0 0 50 2",
         backends: Backends::Any,
+        mutates: true,
     },
     CommandSpec {
         name: "deadline",
@@ -75,6 +82,7 @@ pub const COMMANDS: &[CommandSpec] = &[
         summary: "like submit, but the job must complete by D",
         example: "deadline 0 0 20 1 100",
         backends: Backends::Any,
+        mutates: true,
     },
     CommandSpec {
         name: "constrained",
@@ -82,6 +90,7 @@ pub const COMMANDS: &[CommandSpec] = &[
         summary: "submit restricted to servers whose attrs cover MASK",
         example: "constrained 0 0 30 1 0",
         backends: Backends::PlainOnly,
+        mutates: true,
     },
     CommandSpec {
         name: "attrs",
@@ -89,6 +98,7 @@ pub const COMMANDS: &[CommandSpec] = &[
         summary: "tag a server with a capability bitmask",
         example: "attrs 0 5",
         backends: Backends::PlainOnly,
+        mutates: true,
     },
     CommandSpec {
         name: "query",
@@ -96,6 +106,7 @@ pub const COMMANDS: &[CommandSpec] = &[
         summary: "count + list resources free for all of [a, b)",
         example: "query 0 50",
         backends: Backends::PlainOnly,
+        mutates: false,
     },
     CommandSpec {
         name: "release",
@@ -103,6 +114,7 @@ pub const COMMANDS: &[CommandSpec] = &[
         summary: "cancel a granted job",
         example: "release 0",
         backends: Backends::Any,
+        mutates: true,
     },
     CommandSpec {
         name: "advance",
@@ -110,6 +122,7 @@ pub const COMMANDS: &[CommandSpec] = &[
         summary: "move the scheduler clock to T",
         example: "advance 20",
         backends: Backends::Any,
+        mutates: true,
     },
     CommandSpec {
         name: "stats",
@@ -117,6 +130,7 @@ pub const COMMANDS: &[CommandSpec] = &[
         summary: "clock, horizon, utilization and op counters",
         example: "stats",
         backends: Backends::Any,
+        mutates: false,
     },
     CommandSpec {
         name: "metrics",
@@ -124,6 +138,7 @@ pub const COMMANDS: &[CommandSpec] = &[
         summary: "Prometheus-style exposition of all obs counters",
         example: "metrics",
         backends: Backends::Any,
+        mutates: false,
     },
     CommandSpec {
         name: "check",
@@ -131,6 +146,7 @@ pub const COMMANDS: &[CommandSpec] = &[
         summary: "run the scheduler's internal consistency checks",
         example: "check",
         backends: Backends::Any,
+        mutates: false,
     },
     CommandSpec {
         name: "snapshot",
@@ -138,6 +154,7 @@ pub const COMMANDS: &[CommandSpec] = &[
         summary: "persist full scheduler state to PATH",
         example: "snapshot /tmp/coalloc-proto-example.txt",
         backends: Backends::PlainOnly,
+        mutates: false,
     },
     CommandSpec {
         name: "load",
@@ -145,6 +162,7 @@ pub const COMMANDS: &[CommandSpec] = &[
         summary: "restore scheduler state from PATH",
         example: "load /tmp/coalloc-proto-example.txt",
         backends: Backends::PlainOnly,
+        mutates: true,
     },
     CommandSpec {
         name: "version",
@@ -152,6 +170,7 @@ pub const COMMANDS: &[CommandSpec] = &[
         summary: "report the protocol version",
         example: "version",
         backends: Backends::Any,
+        mutates: false,
     },
     CommandSpec {
         name: "help",
@@ -159,6 +178,7 @@ pub const COMMANDS: &[CommandSpec] = &[
         summary: "list the available commands",
         example: "help",
         backends: Backends::Any,
+        mutates: false,
     },
     CommandSpec {
         name: "exit",
@@ -166,12 +186,20 @@ pub const COMMANDS: &[CommandSpec] = &[
         summary: "end the session (close the connection / stop reading)",
         example: "exit",
         backends: Backends::Any,
+        mutates: false,
     },
 ];
 
 /// Look up a command row by its wire name.
 pub fn spec(name: &str) -> Option<&'static CommandSpec> {
     COMMANDS.iter().find(|c| c.name == name)
+}
+
+/// Whether a command word can change scheduler state on an `Ok` reply —
+/// the write-ahead set. Unknown words are not mutating (they can only
+/// produce errors).
+pub fn mutating(name: &str) -> bool {
+    spec(name).is_some_and(|c| c.mutates)
 }
 
 /// The `help` reply, generated from [`COMMANDS`] so it can never drift from

@@ -15,11 +15,14 @@
 //! bounded by per-connection read/write timeouts, a per-line read deadline
 //! (anti-slow-loris) and a maximum line length.
 
-use crate::proto::BUSY_REPLY;
+use crate::proto::{self, BUSY_REPLY};
 use crate::session::Session;
+use coalloc_wal::{Wal, WalConfig, WalError};
 use obs::{LazyCounter, LazyGauge, LazyHistogram};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::AssertUnwindSafe;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc};
@@ -36,6 +39,10 @@ static SHED_QUEUE: LazyCounter = LazyCounter::new("net_shed_queue_total");
 static ERRORS: LazyCounter = LazyCounter::new("net_errors_total");
 static REQUEST_US: LazyHistogram = LazyHistogram::new("net_request_us");
 static QUEUE_WAIT_US: LazyHistogram = LazyHistogram::new("net_queue_wait_us");
+static EXEC_PANICS: LazyCounter = LazyCounter::new("net_exec_panics_total");
+static CONN_PANICS: LazyCounter = LazyCounter::new("net_conn_panics_total");
+static WAL_REPLAYED: LazyCounter = LazyCounter::new("wal_recovery_replayed_total");
+static WAL_FLUSH_FAILURES: LazyCounter = LazyCounter::new("wal_flush_failures_total");
 
 /// Configuration of a [`Server`]. The defaults suit an interactive
 /// deployment; load tests shrink the timeouts and grow the pool.
@@ -65,6 +72,41 @@ pub struct NetConfig {
     /// queue buildup reproducible in shed/backpressure tests.
     #[doc(hidden)]
     pub exec_delay: Duration,
+    /// Durability: when set, every mutating command is appended to a
+    /// write-ahead log and fsynced *before* its reply is released, and
+    /// [`Server::bind`] recovers the previous state from that log
+    /// (DESIGN.md §13). `None` (the default) keeps the server volatile.
+    pub wal: Option<WalOptions>,
+}
+
+/// Write-ahead-log configuration for a durable [`Server`].
+#[derive(Clone, Debug)]
+pub struct WalOptions {
+    /// Directory holding segment and snapshot files (created if missing).
+    pub dir: PathBuf,
+    /// Group-commit bound: a reply waits at most this long for its fsync
+    /// batch. `Duration::ZERO` (the default) flushes adaptively — as soon
+    /// as the command queue goes momentarily idle — which batches under
+    /// load without adding any fixed latency.
+    pub flush_interval: Duration,
+    /// Install a snapshot and truncate replayed history every this many
+    /// logged records (0 disables snapshotting; plain back-end only).
+    pub snapshot_every: u64,
+    /// Byte size at which the active segment file rolls over.
+    pub segment_bytes: u64,
+}
+
+impl WalOptions {
+    /// Durability with default batching (adaptive flush, snapshot every
+    /// 4096 records, 8 MiB segments).
+    pub fn new(dir: impl Into<PathBuf>) -> WalOptions {
+        WalOptions {
+            dir: dir.into(),
+            flush_interval: Duration::ZERO,
+            snapshot_every: 4096,
+            segment_bytes: 8 * 1024 * 1024,
+        }
+    }
 }
 
 impl Default for NetConfig {
@@ -79,6 +121,7 @@ impl Default for NetConfig {
             write_timeout: Duration::from_secs(10),
             shards: 1,
             exec_delay: Duration::ZERO,
+            wal: None,
         }
     }
 }
@@ -113,8 +156,20 @@ pub struct Server {
 impl Server {
     /// Bind `cfg.addr` and spawn the accept loop, worker pool and scheduler
     /// thread. Returns once the listener is live (connections race no
-    /// startup window).
+    /// startup window). With `cfg.wal` set, the previous state is recovered
+    /// from the log first; a corrupt or diverging log fails the bind rather
+    /// than silently serving from a wrong state.
     pub fn bind(cfg: NetConfig) -> std::io::Result<Server> {
+        // Recover (or start fresh) before the listener exists, so no client
+        // can observe a half-recovered scheduler.
+        let (session, wal) = match cfg.wal.clone() {
+            Some(opts) => {
+                let (wal, session) = recover(&opts, cfg.shards)?;
+                (session, Some((wal, opts)))
+            }
+            None => (Session::new(cfg.shards), None),
+        };
+
         let listener = TcpListener::bind(&cfg.addr)?;
         let local_addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -122,14 +177,14 @@ impl Server {
         // The scheduler thread: sole owner of the session; executes command
         // lines strictly in queue order.
         let (job_tx, job_rx) = mpsc::sync_channel::<Job>(cfg.queue_depth.max(1));
-        let shards = cfg.shards;
         let exec_delay = cfg.exec_delay;
         let sched_handle = std::thread::Builder::new()
             .name("coalloc-net-sched".into())
-            .spawn(move || scheduler_loop(job_rx, shards, exec_delay))
-            .expect("spawn scheduler thread");
+            .spawn(move || scheduler_loop(job_rx, session, exec_delay, wal))?;
 
         // The worker pool: each worker serves one connection at a time.
+        // A failed spawn aborts the bind: the channels drop, every thread
+        // spawned so far observes a disconnect and exits.
         let (conn_tx, conn_rx) = mpsc::sync_channel::<TcpStream>(cfg.accept_backlog.max(1));
         let conn_rx = Arc::new(std::sync::Mutex::new(conn_rx));
         let mut worker_handles = Vec::with_capacity(cfg.workers.max(1));
@@ -141,8 +196,7 @@ impl Server {
             worker_handles.push(
                 std::thread::Builder::new()
                     .name(format!("coalloc-net-worker-{i}"))
-                    .spawn(move || worker_loop(rx, tx, cfg, stop))
-                    .expect("spawn net worker"),
+                    .spawn(move || worker_loop(rx, tx, cfg, stop))?,
             );
         }
         drop(job_tx); // scheduler thread exits once all workers are gone
@@ -150,8 +204,7 @@ impl Server {
         let accept_stop = Arc::clone(&stop);
         let accept_handle = std::thread::Builder::new()
             .name("coalloc-net-accept".into())
-            .spawn(move || accept_loop(listener, conn_tx, accept_stop))
-            .expect("spawn accept thread");
+            .spawn(move || accept_loop(listener, conn_tx, accept_stop))?;
 
         Ok(Server {
             local_addr,
@@ -203,22 +256,251 @@ impl Drop for Server {
     }
 }
 
-fn scheduler_loop(rx: Receiver<Job>, shards: u32, exec_delay: Duration) {
+/// Map a WAL failure to the bind error surface.
+fn wal_io(e: WalError) -> std::io::Error {
+    match e {
+        WalError::Io(e) => e,
+        corrupt => std::io::Error::new(ErrorKind::InvalidData, corrupt.to_string()),
+    }
+}
+
+fn invalid(msg: String) -> std::io::Error {
+    std::io::Error::new(ErrorKind::InvalidData, msg)
+}
+
+/// Execute one command, converting a panic into a shed-and-log error reply
+/// instead of poisoning the scheduler thread (and with it every connection).
+fn exec_guarded(session: &mut Session, line: &str) -> Result<String, String> {
+    match std::panic::catch_unwind(AssertUnwindSafe(|| session.exec(line))) {
+        Ok(result) => result,
+        Err(_) => {
+            EXEC_PANICS.inc();
+            ERRORS.inc();
+            eprintln!("coalloc-net: command panicked, shedding: {line}");
+            Err("internal error: command panicked (see server log)".into())
+        }
+    }
+}
+
+/// Open the WAL and rebuild the session it describes: install the newest
+/// snapshot, then re-execute the logged commands in order, verifying that
+/// every decision comes out byte-identical to the logged reply. Divergence
+/// means the log does not describe this code's behaviour (corruption or a
+/// cross-version restart) and refuses the recovery.
+fn recover(opts: &WalOptions, shards: u32) -> std::io::Result<(Wal, Session)> {
+    let span = obs::trace::span("wal_recovery");
+    let mut wcfg = WalConfig::new(&opts.dir);
+    wcfg.segment_bytes = opts.segment_bytes.max(1);
+    let (wal, recovery) = Wal::open(wcfg).map_err(wal_io)?;
     let mut session = Session::new(shards);
-    while let Ok(job) = rx.recv() {
+    if let Some(snap) = &recovery.snapshot {
+        let text = std::str::from_utf8(snap)
+            .map_err(|_| invalid("wal: snapshot is not UTF-8".into()))?;
+        session
+            .restore_plain(text)
+            .map_err(|e| invalid(format!("wal: snapshot rejected: {e}")))?;
+    }
+    for (i, record) in recovery.records.iter().enumerate() {
+        let text = std::str::from_utf8(record)
+            .map_err(|_| invalid(format!("wal: record {i} is not UTF-8")))?;
+        let (line, logged_reply) = text
+            .split_once('\n')
+            .ok_or_else(|| invalid(format!("wal: record {i} has no reply separator")))?;
+        let replayed = exec_guarded(&mut session, line)
+            .map_err(|e| invalid(format!("wal: record {i} ({line:?}) failed on replay: {e}")))?;
+        if replayed != logged_reply {
+            return Err(invalid(format!(
+                "wal: replay divergence at record {i} ({line:?}): \
+                 recovered scheduler answered {replayed:?}, log has {logged_reply:?}"
+            )));
+        }
+    }
+    WAL_REPLAYED.add(recovery.records.len() as u64);
+    drop(span);
+    Ok((wal, session))
+}
+
+/// A reply withheld until its WAL record is fsynced (group commit).
+struct PendingReply {
+    reply: Sender<String>,
+    text: String,
+    queued_at: Instant,
+}
+
+/// Largest fsync batch: bounds how much reply latency one flush can carry.
+const MAX_BATCH: usize = 512;
+
+/// Sync the WAL tail and release every withheld reply. On fsync failure the
+/// commands stay applied in memory but their replies become errors: a
+/// client must never read an `ok`/`granted` that could vanish in a crash.
+fn flush(wal: &mut Wal, pending: &mut Vec<PendingReply>) {
+    if pending.is_empty() && wal.unsynced_records() == 0 {
+        return;
+    }
+    let failed = match wal.sync() {
+        Ok(()) => None,
+        Err(e) => {
+            WAL_FLUSH_FAILURES.inc();
+            eprintln!("coalloc-net: wal sync failed: {e}");
+            Some(e.to_string())
+        }
+    };
+    for p in pending.drain(..) {
+        REQUEST_US.observe(p.queued_at.elapsed().as_micros() as u64);
+        let text = match &failed {
+            None => p.text,
+            Some(e) => format!("error: wal sync failed: {e}"),
+        };
+        // A dead worker/connection just drops the reply; the command's
+        // effect stands (documented at-most-once reply delivery).
+        let _ = p.reply.send(text);
+    }
+}
+
+/// Install a fresh snapshot once enough records accumulated since the last
+/// one, truncating the replayed prefix of the log. Only the plain back-end
+/// has a snapshot form; sharded sessions keep their log from genesis.
+fn maybe_snapshot(wal: &mut Wal, session: &Session, opts: &WalOptions) {
+    if opts.snapshot_every == 0 || wal.records_since_snapshot() < opts.snapshot_every {
+        return;
+    }
+    let Some(text) = session.snapshot_text() else { return };
+    if let Err(e) = wal.install_snapshot(text.as_bytes()) {
+        WAL_FLUSH_FAILURES.inc();
+        eprintln!("coalloc-net: wal snapshot install failed: {e}");
+    }
+}
+
+fn scheduler_loop(
+    rx: Receiver<Job>,
+    mut session: Session,
+    exec_delay: Duration,
+    wal: Option<(Wal, WalOptions)>,
+) {
+    let Some((mut wal, opts)) = wal else {
+        // Volatile mode: execute and reply immediately.
+        while let Ok(job) = rx.recv() {
+            QUEUE_WAIT_US.observe(job.queued_at.elapsed().as_micros() as u64);
+            if !exec_delay.is_zero() {
+                std::thread::sleep(exec_delay);
+            }
+            let reply = match exec_guarded(&mut session, &job.line) {
+                Ok(r) => r,
+                Err(e) => format!("error: {e}"),
+            };
+            REQUEST_US.observe(job.queued_at.elapsed().as_micros() as u64);
+            // A dead worker/connection just drops the reply; the command's
+            // effect stands (documented at-most-once reply delivery).
+            let _ = job.reply.send(reply);
+        }
+        return;
+    };
+
+    // Durable mode: group commit. Mutating commands are appended to the WAL
+    // and their replies *withheld* until an fsync covers them; a flush
+    // happens when the queue goes idle (adaptive), when the oldest withheld
+    // reply has waited `flush_interval`, or when the batch is full.
+    let mut pending: Vec<PendingReply> = Vec::new();
+    let mut oldest = Instant::now();
+    loop {
+        let next = if pending.is_empty() {
+            match rx.recv() {
+                Ok(j) => Some(j),
+                Err(_) => break,
+            }
+        } else if opts.flush_interval.is_zero() {
+            match rx.try_recv() {
+                Ok(j) => Some(j),
+                Err(mpsc::TryRecvError::Empty) => None,
+                Err(mpsc::TryRecvError::Disconnected) => break,
+            }
+        } else {
+            let elapsed = oldest.elapsed();
+            if elapsed >= opts.flush_interval {
+                None
+            } else {
+                match rx.recv_timeout(opts.flush_interval - elapsed) {
+                    Ok(j) => Some(j),
+                    Err(mpsc::RecvTimeoutError::Timeout) => None,
+                    Err(mpsc::RecvTimeoutError::Disconnected) => break,
+                }
+            }
+        };
+        let Some(job) = next else {
+            flush(&mut wal, &mut pending);
+            maybe_snapshot(&mut wal, &session, &opts);
+            continue;
+        };
+
         QUEUE_WAIT_US.observe(job.queued_at.elapsed().as_micros() as u64);
         if !exec_delay.is_zero() {
             std::thread::sleep(exec_delay);
         }
-        let reply = match session.exec(&job.line) {
-            Ok(r) => r,
-            Err(e) => format!("error: {e}"),
-        };
-        REQUEST_US.observe(job.queued_at.elapsed().as_micros() as u64);
-        // A dead worker/connection just drops the reply; the command's
-        // effect stands (documented at-most-once reply delivery).
-        let _ = job.reply.send(reply);
+        let verb = job.line.split_whitespace().next().unwrap_or("");
+        let is_load = verb == "load";
+        let mutates = proto::mutating(verb);
+        match exec_guarded(&mut session, &job.line) {
+            Ok(reply) if is_load => {
+                // `load` replaces the whole state from an external file the
+                // replay could not re-read: persist it as a snapshot (which
+                // first syncs every earlier record), never as a log record.
+                let status = match session.snapshot_text() {
+                    Some(text) => wal.install_snapshot(text.as_bytes()),
+                    None => Ok(()), // unreachable: load always installs plain
+                };
+                match status {
+                    Ok(()) => {
+                        flush(&mut wal, &mut pending); // records are durable; release
+                        send_now(&job, reply);
+                    }
+                    Err(e) => {
+                        WAL_FLUSH_FAILURES.inc();
+                        eprintln!("coalloc-net: wal snapshot install failed: {e}");
+                        send_now(&job, format!("error: wal snapshot install failed: {e}"));
+                    }
+                }
+            }
+            Ok(reply) if mutates => {
+                let mut payload =
+                    Vec::with_capacity(job.line.len() + 1 + reply.len());
+                payload.extend_from_slice(job.line.as_bytes());
+                payload.push(b'\n');
+                payload.extend_from_slice(reply.as_bytes());
+                match wal.append(&payload) {
+                    Ok(()) => {
+                        if pending.is_empty() {
+                            oldest = Instant::now();
+                        }
+                        pending.push(PendingReply {
+                            reply: job.reply,
+                            text: reply,
+                            queued_at: job.queued_at,
+                        });
+                        if pending.len() >= MAX_BATCH {
+                            flush(&mut wal, &mut pending);
+                        }
+                    }
+                    Err(e) => {
+                        WAL_FLUSH_FAILURES.inc();
+                        eprintln!("coalloc-net: wal append failed: {e}");
+                        send_now(&job, format!("error: wal append failed: {e}"));
+                    }
+                }
+            }
+            Ok(reply) => send_now(&job, reply),
+            Err(e) => send_now(&job, format!("error: {e}")),
+        }
     }
+    // Graceful drain: the workers are gone, but every acknowledged command
+    // must be durable before the thread exits — the shutdown fsync.
+    flush(&mut wal, &mut pending);
+}
+
+/// Release a reply immediately (non-mutating commands, errors: nothing to
+/// make durable first).
+fn send_now(job: &Job, reply: String) {
+    REQUEST_US.observe(job.queued_at.elapsed().as_micros() as u64);
+    let _ = job.reply.send(reply);
 }
 
 fn accept_loop(
@@ -259,8 +541,10 @@ fn worker_loop(
     loop {
         // Workers share the receiver behind a mutex (std mpsc has no
         // multi-consumer receiver); the lock is held only while dequeuing.
+        // A poisoned lock (a sibling panicked while dequeuing) is recovered,
+        // not propagated: the receiver itself cannot be left inconsistent.
         let stream = {
-            let rx = conn_rx.lock().expect("conn queue lock");
+            let rx = conn_rx.lock().unwrap_or_else(|e| e.into_inner());
             rx.recv()
         };
         let Ok(stream) = stream else { break };
@@ -269,7 +553,17 @@ fn worker_loop(
             "net_conn",
             vec![("id", obs::Value::U64(next_conn_id()))],
         );
-        serve_connection(stream, &job_tx, &cfg, &stop);
+        // Shed-and-log: a panic while serving one connection drops that
+        // connection only, never the worker (which would silently shrink
+        // the pool until no connection is ever served again).
+        let served = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            serve_connection(stream, &job_tx, &cfg, &stop)
+        }));
+        if served.is_err() {
+            CONN_PANICS.inc();
+            ERRORS.inc();
+            eprintln!("coalloc-net: connection handler panicked, dropping connection");
+        }
         drop(conn_span);
         ACTIVE.add(-1);
     }

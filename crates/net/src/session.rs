@@ -284,14 +284,32 @@ impl Session {
                 }
                 let text =
                     std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
-                let sched =
-                    CoAllocScheduler::restore(&text).map_err(|e| format!("restore: {e}"))?;
-                let n = sched.num_servers();
-                self.sched = Some(Sched::Plain(Box::new(sched)));
-                Ok(format!("ok {n} servers restored"))
+                self.restore_plain(&text)
             }
             _ => Err(format!("unknown command: '{line}' (try 'help')")),
         }
+    }
+
+    /// The canonical persistent form of the current scheduler state, if the
+    /// active back-end supports snapshots (an initialised plain scheduler).
+    /// The write-ahead log installs this text as its base image when
+    /// truncating replayed history (DESIGN.md §13); sharded sessions return
+    /// `None` and are recovered by replaying their log from genesis.
+    pub fn snapshot_text(&self) -> Option<String> {
+        match self.sched.as_ref() {
+            Some(Sched::Plain(s)) => Some(s.snapshot()),
+            _ => None,
+        }
+    }
+
+    /// Replace the session's scheduler with one restored from snapshot
+    /// text, returning the `load` reply line. Used by the `load` command
+    /// and by WAL crash recovery to install the base image.
+    pub fn restore_plain(&mut self, text: &str) -> Result<String, String> {
+        let sched = CoAllocScheduler::restore(text).map_err(|e| format!("restore: {e}"))?;
+        let n = sched.num_servers();
+        self.sched = Some(Sched::Plain(Box::new(sched)));
+        Ok(format!("ok {n} servers restored"))
     }
 
     /// Run a whole multi-line script, rendering replies and errors exactly

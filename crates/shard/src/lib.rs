@@ -70,8 +70,13 @@ pub struct ShardedScheduler {
     shard_stats: Vec<OpStats>,
     /// Coordinator-side counters (attempts, attempts_skipped).
     local: OpStats,
-    /// Bitmask of shards holding reservations of each live job.
-    job_shards: HashMap<JobId, u64>,
+    /// Per live job: bitmask of shards holding its reservations, and its
+    /// end time (for the coordinator-side mirror of history pruning).
+    job_shards: HashMap<JobId, (u64, Time)>,
+    /// History boundary of the last amortized prune — mirrors every shard
+    /// scheduler's, so `release` of a pruned job reports `UnknownJob`
+    /// exactly when the single scheduler would.
+    last_prune: Time,
     next_job: u64,
 }
 
@@ -148,6 +153,7 @@ impl ShardedScheduler {
             shard_stats: vec![OpStats::new(); k as usize],
             local: OpStats::new(),
             job_shards: HashMap::new(),
+            last_prune: origin,
             next_job: 0,
         }
     }
@@ -225,6 +231,17 @@ impl ShardedScheduler {
                     tx.send(Cmd::Advance { now }).expect("shard worker alive");
                 }
             }
+        }
+        // Mirror the shard schedulers' amortized history prune in the
+        // coordinator's job map: once they forget a job, `release` must
+        // report `UnknownJob` here rather than fan out a release no shard
+        // still knows (identical to the single scheduler's answer).
+        let window_start = self.slot_cfg.slot_start(target);
+        if (window_start - self.last_prune).secs()
+            >= coalloc_core::scheduler::PRUNE_EVERY_SLOTS * self.slot_cfg.tau.secs()
+        {
+            self.job_shards.retain(|_, &mut (_, end)| end > window_start);
+            self.last_prune = window_start;
         }
     }
 
@@ -329,7 +346,7 @@ impl ShardedScheduler {
             let job = JobId(self.next_job);
             self.next_job += 1;
             let mask = self.sync_commit(job, start, end, &feasible);
-            self.job_shards.insert(job, mask);
+            self.job_shards.insert(job, (mask, end));
             return Ok(Grant {
                 job,
                 start,
@@ -355,7 +372,7 @@ impl ShardedScheduler {
 
     /// Cancel a committed job on every shard holding part of it.
     pub fn release(&mut self, job: JobId) -> Result<(), ScheduleError> {
-        let mask = self
+        let (mask, _end) = self
             .job_shards
             .remove(&job)
             .ok_or(ScheduleError::UnknownJob(job))?;

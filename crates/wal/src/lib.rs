@@ -1,0 +1,677 @@
+//! # coalloc-wal
+//!
+//! A dependency-free (std-only) write-ahead log for the scheduler's
+//! commitments: append-only segment files with per-record length+CRC32
+//! framing, group-commit fsync batching driven by the caller, periodic
+//! snapshot installation with segment truncation, and torn-tail detection
+//! on open.
+//!
+//! The paper defines the scheduler's state as "the set of commitments that
+//! the system has made" (Section 2); this crate makes those commitments
+//! durable. The serving path (`crates/net`) appends every state-changing
+//! command *before* releasing its reply, so an acknowledged grant can never
+//! be lost to a crash, and replays the log on startup to recover the exact
+//! pre-crash state (DESIGN.md §13).
+//!
+//! ## On-disk layout
+//!
+//! A WAL directory holds numbered segment files and snapshot files:
+//!
+//! ```text
+//! wal/
+//!   snap-00000000000000000007.snap   state covering segments < 7
+//!   seg-00000000000000000007.log     records appended after that state
+//!   seg-00000000000000000008.log     (rolled when a segment fills up)
+//! ```
+//!
+//! Every record (and the snapshot payload) is framed as
+//! `[len: u32 LE][crc32(payload): u32 LE][payload]`. Recovery replays the
+//! newest snapshot whose frame verifies, then every record of the segments
+//! numbered at or above it, in order. A partial or corrupt frame at the end
+//! of the *last* segment is a torn tail from the crash: it is counted,
+//! truncated away, and appends resume at the cut. A bad frame anywhere else
+//! is real corruption and surfaces as [`WalError::Corrupt`].
+//!
+//! ## Group commit
+//!
+//! [`Wal::append`] buffers; [`Wal::sync`] makes everything appended so far
+//! durable with one fsync and records the batch size in the
+//! `wal_fsync_batch_size` histogram. The caller decides the batching
+//! policy (the net scheduler thread fsyncs once per burst of queued
+//! commands, or on a configurable flush interval), which is what amortizes
+//! the durability tax under concurrent load.
+//!
+//! ```
+//! use coalloc_wal::{Wal, WalConfig};
+//!
+//! let dir = std::env::temp_dir().join(format!("wal-doc-{}", std::process::id()));
+//! let _ = std::fs::remove_dir_all(&dir);
+//!
+//! let (mut wal, recovery) = Wal::open(WalConfig::new(&dir)).unwrap();
+//! assert!(recovery.records.is_empty());
+//! wal.append(b"submit 0 0 50 2").unwrap();
+//! wal.append(b"release 0").unwrap();
+//! wal.sync().unwrap(); // both records durable with one fsync
+//! drop(wal);
+//!
+//! let (_wal, recovery) = Wal::open(WalConfig::new(&dir)).unwrap();
+//! assert_eq!(recovery.records.len(), 2);
+//! assert_eq!(recovery.records[0], b"submit 0 0 50 2");
+//! # std::fs::remove_dir_all(&dir).unwrap();
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod crc;
+
+use obs::{LazyCounter, LazyHistogram};
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+static APPENDS: LazyCounter = LazyCounter::new("wal_append_total");
+static APPEND_BYTES: LazyCounter = LazyCounter::new("wal_append_bytes_total");
+static FSYNCS: LazyCounter = LazyCounter::new("wal_fsync_total");
+static BATCH: LazyHistogram = LazyHistogram::new("wal_fsync_batch_size");
+static SNAPSHOTS: LazyCounter = LazyCounter::new("wal_snapshot_total");
+static SEGMENTS_REMOVED: LazyCounter = LazyCounter::new("wal_segments_removed_total");
+static TORN_BYTES: LazyCounter = LazyCounter::new("wal_torn_bytes_total");
+
+/// Frame header size: 4 bytes length + 4 bytes CRC32.
+const HEADER: usize = 8;
+
+/// Upper bound on a single record's payload. Anything larger in a frame
+/// header is treated as corruption (or a torn tail), never allocated.
+pub const MAX_RECORD: u32 = 16 * 1024 * 1024;
+
+/// Configuration of a [`Wal`].
+#[derive(Clone, Debug)]
+pub struct WalConfig {
+    /// Directory holding the segment and snapshot files (created if absent).
+    pub dir: PathBuf,
+    /// Roll to a new segment once the active one reaches this many bytes.
+    pub segment_bytes: u64,
+    /// Whether [`Wal::sync`] actually fsyncs. `false` only flushes to the
+    /// OS, which loses crash durability — for tests and baseline benches.
+    pub fsync: bool,
+}
+
+impl WalConfig {
+    /// A configuration with the defaults: 8 MiB segments, fsync on.
+    pub fn new(dir: impl Into<PathBuf>) -> WalConfig {
+        WalConfig {
+            dir: dir.into(),
+            segment_bytes: 8 * 1024 * 1024,
+            fsync: true,
+        }
+    }
+}
+
+/// Errors from the log.
+#[derive(Debug)]
+pub enum WalError {
+    /// An underlying filesystem operation failed.
+    Io(std::io::Error),
+    /// A frame failed to verify somewhere other than the tail of the last
+    /// segment — the log is damaged beyond a crash's reach and must not be
+    /// silently repaired.
+    Corrupt {
+        /// Sequence number of the damaged segment.
+        segment: u64,
+        /// Byte offset of the bad frame within it.
+        offset: u64,
+        /// What failed to verify.
+        reason: &'static str,
+    },
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalError::Io(e) => write!(f, "wal io error: {e}"),
+            WalError::Corrupt {
+                segment,
+                offset,
+                reason,
+            } => write!(f, "wal segment {segment} corrupt at byte {offset}: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+impl From<std::io::Error> for WalError {
+    fn from(e: std::io::Error) -> WalError {
+        WalError::Io(e)
+    }
+}
+
+/// Everything [`Wal::open`] recovered from the directory.
+#[derive(Debug)]
+pub struct Recovery {
+    /// Payload of the newest snapshot whose frame verified, if any.
+    pub snapshot: Option<Vec<u8>>,
+    /// Every record appended after that snapshot, in append order.
+    pub records: Vec<Vec<u8>>,
+    /// Bytes dropped from the torn tail of the last segment (0 after a
+    /// clean shutdown).
+    pub torn_bytes: u64,
+    /// Snapshot files that failed verification and were skipped in favor of
+    /// an older one.
+    pub snapshots_skipped: u64,
+}
+
+/// An open write-ahead log. See the [crate docs](crate) for the layout and
+/// recovery rules.
+pub struct Wal {
+    cfg: WalConfig,
+    active: File,
+    active_seq: u64,
+    active_len: u64,
+    buffered: Vec<u8>,
+    unsynced_records: u64,
+    since_snapshot: u64,
+}
+
+fn seg_name(seq: u64) -> String {
+    format!("seg-{seq:020}.log")
+}
+
+fn snap_name(seq: u64) -> String {
+    format!("snap-{seq:020}.snap")
+}
+
+/// Best-effort directory fsync, so renames and creates are durable. Opening
+/// a directory read-only for fsync works on the Unixes we target; elsewhere
+/// the open may fail and the rename is only as durable as the OS makes it.
+fn sync_dir(dir: &Path) {
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+}
+
+fn frame_into(out: &mut Vec<u8>, payload: &[u8]) {
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc::crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// Outcome of parsing one frame out of `bytes[offset..]`.
+enum Parsed<'a> {
+    Record(&'a [u8], usize),
+    /// Nothing after `offset` (a clean end).
+    End,
+    /// The remaining bytes do not form a valid frame.
+    Bad(&'static str),
+}
+
+fn parse_frame(bytes: &[u8], offset: usize) -> Parsed<'_> {
+    let rest = &bytes[offset..];
+    if rest.is_empty() {
+        return Parsed::End;
+    }
+    if rest.len() < HEADER {
+        return Parsed::Bad("truncated header");
+    }
+    let len = u32::from_le_bytes(rest[..4].try_into().expect("4 bytes")) as usize;
+    if len > MAX_RECORD as usize {
+        return Parsed::Bad("oversized record length");
+    }
+    if rest.len() < HEADER + len {
+        return Parsed::Bad("truncated payload");
+    }
+    let crc = u32::from_le_bytes(rest[4..8].try_into().expect("4 bytes"));
+    let payload = &rest[HEADER..HEADER + len];
+    if crc::crc32(payload) != crc {
+        return Parsed::Bad("checksum mismatch");
+    }
+    Parsed::Record(payload, HEADER + len)
+}
+
+/// The numbered WAL files found in a directory.
+struct DirListing {
+    segs: Vec<u64>,
+    snaps: Vec<u64>,
+}
+
+fn list_dir(dir: &Path) -> Result<DirListing, WalError> {
+    let mut segs = Vec::new();
+    let mut snaps = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(seq) = name
+            .strip_prefix("seg-")
+            .and_then(|s| s.strip_suffix(".log"))
+            .and_then(|s| s.parse::<u64>().ok())
+        {
+            segs.push(seq);
+        } else if let Some(seq) = name
+            .strip_prefix("snap-")
+            .and_then(|s| s.strip_suffix(".snap"))
+            .and_then(|s| s.parse::<u64>().ok())
+        {
+            snaps.push(seq);
+        } else if name.ends_with(".tmp") {
+            // A snapshot that never finished installing: dead weight.
+            let _ = fs::remove_file(entry.path());
+        }
+    }
+    segs.sort_unstable();
+    snaps.sort_unstable();
+    Ok(DirListing { segs, snaps })
+}
+
+impl Wal {
+    /// Open (or create) the log in `cfg.dir`, recovering whatever it holds:
+    /// the newest verifiable snapshot, every record after it, and a
+    /// truncated torn tail if the process died mid-append. Returns the log
+    /// positioned to append after the last valid record.
+    pub fn open(cfg: WalConfig) -> Result<(Wal, Recovery), WalError> {
+        fs::create_dir_all(&cfg.dir)?;
+        let listing = list_dir(&cfg.dir)?;
+
+        // Newest snapshot whose single frame verifies; damaged ones are
+        // skipped so one bad write cannot brick recovery.
+        let mut snapshot: Option<Vec<u8>> = None;
+        let mut snap_seq = 0u64;
+        let mut snapshots_skipped = 0u64;
+        for &seq in listing.snaps.iter().rev() {
+            let bytes = fs::read(cfg.dir.join(snap_name(seq)))?;
+            match parse_frame(&bytes, 0) {
+                Parsed::Record(payload, consumed) if consumed == bytes.len() => {
+                    snapshot = Some(payload.to_vec());
+                    snap_seq = seq;
+                    break;
+                }
+                _ => snapshots_skipped += 1,
+            }
+        }
+
+        // Segments covered by the snapshot (and snapshots older than the
+        // chosen one) are garbage from an interrupted truncation.
+        for &seq in &listing.segs {
+            if seq < snap_seq {
+                let _ = fs::remove_file(cfg.dir.join(seg_name(seq)));
+            }
+        }
+        for &seq in &listing.snaps {
+            if seq < snap_seq {
+                let _ = fs::remove_file(cfg.dir.join(snap_name(seq)));
+            }
+        }
+        let segs: Vec<u64> = listing.segs.into_iter().filter(|&s| s >= snap_seq).collect();
+        if snapshot.is_some() && !segs.is_empty() && segs[0] != snap_seq {
+            return Err(WalError::Corrupt {
+                segment: segs[0],
+                offset: 0,
+                reason: "records between the snapshot and the first segment are missing",
+            });
+        }
+        for w in segs.windows(2) {
+            if w[1] != w[0] + 1 {
+                return Err(WalError::Corrupt {
+                    segment: w[0] + 1,
+                    offset: 0,
+                    reason: "segment sequence has a gap",
+                });
+            }
+        }
+
+        // Replay every record; a bad frame is a torn tail only in the last
+        // segment, where it is truncated away.
+        let mut records = Vec::new();
+        let mut torn_bytes = 0u64;
+        for (i, &seq) in segs.iter().enumerate() {
+            let path = cfg.dir.join(seg_name(seq));
+            let bytes = fs::read(&path)?;
+            let mut offset = 0usize;
+            loop {
+                match parse_frame(&bytes, offset) {
+                    Parsed::Record(payload, consumed) => {
+                        records.push(payload.to_vec());
+                        offset += consumed;
+                    }
+                    Parsed::End => break,
+                    Parsed::Bad(reason) => {
+                        if i + 1 != segs.len() {
+                            return Err(WalError::Corrupt {
+                                segment: seq,
+                                offset: offset as u64,
+                                reason,
+                            });
+                        }
+                        torn_bytes = (bytes.len() - offset) as u64;
+                        let f = OpenOptions::new().write(true).open(&path)?;
+                        f.set_len(offset as u64)?;
+                        f.sync_all()?;
+                        break;
+                    }
+                }
+            }
+        }
+        TORN_BYTES.add(torn_bytes);
+
+        // The active segment: the last one on disk, or a fresh genesis.
+        let active_seq = match segs.last() {
+            Some(&seq) => seq,
+            None => snap_seq.max(1),
+        };
+        let path = cfg.dir.join(seg_name(active_seq));
+        let active = OpenOptions::new().create(true).append(true).open(&path)?;
+        let active_len = active.metadata()?.len();
+        sync_dir(&cfg.dir);
+
+        let wal = Wal {
+            cfg,
+            active,
+            active_seq,
+            active_len,
+            buffered: Vec::with_capacity(4096),
+            unsynced_records: 0,
+            since_snapshot: records.len() as u64,
+        };
+        Ok((
+            wal,
+            Recovery {
+                snapshot,
+                records,
+                torn_bytes,
+                snapshots_skipped,
+            },
+        ))
+    }
+
+    /// Append one record. The record is *buffered*, not yet durable: call
+    /// [`Wal::sync`] before acting on it (releasing a reply, acknowledging
+    /// a commit). Rolls to a new segment when the active one is full.
+    pub fn append(&mut self, payload: &[u8]) -> Result<(), WalError> {
+        assert!(
+            payload.len() <= MAX_RECORD as usize,
+            "record exceeds MAX_RECORD"
+        );
+        if self.active_len + self.buffered.len() as u64 >= self.cfg.segment_bytes {
+            self.roll()?;
+        }
+        frame_into(&mut self.buffered, payload);
+        self.unsynced_records += 1;
+        self.since_snapshot += 1;
+        APPENDS.inc();
+        APPEND_BYTES.add((payload.len() + HEADER) as u64);
+        Ok(())
+    }
+
+    /// Make every appended record durable: one write, one fsync. A no-op
+    /// when nothing is pending. The number of records the fsync covered is
+    /// recorded in the `wal_fsync_batch_size` histogram — under concurrent
+    /// load this is the group-commit batch.
+    pub fn sync(&mut self) -> Result<(), WalError> {
+        if self.unsynced_records == 0 {
+            return Ok(());
+        }
+        self.active.write_all(&self.buffered)?;
+        self.active_len += self.buffered.len() as u64;
+        self.buffered.clear();
+        if self.cfg.fsync {
+            self.active.sync_data()?;
+        }
+        FSYNCS.inc();
+        BATCH.observe(self.unsynced_records);
+        self.unsynced_records = 0;
+        Ok(())
+    }
+
+    /// Finish the active segment and start the next one.
+    fn roll(&mut self) -> Result<(), WalError> {
+        self.sync()?;
+        let seq = self.active_seq + 1;
+        let path = self.cfg.dir.join(seg_name(seq));
+        self.active = OpenOptions::new().create_new(true).append(true).open(&path)?;
+        self.active_seq = seq;
+        self.active_len = 0;
+        sync_dir(&self.cfg.dir);
+        Ok(())
+    }
+
+    /// Install `state` as the new recovery base and truncate the log: after
+    /// this returns, recovery loads `state` and replays only records
+    /// appended from now on. Pending records are synced first, the snapshot
+    /// is written to a temporary file and atomically renamed, and only then
+    /// are the superseded segments deleted — a crash at any point recovers
+    /// either the old base plus the full log, or the new base.
+    pub fn install_snapshot(&mut self, state: &[u8]) -> Result<(), WalError> {
+        self.sync()?;
+        // New segment first: the snapshot's sequence number must point at a
+        // segment that exists, and records appended after the snapshot must
+        // not land in a segment the truncation below deletes.
+        let seq = self.active_seq + 1;
+        let seg_path = self.cfg.dir.join(seg_name(seq));
+        self.active = OpenOptions::new().create_new(true).append(true).open(&seg_path)?;
+        let old_seq = self.active_seq;
+        self.active_seq = seq;
+        self.active_len = 0;
+        sync_dir(&self.cfg.dir);
+
+        let mut framed = Vec::with_capacity(state.len() + HEADER);
+        frame_into(&mut framed, state);
+        let tmp = self.cfg.dir.join(format!("snap-{seq:020}.tmp"));
+        let final_path = self.cfg.dir.join(snap_name(seq));
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(&framed)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, &final_path)?;
+        sync_dir(&self.cfg.dir);
+        SNAPSHOTS.inc();
+
+        // The new base is durable: everything before it is garbage.
+        let listing = list_dir(&self.cfg.dir)?;
+        for s in listing.segs.into_iter().filter(|&s| s <= old_seq) {
+            if fs::remove_file(self.cfg.dir.join(seg_name(s))).is_ok() {
+                SEGMENTS_REMOVED.inc();
+            }
+        }
+        for s in listing.snaps.into_iter().filter(|&s| s < seq) {
+            let _ = fs::remove_file(self.cfg.dir.join(snap_name(s)));
+        }
+        sync_dir(&self.cfg.dir);
+        self.since_snapshot = 0;
+        Ok(())
+    }
+
+    /// Records appended since the last [`Wal::install_snapshot`] (or since
+    /// recovery counted the replayed tail). The caller's snapshot cadence.
+    pub fn records_since_snapshot(&self) -> u64 {
+        self.since_snapshot
+    }
+
+    /// Records appended but not yet made durable by [`Wal::sync`].
+    pub fn unsynced_records(&self) -> u64 {
+        self.unsynced_records
+    }
+
+    /// Sequence number of the segment currently receiving appends.
+    pub fn active_segment(&self) -> u64 {
+        self.active_seq
+    }
+
+    /// The directory this log lives in.
+    pub fn dir(&self) -> &Path {
+        &self.cfg.dir
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("coalloc-wal-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn reopen(dir: &Path) -> (Wal, Recovery) {
+        Wal::open(WalConfig::new(dir)).expect("open")
+    }
+
+    #[test]
+    fn append_sync_reopen_roundtrip() {
+        let dir = tmp("roundtrip");
+        let (mut wal, rec) = reopen(&dir);
+        assert!(rec.snapshot.is_none() && rec.records.is_empty());
+        for i in 0..100u32 {
+            wal.append(format!("record {i}").as_bytes()).unwrap();
+        }
+        assert_eq!(wal.unsynced_records(), 100);
+        wal.sync().unwrap();
+        assert_eq!(wal.unsynced_records(), 0);
+        drop(wal);
+        let (_w, rec) = reopen(&dir);
+        assert_eq!(rec.records.len(), 100);
+        assert_eq!(rec.records[7], b"record 7");
+        assert_eq!(rec.torn_bytes, 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unsynced_records_are_not_recovered() {
+        let dir = tmp("unsynced");
+        let (mut wal, _) = reopen(&dir);
+        wal.append(b"durable").unwrap();
+        wal.sync().unwrap();
+        wal.append(b"lost").unwrap(); // never synced
+        drop(wal);
+        let (_w, rec) = reopen(&dir);
+        assert_eq!(rec.records, vec![b"durable".to_vec()]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_appends_resume() {
+        let dir = tmp("torn");
+        let (mut wal, _) = reopen(&dir);
+        wal.append(b"good one").unwrap();
+        wal.append(b"good two").unwrap();
+        wal.sync().unwrap();
+        let seg = dir.join(seg_name(wal.active_segment()));
+        drop(wal);
+        // Simulate a crash mid-append: a partial frame at the tail.
+        let mut f = OpenOptions::new().append(true).open(&seg).unwrap();
+        f.write_all(&[42u8, 0, 0, 0, 99, 99]).unwrap(); // header cut short
+        drop(f);
+        let (mut wal, rec) = reopen(&dir);
+        assert_eq!(rec.records.len(), 2);
+        assert_eq!(rec.torn_bytes, 6);
+        wal.append(b"good three").unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        let (_w, rec) = reopen(&dir);
+        assert_eq!(rec.records.len(), 3);
+        assert_eq!(rec.records[2], b"good three");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_middle_segment_is_an_error_not_a_repair() {
+        let dir = tmp("corrupt-mid");
+        let mut cfg = WalConfig::new(&dir);
+        cfg.segment_bytes = 64; // tiny: force several segments
+        let (mut wal, _) = Wal::open(cfg.clone()).unwrap();
+        for i in 0..20u32 {
+            wal.append(format!("record number {i}").as_bytes()).unwrap();
+            wal.sync().unwrap();
+        }
+        assert!(wal.active_segment() > 1, "fixture must roll segments");
+        drop(wal);
+        // Flip a payload byte in the FIRST segment.
+        let seg = dir.join(seg_name(1));
+        let mut bytes = fs::read(&seg).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        fs::write(&seg, &bytes).unwrap();
+        match Wal::open(cfg) {
+            Err(WalError::Corrupt { segment: 1, .. }) => {}
+            Err(other) => panic!("want Corrupt in segment 1, got {other:?}"),
+            Ok(_) => panic!("want Corrupt in segment 1, got a successful open"),
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_truncates_and_recovers() {
+        let dir = tmp("snapshot");
+        let (mut wal, _) = reopen(&dir);
+        for i in 0..10u32 {
+            wal.append(format!("pre {i}").as_bytes()).unwrap();
+        }
+        wal.install_snapshot(b"STATE AFTER 10").unwrap();
+        assert_eq!(wal.records_since_snapshot(), 0);
+        wal.append(b"post 0").unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        let (_w, rec) = reopen(&dir);
+        assert_eq!(rec.snapshot.as_deref(), Some(&b"STATE AFTER 10"[..]));
+        assert_eq!(rec.records, vec![b"post 0".to_vec()]);
+        // The pre-snapshot segment is gone.
+        assert!(!dir.join(seg_name(1)).exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn damaged_newest_snapshot_falls_back_to_older() {
+        let dir = tmp("snap-fallback");
+        let (mut wal, _) = reopen(&dir);
+        wal.append(b"a").unwrap();
+        wal.install_snapshot(b"OLD BASE").unwrap();
+        let base_seq = wal.active_segment();
+        wal.append(b"b").unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        // Simulate a crash halfway through the NEXT snapshot install: the
+        // rolled segment exists, but the snapshot file was cut short before
+        // its frame was complete (then the truncation never ran).
+        fs::write(dir.join(seg_name(base_seq + 1)), b"").unwrap();
+        fs::write(dir.join(snap_name(base_seq + 1)), [9u8, 0, 0]).unwrap();
+        let (_w, rec) = reopen(&dir);
+        assert_eq!(rec.snapshots_skipped, 1);
+        assert_eq!(rec.snapshot.as_deref(), Some(&b"OLD BASE"[..]));
+        assert_eq!(rec.records, vec![b"b".to_vec()]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn segment_gap_is_corruption() {
+        let dir = tmp("gap");
+        let mut cfg = WalConfig::new(&dir);
+        cfg.segment_bytes = 32;
+        let (mut wal, _) = Wal::open(cfg.clone()).unwrap();
+        for i in 0..12u32 {
+            wal.append(format!("record number {i}").as_bytes()).unwrap();
+            wal.sync().unwrap();
+        }
+        assert!(wal.active_segment() >= 3);
+        drop(wal);
+        fs::remove_file(dir.join(seg_name(2))).unwrap();
+        assert!(matches!(Wal::open(cfg), Err(WalError::Corrupt { .. })));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_payloads_and_binary_payloads_roundtrip() {
+        let dir = tmp("binary");
+        let (mut wal, _) = reopen(&dir);
+        wal.append(b"").unwrap();
+        let blob: Vec<u8> = (0..=255u8).collect();
+        wal.append(&blob).unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        let (_w, rec) = reopen(&dir);
+        assert_eq!(rec.records[0], b"");
+        assert_eq!(rec.records[1], blob);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -46,8 +46,19 @@
 //! `--write-timeout-ms MS`. The server runs until SIGINT/EOF kills the
 //! process; `coalloc-net`'s [`coalloc::net::Server`] drains gracefully on
 //! shutdown.
+//!
+//! Durability (serve mode): `--wal-dir PATH` write-ahead-logs every
+//! mutating command to `PATH` and fsyncs it *before* the reply is
+//! released, so a `kill -9` loses no acknowledged grant; on restart the
+//! server recovers the pre-crash state from the log and resumes with
+//! byte-identical decisions (see DESIGN.md §13 and the restart semantics
+//! in `docs/PROTOCOL.md`). Tuning: `--wal-flush-ms MS` bounds how long a
+//! reply may wait for its group-commit fsync (default 0 = flush whenever
+//! the command queue goes idle), `--wal-snapshot-every N` installs a
+//! snapshot and truncates the log every `N` records (0 disables), and
+//! `--wal-segment-bytes B` sets the segment roll-over size.
 
-use coalloc::net::{NetConfig, Server, Session};
+use coalloc::net::{NetConfig, Server, Session, WalOptions};
 use std::io::{BufRead, Write};
 
 fn flag_value(args: &mut impl Iterator<Item = String>, flag: &str) -> String {
@@ -136,6 +147,46 @@ fn main() {
                     &flag_value(&mut args, "--write-timeout-ms"),
                     "write timeout",
                 ));
+            }
+            ("--wal-dir", Some(cfg)) => {
+                cfg.wal = Some(WalOptions::new(flag_value(&mut args, "--wal-dir")));
+            }
+            ("--wal-flush-ms", Some(cfg)) => {
+                let ms: u64 =
+                    parse_or_die(&flag_value(&mut args, "--wal-flush-ms"), "wal flush interval");
+                match &mut cfg.wal {
+                    Some(w) => w.flush_interval = std::time::Duration::from_millis(ms),
+                    None => {
+                        eprintln!("--wal-flush-ms requires --wal-dir first");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            ("--wal-snapshot-every", Some(cfg)) => {
+                let n: u64 = parse_or_die(
+                    &flag_value(&mut args, "--wal-snapshot-every"),
+                    "wal snapshot period",
+                );
+                match &mut cfg.wal {
+                    Some(w) => w.snapshot_every = n,
+                    None => {
+                        eprintln!("--wal-snapshot-every requires --wal-dir first");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            ("--wal-segment-bytes", Some(cfg)) => {
+                let n: u64 = parse_or_die(
+                    &flag_value(&mut args, "--wal-segment-bytes"),
+                    "wal segment size",
+                );
+                match &mut cfg.wal {
+                    Some(w) => w.segment_bytes = n.max(1),
+                    None => {
+                        eprintln!("--wal-segment-bytes requires --wal-dir first");
+                        std::process::exit(2);
+                    }
+                }
             }
             (other, _) => {
                 eprintln!("unknown flag: {other}");
