@@ -147,6 +147,28 @@ fn metric_value(exposition: &str, name: &str) -> Option<u64> {
         .and_then(|v| v.parse().ok())
 }
 
+/// Approximate quantile of a histogram family in a `metrics` exposition:
+/// walk the cumulative `_bucket{le=...}` series and return the first upper
+/// bound covering `q` of `_count`. The buckets are log-linear, so this is
+/// an upper bound accurate to one sub-bucket — plenty for a breakdown.
+fn expo_quantile(exposition: &str, family: &str, q: f64) -> Option<f64> {
+    let count: f64 = metric_value(exposition, &format!("{family}_count"))? as f64;
+    if count == 0.0 {
+        return Some(0.0);
+    }
+    let target = (count * q).ceil();
+    let prefix = format!("{family}_bucket{{le=\"");
+    for line in exposition.lines() {
+        let Some(rest) = line.strip_prefix(&prefix) else { continue };
+        let (bound, tail) = rest.split_once("\"}")?;
+        let cum: f64 = tail.trim().parse().ok()?;
+        if cum >= target {
+            return bound.parse().ok().or(Some(f64::INFINITY));
+        }
+    }
+    None
+}
+
 /// The measured half of a run, ready to serialize.
 struct RunSummary {
     n_cmds: usize,
@@ -158,6 +180,10 @@ struct RunSummary {
     rejected: u64,
     busy_retries: u64,
     violations: usize,
+    /// Per-stage p50s from the server's `req_stage_*` histograms (µs):
+    /// queue wait, scheduler compute, WAL stall, writeback. Zero when the
+    /// server's exposition was unreachable.
+    stage_p50_us: [f64; 4],
 }
 
 fn render(spec: &WorkloadSpec, args: &Args, s: &RunSummary) -> String {
@@ -166,7 +192,10 @@ fn render(spec: &WorkloadSpec, args: &Args, s: &RunSummary) -> String {
         "{{\n  \"bench\": \"netload\",\n  \"workload\": \"{}\",\n  \"servers\": {},\n  \
          \"scale\": {},\n  \"seed\": {},\n  \"clients\": {},\n  \"shards\": {},\n  \
          \"commands\": {},\n  \"cpus\": {},\n  \"secs\": {:.6},\n  \"rps\": {:.3},\n  \
-         \"p50_us\": {:.3},\n  \"p99_us\": {:.3},\n  \"granted\": {},\n  \
+         \"p50_us\": {:.3},\n  \"p99_us\": {:.3},\n  \
+         \"stage_queue_wait_p50_us\": {:.3},\n  \"stage_sched_p50_us\": {:.3},\n  \
+         \"stage_wal_stall_p50_us\": {:.3},\n  \"stage_writeback_p50_us\": {:.3},\n  \
+         \"granted\": {},\n  \
          \"rejected\": {},\n  \"busy_retries\": {},\n  \"violations\": {}\n}}\n",
         json::escape(&spec.name),
         spec.servers,
@@ -180,6 +209,10 @@ fn render(spec: &WorkloadSpec, args: &Args, s: &RunSummary) -> String {
         s.rps,
         s.p50_us,
         s.p99_us,
+        s.stage_p50_us[0],
+        s.stage_p50_us[1],
+        s.stage_p50_us[2],
+        s.stage_p50_us[3],
         s.granted,
         s.rejected,
         s.busy_retries,
@@ -195,7 +228,9 @@ fn validate(text: &str) -> Result<(), String> {
     }
     for key in [
         "servers", "scale", "seed", "clients", "shards", "commands", "cpus", "secs", "rps",
-        "p50_us", "p99_us", "granted", "rejected", "busy_retries", "violations",
+        "p50_us", "p99_us", "stage_queue_wait_p50_us", "stage_sched_p50_us",
+        "stage_wal_stall_p50_us", "stage_writeback_p50_us", "granted", "rejected",
+        "busy_retries", "violations",
     ] {
         if doc.get(key).and_then(Json::as_num).is_none() {
             return Err(format!("missing numeric \"{key}\""));
@@ -221,6 +256,12 @@ struct Args {
     shards: u32,
     addr: Option<String>,
     out_path: String,
+    /// Regression guard ratio: with `--baseline`, fail unless
+    /// `rps >= guard × baseline.rps` AND `p99_us <= baseline.p99_us / guard`.
+    guard: Option<f64>,
+    /// Baseline `(rps, p99_us)`, read at argument-parse time so `--baseline`
+    /// and `--out` may name the same file.
+    baseline: Option<(f64, f64)>,
 }
 
 fn main() {
@@ -231,6 +272,8 @@ fn main() {
         shards: 1,
         addr: None,
         out_path: "BENCH_net.json".to_string(),
+        guard: None,
+        baseline: None,
     };
     let mut cli = std::env::args().skip(1);
     while let Some(a) = cli.next() {
@@ -244,6 +287,24 @@ fn main() {
             "--shards" => args.shards = cli.next().expect("--shards K").parse().expect("integer"),
             "--addr" => args.addr = Some(cli.next().expect("--addr HOST:PORT")),
             "--out" => args.out_path = cli.next().expect("--out PATH"),
+            "--guard" => {
+                let r: f64 = cli.next().expect("--guard RATIO").parse().expect("float");
+                assert!(r > 0.0 && r <= 1.0, "--guard must be in (0, 1]");
+                args.guard = Some(r);
+            }
+            "--baseline" => {
+                let path = cli.next().expect("--baseline PATH");
+                // Read now: the run may overwrite this very file via --out.
+                let text = std::fs::read_to_string(&path)
+                    .unwrap_or_else(|e| panic!("read baseline {path}: {e}"));
+                let doc = json::parse(&text).unwrap_or_else(|e| panic!("parse {path}: {e}"));
+                let num = |k: &str| {
+                    doc.get(k)
+                        .and_then(Json::as_num)
+                        .unwrap_or_else(|| panic!("baseline {path} missing numeric \"{k}\""))
+                };
+                args.baseline = Some((num("rps"), num("p99_us")));
+            }
             "--validate" => {
                 let path = cli.next().expect("--validate PATH");
                 let text = std::fs::read_to_string(&path)
@@ -262,7 +323,8 @@ fn main() {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: netload [--smoke] [--clients C] [--scale F] [--seed N] \
-                     [--shards K] [--addr HOST:PORT] [--out PATH] [--validate PATH]"
+                     [--shards K] [--addr HOST:PORT] [--out PATH] [--validate PATH] \
+                     [--guard RATIO --baseline PATH]"
                 );
                 return;
             }
@@ -454,6 +516,41 @@ fn main() {
         Err(e) => violations.push(format!("post-release check io error: {e}")),
     }
 
+    // ---- Latency attribution: the per-stage breakdown from the server's
+    // `req_stage_*` histograms, and the stage identity
+    // queue_wait + sched + wal_stall ≈ net_request_us (at p50).
+    let expo = Client::connect(addr)
+        .and_then(|c| c.exchange_script("metrics\nexit\n"))
+        .unwrap_or_default();
+    let stage_p50 = |family: &str| expo_quantile(&expo, family, 0.50).unwrap_or(0.0);
+    let stage_p50_us = [
+        stage_p50("req_stage_queue_wait"),
+        stage_p50("req_stage_sched"),
+        stage_p50("req_stage_wal_stall"),
+        stage_p50("req_stage_writeback"),
+    ];
+    if server.is_some() {
+        // Only sound against our own server: an external one carries
+        // traffic (and histogram state) we did not generate.
+        let stage_sum = stage_p50_us[0] + stage_p50_us[1] + stage_p50_us[2];
+        let e2e_p50 = expo_quantile(&expo, "net_request_us", 0.50).unwrap_or(0.0);
+        // Generous envelope: the histograms are log-linear (one sub-bucket
+        // of error per stage) and p50s do not add exactly; the check only
+        // catches a stage histogram that is wired to the wrong interval.
+        let slack = 100.0;
+        if stage_sum > 3.0 * e2e_p50 + slack || 3.0 * (stage_sum + slack) < e2e_p50 {
+            violations.push(format!(
+                "stage attribution inconsistent: queue_wait+sched+wal_stall p50s sum to \
+                 {stage_sum:.1} µs but net_request_us p50 is {e2e_p50:.1} µs"
+            ));
+        }
+        println!(
+            "  stage p50s: queue_wait {:.1} µs, sched {:.1} µs, wal_stall {:.1} µs, \
+             writeback {:.1} µs (e2e p50 {:.1} µs)",
+            stage_p50_us[0], stage_p50_us[1], stage_p50_us[2], stage_p50_us[3], e2e_p50
+        );
+    }
+
     let rps = n_cmds as f64 / secs.max(1e-9);
     let p50 = percentile_us(&lat_ns, 0.50);
     let p99 = percentile_us(&lat_ns, 0.99);
@@ -486,6 +583,7 @@ fn main() {
             rejected,
             busy_retries,
             violations: violations.len(),
+            stage_p50_us,
         },
     );
     std::fs::write(&args.out_path, &doc)
@@ -500,4 +598,28 @@ fn main() {
         std::process::exit(1);
     }
     validate(&doc).expect("self-validation of the emitted document");
+
+    // ---- Regression guard (CI): both throughput AND tail latency must
+    // stay within `guard` of the committed baseline.
+    if let Some(ratio) = args.guard {
+        let (base_rps, base_p99) = args
+            .baseline
+            .expect("--guard requires --baseline PATH (read before the run)");
+        let rps_floor = base_rps * ratio;
+        let p99_ceiling = if base_p99 > 0.0 { base_p99 / ratio } else { f64::INFINITY };
+        println!(
+            "  guard: rps {rps:.0} vs floor {rps_floor:.0} (baseline {base_rps:.0}); \
+             p99 {p99:.1} µs vs ceiling {p99_ceiling:.1} µs (baseline {base_p99:.1})"
+        );
+        if rps < rps_floor {
+            eprintln!("GUARD FAILED: rps {rps:.0} below {rps_floor:.0} ({ratio}× baseline)");
+            std::process::exit(1);
+        }
+        if p99 > p99_ceiling {
+            eprintln!(
+                "GUARD FAILED: p99 {p99:.1} µs above {p99_ceiling:.1} µs (baseline/{ratio})"
+            );
+            std::process::exit(1);
+        }
+    }
 }

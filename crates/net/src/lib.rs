@@ -16,7 +16,16 @@
 //!   mutating command before its reply is released, and [`Server::bind`]
 //!   recovers the pre-crash state from that log (DESIGN.md §13);
 //! * [`client`] — a blocking scripting client ([`Client`]) used by the
-//!   `netload` load generator and the end-to-end tests.
+//!   `netload` load generator and the end-to-end tests;
+//! * [`stage`] — end-to-end latency attribution: per-request [`stage::Stamps`]
+//!   feeding the `req_stage_*` histograms (queue wait, scheduler compute,
+//!   WAL stall, writeback);
+//! * [`slow`] — tail-based request capture: a fixed ring of full stage
+//!   timelines for slow/shed/errored requests, served by `GET /debug/slow`
+//!   on the admin plane and the `slow` protocol command;
+//! * `admin` (private) — the admin HTTP plane behind
+//!   [`NetConfig::admin_addr`]: `/metrics`, `/healthz`, `/readyz`,
+//!   `/status`, `/debug/slow` over minimal HTTP/1.1 on a second listener.
 //!
 //! Because every session multiplexes onto one scheduler thread, a TCP
 //! session's reply stream is byte-identical to the same script on stdin —
@@ -40,10 +49,13 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod admin;
 pub mod client;
 pub mod proto;
 pub mod server;
 pub mod session;
+pub mod slow;
+pub mod stage;
 
 pub use client::Client;
 pub use proto::{help_text, CommandSpec, BUSY_REPLY, COMMANDS, PROTOCOL_VERSION};

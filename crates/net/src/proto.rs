@@ -13,7 +13,7 @@
 /// Protocol version, reported by the `version` command. Bump the minor on
 /// backwards-compatible additions (new commands, new reply fields after the
 /// existing ones), the major on anything that changes an existing reply.
-pub const PROTOCOL_VERSION: &str = "coalloc/1.1";
+pub const PROTOCOL_VERSION: &str = "coalloc/1.2";
 
 /// Default cap on one command line, in bytes (newline excluded). Longer
 /// lines are a framing error: the server replies `error: line too long`
@@ -145,6 +145,14 @@ pub const COMMANDS: &[CommandSpec] = &[
         usage: "check",
         summary: "run the scheduler's internal consistency checks",
         example: "check",
+        backends: Backends::Any,
+        mutates: false,
+    },
+    CommandSpec {
+        name: "slow",
+        usage: "slow",
+        summary: "dump the tail-captured slow/shed/errored requests",
+        example: "slow",
         backends: Backends::Any,
         mutates: false,
     },

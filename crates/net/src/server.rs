@@ -15,8 +15,11 @@
 //! bounded by per-connection read/write timeouts, a per-line read deadline
 //! (anti-slow-loris) and a maximum line length.
 
+use crate::admin::{AdminPlane, AdminState};
 use crate::proto::{self, BUSY_REPLY};
 use crate::session::Session;
+use crate::slow;
+use crate::stage::Stamps;
 use coalloc_wal::{Wal, WalConfig, WalError};
 use obs::{LazyCounter, LazyGauge, LazyHistogram};
 use std::io::{ErrorKind, Read, Write};
@@ -43,6 +46,10 @@ static EXEC_PANICS: LazyCounter = LazyCounter::new("net_exec_panics_total");
 static CONN_PANICS: LazyCounter = LazyCounter::new("net_conn_panics_total");
 static WAL_REPLAYED: LazyCounter = LazyCounter::new("wal_recovery_replayed_total");
 static WAL_FLUSH_FAILURES: LazyCounter = LazyCounter::new("wal_flush_failures_total");
+/// Commands currently sitting in the bounded command queue. Incremented by
+/// the enqueuing worker, decremented by the scheduler's dequeue, so the
+/// admin plane's `/readyz` can compare it against the queue bound.
+static QUEUE_DEPTH: LazyGauge = LazyGauge::new("net_queue_depth");
 
 /// Configuration of a [`Server`]. The defaults suit an interactive
 /// deployment; load tests shrink the timeouts and grow the pool.
@@ -72,11 +79,32 @@ pub struct NetConfig {
     /// queue buildup reproducible in shed/backpressure tests.
     #[doc(hidden)]
     pub exec_delay: Duration,
+    /// Test hook: when set, [`NetConfig::exec_delay`] applies only to lines
+    /// containing this substring, so a test can stall one chosen command
+    /// and assert it lands in the slow-request capture while its neighbours
+    /// do not. `None` (the default) delays every command as before.
+    #[doc(hidden)]
+    pub stall_substr: Option<String>,
     /// Durability: when set, every mutating command is appended to a
     /// write-ahead log and fsynced *before* its reply is released, and
     /// [`Server::bind`] recovers the previous state from that log
     /// (DESIGN.md §13). `None` (the default) keeps the server volatile.
     pub wal: Option<WalOptions>,
+    /// Address for the admin HTTP plane (`/metrics`, `/healthz`, `/readyz`,
+    /// `/status`, `/debug/slow`), e.g. `127.0.0.1:9090` (port 0 picks a
+    /// free port). `None` (the default) serves no admin plane. The plane is
+    /// non-normative and operator-facing (DESIGN.md §8); it binds only
+    /// after WAL recovery finished, so a reachable `/readyz` never shows a
+    /// half-recovered scheduler.
+    pub admin_addr: Option<String>,
+    /// End-to-end latency above which a request's full stage timeline is
+    /// retained in the slow-request ring (`GET /debug/slow`, the `slow`
+    /// command). Shed and errored requests are always captured.
+    /// `Duration::ZERO` disables latency-based capture.
+    pub slow_threshold: Duration,
+    /// Capacity of the slow-request ring; the oldest record is dropped
+    /// when a new capture would exceed it.
+    pub slow_capacity: usize,
 }
 
 /// Write-ahead-log configuration for a durable [`Server`].
@@ -121,16 +149,31 @@ impl Default for NetConfig {
             write_timeout: Duration::from_secs(10),
             shards: 1,
             exec_delay: Duration::ZERO,
+            stall_substr: None,
             wal: None,
+            admin_addr: None,
+            slow_threshold: Duration::from_micros(slow::DEFAULT_THRESHOLD_US),
+            slow_capacity: slow::DEFAULT_CAPACITY,
         }
     }
 }
 
-/// A command line in flight from a worker to the scheduler thread.
+/// A command line in flight from a worker to the scheduler thread. The
+/// [`Stamps`] ride along and come back in the [`Reply`], so the worker can
+/// attribute the full pipeline and capture the tail without re-parsing.
 struct Job {
     line: String,
-    queued_at: Instant,
-    reply: Sender<String>,
+    stamps: Stamps,
+    reply: Sender<Reply>,
+}
+
+/// The scheduler thread's answer to one [`Job`]: the reply text, the
+/// original line (so tail capture needs no clone on the enqueue path), and
+/// the stamps as of release.
+struct Reply {
+    line: String,
+    text: String,
+    stamps: Stamps,
 }
 
 /// A running TCP server. Dropping it (or calling [`Server::shutdown`])
@@ -151,6 +194,7 @@ pub struct Server {
     accept_handle: Option<JoinHandle<()>>,
     worker_handles: Vec<JoinHandle<()>>,
     sched_handle: Option<JoinHandle<()>>,
+    admin: Option<AdminPlane>,
 }
 
 impl Server {
@@ -174,13 +218,45 @@ impl Server {
         let local_addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
 
+        // Latency attribution and tail capture are live from request one.
+        crate::stage::register();
+        slow::configure(
+            cfg.slow_threshold.as_micros() as u64,
+            cfg.slow_capacity.max(1),
+        );
+
+        // The admin plane binds after recovery (above) so a reachable
+        // `/readyz` implies the WAL replay already finished.
+        let admin_state = match &cfg.admin_addr {
+            Some(addr) => {
+                let state = Arc::new(AdminState::new(
+                    cfg.shards,
+                    cfg.workers.max(1),
+                    cfg.queue_depth.max(1),
+                    wal.is_some(),
+                    cfg.slow_threshold.as_micros() as u64,
+                    Arc::clone(&stop),
+                ));
+                Some((addr.clone(), state))
+            }
+            None => None,
+        };
+        let admin = match &admin_state {
+            Some((addr, state)) => Some(AdminPlane::spawn(addr, Arc::clone(state))?),
+            None => None,
+        };
+
         // The scheduler thread: sole owner of the session; executes command
         // lines strictly in queue order.
         let (job_tx, job_rx) = mpsc::sync_channel::<Job>(cfg.queue_depth.max(1));
-        let exec_delay = cfg.exec_delay;
+        let ctx = SchedCtx {
+            exec_delay: cfg.exec_delay,
+            stall_substr: cfg.stall_substr.clone(),
+            admin: admin_state.map(|(_, state)| state),
+        };
         let sched_handle = std::thread::Builder::new()
             .name("coalloc-net-sched".into())
-            .spawn(move || scheduler_loop(job_rx, session, exec_delay, wal))?;
+            .spawn(move || scheduler_loop(job_rx, session, ctx, wal))?;
 
         // The worker pool: each worker serves one connection at a time.
         // A failed spawn aborts the bind: the channels drop, every thread
@@ -212,12 +288,19 @@ impl Server {
             accept_handle: Some(accept_handle),
             worker_handles,
             sched_handle: Some(sched_handle),
+            admin,
         })
     }
 
     /// The bound address (resolves port 0 to the actual port).
     pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
+    }
+
+    /// The bound admin-plane address, if [`NetConfig::admin_addr`] was set
+    /// (resolves port 0 to the actual port).
+    pub fn admin_addr(&self) -> Option<SocketAddr> {
+        self.admin.as_ref().map(|a| a.addr)
     }
 
     /// Graceful drain: stop accepting, let workers finish their in-flight
@@ -246,6 +329,11 @@ impl Server {
         // queue and exits.
         if let Some(h) = self.sched_handle.take() {
             let _ = h.join();
+        }
+        // The admin plane goes last: it can report "not ready: draining"
+        // right up until the command path is fully drained.
+        if let Some(admin) = self.admin.as_mut() {
+            admin.join();
         }
     }
 }
@@ -322,9 +410,10 @@ fn recover(opts: &WalOptions, shards: u32) -> std::io::Result<(Wal, Session)> {
 
 /// A reply withheld until its WAL record is fsynced (group commit).
 struct PendingReply {
-    reply: Sender<String>,
+    reply: Sender<Reply>,
+    line: String,
     text: String,
-    queued_at: Instant,
+    stamps: Stamps,
 }
 
 /// Largest fsync batch: bounds how much reply latency one flush can carry.
@@ -345,15 +434,26 @@ fn flush(wal: &mut Wal, pending: &mut Vec<PendingReply>) {
             Some(e.to_string())
         }
     };
-    for p in pending.drain(..) {
-        REQUEST_US.observe(p.queued_at.elapsed().as_micros() as u64);
+    for mut p in pending.drain(..) {
+        // The fsync that just completed is what released these replies:
+        // decision → here is the WAL stall each of them paid.
+        p.stamps.mark_released();
+        REQUEST_US.observe(
+            p.stamps.released.unwrap_or_else(Instant::now)
+                .saturating_duration_since(p.stamps.enqueued)
+                .as_micros() as u64,
+        );
         let text = match &failed {
             None => p.text,
             Some(e) => format!("error: wal sync failed: {e}"),
         };
         // A dead worker/connection just drops the reply; the command's
         // effect stands (documented at-most-once reply delivery).
-        let _ = p.reply.send(text);
+        let _ = p.reply.send(Reply {
+            line: p.line,
+            text,
+            stamps: p.stamps,
+        });
     }
 }
 
@@ -371,27 +471,71 @@ fn maybe_snapshot(wal: &mut Wal, session: &Session, opts: &WalOptions) {
     }
 }
 
+/// Scheduler-thread context beyond the session itself: test stall hooks
+/// and the shared admin-plane state it periodically refreshes.
+struct SchedCtx {
+    exec_delay: Duration,
+    stall_substr: Option<String>,
+    admin: Option<Arc<AdminState>>,
+}
+
+/// How often the scheduler thread refreshes the admin plane's
+/// capacity/utilization cells (they need `&mut` session access, so only
+/// this thread can compute them).
+const STATUS_REFRESH: Duration = Duration::from_millis(100);
+
+impl SchedCtx {
+    /// Apply the test stall, if configured for this line.
+    fn maybe_stall(&self, line: &str) {
+        if self.exec_delay.is_zero() {
+            return;
+        }
+        match &self.stall_substr {
+            Some(s) if !line.contains(s.as_str()) => {}
+            _ => std::thread::sleep(self.exec_delay),
+        }
+    }
+
+    /// Push the session's capacity/utilization into the admin snapshot if
+    /// one exists and the last refresh is stale.
+    fn maybe_refresh(&self, session: &mut Session, last: &mut Instant) {
+        let Some(admin) = &self.admin else { return };
+        if last.elapsed() < STATUS_REFRESH {
+            return;
+        }
+        *last = Instant::now();
+        if let Some((servers, now_secs, util)) = session.probe_status() {
+            admin.servers.store(servers as u64, Ordering::Relaxed);
+            admin.now_secs.store(now_secs.max(0) as u64, Ordering::Relaxed);
+            admin
+                .util_ppm
+                .store((util.clamp(0.0, 1.0) * 1_000_000.0) as u64, Ordering::Relaxed);
+            admin.initialized.store(true, Ordering::Relaxed);
+        }
+    }
+}
+
 fn scheduler_loop(
     rx: Receiver<Job>,
     mut session: Session,
-    exec_delay: Duration,
+    ctx: SchedCtx,
     wal: Option<(Wal, WalOptions)>,
 ) {
+    let mut last_refresh = Instant::now() - STATUS_REFRESH;
     let Some((mut wal, opts)) = wal else {
         // Volatile mode: execute and reply immediately.
-        while let Ok(job) = rx.recv() {
-            QUEUE_WAIT_US.observe(job.queued_at.elapsed().as_micros() as u64);
-            if !exec_delay.is_zero() {
-                std::thread::sleep(exec_delay);
-            }
-            let reply = match exec_guarded(&mut session, &job.line) {
+        while let Ok(mut job) = rx.recv() {
+            QUEUE_DEPTH.add(-1);
+            job.stamps.mark_dequeued();
+            QUEUE_WAIT_US.observe(job.stamps.enqueued.elapsed().as_micros() as u64);
+            ctx.maybe_stall(&job.line);
+            let text = match exec_guarded(&mut session, &job.line) {
                 Ok(r) => r,
                 Err(e) => format!("error: {e}"),
             };
-            REQUEST_US.observe(job.queued_at.elapsed().as_micros() as u64);
-            // A dead worker/connection just drops the reply; the command's
-            // effect stands (documented at-most-once reply delivery).
-            let _ = job.reply.send(reply);
+            job.stamps.mark_decided();
+            ctx.maybe_refresh(&mut session, &mut last_refresh);
+            send_now(job, text);
         }
         return;
     };
@@ -426,20 +570,24 @@ fn scheduler_loop(
                 }
             }
         };
-        let Some(job) = next else {
+        let Some(mut job) = next else {
             flush(&mut wal, &mut pending);
             maybe_snapshot(&mut wal, &session, &opts);
+            ctx.maybe_refresh(&mut session, &mut last_refresh);
             continue;
         };
 
-        QUEUE_WAIT_US.observe(job.queued_at.elapsed().as_micros() as u64);
-        if !exec_delay.is_zero() {
-            std::thread::sleep(exec_delay);
-        }
+        QUEUE_DEPTH.add(-1);
+        job.stamps.mark_dequeued();
+        QUEUE_WAIT_US.observe(job.stamps.enqueued.elapsed().as_micros() as u64);
+        ctx.maybe_stall(&job.line);
         let verb = job.line.split_whitespace().next().unwrap_or("");
         let is_load = verb == "load";
         let mutates = proto::mutating(verb);
-        match exec_guarded(&mut session, &job.line) {
+        let result = exec_guarded(&mut session, &job.line);
+        job.stamps.mark_decided();
+        ctx.maybe_refresh(&mut session, &mut last_refresh);
+        match result {
             Ok(reply) if is_load => {
                 // `load` replaces the whole state from an external file the
                 // replay could not re-read: persist it as a snapshot (which
@@ -451,12 +599,12 @@ fn scheduler_loop(
                 match status {
                     Ok(()) => {
                         flush(&mut wal, &mut pending); // records are durable; release
-                        send_now(&job, reply);
+                        send_now(job, reply);
                     }
                     Err(e) => {
                         WAL_FLUSH_FAILURES.inc();
                         eprintln!("coalloc-net: wal snapshot install failed: {e}");
-                        send_now(&job, format!("error: wal snapshot install failed: {e}"));
+                        send_now(job, format!("error: wal snapshot install failed: {e}"));
                     }
                 }
             }
@@ -473,8 +621,9 @@ fn scheduler_loop(
                         }
                         pending.push(PendingReply {
                             reply: job.reply,
+                            line: job.line,
                             text: reply,
-                            queued_at: job.queued_at,
+                            stamps: job.stamps,
                         });
                         if pending.len() >= MAX_BATCH {
                             flush(&mut wal, &mut pending);
@@ -483,12 +632,12 @@ fn scheduler_loop(
                     Err(e) => {
                         WAL_FLUSH_FAILURES.inc();
                         eprintln!("coalloc-net: wal append failed: {e}");
-                        send_now(&job, format!("error: wal append failed: {e}"));
+                        send_now(job, format!("error: wal append failed: {e}"));
                     }
                 }
             }
-            Ok(reply) => send_now(&job, reply),
-            Err(e) => send_now(&job, format!("error: {e}")),
+            Ok(reply) => send_now(job, reply),
+            Err(e) => send_now(job, format!("error: {e}")),
         }
     }
     // Graceful drain: the workers are gone, but every acknowledged command
@@ -497,10 +646,15 @@ fn scheduler_loop(
 }
 
 /// Release a reply immediately (non-mutating commands, errors: nothing to
-/// make durable first).
-fn send_now(job: &Job, reply: String) {
-    REQUEST_US.observe(job.queued_at.elapsed().as_micros() as u64);
-    let _ = job.reply.send(reply);
+/// make durable first). The WAL-stall stage records as ~0 here.
+fn send_now(mut job: Job, text: String) {
+    job.stamps.mark_released();
+    REQUEST_US.observe(job.stamps.enqueued.elapsed().as_micros() as u64);
+    let _ = job.reply.send(Reply {
+        line: job.line,
+        text,
+        stamps: job.stamps,
+    });
 }
 
 fn accept_loop(
@@ -549,15 +703,16 @@ fn worker_loop(
         };
         let Ok(stream) = stream else { break };
         ACTIVE.add(1);
+        let conn_id = next_conn_id();
         let conn_span = obs::trace::span_fields(
             "net_conn",
-            vec![("id", obs::Value::U64(next_conn_id()))],
+            vec![("id", obs::Value::U64(conn_id))],
         );
         // Shed-and-log: a panic while serving one connection drops that
         // connection only, never the worker (which would silently shrink
         // the pool until no connection is ever served again).
         let served = std::panic::catch_unwind(AssertUnwindSafe(|| {
-            serve_connection(stream, &job_tx, &cfg, &stop)
+            serve_connection(stream, &job_tx, &cfg, &stop, conn_id)
         }));
         if served.is_err() {
             CONN_PANICS.inc();
@@ -648,6 +803,7 @@ fn serve_connection(
     job_tx: &SyncSender<Job>,
     cfg: &NetConfig,
     stop: &AtomicBool,
+    conn_id: u64,
 ) {
     let _ = stream.set_read_timeout(Some(cfg.read_timeout));
     let _ = stream.set_write_timeout(Some(cfg.write_timeout));
@@ -678,31 +834,70 @@ fn serve_connection(
             break;
         }
         LINES.inc();
+        let mut stamps = Stamps::new(); // stage zero: line framed
         let (reply_tx, reply_rx) = mpsc::channel();
+        stamps.mark_enqueued();
+        // Depth is bumped *before* the try_send so the scheduler's decrement
+        // can never observe a job it was not charged for.
+        QUEUE_DEPTH.add(1);
         let job = Job {
             line,
-            queued_at: Instant::now(),
+            stamps,
             reply: reply_tx,
         };
+        let mut shed = false;
         let reply = match job_tx.try_send(job) {
             Ok(()) => match reply_rx.recv() {
                 Ok(r) => r,
                 Err(_) => break, // server draining mid-command
             },
-            Err(TrySendError::Full(_)) => {
+            Err(TrySendError::Full(job)) => {
+                QUEUE_DEPTH.add(-1);
                 SHED.inc();
                 SHED_QUEUE.inc();
-                BUSY_REPLY.to_string()
+                shed = true;
+                Reply {
+                    line: job.line,
+                    text: BUSY_REPLY.to_string(),
+                    stamps: job.stamps,
+                }
             }
-            Err(TrySendError::Disconnected(_)) => break,
-        };
-        if !reply.is_empty() {
-            REPLIES.inc();
-            let mut out = reply.into_bytes();
-            out.push(b'\n');
-            if stream.write_all(&out).is_err() {
+            Err(TrySendError::Disconnected(_)) => {
+                QUEUE_DEPTH.add(-1);
                 break;
             }
+        };
+        let Reply { line, text, stamps } = reply;
+        let mut write_ok = true;
+        if !text.is_empty() {
+            REPLIES.inc();
+            // One write syscall for reply + newline without cloning the
+            // text: push the newline, write, pop it back off for capture.
+            let mut out = text.into_bytes();
+            out.push(b'\n');
+            write_ok = stream.write_all(&out).is_ok();
+            out.pop();
+            // SAFETY-free round trip: `out` minus the newline is the same
+            // UTF-8 string `text` was.
+            let text = String::from_utf8(out).expect("reply was UTF-8");
+            let total_us = stamps.finish_writeback();
+            let outcome = if shed {
+                Some(slow::Outcome::Shed)
+            } else if text.starts_with("error") {
+                Some(slow::Outcome::Error)
+            } else if slow::threshold_us() > 0 && total_us > slow::threshold_us() {
+                Some(slow::Outcome::Slow)
+            } else {
+                None
+            };
+            if let Some(outcome) = outcome {
+                slow::capture(conn_id, &line, &text, outcome, &stamps, total_us);
+            }
+        } else {
+            stamps.finish_writeback();
+        }
+        if !write_ok {
+            break;
         }
         if stop.load(Ordering::SeqCst) {
             break; // drained: in-flight command finished and answered

@@ -267,6 +267,15 @@ impl Session {
                 ))
             }
             ["metrics"] => Ok(obs::metrics::exposition().trim_end().to_string()),
+            ["slow"] => {
+                let records = crate::slow::snapshot();
+                let mut out = format!("slow {}", records.len());
+                for r in &records {
+                    out.push('\n');
+                    out.push_str(&crate::slow::to_json(r));
+                }
+                Ok(out)
+            }
             ["check"] => {
                 self.sched()?.check();
                 Ok("ok".into())
@@ -287,6 +296,24 @@ impl Session {
                 self.restore_plain(&text)
             }
             _ => Err(format!("unknown command: '{line}' (try 'help')")),
+        }
+    }
+
+    /// Capacity and utilization probe for the admin plane's `/status`:
+    /// `(servers, scheduler clock secs, utilization at the clock)`, or
+    /// `None` before any `init`/restore installed a scheduler. Needs `&mut`
+    /// for the sharded back-end's utilization walk.
+    pub fn probe_status(&mut self) -> Option<(u32, i64, f64)> {
+        match self.sched.as_mut()? {
+            Sched::Plain(s) => {
+                let now = s.now();
+                Some((s.num_servers(), now.secs(), s.utilization(now.max(Time(1)))))
+            }
+            Sched::Sharded(s) => {
+                let now = s.now();
+                let util = s.utilization(now.max(Time(1)));
+                Some((s.num_servers(), now.secs(), util))
+            }
         }
     }
 

@@ -1,0 +1,85 @@
+//! Allocation guard for the latency-attribution fast path.
+//!
+//! The ISSUE-7 budget: stamping a request through every stage —
+//! `Stamps::new` → `mark_enqueued` → `mark_dequeued` → `mark_decided` →
+//! `mark_released` → `finish_writeback`, plus the slow-ring threshold
+//! check — must perform **zero heap allocations** in steady state, so
+//! attribution can stay on for every request without eating into the <5%
+//! obs overhead guard. Capturing into the slow ring may allocate; that
+//! path only runs on the tail (slow/shed/errored requests).
+//!
+//! Same technique as `crates/core/tests/alloc_guard.rs`: a counting
+//! `#[global_allocator]` (the lib crates forbid `unsafe`, so this must be
+//! an integration test), a warm-up pass to register the histograms, then a
+//! measured steady-state loop.
+
+use coalloc_net::{slow, stage::Stamps};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    ALLOCS.load(Ordering::SeqCst)
+}
+
+/// Drive one request's worth of stamping, exactly as the server does it
+/// (minus the channels and the socket).
+fn full_pipeline() -> u64 {
+    let mut stamps = Stamps::new();
+    stamps.mark_enqueued();
+    stamps.mark_dequeued();
+    stamps.mark_decided();
+    stamps.mark_released();
+    let total_us = stamps.finish_writeback();
+    // The fast path's entire interaction with the slow ring: one load.
+    if slow::threshold_us() > 0 && total_us > slow::threshold_us() {
+        return total_us;
+    }
+    total_us
+}
+
+#[test]
+fn steady_state_stage_stamping_does_not_allocate() {
+    // Warm-up: the first observation of each histogram registers it
+    // (registry lock, BTreeMap insert — allocations are fine here).
+    coalloc_net::stage::register();
+    for _ in 0..100 {
+        full_pipeline();
+    }
+
+    let before = allocs();
+    let mut acc = 0u64;
+    for _ in 0..10_000 {
+        acc = acc.wrapping_add(full_pipeline());
+    }
+    let grew = allocs() - before;
+    assert_eq!(
+        grew, 0,
+        "steady-state stage stamping allocated {grew} times over 10k requests \
+         (accumulated {acc} µs)"
+    );
+}

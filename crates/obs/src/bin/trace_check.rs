@@ -1,83 +1,79 @@
-//! Validate a JSONL trace file (CI gate for `--trace-out` output).
+//! Validate observability artifacts (CI gate).
 //!
-//! Usage: `trace_check <trace.jsonl> [--require-txn-timelines]`
+//! Usage:
+//!   `trace_check <trace.jsonl> [--require-txn-timelines]`
+//!   `trace_check --expo <metrics.txt>`
 //!
-//! Exits 0 iff the file is non-empty and every line parses as a JSON object
-//! with the mandatory trace keys. With `--require-txn-timelines`, also
-//! requires at least one transaction that has both a hold event and a
-//! terminal (commit/abort/expired) event — i.e. the trace really contains
-//! per-txn protocol timelines, not just scheduler spans.
+//! Default mode validates a JSONL trace file (see [`obs::check::check_trace`]):
+//! exits 0 iff the file is non-empty, every line parses as a JSON object with
+//! the mandatory trace keys, and span start/end events balance per thread.
+//! With `--require-txn-timelines`, also requires at least one transaction
+//! with both a hold event and a terminal (commit/abort/expired) event.
+//!
+//! `--expo` mode instead runs the strict Prometheus text-exposition validator
+//! ([`obs::metrics::validate_exposition`]) over a scraped `/metrics` body.
+//!
+//! Malformed input — torn last lines, non-UTF-8 bytes, depth-mismatched
+//! spans — always produces a clean one-line error and a nonzero exit, never
+//! a panic.
 
-use std::collections::BTreeMap;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(path) = args.first() else {
-        eprintln!("usage: trace_check <trace.jsonl> [--require-txn-timelines]");
+    let expo = args.iter().any(|a| a == "--expo");
+    let require_txn = args.iter().any(|a| a == "--require-txn-timelines");
+    let Some(path) = args.iter().find(|a| !a.starts_with("--")) else {
+        eprintln!("usage: trace_check <trace.jsonl> [--require-txn-timelines] | trace_check --expo <metrics.txt>");
         return ExitCode::from(2);
     };
-    let require_txn = args.iter().any(|a| a == "--require-txn-timelines");
 
-    let text = match std::fs::read_to_string(path) {
-        Ok(t) => t,
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
         Err(e) => {
             eprintln!("trace_check: cannot read {path}: {e}");
             return ExitCode::FAILURE;
         }
     };
-
-    let mut lines = 0usize;
-    // txn -> (has hold event, has terminal commit/abort/expired event)
-    let mut txns: BTreeMap<String, (bool, bool)> = BTreeMap::new();
-    for (i, line) in text.lines().enumerate() {
-        if line.trim().is_empty() {
-            continue;
+    let text = match String::from_utf8(bytes) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!(
+                "trace_check: {path}: not valid UTF-8 (invalid byte at offset {})",
+                e.utf8_error().valid_up_to()
+            );
+            return ExitCode::FAILURE;
         }
-        lines += 1;
-        let value = match obs::json::parse(line) {
-            Ok(v) => v,
+    };
+
+    if expo {
+        return match obs::metrics::validate_exposition(&text) {
+            Ok(families) if families > 0 => {
+                println!("trace_check: {path} ok — {families} metric families, exposition format valid");
+                ExitCode::SUCCESS
+            }
+            Ok(_) => {
+                eprintln!("trace_check: {path} contains no metric families");
+                ExitCode::FAILURE
+            }
             Err(e) => {
-                eprintln!("trace_check: line {}: invalid JSON: {e}", i + 1);
-                return ExitCode::FAILURE;
+                eprintln!("trace_check: {path}: {e}");
+                ExitCode::FAILURE
             }
         };
-        for key in ["ts_ns", "thread", "kind", "name"] {
-            if value.get(key).is_none() {
-                eprintln!("trace_check: line {}: missing key '{key}'", i + 1);
-                return ExitCode::FAILURE;
-            }
-        }
-        let name = value.get("name").and_then(|v| v.as_str()).unwrap_or("");
-        if let Some(txn) = value.get("txn").map(|v| match v.as_num() {
-            Some(n) => format!("{n}"),
-            None => v.as_str().unwrap_or("?").to_string(),
-        }) {
-            let entry = txns.entry(txn).or_insert((false, false));
-            if name.contains("hold") {
-                entry.0 = true;
-            }
-            if name.contains("commit") || name.contains("abort") || name.contains("expired") {
-                entry.1 = true;
-            }
-        }
     }
 
-    if lines == 0 {
-        eprintln!("trace_check: {path} contains no events");
-        return ExitCode::FAILURE;
+    match obs::check::check_trace(&text, require_txn) {
+        Ok(r) => {
+            println!(
+                "trace_check: {path} ok — {} events, {} txns ({} with full hold→commit/abort timelines), {} spans open at EOF",
+                r.events, r.txns, r.complete_txns, r.open_spans
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("trace_check: {path}: {e}");
+            ExitCode::FAILURE
+        }
     }
-    let complete = txns.values().filter(|(h, t)| *h && *t).count();
-    if require_txn && complete == 0 {
-        eprintln!(
-            "trace_check: {path} has no complete per-txn timelines ({} txns seen)",
-            txns.len()
-        );
-        return ExitCode::FAILURE;
-    }
-    println!(
-        "trace_check: {path} ok — {lines} events, {} txns ({complete} with full hold→commit/abort timelines)",
-        txns.len()
-    );
-    ExitCode::SUCCESS
 }

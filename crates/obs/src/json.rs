@@ -67,7 +67,9 @@ impl Json {
 }
 
 /// Parse a complete JSON document. Returns `Err` with a position-annotated
-/// message on malformed input or trailing garbage.
+/// message on malformed input or trailing garbage. Duplicate object keys
+/// keep the first occurrence (trace lines serialize the envelope fields
+/// before span attributes, which may legally reuse an envelope name).
 pub fn parse(input: &str) -> Result<Json, String> {
     let bytes = input.as_bytes();
     let mut pos = 0;
@@ -214,7 +216,11 @@ fn parse_object(b: &[u8], pos: &mut usize) -> Result<Json, String> {
         let key = parse_string(b, pos)?;
         skip_ws(b, pos);
         expect(b, pos, b':')?;
-        map.insert(key, parse_value(b, pos)?);
+        // First occurrence wins on duplicate keys: trace lines put the
+        // envelope fields (ts_ns/thread/kind/name) first, and a span
+        // attribute reusing one of those names must not shadow them.
+        let value = parse_value(b, pos)?;
+        map.entry(key).or_insert(value);
         skip_ws(b, pos);
         match b.get(*pos) {
             Some(b',') => *pos += 1,

@@ -69,6 +69,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod check;
 pub mod json;
 pub mod metrics;
 pub mod trace;

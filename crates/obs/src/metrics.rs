@@ -245,18 +245,262 @@ pub fn exposition() -> String {
             }
             Metric::Histogram(h) => {
                 out.push_str(&format!("# TYPE {name} histogram\n"));
+                // Snapshot buckets first, then take the larger of the bucket
+                // total and the count register: `observe` bumps the bucket
+                // before the count, so a concurrent observer could otherwise
+                // leave `+Inf` (from `count`) behind the cumulative buckets,
+                // which strict exposition parsers reject.
+                let buckets = h.nonzero_buckets();
                 let mut cum = 0;
-                for (upper, count) in h.nonzero_buckets() {
+                for (upper, count) in buckets {
                     cum += count;
                     out.push_str(&format!("{name}_bucket{{le=\"{upper}\"}} {cum}\n"));
                 }
-                out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count()));
+                let total = h.count().max(cum);
+                out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {total}\n"));
                 out.push_str(&format!("{name}_sum {}\n", h.sum()));
-                out.push_str(&format!("{name}_count {}\n", h.count()));
+                out.push_str(&format!("{name}_count {total}\n"));
             }
         }
     }
     out
+}
+
+/// Strictly validate Prometheus text-exposition output (format 0.0.4).
+///
+/// Std-only parser used by tests and `trace_check --expo` against real
+/// server output. Checks, per metric family:
+///
+/// - every sample is preceded by a `# TYPE <name> <counter|gauge|histogram>`
+///   line for its family, with no duplicate or interleaved families;
+/// - metric and label names are well-formed (`[a-zA-Z_:][a-zA-Z0-9_:]*`);
+/// - sample values parse as finite numbers (counters non-negative);
+/// - histograms expose `_bucket{le="..."}` series with strictly increasing
+///   `le` bounds and non-decreasing cumulative counts, a terminal
+///   `{le="+Inf"}` bucket, and `_sum`/`_count` series where `_count`
+///   equals the `+Inf` bucket and is `>=` the last finite bucket.
+///
+/// Returns `Ok(families)` (number of `# TYPE` families seen) or a
+/// `line N: ...` error message.
+pub fn validate_exposition(text: &str) -> Result<usize, String> {
+    fn valid_name(s: &str) -> bool {
+        let mut chars = s.chars();
+        match chars.next() {
+            Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+            _ => return false,
+        }
+        chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    }
+
+    struct Family {
+        name: String,
+        kind: String,
+        // histogram bookkeeping
+        last_le: Option<f64>,
+        last_cum: u64,
+        inf_bucket: Option<u64>,
+        sum_seen: bool,
+        count_val: Option<u64>,
+        samples: usize,
+    }
+
+    impl Family {
+        fn finish(&self, line_no: usize) -> Result<(), String> {
+            if self.samples == 0 {
+                return Err(format!(
+                    "line {line_no}: family '{}' has a TYPE line but no samples",
+                    self.name
+                ));
+            }
+            if self.kind == "histogram" {
+                let inf = self.inf_bucket.ok_or_else(|| format!(
+                    "line {line_no}: histogram '{}' missing le=\"+Inf\" bucket",
+                    self.name
+                ))?;
+                if !self.sum_seen {
+                    return Err(format!(
+                        "line {line_no}: histogram '{}' missing _sum",
+                        self.name
+                    ));
+                }
+                let count = self.count_val.ok_or_else(|| format!(
+                    "line {line_no}: histogram '{}' missing _count",
+                    self.name
+                ))?;
+                if count != inf {
+                    return Err(format!(
+                        "line {line_no}: histogram '{}': _count {count} != +Inf bucket {inf}",
+                        self.name
+                    ));
+                }
+                if inf < self.last_cum {
+                    return Err(format!(
+                        "line {line_no}: histogram '{}': +Inf bucket {inf} < last finite bucket {}",
+                        self.name, self.last_cum
+                    ));
+                }
+            }
+            Ok(())
+        }
+    }
+
+    let mut family: Option<Family> = None;
+    let mut done: Vec<String> = Vec::new();
+    let mut families = 0usize;
+
+    for (i, line) in text.lines().enumerate() {
+        let no = i + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let (name, kind) = match (parts.next(), parts.next(), parts.next()) {
+                (Some(n), Some(k), None) => (n, k),
+                _ => return Err(format!("line {no}: malformed TYPE line")),
+            };
+            if !valid_name(name) {
+                return Err(format!("line {no}: invalid metric name '{name}'"));
+            }
+            if !matches!(kind, "counter" | "gauge" | "histogram" | "summary" | "untyped") {
+                return Err(format!("line {no}: unknown metric type '{kind}'"));
+            }
+            if let Some(f) = family.take() {
+                f.finish(no)?;
+                done.push(f.name);
+            }
+            if done.iter().any(|d| d == name) {
+                return Err(format!("line {no}: duplicate/interleaved family '{name}'"));
+            }
+            families += 1;
+            family = Some(Family {
+                name: name.to_string(),
+                kind: kind.to_string(),
+                last_le: None,
+                last_cum: 0,
+                inf_bucket: None,
+                sum_seen: false,
+                count_val: None,
+                samples: 0,
+            });
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // comments / HELP lines
+        }
+        // Sample line: name[{labels}] value
+        let (series, value_str) = match line.rsplit_once(' ') {
+            Some((s, v)) if !s.is_empty() && !v.is_empty() => (s.trim_end(), v),
+            _ => return Err(format!("line {no}: malformed sample line")),
+        };
+        let (series_name, labels) = match series.find('{') {
+            Some(b) => {
+                let Some(stripped) = series[b..].strip_prefix('{').and_then(|r| r.strip_suffix('}'))
+                else {
+                    return Err(format!("line {no}: unbalanced label braces"));
+                };
+                (&series[..b], Some(stripped))
+            }
+            None => (series, None),
+        };
+        if !valid_name(series_name) {
+            return Err(format!("line {no}: invalid series name '{series_name}'"));
+        }
+        let mut le: Option<&str> = None;
+        if let Some(labels) = labels {
+            for pair in labels.split(',') {
+                let Some((lname, lval)) = pair.split_once('=') else {
+                    return Err(format!("line {no}: malformed label '{pair}'"));
+                };
+                if !valid_name(lname) || lname.contains(':') {
+                    return Err(format!("line {no}: invalid label name '{lname}'"));
+                }
+                let Some(unq) = lval.strip_prefix('"').and_then(|v| v.strip_suffix('"')) else {
+                    return Err(format!("line {no}: unquoted label value '{lval}'"));
+                };
+                if lname == "le" {
+                    le = Some(unq);
+                }
+            }
+        }
+        let fam = family.as_mut().ok_or_else(|| format!(
+            "line {no}: sample '{series_name}' before any TYPE line"
+        ))?;
+        let base = series_name
+            .strip_suffix("_bucket")
+            .or_else(|| series_name.strip_suffix("_sum"))
+            .or_else(|| series_name.strip_suffix("_count"))
+            .filter(|b| fam.kind == "histogram" && *b == fam.name)
+            .unwrap_or(series_name);
+        if base != fam.name {
+            return Err(format!(
+                "line {no}: sample '{series_name}' does not belong to family '{}'",
+                fam.name
+            ));
+        }
+        let value: f64 = value_str
+            .parse()
+            .map_err(|_| format!("line {no}: unparseable value '{value_str}'"))?;
+        if !value.is_finite() {
+            return Err(format!("line {no}: non-finite sample value '{value_str}'"));
+        }
+        if fam.kind == "counter" && value < 0.0 {
+            return Err(format!("line {no}: counter '{series_name}' is negative"));
+        }
+        fam.samples += 1;
+        if fam.kind == "histogram" {
+            if series_name.ends_with("_bucket") && series_name.len() > fam.name.len() {
+                let le = le.ok_or_else(|| format!("line {no}: _bucket sample without le label"))?;
+                let cum = value as u64;
+                if le == "+Inf" {
+                    if fam.inf_bucket.is_some() {
+                        return Err(format!("line {no}: duplicate +Inf bucket"));
+                    }
+                    fam.inf_bucket = Some(cum);
+                } else {
+                    if fam.inf_bucket.is_some() {
+                        return Err(format!("line {no}: finite bucket after +Inf"));
+                    }
+                    let bound: f64 = le
+                        .parse()
+                        .map_err(|_| format!("line {no}: unparseable le bound '{le}'"))?;
+                    if !bound.is_finite() {
+                        return Err(format!(
+                            "line {no}: non-finite le bound '{le}' (only \"+Inf\" is allowed)"
+                        ));
+                    }
+                    if let Some(prev) = fam.last_le {
+                        if bound <= prev {
+                            return Err(format!(
+                                "line {no}: le bounds not strictly increasing ({prev} then {bound})"
+                            ));
+                        }
+                    }
+                    if cum < fam.last_cum {
+                        return Err(format!(
+                            "line {no}: cumulative bucket count decreased ({} then {cum})",
+                            fam.last_cum
+                        ));
+                    }
+                    fam.last_le = Some(bound);
+                    fam.last_cum = cum;
+                }
+            } else if series_name.ends_with("_sum") && series_name.len() > fam.name.len() {
+                fam.sum_seen = true;
+            } else if series_name.ends_with("_count") && series_name.len() > fam.name.len() {
+                fam.count_val = Some(value as u64);
+            } else {
+                return Err(format!(
+                    "line {no}: bare sample '{series_name}' in histogram family"
+                ));
+            }
+        }
+    }
+    let last_line = text.lines().count();
+    if let Some(f) = family.take() {
+        f.finish(last_line)?;
+    }
+    Ok(families)
 }
 
 /// A counter handle resolvable from a `static` context:

@@ -337,3 +337,13 @@ fn json_parser_rejects_malformed() {
         ]))
     );
 }
+
+/// Trace lines may repeat an envelope key as a span attribute (an rpc span
+/// carries `"kind":"hold"` after the envelope's `"kind":"span_start"`);
+/// readers must see the first occurrence, not the shadowing attribute.
+#[test]
+fn json_parser_keeps_first_duplicate_key() {
+    let v = obs::json::parse("{\"kind\":\"span_start\",\"txn\":1,\"kind\":\"hold\"}").unwrap();
+    assert_eq!(v.get("kind").and_then(|k| k.as_str()), Some("span_start"));
+    assert_eq!(v.get("txn").and_then(|t| t.as_num()), Some(1.0));
+}

@@ -65,7 +65,7 @@
 
 pub mod crc;
 
-use obs::{LazyCounter, LazyHistogram};
+use obs::{LazyCounter, LazyGauge, LazyHistogram};
 use std::fs::{self, File, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -77,6 +77,12 @@ static BATCH: LazyHistogram = LazyHistogram::new("wal_fsync_batch_size");
 static SNAPSHOTS: LazyCounter = LazyCounter::new("wal_snapshot_total");
 static SEGMENTS_REMOVED: LazyCounter = LazyCounter::new("wal_segments_removed_total");
 static TORN_BYTES: LazyCounter = LazyCounter::new("wal_torn_bytes_total");
+// Live gauges for the admin plane's `/status` (DESIGN.md §8). They mirror
+// the most recently updated `Wal` in this process — in production exactly
+// one log is open per server.
+static SEGMENTS_LIVE: LazyGauge = LazyGauge::new("wal_segments_live");
+static BYTES_SINCE_SNAPSHOT: LazyGauge = LazyGauge::new("wal_bytes_since_snapshot");
+static LAST_FSYNC_BATCH: LazyGauge = LazyGauge::new("wal_last_fsync_batch");
 
 /// Frame header size: 4 bytes length + 4 bytes CRC32.
 const HEADER: usize = 8;
@@ -172,6 +178,8 @@ pub struct Wal {
     buffered: Vec<u8>,
     unsynced_records: u64,
     since_snapshot: u64,
+    first_seq: u64,
+    since_snapshot_bytes: u64,
 }
 
 fn seg_name(seq: u64) -> String {
@@ -324,6 +332,7 @@ impl Wal {
         // segment, where it is truncated away.
         let mut records = Vec::new();
         let mut torn_bytes = 0u64;
+        let mut replayed_bytes = 0u64;
         for (i, &seq) in segs.iter().enumerate() {
             let path = cfg.dir.join(seg_name(seq));
             let bytes = fs::read(&path)?;
@@ -351,6 +360,7 @@ impl Wal {
                     }
                 }
             }
+            replayed_bytes += offset as u64;
         }
         TORN_BYTES.add(torn_bytes);
 
@@ -372,7 +382,12 @@ impl Wal {
             buffered: Vec::with_capacity(4096),
             unsynced_records: 0,
             since_snapshot: records.len() as u64,
+            first_seq: segs.first().copied().unwrap_or(active_seq),
+            since_snapshot_bytes: replayed_bytes,
         };
+        SEGMENTS_LIVE.set(wal.segments_live() as i64);
+        BYTES_SINCE_SNAPSHOT.set(wal.since_snapshot_bytes as i64);
+        LAST_FSYNC_BATCH.set(0);
         Ok((
             wal,
             Recovery {
@@ -398,8 +413,10 @@ impl Wal {
         frame_into(&mut self.buffered, payload);
         self.unsynced_records += 1;
         self.since_snapshot += 1;
+        self.since_snapshot_bytes += (payload.len() + HEADER) as u64;
         APPENDS.inc();
         APPEND_BYTES.add((payload.len() + HEADER) as u64);
+        BYTES_SINCE_SNAPSHOT.set(self.since_snapshot_bytes as i64);
         Ok(())
     }
 
@@ -419,6 +436,7 @@ impl Wal {
         }
         FSYNCS.inc();
         BATCH.observe(self.unsynced_records);
+        LAST_FSYNC_BATCH.set(self.unsynced_records as i64);
         self.unsynced_records = 0;
         Ok(())
     }
@@ -432,6 +450,7 @@ impl Wal {
         self.active_seq = seq;
         self.active_len = 0;
         sync_dir(&self.cfg.dir);
+        SEGMENTS_LIVE.set(self.segments_live() as i64);
         Ok(())
     }
 
@@ -479,6 +498,10 @@ impl Wal {
         }
         sync_dir(&self.cfg.dir);
         self.since_snapshot = 0;
+        self.since_snapshot_bytes = 0;
+        self.first_seq = seq;
+        SEGMENTS_LIVE.set(self.segments_live() as i64);
+        BYTES_SINCE_SNAPSHOT.set(0);
         Ok(())
     }
 
@@ -496,6 +519,20 @@ impl Wal {
     /// Sequence number of the segment currently receiving appends.
     pub fn active_segment(&self) -> u64 {
         self.active_seq
+    }
+
+    /// Number of segment files currently live on disk (oldest kept through
+    /// the active one). Exported as the `wal_segments_live` gauge.
+    pub fn segments_live(&self) -> u64 {
+        self.active_seq - self.first_seq + 1
+    }
+
+    /// Bytes appended (framed) since the last snapshot install, including
+    /// the tail replayed at recovery. Exported as the
+    /// `wal_bytes_since_snapshot` gauge; the admin plane's `/status` shows
+    /// it so an operator can see how much replay a crash would cost.
+    pub fn bytes_since_snapshot(&self) -> u64 {
+        self.since_snapshot_bytes
     }
 
     /// The directory this log lives in.

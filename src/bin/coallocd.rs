@@ -47,6 +47,15 @@
 //! process; `coalloc-net`'s [`coalloc::net::Server`] drains gracefully on
 //! shutdown.
 //!
+//! Observability (serve mode): `--admin-addr HOST:PORT` opens a second
+//! HTTP listener serving `/metrics`, `/healthz`, `/readyz`, `/status` and
+//! `/debug/slow` (non-normative, see README.md § Operating `coallocd`);
+//! the resolved address is printed as a second stdout line, `admin on
+//! HOST:PORT`. `--slow-threshold-ms MS` sets the end-to-end latency above
+//! which a request's stage timeline is captured into the slow ring
+//! (default 100; 0 disables latency capture), `--slow-capacity N` bounds
+//! the ring (default 256).
+//!
 //! Durability (serve mode): `--wal-dir PATH` write-ahead-logs every
 //! mutating command to `PATH` and fsyncs it *before* the reply is
 //! released, so a `kill -9` loses no acknowledged grant; on restart the
@@ -148,6 +157,19 @@ fn main() {
                     "write timeout",
                 ));
             }
+            ("--admin-addr", Some(cfg)) => {
+                cfg.admin_addr = Some(flag_value(&mut args, "--admin-addr"));
+            }
+            ("--slow-threshold-ms", Some(cfg)) => {
+                cfg.slow_threshold = std::time::Duration::from_millis(parse_or_die(
+                    &flag_value(&mut args, "--slow-threshold-ms"),
+                    "slow threshold",
+                ));
+            }
+            ("--slow-capacity", Some(cfg)) => {
+                cfg.slow_capacity =
+                    parse_or_die(&flag_value(&mut args, "--slow-capacity"), "slow capacity");
+            }
             ("--wal-dir", Some(cfg)) => {
                 cfg.wal = Some(WalOptions::new(flag_value(&mut args, "--wal-dir")));
             }
@@ -204,6 +226,9 @@ fn main() {
         // Printed on stdout so scripts (and the e2e tests) can discover the
         // resolved port when binding port 0.
         println!("listening on {}", server.local_addr());
+        if let Some(admin) = server.admin_addr() {
+            println!("admin on {admin}");
+        }
         let _ = std::io::stdout().flush();
         // Serve until our stdin closes (or forever when detached): the
         // parent killing the process or closing the pipe is the shutdown

@@ -95,6 +95,50 @@ fn serve_mode_matches_stdin_session() {
     assert!(status.success());
 }
 
+/// `serve --admin-addr` prints a second banner line with the resolved
+/// admin address, and the admin plane answers a real HTTP scrape while
+/// the command port serves the protocol.
+#[test]
+fn serve_mode_admin_banner_and_scrape() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_coallocd"))
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--admin-addr",
+            "127.0.0.1:0",
+            "--slow-threshold-ms",
+            "250",
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn coallocd serve");
+    let mut stdout = BufReader::new(child.stdout.take().unwrap());
+    let mut banner = String::new();
+    stdout.read_line(&mut banner).expect("read banner");
+    assert!(banner.starts_with("listening on "), "{banner}");
+    let mut admin_banner = String::new();
+    stdout.read_line(&mut admin_banner).expect("read admin banner");
+    let admin = admin_banner
+        .trim()
+        .strip_prefix("admin on ")
+        .unwrap_or_else(|| panic!("unexpected admin banner: {admin_banner}"))
+        .to_string();
+
+    let mut sock = std::net::TcpStream::connect(&admin).expect("connect admin");
+    sock.write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+        .expect("send scrape");
+    let mut response = String::new();
+    std::io::Read::read_to_string(&mut BufReader::new(sock), &mut response).expect("read");
+    assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+    assert!(response.ends_with("ok\n"), "{response}");
+
+    drop(child.stdin.take());
+    let status = child.wait().expect("wait");
+    assert!(status.success());
+}
+
 #[test]
 fn snapshot_survives_process_restart() {
     let path = std::env::temp_dir().join("coallocd-e2e-snap.txt");
