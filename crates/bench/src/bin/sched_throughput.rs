@@ -8,11 +8,20 @@
 //! ```text
 //! cargo run -p coalloc-bench --release --bin sched_throughput -- \
 //!     [--smoke] [--scale F] [--seed N] [--out PATH] [--guard R] \
-//!     [--profile kth|write-heavy|wal] [--validate PATH]
+//!     [--batch B] [--profile kth|write-heavy|wal] [--validate PATH]
 //! ```
 //!
 //! * `--smoke` — tiny workload slice for CI (also skips the slow naive
 //!   baseline's full stream: the stream is already small).
+//! * `--batch B` — additionally measure the batched submission path: the
+//!   op stream is chunked into groups of up to `B` submissions (releases
+//!   encountered while a group fills are deferred to just after it lands,
+//!   the way a server drains its queue), and every scheduler replays the
+//!   *same* groups — the single scheduler folds each group through
+//!   `submit_batch_into`, the sharded ones execute it as one batch. Emits
+//!   extra `online-b{B}` / `sharded-k{K}-b{B}` rows. With `--guard R` the
+//!   gate moves to the batched rows: every `sharded-k{2,4,8}-b{B}` must
+//!   reach `R ×` `online-b{B}`.
 //! * `--profile write-heavy` — replace the KTH submit-only stream with a
 //!   grant/release churn stream of long-spanning reservations (4–48 h over
 //!   15-minute slots), so the run is dominated by idle-period index updates
@@ -190,6 +199,118 @@ fn replay_ops(
     }
 }
 
+/// One replay group of the batched mode: a run of up to `B` submissions
+/// executed as one `submit_batch`, or the release of an earlier grant.
+enum Group {
+    Batch(Vec<Request>),
+    Release { submit_idx: usize, at: Time },
+}
+
+/// Chunk a stream into batched replay groups. Submissions accumulate into
+/// groups of up to `batch`; releases encountered while a group is filling
+/// are deferred until the group lands (a release may then even target a
+/// grant made earlier in its own group — exactly how the server's queue
+/// drain behaves). Every scheduler replays the same groups, so the batched
+/// rows are decision-identical to each other, though not to the unbatched
+/// rows (the clock only advances at group boundaries).
+fn group_stream(reqs: &[Request], ops: &[Op], batch: usize) -> Vec<Group> {
+    let mut groups = Vec::new();
+    let mut cur: Vec<Request> = Vec::new();
+    let mut deferred: Vec<Group> = Vec::new();
+    let flush = |cur: &mut Vec<Request>, deferred: &mut Vec<Group>, groups: &mut Vec<Group>| {
+        if !cur.is_empty() {
+            groups.push(Group::Batch(std::mem::take(cur)));
+        }
+        groups.append(deferred);
+    };
+    if ops.is_empty() {
+        for r in reqs {
+            cur.push(*r);
+            if cur.len() == batch {
+                flush(&mut cur, &mut deferred, &mut groups);
+            }
+        }
+    } else {
+        for op in ops {
+            match op {
+                Op::Submit(r) => {
+                    cur.push(*r);
+                    if cur.len() == batch {
+                        flush(&mut cur, &mut deferred, &mut groups);
+                    }
+                }
+                Op::Release { submit_idx, at } => deferred.push(Group::Release {
+                    submit_idx: *submit_idx,
+                    at: *at,
+                }),
+            }
+        }
+    }
+    flush(&mut cur, &mut deferred, &mut groups);
+    groups
+}
+
+/// One scheduler call of a [`Group`] replay.
+enum GroupAction<'a> {
+    Submit(&'a [Request]),
+    Release(JobId, Time),
+}
+
+/// Replay a [`Group`] stream. Batch latency is charged evenly to its
+/// members so the percentiles stay per-request figures; `rps` divides the
+/// original op count by the wall time, directly comparable to the
+/// unbatched rows.
+fn replay_groups(
+    label: &str,
+    shards: Option<u32>,
+    n_ops: usize,
+    groups: &[Group],
+    mut act: impl FnMut(GroupAction, &mut Vec<Result<Grant, ScheduleError>>),
+) -> Measured {
+    let mut lat_ns = Vec::with_capacity(n_ops);
+    let mut jobs: Vec<Option<JobId>> = Vec::new();
+    let mut out: Vec<Result<Grant, ScheduleError>> = Vec::new();
+    let mut granted = 0usize;
+    let t0 = Instant::now();
+    for g in groups {
+        match g {
+            Group::Batch(reqs) => {
+                let t = Instant::now();
+                act(GroupAction::Submit(reqs), &mut out);
+                let per = t.elapsed().as_nanos() as u64 / reqs.len().max(1) as u64;
+                for r in out.drain(..) {
+                    match r {
+                        Ok(g) => {
+                            granted += 1;
+                            jobs.push(Some(g.job));
+                        }
+                        Err(_) => jobs.push(None),
+                    }
+                    lat_ns.push(per);
+                }
+            }
+            Group::Release { submit_idx, at } => {
+                let t = Instant::now();
+                if let Some(job) = jobs[*submit_idx].take() {
+                    act(GroupAction::Release(job, *at), &mut out);
+                }
+                lat_ns.push(t.elapsed().as_nanos() as u64);
+            }
+        }
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    lat_ns.sort_unstable();
+    Measured {
+        label: label.to_string(),
+        shards,
+        granted,
+        secs,
+        rps: n_ops as f64 / secs.max(1e-9),
+        p50_us: percentile_us(&lat_ns, 0.50),
+        p99_us: percentile_us(&lat_ns, 0.99),
+    }
+}
+
 /// Protocol-text churn stream for the `wal` profile: the chaos harness's
 /// traffic mix (submit-heavy with releases, clock advances and consistency
 /// checks) as one replayable script. Release targets are guessed from the
@@ -310,6 +431,8 @@ struct RunMeta<'a> {
     scale: f64,
     seed: u64,
     n_ops: usize,
+    /// Batched-mode group size (`--batch`), 0 when batched rows were not run.
+    batch: usize,
     /// Pre-rendered `"write_path"` JSON object (write-heavy profile only).
     write_path: Option<String>,
 }
@@ -325,6 +448,9 @@ fn render(results: &[Measured], meta: &RunMeta) -> String {
     out.push_str(&format!("  \"scale\": {},\n", meta.scale));
     out.push_str(&format!("  \"seed\": {},\n", meta.seed));
     out.push_str(&format!("  \"requests\": {},\n", meta.n_ops));
+    if meta.batch > 0 {
+        out.push_str(&format!("  \"batch\": {},\n", meta.batch));
+    }
     out.push_str(&format!("  \"cpus\": {cpus},\n"));
     if let Some(wp) = &meta.write_path {
         out.push_str(&format!("  \"write_path\": {wp},\n"));
@@ -404,13 +530,29 @@ fn validate(text: &str) -> Result<Vec<(String, f64)>, String> {
             e.get("rps").and_then(Json::as_num).unwrap_or(0.0),
         ));
     }
-    let want: &[&str] = if profile == "wal" {
-        &["wal-off", "wal-batched", "wal-sync-each"]
+    let mut want: Vec<String> = if profile == "wal" {
+        ["wal-off", "wal-batched", "wal-sync-each"]
+            .map(String::from)
+            .into()
     } else {
-        &["naive", "online", "sharded-k1", "sharded-k2", "sharded-k4", "sharded-k8"]
+        ["naive", "online", "sharded-k1", "sharded-k2", "sharded-k4", "sharded-k8"]
+            .map(String::from)
+            .into()
     };
-    for want in want {
-        if !seen.iter().any(|(l, _)| l == *want) {
+    // A batched run carries a positive "batch" and one batched row per
+    // scheduler (the naive oracle has no batched entry point).
+    let batch = doc.get("batch").and_then(Json::as_num).unwrap_or(0.0) as u64;
+    if batch > 0 {
+        if profile == "wal" {
+            return Err("\"batch\" is not valid for the wal profile".into());
+        }
+        want.push(format!("online-b{batch}"));
+        for k in [1u64, 2, 4, 8] {
+            want.push(format!("sharded-k{k}-b{batch}"));
+        }
+    }
+    for want in &want {
+        if !seen.iter().any(|(l, _)| l == want) {
             return Err(format!("missing scheduler entry \"{want}\""));
         }
     }
@@ -443,6 +585,7 @@ fn main() {
     let mut seed = 42u64;
     let mut out_path: Option<String> = None;
     let mut guard: Option<f64> = None;
+    let mut batch = 0usize;
     let mut profile = String::from("kth");
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -452,6 +595,9 @@ fn main() {
             "--seed" => seed = args.next().expect("--seed N").parse().expect("integer"),
             "--out" => out_path = Some(args.next().expect("--out PATH")),
             "--profile" => profile = args.next().expect("--profile NAME"),
+            "--batch" => {
+                batch = args.next().expect("--batch B").parse().expect("integer");
+            }
             "--guard" => {
                 guard = Some(args.next().expect("--guard R").parse().expect("float"));
             }
@@ -473,8 +619,8 @@ fn main() {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: sched_throughput [--smoke] [--scale F] [--seed N] \
-                     [--out PATH] [--guard R] [--profile kth|write-heavy|wal] \
-                     [--validate PATH]"
+                     [--out PATH] [--guard R] [--batch B] \
+                     [--profile kth|write-heavy|wal] [--validate PATH]"
                 );
                 return;
             }
@@ -582,6 +728,46 @@ fn main() {
         }
     }
 
+    if batch > 0 && profile == "wal" {
+        eprintln!("--batch is not valid for the wal profile");
+        std::process::exit(2);
+    }
+    let groups = if batch > 0 {
+        group_stream(&reqs, &ops, batch)
+    } else {
+        Vec::new()
+    };
+    let n_stream_ops = reqs.len().max(ops.len());
+
+    // Replay the batched groups through one scheduler — the macro body is
+    // identical for the single and the sharded scheduler, which is the
+    // point: `submit_batch_into` is the shared batched entry point.
+    macro_rules! run_batch {
+        ($label:expr, $shards:expr, $s:ident) => {
+            replay_groups($label, $shards, n_stream_ops, &groups, |a, out| match a {
+                GroupAction::Submit(reqs) => {
+                    $s.advance_to(reqs[0].submit);
+                    $s.submit_batch_into(reqs, out);
+                }
+                GroupAction::Release(job, at) => {
+                    $s.advance_to(at);
+                    let _ = $s.release(job);
+                }
+            })
+        };
+    }
+
+    if batch > 0 {
+        {
+            let mut s = CoAllocScheduler::new(servers, bench_cfg());
+            results.push(run_batch!(&format!("online-b{batch}"), None, s));
+        }
+        for k in SHARD_COUNTS {
+            let mut s = ShardedScheduler::new(servers, k, bench_cfg());
+            results.push(run_batch!(&format!("sharded-k{k}-b{batch}"), Some(k), s));
+        }
+    }
+
     for m in &results {
         println!(
             "  {:<12} {:>10.0} req/s  p50 {:>8.1} µs  p99 {:>9.1} µs  ({} granted, {:.3} s)",
@@ -599,6 +785,7 @@ fn main() {
         scale,
         seed,
         n_ops: reqs.len().max(ops.len()).max(cmds.len()),
+        batch,
         write_path,
     };
     let doc = render(&results, &meta);
@@ -617,6 +804,46 @@ fn main() {
         // A single replay is too noisy for a pass/fail gate on a busy host:
         // re-measure the guarded pair interleaved and compare each label's
         // best of three trials.
+        if batch > 0 {
+            // Batched gate: every parallel configuration must carry its
+            // weight — sharded-k{2,4,8}-b{B} each against online-b{B}.
+            let online_label = format!("online-b{batch}");
+            let shard_ks = [2u32, 4, 8];
+            let mut online = rps_of(&online_label);
+            let mut best: Vec<f64> = shard_ks
+                .iter()
+                .map(|k| rps_of(&format!("sharded-k{k}-b{batch}")))
+                .collect();
+            for _ in 0..2 {
+                let mut s = CoAllocScheduler::new(servers, bench_cfg());
+                online = online.max(run_batch!(&online_label, None, s).rps);
+                for (i, &k) in shard_ks.iter().enumerate() {
+                    let mut s = ShardedScheduler::new(servers, k, bench_cfg());
+                    best[i] =
+                        best[i].max(run_batch!(&format!("sharded-k{k}-b{batch}"), Some(k), s).rps);
+                }
+            }
+            let mut failed = false;
+            for (i, &k) in shard_ks.iter().enumerate() {
+                if best[i] < ratio * online {
+                    eprintln!(
+                        "GUARD FAILED: sharded-k{k}-b{batch} at {:.0} req/s is below \
+                         {ratio} × {online_label} ({online:.0} req/s)",
+                        best[i]
+                    );
+                    failed = true;
+                } else {
+                    println!(
+                        "guard ok: sharded-k{k}-b{batch}/{online_label} = {:.3} >= {ratio}",
+                        best[i] / online
+                    );
+                }
+            }
+            if failed {
+                std::process::exit(1);
+            }
+            return;
+        }
         let (fast_label, slow_label);
         let (mut fast, mut slow);
         if profile == "wal" {

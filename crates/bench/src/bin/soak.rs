@@ -10,8 +10,12 @@
 //!
 //! With `--shards K` (K > 1) every round also drives a [`ShardedScheduler`]
 //! over the same stream and asserts its grants, rejections, and releases
-//! are identical to the tree scheduler's — the three-way differential
-//! exercises the worker pool under randomized load.
+//! are identical to the tree scheduler's. The mirror consumes submissions
+//! through `submit_batch` with *randomized* batch boundaries (any
+//! non-submit operation is a barrier that flushes the pending batch
+//! first), so the three-way differential continuously re-proves the
+//! batched-execution equivalence contract under randomized load, not just
+//! the per-request one.
 //!
 //! A divergence (any failed equivalence assertion) prints
 //! `INVARIANT VIOLATED: ...` on stderr and exits non-zero instead of
@@ -99,6 +103,63 @@ fn main() {
     println!("soak passed: {rounds} randomized rounds, {total_ops} tree ops, no divergence");
 }
 
+/// Submissions awaiting the sharded mirror's next `submit_batch` flush,
+/// with the tree scheduler's results recorded at submit time for deferred
+/// comparison. `fill` remembers which `jobs` slot receives the mirror's
+/// job id once the batch lands.
+type ExpectedGrant = Result<(Time, Vec<ServerId>, u32), ScheduleError>;
+
+#[derive(Default)]
+struct MirrorBatch {
+    pending: Vec<Request>,
+    expect: Vec<ExpectedGrant>,
+    fill: Vec<Option<usize>>,
+    next_len: usize,
+}
+
+/// Flush the mirror's pending batch through `submit_batch` and compare
+/// every member against the tree's recorded (sequential) result, then
+/// draw a fresh randomized boundary for the next batch.
+fn flush_mirror(
+    m: &mut ShardedScheduler,
+    b: &mut MirrorBatch,
+    jobs: &mut [(JobId, JobId, Option<JobId>)],
+    step: i32,
+    rng: &mut SmallRng,
+) {
+    if !b.pending.is_empty() {
+        let got = m.submit_batch(&b.pending);
+        for (i, (g, e)) in got.iter().zip(&b.expect).enumerate() {
+            match (g, e) {
+                (Ok(g), Ok((start, servers, attempts))) => {
+                    assert_eq!(g.start, *start, "shard batch start div (step {step}, member {i})");
+                    assert_eq!(
+                        &g.servers, servers,
+                        "shard batch servers div (step {step}, member {i})"
+                    );
+                    assert_eq!(
+                        g.attempts, *attempts,
+                        "shard batch attempts div (step {step}, member {i})"
+                    );
+                    if let Some(slot) = b.fill[i] {
+                        jobs[slot].2 = Some(g.job);
+                    }
+                }
+                (Err(g), Err(e)) => {
+                    assert_eq!(g, e, "shard batch error div (step {step}, member {i})")
+                }
+                _ => panic!(
+                    "shard batch accept/reject div (step {step}, member {i}): {g:?} vs {e:?}"
+                ),
+            }
+        }
+        b.pending.clear();
+        b.expect.clear();
+        b.fill.clear();
+    }
+    b.next_len = rng.random_range(1..=8);
+}
+
 /// One randomized differential round; returns the tree op count. Panics (via
 /// the assertions) on any divergence — caught and reported by `main`.
 fn run_round(rng: &mut SmallRng, shards: u32) -> u64 {
@@ -118,6 +179,10 @@ fn run_round(rng: &mut SmallRng, shards: u32) -> u64 {
         let mut naive = NaiveScheduler::new(n, cfg);
         let mut mirror = (shards > 1).then(|| ShardedScheduler::new(n, shards, cfg));
         let mut jobs: Vec<(JobId, JobId, Option<JobId>)> = Vec::new();
+        let mut batch = MirrorBatch {
+            next_len: rng.random_range(1..=8),
+            ..MirrorBatch::default()
+        };
         let steps = rng.random_range(50..400);
         let mut now = 0i64;
         for step in 0..steps {
@@ -133,28 +198,32 @@ fn run_round(rng: &mut SmallRng, shards: u32) -> u64 {
                     );
                     let a = tree.submit(&req);
                     let b = naive.submit(&req);
-                    let c = mirror.as_mut().map(|m| m.submit(&req));
-                    if let Some(c) = &c {
-                        match (&a, c) {
-                            (Ok(x), Ok(z)) => {
-                                assert_eq!(x.start, z.start, "shard start div at step {step}");
-                                assert_eq!(x.servers, z.servers, "shard servers at step {step}");
-                                assert_eq!(x.attempts, z.attempts);
-                            }
-                            (Err(x), Err(z)) => {
-                                assert_eq!(x, z, "shard error divergence at step {step}")
-                            }
-                            _ => panic!("shard accept/reject div at step {step}: {a:?} vs {c:?}"),
-                        }
-                    }
-                    match (&a, &b) {
+                    let fill = match (&a, &b) {
                         (Ok(x), Ok(y)) => {
                             assert_eq!(x.start, y.start, "start divergence at step {step}");
                             assert_eq!(x.servers.len(), y.servers.len());
-                            jobs.push((x.job, y.job, c.map(|g| g.unwrap().job)));
+                            jobs.push((x.job, y.job, None));
+                            Some(jobs.len() - 1)
                         }
-                        (Err(x), Err(y)) => assert_eq!(x, y, "error divergence at step {step}"),
+                        (Err(x), Err(y)) => {
+                            assert_eq!(x, y, "error divergence at step {step}");
+                            None
+                        }
                         _ => panic!("accept/reject divergence at step {step}: {a:?} vs {b:?}"),
+                    };
+                    // The mirror consumes submissions in batches: queue the
+                    // request with the tree's result, flush through
+                    // `submit_batch` when the randomized boundary is hit.
+                    if let Some(m) = mirror.as_mut() {
+                        batch.pending.push(req);
+                        batch.expect.push(match &a {
+                            Ok(g) => Ok((g.start, g.servers.clone(), g.attempts)),
+                            Err(e) => Err(*e),
+                        });
+                        batch.fill.push(fill);
+                        if batch.pending.len() >= batch.next_len {
+                            flush_mirror(m, &mut batch, &mut jobs, step, rng);
+                        }
                     }
                 }
                 6 => {
@@ -168,6 +237,8 @@ fn run_round(rng: &mut SmallRng, shards: u32) -> u64 {
                     );
                     let a = tree.submit_with_deadline(&req, Time(dl));
                     if let Some(m) = mirror.as_mut() {
+                        // Barrier: a deadline submission is not batchable.
+                        flush_mirror(m, &mut batch, &mut jobs, step, rng);
                         let c = m.submit_with_deadline(&req, Time(dl));
                         match (&a, &c) {
                             (Ok(x), Ok(z)) => {
@@ -189,7 +260,13 @@ fn run_round(rng: &mut SmallRng, shards: u32) -> u64 {
                     }
                 }
                 7 => {
-                    // Release a random live job from both.
+                    // Release a random live job from both. Flush the mirror
+                    // first: the victim's mirror job id may still be
+                    // pending, and swap_remove invalidates the batch's
+                    // fill slots.
+                    if let Some(m) = mirror.as_mut() {
+                        flush_mirror(m, &mut batch, &mut jobs, step, rng);
+                    }
                     if !jobs.is_empty() {
                         let (jt, jn, jm) = jobs.swap_remove(rng.random_range(0..jobs.len()));
                         let a = tree.release(jt);
@@ -206,6 +283,9 @@ fn run_round(rng: &mut SmallRng, shards: u32) -> u64 {
                     tree.advance_to(Time(now));
                     naive.advance_to(Time(now));
                     if let Some(m) = mirror.as_mut() {
+                        // Barrier: the batch clock is constant, so the
+                        // pending submissions must land before time moves.
+                        flush_mirror(m, &mut batch, &mut jobs, step, rng);
                         m.advance_to(Time(now));
                     }
                 }
@@ -233,6 +313,7 @@ fn run_round(rng: &mut SmallRng, shards: u32) -> u64 {
         }
         tree.check_consistency();
         if let Some(m) = mirror.as_mut() {
+            flush_mirror(m, &mut batch, &mut jobs, steps, rng);
             m.check_consistency();
         }
         tree.stats().total_ops()

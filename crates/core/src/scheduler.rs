@@ -471,6 +471,35 @@ impl CoAllocScheduler {
         result
     }
 
+    /// Handle a batch of requests in submission order.
+    ///
+    /// This is the *reference semantics* for every batch API in the
+    /// workspace: a batch is nothing more than its members submitted
+    /// sequentially against the current clock — member `i` observes the
+    /// commits of members `0..i` and the replies come back in order. The
+    /// sharded scheduler's `submit_batch` amortizes coordination over the
+    /// batch but is bit-identical to this loop (see DESIGN.md §9).
+    pub fn submit_batch(&mut self, reqs: &[Request]) -> Vec<Result<Grant, ScheduleError>> {
+        let mut out = Vec::new();
+        self.submit_batch_into(reqs, &mut out);
+        out
+    }
+
+    /// [`Self::submit_batch`] writing into a caller-owned buffer (cleared
+    /// first), so a steady-state stream of all-reject batches performs no
+    /// heap allocation once the buffer's capacity has warmed up.
+    pub fn submit_batch_into(
+        &mut self,
+        reqs: &[Request],
+        out: &mut Vec<Result<Grant, ScheduleError>>,
+    ) {
+        out.clear();
+        out.reserve(reqs.len());
+        for req in reqs {
+            out.push(self.submit(req));
+        }
+    }
+
     /// One scheduling attempt at a fixed start time: Phase 1 + Phase 2 +
     /// policy selection. On success returns `true` with the chosen periods
     /// (exactly `n` of them) left in `self.scratch.feasible`.

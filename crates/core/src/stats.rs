@@ -59,6 +59,25 @@ impl OpStats {
         self.primary_visits + self.secondary_visits
     }
 
+    /// Element-wise sum `self += delta`; the coordinator-side merge used by
+    /// the sharded scheduler to charge per-request probe deltas computed by
+    /// shard workers into its own counters.
+    pub fn accumulate(&mut self, delta: &OpStats) {
+        self.primary_visits += delta.primary_visits;
+        self.secondary_visits += delta.secondary_visits;
+        self.update_visits += delta.update_visits;
+        self.phase1_searches += delta.phase1_searches;
+        self.phase2_searches += delta.phase2_searches;
+        self.attempts += delta.attempts;
+        self.attempts_skipped += delta.attempts_skipped;
+        self.rebuilds += delta.rebuilds;
+        self.periods_inserted += delta.periods_inserted;
+        self.periods_removed += delta.periods_removed;
+        self.ring_period_inserts += delta.ring_period_inserts;
+        self.ring_period_removes += delta.ring_period_removes;
+        self.ring_evictions += delta.ring_evictions;
+    }
+
     /// Element-wise difference `self - earlier`; useful for measuring the
     /// cost of a single request.
     pub fn since(&self, earlier: &OpStats) -> OpStats {

@@ -98,6 +98,24 @@ fn steady_state_submissions_do_not_allocate() {
         "steady-state phase-1 rejections must not allocate"
     );
 
+    // ---- Batched rejects: `submit_batch_into` writes into a caller-owned
+    // buffer and folds the same zero-allocation reject path per member, so
+    // a steady-state stream of all-reject batches allocates nothing — no
+    // per-batch Vec churn.
+    let batch: Vec<Request> = vec![probe; 16];
+    let mut out = Vec::with_capacity(batch.len());
+    sched.submit_batch_into(&batch, &mut out); // warm the out-buffer
+    let before = allocs();
+    for _ in 0..20 {
+        sched.submit_batch_into(&batch, &mut out);
+        assert!(out.iter().all(|r| r.is_err()));
+    }
+    assert_eq!(
+        allocs() - before,
+        0,
+        "steady-state batched rejections must not allocate"
+    );
+
     // ---- Phase-2 rejects: enough candidates, none feasible. All four
     // servers are busy over [60, 100), so a 310 s job counts 4 candidate
     // periods at every start in its horizon-bounded window but never finds a
@@ -142,5 +160,30 @@ fn steady_state_submissions_do_not_allocate() {
     assert!(
         per_grant <= 32,
         "grant+release cycle allocated {per_grant} times; expected a small bounded number"
+    );
+
+    // ---- Batched grant path: scratch is reused across batch members, so
+    // each granted member stays within the same per-grant budget.
+    let pair = [
+        Request::on_demand(Time::ZERO, Dur(30), 2),
+        Request::on_demand(Time::ZERO, Dur(30), 2),
+    ];
+    let mut out = Vec::with_capacity(pair.len());
+    sched2.submit_batch_into(&pair, &mut out); // warm
+    for r in out.drain(..) {
+        sched2.release(r.unwrap().job).unwrap();
+    }
+    let before = allocs();
+    for _ in 0..iters {
+        sched2.submit_batch_into(&pair, &mut out);
+        for r in out.drain(..) {
+            sched2.release(r.unwrap().job).unwrap();
+        }
+    }
+    let per_grant = (allocs() - before) / (iters * pair.len() as u64);
+    println!("batched grant+release allocations per member: {per_grant}");
+    assert!(
+        per_grant <= 32,
+        "batched grant+release allocated {per_grant} per member; expected the per-grant budget"
     );
 }

@@ -50,6 +50,10 @@ static WAL_FLUSH_FAILURES: LazyCounter = LazyCounter::new("wal_flush_failures_to
 /// the enqueuing worker, decremented by the scheduler's dequeue, so the
 /// admin plane's `/readyz` can compare it against the queue bound.
 static QUEUE_DEPTH: LazyGauge = LazyGauge::new("net_queue_depth");
+/// Lines per scheduler batch: how many queued `submit` commands each
+/// scheduler-thread wake-up grouped into one `submit_batch` call. Mostly 1
+/// at low load; grows with concurrent connections under pressure.
+static BATCH_LINES: LazyHistogram = LazyHistogram::new("net_batch_lines");
 
 /// Configuration of a [`Server`]. The defaults suit an interactive
 /// deployment; load tests shrink the timeouts and grow the pool.
@@ -370,6 +374,81 @@ fn exec_guarded(session: &mut Session, line: &str) -> Result<String, String> {
     }
 }
 
+/// Largest number of queued `submit` lines grouped into one scheduler batch
+/// (bounds reply-latency spread within a group; the queue bound usually
+/// bites first).
+const GROUP_MAX: usize = 256;
+
+/// Whether a queued line may join a scheduler batch: only `submit` commands
+/// are grouped. Anything else — `release`, `advance`, `load`, `snapshot`,
+/// `stats`, … — is a batch *barrier*: its reply or effect depends on every
+/// earlier command having fully executed. Note a single connection never
+/// pipelines (it blocks on each reply), so groups only ever form across
+/// concurrent connections.
+fn batchable(line: &str) -> bool {
+    line.split_whitespace().next() == Some("submit")
+}
+
+/// Execute a group of submit lines as one scheduler batch, panic-guarded
+/// like [`exec_guarded`]. A panic sheds the whole group — the group is a
+/// single scheduler call, so per-line blame is unknowable.
+fn exec_batch_guarded(session: &mut Session, lines: &[&str]) -> Vec<Result<String, String>> {
+    match std::panic::catch_unwind(AssertUnwindSafe(|| session.exec_batch(lines))) {
+        Ok(results) => results,
+        Err(_) => {
+            EXEC_PANICS.inc();
+            ERRORS.add(lines.len() as u64);
+            eprintln!(
+                "coalloc-net: batched command panicked, shedding {} lines",
+                lines.len()
+            );
+            lines
+                .iter()
+                .map(|_| Err("internal error: command panicked (see server log)".into()))
+                .collect()
+        }
+    }
+}
+
+/// Dequeue one job, preferring the carry-over a previous group drain pulled
+/// past its barrier. Fresh jobs get their queue accounting here.
+fn next_job(rx: &Receiver<Job>, carry: &mut Option<Job>) -> Option<Job> {
+    if let Some(job) = carry.take() {
+        return Some(job);
+    }
+    match rx.recv() {
+        Ok(mut job) => {
+            QUEUE_DEPTH.add(-1);
+            job.stamps.mark_dequeued();
+            QUEUE_WAIT_US.observe(job.stamps.enqueued.elapsed().as_micros() as u64);
+            Some(job)
+        }
+        Err(_) => None,
+    }
+}
+
+/// Extend `group` with the already-queued run of submit lines (the drained
+/// prefix of the command queue). The first non-submit line ends the group
+/// and is parked in `carry` for the next loop turn.
+fn drain_group(rx: &Receiver<Job>, group: &mut Vec<Job>, carry: &mut Option<Job>) {
+    while group.len() < GROUP_MAX {
+        match rx.try_recv() {
+            Ok(mut job) => {
+                QUEUE_DEPTH.add(-1);
+                job.stamps.mark_dequeued();
+                QUEUE_WAIT_US.observe(job.stamps.enqueued.elapsed().as_micros() as u64);
+                if batchable(&job.line) {
+                    group.push(job);
+                } else {
+                    *carry = Some(job);
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+}
+
 /// Open the WAL and rebuild the session it describes: install the newest
 /// snapshot, then re-execute the logged commands in order, verifying that
 /// every decision comes out byte-identical to the logged reply. Divergence
@@ -523,11 +602,30 @@ fn scheduler_loop(
 ) {
     let mut last_refresh = Instant::now() - STATUS_REFRESH;
     let Some((mut wal, opts)) = wal else {
-        // Volatile mode: execute and reply immediately.
-        while let Ok(mut job) = rx.recv() {
-            QUEUE_DEPTH.add(-1);
-            job.stamps.mark_dequeued();
-            QUEUE_WAIT_US.observe(job.stamps.enqueued.elapsed().as_micros() as u64);
+        // Volatile mode: execute and reply immediately. Queued runs of
+        // submit lines become one scheduler batch per wake-up.
+        let mut carry: Option<Job> = None;
+        while let Some(mut job) = next_job(&rx, &mut carry) {
+            if batchable(&job.line) {
+                let mut group = vec![job];
+                drain_group(&rx, &mut group, &mut carry);
+                BATCH_LINES.observe(group.len() as u64);
+                for j in &group {
+                    ctx.maybe_stall(&j.line);
+                }
+                let lines: Vec<&str> = group.iter().map(|j| j.line.as_str()).collect();
+                let texts = exec_batch_guarded(&mut session, &lines);
+                ctx.maybe_refresh(&mut session, &mut last_refresh);
+                for (mut j, result) in group.into_iter().zip(texts) {
+                    j.stamps.mark_decided();
+                    let text = match result {
+                        Ok(r) => r,
+                        Err(e) => format!("error: {e}"),
+                    };
+                    send_now(j, text);
+                }
+                continue;
+            }
             ctx.maybe_stall(&job.line);
             let text = match exec_guarded(&mut session, &job.line) {
                 Ok(r) => r,
@@ -546,29 +644,42 @@ fn scheduler_loop(
     // reply has waited `flush_interval`, or when the batch is full.
     let mut pending: Vec<PendingReply> = Vec::new();
     let mut oldest = Instant::now();
+    let mut carry: Option<Job> = None;
     loop {
-        let next = if pending.is_empty() {
-            match rx.recv() {
-                Ok(j) => Some(j),
-                Err(_) => break,
-            }
-        } else if opts.flush_interval.is_zero() {
-            match rx.try_recv() {
-                Ok(j) => Some(j),
-                Err(mpsc::TryRecvError::Empty) => None,
-                Err(mpsc::TryRecvError::Disconnected) => break,
-            }
+        // A carried job was already dequeued and accounted by the group
+        // drain that hit it as a barrier; fresh jobs are accounted below.
+        let next = if carry.is_some() {
+            carry.take()
         } else {
-            let elapsed = oldest.elapsed();
-            if elapsed >= opts.flush_interval {
-                None
-            } else {
-                match rx.recv_timeout(opts.flush_interval - elapsed) {
+            let fresh = if pending.is_empty() {
+                match rx.recv() {
                     Ok(j) => Some(j),
-                    Err(mpsc::RecvTimeoutError::Timeout) => None,
-                    Err(mpsc::RecvTimeoutError::Disconnected) => break,
+                    Err(_) => break,
                 }
-            }
+            } else if opts.flush_interval.is_zero() {
+                match rx.try_recv() {
+                    Ok(j) => Some(j),
+                    Err(mpsc::TryRecvError::Empty) => None,
+                    Err(mpsc::TryRecvError::Disconnected) => break,
+                }
+            } else {
+                let elapsed = oldest.elapsed();
+                if elapsed >= opts.flush_interval {
+                    None
+                } else {
+                    match rx.recv_timeout(opts.flush_interval - elapsed) {
+                        Ok(j) => Some(j),
+                        Err(mpsc::RecvTimeoutError::Timeout) => None,
+                        Err(mpsc::RecvTimeoutError::Disconnected) => break,
+                    }
+                }
+            };
+            fresh.map(|mut j| {
+                QUEUE_DEPTH.add(-1);
+                j.stamps.mark_dequeued();
+                QUEUE_WAIT_US.observe(j.stamps.enqueued.elapsed().as_micros() as u64);
+                j
+            })
         };
         let Some(mut job) = next else {
             flush(&mut wal, &mut pending);
@@ -577,9 +688,60 @@ fn scheduler_loop(
             continue;
         };
 
-        QUEUE_DEPTH.add(-1);
-        job.stamps.mark_dequeued();
-        QUEUE_WAIT_US.observe(job.stamps.enqueued.elapsed().as_micros() as u64);
+        if batchable(&job.line) {
+            // Batched durable path: decide the whole group in one scheduler
+            // call, append one WAL record per line in batch order, and let
+            // the adaptive flush cover them all with a single fsync group.
+            let mut group = vec![job];
+            drain_group(&rx, &mut group, &mut carry);
+            BATCH_LINES.observe(group.len() as u64);
+            for j in &group {
+                ctx.maybe_stall(&j.line);
+            }
+            let lines: Vec<&str> = group.iter().map(|j| j.line.as_str()).collect();
+            let texts = exec_batch_guarded(&mut session, &lines);
+            ctx.maybe_refresh(&mut session, &mut last_refresh);
+            for (mut j, result) in group.into_iter().zip(texts) {
+                j.stamps.mark_decided();
+                match result {
+                    Ok(reply) => {
+                        // submit always mutates: withhold the reply until
+                        // an fsync covers its record.
+                        let mut payload =
+                            Vec::with_capacity(j.line.len() + 1 + reply.len());
+                        payload.extend_from_slice(j.line.as_bytes());
+                        payload.push(b'\n');
+                        payload.extend_from_slice(reply.as_bytes());
+                        match wal.append(&payload) {
+                            Ok(()) => {
+                                if pending.is_empty() {
+                                    oldest = Instant::now();
+                                }
+                                pending.push(PendingReply {
+                                    reply: j.reply,
+                                    line: j.line,
+                                    text: reply,
+                                    stamps: j.stamps,
+                                });
+                            }
+                            Err(e) => {
+                                WAL_FLUSH_FAILURES.inc();
+                                eprintln!("coalloc-net: wal append failed: {e}");
+                                send_now(j, format!("error: wal append failed: {e}"));
+                            }
+                        }
+                    }
+                    // Parse errors never touched the scheduler: nothing to
+                    // make durable, release immediately.
+                    Err(e) => send_now(j, format!("error: {e}")),
+                }
+            }
+            if pending.len() >= MAX_BATCH {
+                flush(&mut wal, &mut pending);
+            }
+            continue;
+        }
+
         ctx.maybe_stall(&job.line);
         let verb = job.line.split_whitespace().next().unwrap_or("");
         let is_load = verb == "load";

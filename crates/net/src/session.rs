@@ -29,6 +29,16 @@ impl Sched {
         }
     }
 
+    /// Batched submission — semantically a sequential fold of `submit`, but
+    /// the sharded back-end amortizes coordination across the batch
+    /// (one worker wake-up per shard per stage; see `coalloc-shard`).
+    fn submit_batch(&mut self, reqs: &[Request]) -> Vec<Result<Grant, ScheduleError>> {
+        match self {
+            Sched::Plain(s) => s.submit_batch(reqs),
+            Sched::Sharded(s) => s.submit_batch(reqs),
+        }
+    }
+
     fn submit_with_deadline(
         &mut self,
         req: &Request,
@@ -160,12 +170,7 @@ impl Session {
                 }
             }
             ["submit", q, s, l, n] => {
-                let req = Request::advance(
-                    Time(parse(q, "q_r")?),
-                    Time(parse(s, "s_r")?),
-                    Dur(parse(l, "l_r")?),
-                    parse(n, "n_r")?,
-                );
+                let req = Self::parse_submit_args(q, s, l, n)?;
                 match self.sched()?.submit(&req) {
                     Ok(g) => Ok(Self::grant_line(&g)),
                     Err(e) => Ok(format!("rejected {e}")),
@@ -297,6 +302,60 @@ impl Session {
             }
             _ => Err(format!("unknown command: '{line}' (try 'help')")),
         }
+    }
+
+    fn parse_submit_args(q: &str, s: &str, l: &str, n: &str) -> Result<Request, String> {
+        Ok(Request::advance(
+            Time(parse(q, "q_r")?),
+            Time(parse(s, "s_r")?),
+            Dur(parse(l, "l_r")?),
+            parse(n, "n_r")?,
+        ))
+    }
+
+    /// Execute a group of `submit` lines as one scheduler batch. Each entry
+    /// of the result is exactly what [`Session::exec`] would have returned
+    /// for that line, in order — lines that never reach the scheduler
+    /// (parse errors, wrong arity, no `init` yet) keep their individual
+    /// error replies, and the remainder are decided by one
+    /// `submit_batch` call, which the sharded back-end executes with one
+    /// worker wake-up per shard per stage instead of per line.
+    ///
+    /// Intended for callers that already know the lines are submit-shaped
+    /// (the TCP scheduler thread's queue grouping); any other line gets the
+    /// same `unknown command` error `exec` would produce, so a mistaken
+    /// grouping is still byte-identical, just unbatched.
+    pub fn exec_batch(&mut self, lines: &[&str]) -> Vec<Result<String, String>> {
+        let mut out: Vec<Option<Result<String, String>>> = Vec::with_capacity(lines.len());
+        let mut reqs: Vec<Request> = Vec::with_capacity(lines.len());
+        let mut req_pos: Vec<usize> = Vec::with_capacity(lines.len());
+        for (i, line) in lines.iter().enumerate() {
+            let f: Vec<&str> = line.split_whitespace().collect();
+            match f.as_slice() {
+                ["submit", q, s, l, n] => match Self::parse_submit_args(q, s, l, n) {
+                    Ok(req) if self.sched.is_some() => {
+                        reqs.push(req);
+                        req_pos.push(i);
+                        out.push(None);
+                    }
+                    Ok(_) => out.push(Some(Err(
+                        "no scheduler; run 'init N' first".to_string()
+                    ))),
+                    Err(e) => out.push(Some(Err(e))),
+                },
+                _ => out.push(Some(self.exec(line))),
+            }
+        }
+        if !reqs.is_empty() {
+            let sched = self.sched.as_mut().expect("checked per line above");
+            for (i, res) in req_pos.into_iter().zip(sched.submit_batch(&reqs)) {
+                out[i] = Some(Ok(match res {
+                    Ok(g) => Self::grant_line(&g),
+                    Err(e) => format!("rejected {e}"),
+                }));
+            }
+        }
+        out.into_iter().map(|o| o.expect("every line answered")).collect()
     }
 
     /// Capacity and utilization probe for the admin plane's `/status`:
@@ -565,6 +624,38 @@ mod tests {
                     c.name
                 ),
             }
+        }
+    }
+
+    /// The batched entry point must answer every line exactly as `exec`
+    /// would have, in order — grants, rejections, parse errors, wrong
+    /// arity, and the no-scheduler error alike — for both back-ends.
+    #[test]
+    fn exec_batch_matches_per_line_exec() {
+        let lines = [
+            "submit 0 0 50 4",
+            "submit 0 0 50 3",
+            "submit 0 0 x 2",
+            "submit 0 0 50",
+            "submit 0 0 9999 1",
+            "submit 0 100 60 8",
+        ];
+        for shards in [1u32, 2, 4] {
+            let mut batched = Session::new(shards);
+            let mut sequential = Session::new(shards);
+            // Before init, every submit fails with the no-scheduler error.
+            let uninit = batched.exec_batch(&lines);
+            assert!(uninit
+                .iter()
+                .zip(&lines)
+                .all(|(r, l)| l.contains('x') || l.split_whitespace().count() != 5
+                    || r == &Err("no scheduler; run 'init N' first".to_string())));
+            batched.exec("init 8 10 400 10").unwrap();
+            sequential.exec("init 8 10 400 10").unwrap();
+            let a = batched.exec_batch(&lines);
+            let b: Vec<Result<String, String>> =
+                lines.iter().map(|l| sequential.exec(l)).collect();
+            assert_eq!(a, b, "shards={shards}");
         }
     }
 

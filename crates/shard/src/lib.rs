@@ -5,22 +5,36 @@
 //! The `M` servers are partitioned into `K` contiguous shards, each owning
 //! an independent timeline + slot-ring + trailing index over its servers
 //! ([`state::ShardState`]). A coordinator ([`ShardedScheduler`]) drives the
-//! paper's online algorithm: Phase-1/Phase-2 searches fan out to all shards
-//! (as feasible-count queries batched over several `Delta_t` attempts),
-//! per-shard feasible sets are merged deterministically under the active
-//! [`SelectionPolicy`], and commit deltas are dispatched only to the shards
-//! owning the chosen servers.
+//! paper's online algorithm and executes in one of two modes:
+//!
+//! * **Inline** (per-request `submit`, and batches below the pool
+//!   threshold): the coordinator locks each shard state directly and runs
+//!   the two-phase search sequentially — no threads are woken, so the
+//!   low-load path costs the same as the single scheduler plus a handful
+//!   of uncontended mutex acquisitions.
+//! * **Batched pool** ([`ShardedScheduler::submit_batch`] above the
+//!   threshold): each shard worker is woken **once per batch per stage**.
+//!   Phase-1 count ladders for every batch member are probed speculatively
+//!   against the pre-batch snapshot in staged-doubling rounds (one mailbox
+//!   message per shard per round), Phase-2 feasible sets for every
+//!   speculative winner go out in one more message, and commit deltas are
+//!   pipelined to the owning shards asynchronously with a drain barrier at
+//!   batch end. A speculative decision is *validated* in submission order:
+//!   it is accepted only if its feasible set is disjoint from every server
+//!   committed earlier in the batch, and re-probed sequentially otherwise
+//!   (validate-and-repair), so decisions are bit-identical to sequential
+//!   submission. See DESIGN.md §9 for the full argument.
 //!
 //! **Decision equivalence.** Feasible counts are partition sums and every
 //! feasible set holds at most one period per server, so every policy's
 //! selection key is total before its id tie-break: a sharded run makes the
 //! same grant/reject decisions, start times, attempt counts, *and server
-//! choices* as [`CoAllocScheduler`] for every policy and every `K`. See
-//! DESIGN.md §9 for the full argument.
+//! choices* as [`CoAllocScheduler`] for every policy and every `K` —
+//! batched or not.
 //!
-//! With `K = 1` the coordinator runs the shard inline — no threads, no
-//! channels — so the single-shard configuration measures pure coordinator
-//! overhead against [`CoAllocScheduler`].
+//! With `K = 1` the coordinator always runs the shard inline — no threads,
+//! no channels — so the single-shard configuration measures pure
+//! coordinator overhead against [`CoAllocScheduler`].
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -29,23 +43,90 @@ pub mod state;
 
 mod pool;
 
-use crate::pool::{Cmd, Reply, MAX_BATCH};
+use crate::pool::{Cmd, ProbeJob, ProbeStage, Reply, MAX_BATCH};
 use crate::state::ShardState;
 use coalloc_core::prelude::*;
 use coalloc_sim::runner::OnlineScheduler;
+use obs::{LazyCounter, LazyHistogram};
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Default batch size at which `submit_batch` hands work to the worker
+/// pool instead of running inline. Only reached when the host has more
+/// than one CPU — on a single CPU the pool can only add context switches,
+/// so the bypass threshold defaults to "never".
+const POOL_MIN_BATCH: usize = 16;
+
+// Batched-execution metrics: how work reaches the shards (batch sizes) and
+// how often speculation fails and is re-probed sequentially.
+static BATCH_SIZE: LazyHistogram = LazyHistogram::new("shard_batch_size");
+static BATCH_REPROBES: LazyCounter = LazyCounter::new("shard_batch_repro_probes_total");
 
 /// How the coordinator talks to its shards.
 #[derive(Debug)]
-enum Backend {
-    /// `K = 1`: the single shard lives in the coordinator, zero threads.
-    Inline(Box<ShardState>),
-    /// `K > 1`: one persistent worker thread per shard.
-    Threads {
-        cmd: Vec<crossbeam::channel::Sender<Cmd>>,
-        reply: crossbeam::channel::Receiver<Reply>,
-        handles: Vec<std::thread::JoinHandle<()>>,
-    },
+struct Backend {
+    /// The shard states. The coordinator locks them directly for all
+    /// sequential work (the load-adaptive bypass); pool workers lock them
+    /// for batch stages. The two never contend: the coordinator only
+    /// touches a state inline when the pool has no outstanding work.
+    states: Vec<Arc<Mutex<ShardState>>>,
+    /// Worker pool, spawned only for `K > 1`.
+    pool: Option<Pool>,
+}
+
+/// The worker-pool half of the backend.
+#[derive(Debug)]
+struct Pool {
+    cmd: Vec<crossbeam::channel::Sender<Cmd>>,
+    reply: crossbeam::channel::Receiver<Reply>,
+    /// Per-shard count of asynchronous commits not yet acknowledged.
+    outstanding: Vec<u32>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+/// Coordinator-side reusable buffers, so steady-state submission (inline
+/// or batched) performs no per-request heap allocation beyond the returned
+/// `Grant`.
+#[derive(Debug, Default)]
+struct CoordScratch {
+    /// Merged feasible set of the winning attempt.
+    feasible: Vec<IdlePeriod>,
+    /// Per-shard staging buffer for inline enumeration.
+    enum_tmp: Vec<IdlePeriod>,
+    /// Chosen servers grouped by owning shard for commit dispatch.
+    per_shard: Vec<Vec<ServerId>>,
+    /// Servers committed earlier in the current batch (validate-and-repair
+    /// conflict set), indexed by global server id.
+    dirty: Vec<bool>,
+}
+
+/// Per-request bookkeeping for the speculative batch path.
+#[derive(Debug)]
+struct ReqSlot {
+    earliest: Time,
+    horizon_attempts: u64,
+    tries: u64,
+    /// Attempts consumed so far (the sequential `tried` counter).
+    tried: u64,
+    /// Current staged-doubling round size.
+    round: u64,
+    /// Probe/enumerate tree-op work, charged only if the speculative
+    /// decision is accepted.
+    delta: OpStats,
+    /// Pre-search validation error (never probed).
+    err: Option<ScheduleError>,
+    /// Speculative winner: `(attempts, start)`.
+    winner: Option<(u32, Time)>,
+    /// Speculative reject: the ladder exhausted every permitted start.
+    rejected: bool,
+    /// Index of this request's window in the enumerate stage.
+    enum_k: usize,
+}
+
+impl ReqSlot {
+    fn probing(&self) -> bool {
+        self.err.is_none() && self.winner.is_none() && !self.rejected
+    }
 }
 
 /// The sharded parallel co-allocation scheduler.
@@ -68,7 +149,8 @@ pub struct ShardedScheduler {
     backend: Backend,
     /// Latest cumulative [`OpStats`] seen from each shard.
     shard_stats: Vec<OpStats>,
-    /// Coordinator-side counters (attempts, attempts_skipped).
+    /// Coordinator-side counters: attempt accounting plus the probe work
+    /// of accepted speculative batch decisions.
     local: OpStats,
     /// Per live job: bitmask of shards holding its reservations, and its
     /// end time (for the coordinator-side mirror of history pruning).
@@ -78,6 +160,9 @@ pub struct ShardedScheduler {
     /// exactly when the single scheduler would.
     last_prune: Time,
     next_job: u64,
+    /// Batch size below which `submit_batch` bypasses the pool.
+    pool_min_batch: usize,
+    scratch: CoordScratch,
 }
 
 impl ShardedScheduler {
@@ -123,22 +208,34 @@ impl ShardedScheduler {
             layout.push((base, count));
             base += count;
         }
-        let states: Vec<ShardState> = layout
+        let states: Vec<Arc<Mutex<ShardState>>> = layout
             .iter()
             .enumerate()
             .map(|(i, &(base, count))| {
                 let seed = cfg.seed ^ (i as u64).wrapping_mul(0xA24BAED4963EE407);
-                ShardState::new(&cfg, base, count, origin, seed)
+                Arc::new(Mutex::new(ShardState::new(&cfg, base, count, origin, seed)))
             })
             .collect();
-        let backend = if k == 1 {
-            Backend::Inline(Box::new(states.into_iter().next().expect("one shard")))
+        let pool = if k == 1 {
+            None
         } else {
-            let (cmd, reply, handles) = pool::spawn_workers(states);
-            Backend::Threads {
+            let (cmd, reply, handles) = pool::spawn_workers(&states);
+            Some(Pool {
                 cmd,
                 reply,
+                outstanding: vec![0; k as usize],
                 handles,
+            })
+        };
+        // Load-adaptive default: the pool only pays off when batch stages
+        // can actually run in parallel, so a single-CPU host keeps every
+        // batch on the inline path.
+        let pool_min_batch = if pool.is_none() {
+            usize::MAX
+        } else {
+            match std::thread::available_parallelism() {
+                Ok(p) if p.get() > 1 => POOL_MIN_BATCH,
+                _ => usize::MAX,
             }
         };
         ShardedScheduler {
@@ -149,12 +246,17 @@ impl ShardedScheduler {
             now: origin,
             base_slot: slot_cfg.slot_of(origin),
             layout,
-            backend,
+            backend: Backend { states, pool },
             shard_stats: vec![OpStats::new(); k as usize],
             local: OpStats::new(),
             job_shards: HashMap::new(),
             last_prune: origin,
             next_job: 0,
+            pool_min_batch,
+            scratch: CoordScratch {
+                per_shard: vec![Vec::new(); k as usize],
+                ..CoordScratch::default()
+            },
         }
     }
 
@@ -194,8 +296,23 @@ impl ShardedScheduler {
             .slot_start(SlotIdx(self.base_slot.0 + self.slot_cfg.num_slots as i64))
     }
 
+    /// Override the batch size at which [`Self::submit_batch`] hands work
+    /// to the worker pool (default: adaptive — `16` on multi-CPU hosts
+    /// with `K > 1`, never otherwise). `0` forces every batch through the
+    /// pool; `usize::MAX` forces the inline path. Decisions are identical
+    /// either way; only the execution strategy changes.
+    pub fn set_pool_min_batch(&mut self, n: usize) {
+        self.pool_min_batch = n;
+    }
+
     /// Aggregated operation counters: the sum of every shard's tree work
-    /// plus the coordinator's attempt accounting.
+    /// plus the coordinator's attempt accounting and accepted speculative
+    /// probe work. Independent of how submissions were grouped into
+    /// batches, except that speculative probes measure their work against
+    /// the pre-batch snapshot, so the snapshot-dependent probe counters
+    /// (`primary_visits`, `secondary_visits`, `phase2_searches`) can
+    /// drift; attempts, skips, phase-1 searches and all structural-update
+    /// counters are grouping-invariant exactly.
     pub fn stats(&self) -> OpStats {
         let mut total = self.local;
         for s in &self.shard_stats {
@@ -224,13 +341,11 @@ impl ShardedScheduler {
             return;
         }
         self.base_slot = target;
-        match &mut self.backend {
-            Backend::Inline(st) => st.advance_to(now),
-            Backend::Threads { cmd, .. } => {
-                for tx in cmd {
-                    tx.send(Cmd::Advance { now }).expect("shard worker alive");
-                }
-            }
+        self.drain_pool();
+        for i in 0..self.backend.states.len() {
+            let mut st = self.backend.states[i].lock().expect("shard state lock");
+            st.advance_to(now);
+            self.shard_stats[i] = st.stats();
         }
         // Mirror the shard schedulers' amortized history prune in the
         // coordinator's job map: once they forget a job, `release` must
@@ -248,9 +363,8 @@ impl ShardedScheduler {
     /// Handle a request — the same online algorithm as
     /// [`CoAllocScheduler::submit`], with each attempt's feasibility decided
     /// by summing per-shard counts. Attempts are probed in staged doubling
-    /// batches (1, 2, 4, … capped at a small constant) so a request that
-    /// needs many `Delta_t` shifts costs `O(log attempts)` fan-out rounds
-    /// rather than one round per attempt.
+    /// batches (1, 2, 4, … capped at a small constant). Always runs inline:
+    /// a single request is below any pool threshold by definition.
     pub fn submit(&mut self, req: &Request) -> Result<Grant, ScheduleError> {
         req.validate().map_err(ScheduleError::InvalidRequest)?;
         if req.servers > self.num_servers {
@@ -259,10 +373,60 @@ impl ShardedScheduler {
                 available: self.num_servers,
             });
         }
+        self.drain_pool();
         let earliest = req.earliest_start.max(self.now);
         let r_max = self.cfg.effective_r_max();
         let budget = r_max as u64 + 1;
         self.run_search(req, earliest, budget, budget)
+    }
+
+    /// Handle a batch of requests in submission order, returning one reply
+    /// per member in order. Semantically identical to submitting each
+    /// member with [`Self::submit`] against the current clock — member `i`
+    /// observes the commits of members `0..i` — but above the pool
+    /// threshold the coordination is amortized: each shard worker is woken
+    /// once per batch per stage instead of once per request.
+    ///
+    /// ```
+    /// use coalloc_core::prelude::*;
+    /// use coalloc_shard::ShardedScheduler;
+    ///
+    /// let reqs: Vec<Request> = (0..6)
+    ///     .map(|i| Request::on_demand(Time::ZERO, Dur::from_mins(30 + i * 10), 2))
+    ///     .collect();
+    /// let mut batched = ShardedScheduler::new(8, 4, SchedulerConfig::default());
+    /// let mut sequential = ShardedScheduler::new(8, 4, SchedulerConfig::default());
+    /// let a = batched.submit_batch(&reqs);
+    /// let b: Vec<_> = reqs.iter().map(|r| sequential.submit(r)).collect();
+    /// assert_eq!(a, b);
+    /// ```
+    pub fn submit_batch(&mut self, reqs: &[Request]) -> Vec<Result<Grant, ScheduleError>> {
+        let mut out = Vec::new();
+        self.submit_batch_into(reqs, &mut out);
+        out
+    }
+
+    /// [`Self::submit_batch`] writing into a caller-owned buffer (cleared
+    /// first), so a steady-state stream of all-reject batches performs no
+    /// heap allocation once capacities have warmed up.
+    pub fn submit_batch_into(
+        &mut self,
+        reqs: &[Request],
+        out: &mut Vec<Result<Grant, ScheduleError>>,
+    ) {
+        out.clear();
+        BATCH_SIZE.observe(reqs.len() as u64);
+        if self.backend.pool.is_none() || reqs.len() < self.pool_min_batch {
+            // Load-adaptive bypass: below the threshold the rendezvous
+            // cost of the pool exceeds its parallelism, so run the exact
+            // sequential algorithm inline.
+            out.reserve(reqs.len());
+            for req in reqs {
+                out.push(self.submit(req));
+            }
+            return;
+        }
+        self.submit_batch_pool(reqs, out);
     }
 
     /// Deadline-bounded submission — the sharded analogue of
@@ -280,6 +444,7 @@ impl ShardedScheduler {
                 available: self.num_servers,
             });
         }
+        self.drain_pool();
         let earliest = req.earliest_start.max(self.now);
         let latest_start = deadline - req.duration;
         if latest_start < earliest {
@@ -295,10 +460,13 @@ impl ShardedScheduler {
         self.run_search(req, earliest, budget, full)
     }
 
-    /// The shared retry loop. `budget` is the number of starts the caller's
-    /// bounds allow (R_max, possibly deadline-capped); `full_budget` is the
-    /// plain R_max budget, used only to account skipped attempts the same
-    /// way the core scheduler does.
+    /// The shared retry loop of the inline path. `budget` is the number of
+    /// starts the caller's bounds allow (R_max, possibly deadline-capped);
+    /// `full_budget` is the plain R_max budget, used only to account
+    /// skipped attempts the same way the core scheduler does.
+    ///
+    /// Callers must have drained the pool first: this path locks shard
+    /// states directly.
     fn run_search(
         &mut self,
         req: &Request,
@@ -316,10 +484,10 @@ impl ShardedScheduler {
         let tries = budget.min(horizon_attempts);
         let n = req.servers;
         let mut tried = 0u64;
-        let mut batch = 1u64;
+        let mut round = 1u64;
         let mut winner: Option<(u32, Time)> = None;
         'probe: while tried < tries {
-            let m = batch.min(tries - tried).min(MAX_BATCH as u64) as u32;
+            let m = round.min(tries - tried).min(MAX_BATCH as u64) as u32;
             let first = earliest + self.cfg.delta_t * (tried as i64);
             let totals = self.sync_counts(first, req.duration, m);
             for (i, &total) in totals.iter().take(m as usize).enumerate() {
@@ -331,15 +499,16 @@ impl ShardedScheduler {
                 }
             }
             tried += m as u64;
-            batch = (batch * 2).min(MAX_BATCH as u64);
+            round = (round * 2).min(MAX_BATCH as u64);
         }
         self.local.attempts += tried;
         if let Some((attempts, start)) = winner {
             let end = start + req.duration;
-            let mut feasible = self.sync_enumerate(start, end);
+            let mut feasible = std::mem::take(&mut self.scratch.feasible);
+            self.sync_enumerate_into(start, end, &mut feasible);
             // At most one period per server is feasible for a given start, so
             // every policy key is total before its id tie-break and the merged
-            // selection is independent of shard count and reply order — and
+            // selection is independent of shard count and merge order — and
             // identical to the single scheduler's, server for server.
             self.cfg.policy.select_in_place(&mut feasible, n as usize, end);
             debug_assert_eq!(feasible.len(), n as usize, "count/enumerate mismatch");
@@ -347,11 +516,13 @@ impl ShardedScheduler {
             self.next_job += 1;
             let mask = self.sync_commit(job, start, end, &feasible);
             self.job_shards.insert(job, (mask, end));
+            let servers = feasible.iter().map(|p| p.server).collect();
+            self.scratch.feasible = feasible;
             return Ok(Grant {
                 job,
                 start,
                 end,
-                servers: feasible.iter().map(|p| p.server).collect(),
+                servers,
                 attempts,
                 waiting: start.saturating_since(earliest),
             });
@@ -370,35 +541,269 @@ impl ShardedScheduler {
         }
     }
 
+    /// The speculative pool path of [`Self::submit_batch`]. Requires the
+    /// pool to exist; decisions are bit-identical to the inline path.
+    fn submit_batch_pool(
+        &mut self,
+        reqs: &[Request],
+        out: &mut Vec<Result<Grant, ScheduleError>>,
+    ) {
+        // Any commit still in flight belongs to an earlier batch and must
+        // land before this batch's pre-batch snapshot is probed.
+        self.drain_pool();
+        let k = self.backend.states.len();
+        let step = self.cfg.delta_t;
+        let horizon_end = self.horizon_end();
+        let budget = self.cfg.effective_r_max() as u64 + 1;
+
+        // Per-request setup: validation and ladder bounds, exactly as the
+        // sequential path derives them (the clock is constant across the
+        // batch, so `earliest` and the horizon are batch-invariant).
+        let mut slots: Vec<ReqSlot> = reqs
+            .iter()
+            .map(|req| {
+                let mut slot = ReqSlot {
+                    earliest: Time::ZERO,
+                    horizon_attempts: 0,
+                    tries: 0,
+                    tried: 0,
+                    round: 1,
+                    delta: OpStats::new(),
+                    err: None,
+                    winner: None,
+                    rejected: false,
+                    enum_k: usize::MAX,
+                };
+                if let Err(e) = req.validate() {
+                    slot.err = Some(ScheduleError::InvalidRequest(e));
+                    return slot;
+                }
+                if req.servers > self.num_servers {
+                    slot.err = Some(ScheduleError::TooManyServers {
+                        requested: req.servers,
+                        available: self.num_servers,
+                    });
+                    return slot;
+                }
+                slot.earliest = req.earliest_start.max(self.now);
+                slot.horizon_attempts = if slot.earliest + req.duration > horizon_end {
+                    0
+                } else {
+                    ((horizon_end - req.duration - slot.earliest).secs() / step.secs()) as u64 + 1
+                };
+                slot.tries = budget.min(slot.horizon_attempts);
+                slot.rejected = slot.tries == 0;
+                slot
+            })
+            .collect();
+
+        // Stage 1 — speculative Phase-1 ladders against the pre-batch
+        // snapshot, in staged-doubling rounds. Every round wakes each
+        // shard once with the windows of every still-unresolved member.
+        let mut idx_map: Vec<usize> = Vec::new();
+        let mut totals: Vec<u64> = Vec::new();
+        loop {
+            idx_map.clear();
+            let mut jobs = Vec::new();
+            for (i, slot) in slots.iter().enumerate() {
+                if !slot.probing() {
+                    continue;
+                }
+                let m = slot.round.min(slot.tries - slot.tried).min(MAX_BATCH as u64) as u32;
+                jobs.push(ProbeJob {
+                    first: slot.earliest + step * (slot.tried as i64),
+                    duration: reqs[i].duration,
+                    m,
+                });
+                idx_map.push(i);
+            }
+            if jobs.is_empty() {
+                break;
+            }
+            let stage = Arc::new(ProbeStage { step, jobs });
+            {
+                let pool = self.backend.pool.as_ref().expect("pool path");
+                for tx in &pool.cmd {
+                    tx.send(Cmd::Probe {
+                        stage: Arc::clone(&stage),
+                    })
+                    .expect("shard worker alive");
+                }
+            }
+            let total_attempts: usize = stage.jobs.iter().map(|j| j.m as usize).sum();
+            totals.clear();
+            totals.resize(total_attempts, 0);
+            let mut got = 0;
+            while got < k {
+                match self.recv_reply() {
+                    Reply::Probed { counts, deltas } => {
+                        for (t, c) in totals.iter_mut().zip(&counts) {
+                            *t += *c as u64;
+                        }
+                        for (j, d) in deltas.iter().enumerate() {
+                            slots[idx_map[j]].delta.accumulate(d);
+                        }
+                        got += 1;
+                    }
+                    other => panic!("unexpected shard reply {other:?}"),
+                }
+            }
+            // Resolve this round per request, mirroring the sequential
+            // ladder's accounting exactly.
+            let mut off = 0usize;
+            for (j, job) in stage.jobs.iter().enumerate() {
+                let slot = &mut slots[idx_map[j]];
+                let counts = &totals[off..off + job.m as usize];
+                off += job.m as usize;
+                let n = reqs[idx_map[j]].servers as u64;
+                if let Some(a) = counts.iter().position(|&c| c >= n) {
+                    slot.tried += a as u64 + 1;
+                    slot.winner = Some((slot.tried as u32, job.first + step * (a as i64)));
+                } else {
+                    slot.tried += job.m as u64;
+                    if slot.tried >= slot.tries {
+                        slot.rejected = true;
+                    } else {
+                        slot.round = (slot.round * 2).min(MAX_BATCH as u64);
+                    }
+                }
+            }
+        }
+
+        // Stage 2 — Phase-2 feasible sets for every speculative winner,
+        // one message per shard.
+        let mut windows: Vec<(Time, Time)> = Vec::new();
+        let mut enum_idx: Vec<usize> = Vec::new();
+        for (i, slot) in slots.iter_mut().enumerate() {
+            if let Some((_, start)) = slot.winner {
+                slot.enum_k = windows.len();
+                windows.push((start, start + reqs[i].duration));
+                enum_idx.push(i);
+            }
+        }
+        let mut feasible_sets: Vec<Vec<IdlePeriod>> = vec![Vec::new(); windows.len()];
+        if !windows.is_empty() {
+            let windows = Arc::new(windows);
+            {
+                let pool = self.backend.pool.as_ref().expect("pool path");
+                for tx in &pool.cmd {
+                    tx.send(Cmd::Enumerate {
+                        windows: Arc::clone(&windows),
+                    })
+                    .expect("shard worker alive");
+                }
+            }
+            let mut got = 0;
+            while got < k {
+                match self.recv_reply() {
+                    Reply::Enumerated { sets, deltas } => {
+                        for (j, set) in sets.into_iter().enumerate() {
+                            feasible_sets[j].extend(set);
+                        }
+                        for (j, d) in deltas.iter().enumerate() {
+                            slots[enum_idx[j]].delta.accumulate(d);
+                        }
+                        got += 1;
+                    }
+                    other => panic!("unexpected shard reply {other:?}"),
+                }
+            }
+        }
+
+        // Stage 3 — validate and commit in submission order. A speculative
+        // decision survives iff its feasible set avoids every server
+        // committed earlier in the batch: in-batch commits only ever
+        // *remove* capacity, so (a) speculative rejects are always exact,
+        // and (b) an accepted winner's feasible set — and therefore its
+        // attempt count, start, and server selection — is exactly what a
+        // sequential probe would have seen. Anything else is re-probed
+        // sequentially against live state (validate-and-repair).
+        self.scratch.dirty.clear();
+        self.scratch.dirty.resize(self.num_servers as usize, false);
+        out.reserve(reqs.len());
+        for (i, req) in reqs.iter().enumerate() {
+            let slot = &mut slots[i];
+            if let Some(err) = slot.err.take() {
+                out.push(Err(err));
+                continue;
+            }
+            if slot.rejected {
+                self.local.accumulate(&slot.delta);
+                self.local.attempts += slot.tried;
+                let skipped = budget - slot.tried;
+                if skipped > 0 {
+                    self.local.attempts_skipped += skipped;
+                }
+                out.push(Err(if slot.horizon_attempts < budget {
+                    ScheduleError::HorizonExceeded { horizon_end }
+                } else {
+                    ScheduleError::Exhausted {
+                        attempts: slot.tried as u32,
+                        last_tried: slot.earliest + step * (slot.tried as i64 - 1),
+                    }
+                }));
+                continue;
+            }
+            let (attempts, start) = slot.winner.expect("resolved slot");
+            let set = &mut feasible_sets[slot.enum_k];
+            if set.iter().any(|p| self.scratch.dirty[p.server.0 as usize]) {
+                // Speculation raced an earlier in-batch commit: discard it
+                // and re-run the full sequential search against live state.
+                BATCH_REPROBES.inc();
+                self.drain_pool();
+                let earliest = slot.earliest;
+                let res = self.run_search(req, earliest, budget, budget);
+                if let Ok(g) = &res {
+                    for s in &g.servers {
+                        self.scratch.dirty[s.0 as usize] = true;
+                    }
+                }
+                out.push(res);
+                continue;
+            }
+            // Accepted: charge the speculative work and commit
+            // asynchronously to the owning shards.
+            self.local.accumulate(&slot.delta);
+            self.local.attempts += slot.tried;
+            let end = start + req.duration;
+            let n = req.servers as usize;
+            self.cfg.policy.select_in_place(set, n, end);
+            debug_assert_eq!(set.len(), n, "count/enumerate mismatch");
+            let job = JobId(self.next_job);
+            self.next_job += 1;
+            let mask = self.async_commit(job, start, end, set);
+            self.job_shards.insert(job, (mask, end));
+            for p in set.iter() {
+                self.scratch.dirty[p.server.0 as usize] = true;
+            }
+            out.push(Ok(Grant {
+                job,
+                start,
+                end,
+                servers: set.iter().map(|p| p.server).collect(),
+                attempts,
+                waiting: start.saturating_since(slot.earliest),
+            }));
+        }
+
+        // Batch-end drain barrier: every pipelined commit has landed before
+        // control returns to the caller.
+        self.drain_pool();
+    }
+
     /// Cancel a committed job on every shard holding part of it.
     pub fn release(&mut self, job: JobId) -> Result<(), ScheduleError> {
         let (mask, _end) = self
             .job_shards
             .remove(&job)
             .ok_or(ScheduleError::UnknownJob(job))?;
-        match &mut self.backend {
-            Backend::Inline(st) => st.release(job),
-            Backend::Threads { cmd, reply, .. } => {
-                let mut expect = 0u32;
-                for (i, tx) in cmd.iter().enumerate() {
-                    if mask & (1 << i) != 0 {
-                        tx.send(Cmd::Release { job }).expect("shard worker alive");
-                        expect += 1;
-                    }
-                }
-                for _ in 0..expect {
-                    match reply.recv().expect("shard worker alive") {
-                        Reply::Done { shard, stats } => {
-                            self.shard_stats[shard as usize] = stats;
-                        }
-                        Reply::Died { shard } => panic!("shard worker {shard} died"),
-                        other => panic!("unexpected shard reply {other:?}"),
-                    }
-                }
+        self.drain_pool();
+        for i in 0..self.backend.states.len() {
+            if mask & (1 << i) != 0 {
+                let mut st = self.backend.states[i].lock().expect("shard state lock");
+                st.release(job);
+                self.shard_stats[i] = st.stats();
             }
-        }
-        if let Backend::Inline(st) = &self.backend {
-            self.shard_stats[0] = st.stats();
         }
         Ok(())
     }
@@ -411,24 +816,10 @@ impl ShardedScheduler {
         if span <= 0 {
             return 0.0;
         }
+        self.drain_pool();
         let mut busy = 0i64;
-        match &mut self.backend {
-            Backend::Inline(st) => busy = st.busy_secs_before(until),
-            Backend::Threads { cmd, reply, .. } => {
-                for tx in cmd.iter() {
-                    tx.send(Cmd::Busy { until }).expect("shard worker alive");
-                }
-                for _ in 0..cmd.len() {
-                    match reply.recv().expect("shard worker alive") {
-                        Reply::BusySecs { shard, secs, stats } => {
-                            self.shard_stats[shard as usize] = stats;
-                            busy += secs;
-                        }
-                        Reply::Died { shard } => panic!("shard worker {shard} died"),
-                        other => panic!("unexpected shard reply {other:?}"),
-                    }
-                }
-            }
+        for st in &self.backend.states {
+            busy += st.lock().expect("shard state lock").busy_secs_before(until);
         }
         busy as f64 / (span as f64 * self.num_servers as f64)
     }
@@ -437,22 +828,9 @@ impl ShardedScheduler {
     /// expensive).
     #[doc(hidden)]
     pub fn check_consistency(&mut self) {
-        match &mut self.backend {
-            Backend::Inline(st) => st.check(),
-            Backend::Threads { cmd, reply, .. } => {
-                for tx in cmd.iter() {
-                    tx.send(Cmd::Check).expect("shard worker alive");
-                }
-                for _ in 0..cmd.len() {
-                    match reply.recv().expect("shard worker alive") {
-                        Reply::Done { shard, stats } => {
-                            self.shard_stats[shard as usize] = stats;
-                        }
-                        Reply::Died { shard } => panic!("shard worker {shard} died"),
-                        other => panic!("unexpected shard reply {other:?}"),
-                    }
-                }
-            }
+        self.drain_pool();
+        for st in &self.backend.states {
+            st.lock().expect("shard state lock").check();
         }
     }
 
@@ -469,123 +847,122 @@ impl ShardedScheduler {
         }
     }
 
-    /// Fan a count batch to every shard and sum the per-attempt totals.
+    /// Harvest pool acknowledgements until no asynchronous commit is
+    /// outstanding. No-op without a pool or when everything has landed.
+    fn drain_pool(&mut self) {
+        let Some(pool) = &mut self.backend.pool else {
+            return;
+        };
+        while pool.outstanding.iter().any(|&c| c > 0) {
+            match pool.reply.recv().expect("shard worker alive") {
+                Reply::Committed { shard, stats } => {
+                    pool.outstanding[shard as usize] -= 1;
+                    self.shard_stats[shard as usize] = stats;
+                }
+                Reply::Died { shard } => panic!("shard worker {shard} died"),
+                other => panic!("unexpected shard reply {other:?}"),
+            }
+        }
+    }
+
+    /// Receive one pool reply, transparently retiring any interleaved
+    /// commit acknowledgements.
+    fn recv_reply(&mut self) -> Reply {
+        let pool = self.backend.pool.as_mut().expect("pool path");
+        loop {
+            match pool.reply.recv().expect("shard worker alive") {
+                Reply::Committed { shard, stats } => {
+                    pool.outstanding[shard as usize] -= 1;
+                    self.shard_stats[shard as usize] = stats;
+                }
+                Reply::Died { shard } => panic!("shard worker {shard} died"),
+                other => return other,
+            }
+        }
+    }
+
+    /// Inline count fan-out: lock each shard in turn and sum the
+    /// per-attempt totals.
     fn sync_counts(&mut self, first: Time, duration: Dur, m: u32) -> [u64; MAX_BATCH] {
         let mut totals = [0u64; MAX_BATCH];
+        let mut counts = [0u32; MAX_BATCH];
         let step = self.cfg.delta_t;
-        match &mut self.backend {
-            Backend::Inline(st) => {
-                let mut counts = [0u32; MAX_BATCH];
-                st.count_batch(first, step, duration, m, &mut counts);
-                for (t, c) in totals.iter_mut().zip(counts) {
-                    *t += c as u64;
-                }
-                self.shard_stats[0] = st.stats();
-            }
-            Backend::Threads { cmd, reply, .. } => {
-                for tx in cmd.iter() {
-                    tx.send(Cmd::Count {
-                        first,
-                        step,
-                        duration,
-                        m,
-                    })
-                    .expect("shard worker alive");
-                }
-                for _ in 0..cmd.len() {
-                    match reply.recv().expect("shard worker alive") {
-                        Reply::Counts {
-                            shard,
-                            counts,
-                            stats,
-                        } => {
-                            self.shard_stats[shard as usize] = stats;
-                            for (t, c) in totals.iter_mut().zip(counts) {
-                                *t += c as u64;
-                            }
-                        }
-                        Reply::Died { shard } => panic!("shard worker {shard} died"),
-                        other => panic!("unexpected shard reply {other:?}"),
-                    }
-                }
+        for i in 0..self.backend.states.len() {
+            let mut st = self.backend.states[i].lock().expect("shard state lock");
+            st.count_batch(first, step, duration, m, &mut counts);
+            self.shard_stats[i] = st.stats();
+            for (t, c) in totals.iter_mut().zip(counts) {
+                *t += c as u64;
             }
         }
         totals
     }
 
-    /// Fan a feasible-set enumeration to every shard and concatenate.
-    fn sync_enumerate(&mut self, start: Time, end: Time) -> Vec<IdlePeriod> {
-        let mut feasible = Vec::new();
-        match &mut self.backend {
-            Backend::Inline(st) => {
-                st.enumerate(start, end, &mut feasible);
-                self.shard_stats[0] = st.stats();
-            }
-            Backend::Threads { cmd, reply, .. } => {
-                for tx in cmd.iter() {
-                    tx.send(Cmd::Enumerate { start, end })
-                        .expect("shard worker alive");
-                }
-                for _ in 0..cmd.len() {
-                    match reply.recv().expect("shard worker alive") {
-                        Reply::Feasible {
-                            shard,
-                            periods,
-                            stats,
-                        } => {
-                            self.shard_stats[shard as usize] = stats;
-                            feasible.extend(periods);
-                        }
-                        Reply::Died { shard } => panic!("shard worker {shard} died"),
-                        other => panic!("unexpected shard reply {other:?}"),
-                    }
-                }
-            }
+    /// Inline feasible-set enumeration: concatenate every shard's set into
+    /// `out` (cleared first).
+    fn sync_enumerate_into(&mut self, start: Time, end: Time, out: &mut Vec<IdlePeriod>) {
+        out.clear();
+        let mut tmp = std::mem::take(&mut self.scratch.enum_tmp);
+        for i in 0..self.backend.states.len() {
+            let mut st = self.backend.states[i].lock().expect("shard state lock");
+            st.enumerate(start, end, &mut tmp);
+            self.shard_stats[i] = st.stats();
+            out.extend_from_slice(&tmp);
         }
-        feasible
+        self.scratch.enum_tmp = tmp;
     }
 
-    /// Dispatch the commit to the shards owning the chosen servers; returns
-    /// the shard bitmask for the job.
+    /// Inline commit to the shards owning the chosen servers; returns the
+    /// shard bitmask for the job.
     fn sync_commit(&mut self, job: JobId, start: Time, end: Time, chosen: &[IdlePeriod]) -> u64 {
-        let k = self.layout.len();
-        let mut per_shard: Vec<Vec<ServerId>> = vec![Vec::new(); k];
+        let mut per_shard = std::mem::take(&mut self.scratch.per_shard);
+        let mask = self.group_by_shard(chosen, &mut per_shard);
+        for (i, servers) in per_shard.iter().enumerate() {
+            if !servers.is_empty() {
+                let mut st = self.backend.states[i].lock().expect("shard state lock");
+                st.commit(job, start, end, servers);
+                self.shard_stats[i] = st.stats();
+            }
+        }
+        self.scratch.per_shard = per_shard;
+        mask
+    }
+
+    /// Pipelined commit: dispatch the per-shard deltas to the pool and
+    /// return immediately; the acknowledgements are harvested by the next
+    /// drain point (batch end, or any inline operation).
+    fn async_commit(&mut self, job: JobId, start: Time, end: Time, chosen: &[IdlePeriod]) -> u64 {
+        let mut per_shard = std::mem::take(&mut self.scratch.per_shard);
+        let mask = self.group_by_shard(chosen, &mut per_shard);
+        let pool = self.backend.pool.as_mut().expect("pool path");
+        for (i, servers) in per_shard.iter().enumerate() {
+            if !servers.is_empty() {
+                pool.cmd[i]
+                    .send(Cmd::Commit {
+                        job,
+                        start,
+                        end,
+                        servers: servers.clone(),
+                    })
+                    .expect("shard worker alive");
+                pool.outstanding[i] += 1;
+            }
+        }
+        self.scratch.per_shard = per_shard;
+        mask
+    }
+
+    /// Group chosen periods' servers by owning shard into `per_shard`
+    /// (cleared first); returns the shard bitmask.
+    fn group_by_shard(&self, chosen: &[IdlePeriod], per_shard: &mut [Vec<ServerId>]) -> u64 {
+        for v in per_shard.iter_mut() {
+            v.clear();
+        }
         let mut mask = 0u64;
         for p in chosen {
             let s = self.shard_of(p.server);
             per_shard[s].push(p.server);
             mask |= 1 << s;
-        }
-        match &mut self.backend {
-            Backend::Inline(st) => {
-                st.commit(job, start, end, &per_shard[0]);
-                self.shard_stats[0] = st.stats();
-            }
-            Backend::Threads { cmd, reply, .. } => {
-                let mut expect = 0u32;
-                for (i, servers) in per_shard.into_iter().enumerate() {
-                    if !servers.is_empty() {
-                        cmd[i]
-                            .send(Cmd::Commit {
-                                job,
-                                start,
-                                end,
-                                servers,
-                            })
-                            .expect("shard worker alive");
-                        expect += 1;
-                    }
-                }
-                for _ in 0..expect {
-                    match reply.recv().expect("shard worker alive") {
-                        Reply::Done { shard, stats } => {
-                            self.shard_stats[shard as usize] = stats;
-                        }
-                        Reply::Died { shard } => panic!("shard worker {shard} died"),
-                        other => panic!("unexpected shard reply {other:?}"),
-                    }
-                }
-            }
         }
         mask
     }
@@ -593,9 +970,9 @@ impl ShardedScheduler {
 
 impl Drop for ShardedScheduler {
     fn drop(&mut self) {
-        if let Backend::Threads { cmd, handles, .. } = &mut self.backend {
-            cmd.clear(); // disconnects the workers' command receivers
-            for h in handles.drain(..) {
+        if let Some(pool) = &mut self.backend.pool {
+            pool.cmd.clear(); // disconnects the workers' command receivers
+            for h in pool.handles.drain(..) {
                 let _ = h.join();
             }
         }
@@ -725,5 +1102,31 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// The pool path must agree with the inline path decision-for-decision,
+    /// including the validate-and-repair case where batch members contend
+    /// for the same servers.
+    #[test]
+    fn pool_path_matches_inline_path_under_contention() {
+        // 2 servers, members asking for both: every later member's
+        // feasible set intersects the earlier commits, forcing repairs.
+        let reqs: Vec<Request> = (0..8)
+            .map(|i| Request::on_demand(Time::ZERO, Dur(10 + (i % 3) * 10), 1 + (i as u32) % 2))
+            .collect();
+        let mut pooled = ShardedScheduler::new(2, 2, small_cfg());
+        pooled.set_pool_min_batch(0); // force every batch through the pool
+        let mut inline = ShardedScheduler::new(2, 2, small_cfg());
+        inline.set_pool_min_batch(usize::MAX);
+        let a = pooled.submit_batch(&reqs);
+        let b = inline.submit_batch(&reqs);
+        assert_eq!(a, b);
+        assert_eq!(pooled.stats().attempts, inline.stats().attempts);
+        assert_eq!(
+            pooled.stats().attempts_skipped,
+            inline.stats().attempts_skipped
+        );
+        pooled.check_consistency();
+        inline.check_consistency();
     }
 }

@@ -1,78 +1,95 @@
 //! The persistent worker pool: one thread per shard, fed over channels.
 //!
-//! The coordinator issues one synchronous operation at a time, so replies
-//! need no sequence numbers — each worker sends at most one reply per
-//! command and the coordinator counts replies per fan-out. Commands to a
-//! single shard are FIFO (channel order), which is what makes the no-reply
-//! [`Cmd::Advance`] safe: any later search on that shard observes it.
+//! Since the batched-execution redesign the pool is a *batch-stage engine*,
+//! not a per-request RPC endpoint: shard states live in `Arc<Mutex<_>>`
+//! shared with the coordinator, which locks them directly for all
+//! sequential work (per-request submits, releases, clock advances — the
+//! load-adaptive bypass). Workers are woken only for the three batch
+//! stages, each covering a whole batch in a single mailbox message:
+//!
+//! * [`Cmd::Probe`] — the Phase-1 count ladders of every unresolved batch
+//!   member for one staged-doubling round;
+//! * [`Cmd::Enumerate`] — the Phase-2 feasible sets of every speculative
+//!   winner;
+//! * [`Cmd::Commit`] — one accepted member's reservation delta, applied
+//!   asynchronously while the coordinator moves on (acknowledged with
+//!   [`Reply::Committed`], harvested at the batch-end drain barrier).
+//!
+//! Commands to a single shard are FIFO (channel order), so a drain of the
+//! acknowledgements is enough to know a shard has applied every delta sent
+//! to it. Probe and enumerate stages charge their tree-op work into
+//! *per-request deltas* (not the shard's cumulative stats): the coordinator
+//! charges only the deltas of requests whose speculation is accepted, which
+//! keeps the aggregate accounting identical to sequential submission.
 
 use crate::state::ShardState;
 use coalloc_core::prelude::*;
 use crossbeam::channel::{Receiver, Sender};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
-/// Upper bound on attempts counted per fan-out round (the staged-doubling
-/// batch cap). Chosen so a `Counts` reply stays a small flat array.
+/// Upper bound on attempts counted per probe round per request (the
+/// staged-doubling batch cap). Chosen so a round's counts stay a small
+/// flat array per request.
 pub(crate) const MAX_BATCH: usize = 32;
+
+/// One request's slice of a probe round: count the windows
+/// `[first + i*step, first + i*step + duration)` for `i < m`.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct ProbeJob {
+    pub first: Time,
+    pub duration: Dur,
+    pub m: u32,
+}
+
+/// One staged-doubling round of Phase-1 probes for every still-unresolved
+/// batch member. Shared read-only across all shard workers.
+#[derive(Debug)]
+pub(crate) struct ProbeStage {
+    pub step: Dur,
+    pub jobs: Vec<ProbeJob>,
+}
 
 /// A command from the coordinator to one shard worker.
 #[derive(Clone, Debug)]
 pub(crate) enum Cmd {
-    /// Count feasible periods for `m` attempt windows starting at `first`,
-    /// spaced `step` apart, each `duration` long.
-    Count {
-        first: Time,
-        step: Dur,
-        duration: Dur,
-        m: u32,
-    },
-    /// Enumerate the full feasible set for `[start, end)`.
-    Enumerate { start: Time, end: Time },
+    /// Run one probe round: per-window feasible counts for every job in
+    /// the stage, plus a per-job [`OpStats`] delta.
+    Probe { stage: Arc<ProbeStage> },
+    /// Enumerate the full feasible set for each `[start, end)` window.
+    Enumerate { windows: Arc<Vec<(Time, Time)>> },
     /// Reserve `[start, end)` for `job` on these (shard-owned) servers.
+    /// Applied asynchronously; acknowledged with [`Reply::Committed`].
     Commit {
         job: JobId,
         start: Time,
         end: Time,
         servers: Vec<ServerId>,
     },
-    /// Release the shard's reservations of `job`.
-    Release { job: JobId },
-    /// Advance the shard clock (fire-and-forget: no reply).
-    Advance { now: Time },
-    /// Run the shard's consistency checks.
-    Check,
-    /// Report committed busy server-seconds before `until`.
-    Busy { until: Time },
 }
 
-/// A reply from a shard worker. Every synced reply carries the shard's full
-/// cumulative [`OpStats`] so the coordinator's cache is always current.
+/// A reply from a shard worker.
 #[derive(Clone, Debug)]
 pub(crate) enum Reply {
-    Counts {
-        shard: u32,
-        counts: [u32; MAX_BATCH],
-        stats: OpStats,
+    /// Per-window counts (concatenated in stage-job order) and per-job
+    /// stat deltas for one probe round. Carries no shard id: counts are
+    /// summed and deltas accumulated, so arrival order is irrelevant.
+    Probed {
+        counts: Vec<u32>,
+        deltas: Vec<OpStats>,
     },
-    Feasible {
-        shard: u32,
-        periods: Vec<IdlePeriod>,
-        stats: OpStats,
+    /// Per-window feasible sets (global server ids) and per-window stat
+    /// deltas.
+    Enumerated {
+        sets: Vec<Vec<IdlePeriod>>,
+        deltas: Vec<OpStats>,
     },
-    Done {
-        shard: u32,
-        stats: OpStats,
-    },
-    BusySecs {
-        shard: u32,
-        secs: i64,
-        stats: OpStats,
-    },
+    /// An asynchronous commit has been applied; carries the shard's full
+    /// cumulative [`OpStats`] so the coordinator's cache stays current.
+    Committed { shard: u32, stats: OpStats },
     /// Sent by the panic canary when a worker dies mid-command, so the
     /// coordinator fails loudly instead of hanging on a missing reply.
-    Died {
-        shard: u32,
-    },
+    Died { shard: u32 },
 }
 
 /// Notifies the coordinator if the worker thread unwinds.
@@ -92,15 +109,16 @@ impl Drop for Canary {
 /// Spawn one worker thread per shard state. Returns the per-shard command
 /// senders, the shared reply receiver, and the join handles.
 pub(crate) fn spawn_workers(
-    states: Vec<ShardState>,
+    states: &[Arc<Mutex<ShardState>>],
 ) -> (Vec<Sender<Cmd>>, Receiver<Reply>, Vec<JoinHandle<()>>) {
     let (reply_tx, reply_rx) = crossbeam::channel::unbounded();
     let mut cmd_txs = Vec::with_capacity(states.len());
     let mut handles = Vec::with_capacity(states.len());
-    for (i, state) in states.into_iter().enumerate() {
+    for (i, state) in states.iter().enumerate() {
         let (tx, rx) = crossbeam::channel::unbounded();
         cmd_txs.push(tx);
         let reply_tx = reply_tx.clone();
+        let state = Arc::clone(state);
         handles.push(
             std::thread::Builder::new()
                 .name(format!("coalloc-shard-{i}"))
@@ -111,83 +129,64 @@ pub(crate) fn spawn_workers(
     (cmd_txs, reply_rx, handles)
 }
 
-/// Execute one command against a shard state, producing its reply (`None`
-/// for fire-and-forget commands). Shared by the threaded workers and the
-/// inline (K = 1) backend so both run the exact same code.
-pub(crate) fn execute(shard: u32, st: &mut ShardState, cmd: Cmd) -> Option<Reply> {
-    match cmd {
-        Cmd::Count {
-            first,
-            step,
-            duration,
-            m,
-        } => {
-            let mut counts = [0u32; MAX_BATCH];
-            st.count_batch(first, step, duration, m, &mut counts);
-            Some(Reply::Counts {
-                shard,
-                counts,
-                stats: st.stats(),
-            })
-        }
-        Cmd::Enumerate { start, end } => {
-            let mut periods = Vec::new();
-            st.enumerate(start, end, &mut periods);
-            Some(Reply::Feasible {
-                shard,
-                periods,
-                stats: st.stats(),
-            })
-        }
-        Cmd::Commit {
-            job,
-            start,
-            end,
-            servers,
-        } => {
-            st.commit(job, start, end, &servers);
-            Some(Reply::Done {
-                shard,
-                stats: st.stats(),
-            })
-        }
-        Cmd::Release { job } => {
-            st.release(job);
-            Some(Reply::Done {
-                shard,
-                stats: st.stats(),
-            })
-        }
-        Cmd::Advance { now } => {
-            st.advance_to(now);
-            None
-        }
-        Cmd::Check => {
-            st.check();
-            Some(Reply::Done {
-                shard,
-                stats: st.stats(),
-            })
-        }
-        Cmd::Busy { until } => Some(Reply::BusySecs {
-            shard,
-            secs: st.busy_secs_before(until),
-            stats: st.stats(),
-        }),
-    }
-}
-
-fn worker(shard: u32, mut st: ShardState, rx: Receiver<Cmd>, tx: Sender<Reply>) {
+fn worker(shard: u32, state: Arc<Mutex<ShardState>>, rx: Receiver<Cmd>, tx: Sender<Reply>) {
     let _canary = Canary {
         shard,
         tx: tx.clone(),
     };
     // Exits when the coordinator drops the command sender.
     for cmd in rx.iter() {
-        if let Some(reply) = execute(shard, &mut st, cmd) {
-            if tx.send(reply).is_err() {
-                break; // coordinator gone
+        let reply = match cmd {
+            Cmd::Probe { stage } => {
+                let mut st = state.lock().expect("shard state lock");
+                let total: usize = stage.jobs.iter().map(|j| j.m as usize).sum();
+                let mut counts = Vec::with_capacity(total);
+                let mut deltas = Vec::with_capacity(stage.jobs.len());
+                let mut buf = [0u32; MAX_BATCH];
+                for job in &stage.jobs {
+                    let mut delta = OpStats::new();
+                    st.count_batch_into(
+                        job.first,
+                        stage.step,
+                        job.duration,
+                        job.m,
+                        &mut buf,
+                        &mut delta,
+                    );
+                    counts.extend_from_slice(&buf[..job.m as usize]);
+                    deltas.push(delta);
+                }
+                Reply::Probed { counts, deltas }
             }
+            Cmd::Enumerate { windows } => {
+                let mut st = state.lock().expect("shard state lock");
+                let mut sets = Vec::with_capacity(windows.len());
+                let mut deltas = Vec::with_capacity(windows.len());
+                for &(start, end) in windows.iter() {
+                    let mut delta = OpStats::new();
+                    let mut set = Vec::new();
+                    st.enumerate_into(start, end, &mut set, &mut delta);
+                    sets.push(set);
+                    deltas.push(delta);
+                }
+                Reply::Enumerated { sets, deltas }
+            }
+            Cmd::Commit {
+                job,
+                start,
+                end,
+                servers,
+            } => {
+                let mut st = state.lock().expect("shard state lock");
+                st.commit(job, start, end, &servers);
+                Reply::Committed {
+                    shard,
+                    stats: st.stats(),
+                }
+            }
+        };
+        if tx.send(reply).is_err() {
+            break; // coordinator gone
         }
     }
 }

@@ -79,19 +79,38 @@ impl ShardState {
     /// could host the job: open-ended periods with `st <= start` (always
     /// feasible) plus finite candidates whose end covers the window.
     pub fn count_batch(&mut self, first: Time, step: Dur, duration: Dur, m: u32, out: &mut [u32]) {
+        let mut stats = self.stats;
+        self.count_batch_into(first, step, duration, m, out, &mut stats);
+        self.stats = stats;
+    }
+
+    /// [`Self::count_batch`] charging an explicit counter set instead of the
+    /// shard's cumulative stats. The batched coordinator uses this to keep
+    /// speculative probe work in a per-request delta: only the deltas of
+    /// requests whose speculation is *accepted* are ever charged, so the
+    /// aggregate accounting is independent of how submissions were grouped
+    /// into batches.
+    pub fn count_batch_into(
+        &mut self,
+        first: Time,
+        step: Dur,
+        duration: Dur,
+        m: u32,
+        out: &mut [u32],
+        stats: &mut OpStats,
+    ) {
         for (i, slot) in out.iter_mut().take(m as usize).enumerate() {
             let start = first + step * (i as i64);
             let end = start + duration;
             let q = self.slot_cfg.slot_of(start);
-            let trailing = self.trailing.count_candidates(start, &mut self.stats);
-            let finite =
-                self.ring
-                    .phase1_candidates_into(q, start, &mut self.scratch.stab, &mut self.stats);
+            let trailing = self.trailing.count_candidates(start, stats);
+            let finite = self
+                .ring
+                .phase1_candidates_into(q, start, &mut self.scratch.stab, stats);
             let feasible = if finite == 0 {
                 0
             } else {
-                self.ring
-                    .count_feasible(end, &self.scratch.stab, &mut self.stats)
+                self.ring.count_feasible(end, &self.scratch.stab, stats)
             };
             *slot = (trailing + feasible) as u32;
         }
@@ -101,6 +120,20 @@ impl ShardState {
     /// `[start, end)`, appending periods (with **global** server ids) to
     /// `out` after clearing it.
     pub fn enumerate(&mut self, start: Time, end: Time, out: &mut Vec<IdlePeriod>) {
+        let mut stats = self.stats;
+        self.enumerate_into(start, end, out, &mut stats);
+        self.stats = stats;
+    }
+
+    /// [`Self::enumerate`] charging an explicit counter set — the Phase-2
+    /// analogue of [`Self::count_batch_into`] for speculative batch probes.
+    pub fn enumerate_into(
+        &mut self,
+        start: Time,
+        end: Time,
+        out: &mut Vec<IdlePeriod>,
+        stats: &mut OpStats,
+    ) {
         out.clear();
         let q = self.slot_cfg.slot_of(start);
         if !self.ring.is_live(q) {
@@ -108,17 +141,17 @@ impl ShardState {
         }
         self.scratch.ids.clear();
         self.trailing
-            .collect_candidates(start, usize::MAX, &mut self.scratch.ids, &mut self.stats);
-        let finite =
-            self.ring
-                .phase1_candidates_into(q, start, &mut self.scratch.stab, &mut self.stats);
+            .collect_candidates(start, usize::MAX, &mut self.scratch.ids, stats);
+        let finite = self
+            .ring
+            .phase1_candidates_into(q, start, &mut self.scratch.stab, stats);
         if finite > 0 {
             self.ring.phase2_feasible_into(
                 end,
                 &self.scratch.stab,
                 usize::MAX,
                 &mut self.scratch.ids,
-                &mut self.stats,
+                stats,
             );
         }
         for id in &self.scratch.ids {

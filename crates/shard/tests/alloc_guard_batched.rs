@@ -1,0 +1,135 @@
+//! Allocation guard for the sharded batched submission path.
+//!
+//! Mirrors `crates/core/tests/alloc_guard.rs` for the coordinator: after
+//! warm-up, steady-state all-reject batches through
+//! `ShardedScheduler::submit_batch_into` must perform **zero** heap
+//! allocations on the inline (load-bypass) path — the coordinator scratch
+//! (count arrays, feasible/enumerate buffers, per-shard commit groups) is
+//! reused across batch members — and granted members stay within the same
+//! small per-grant budget as the single scheduler.
+//!
+//! Only the inline path is measured: the pool path hands work to other
+//! threads, whose message traffic allocates by design and is amortized by
+//! batching, not eliminated.
+
+use coalloc_core::prelude::*;
+use coalloc_shard::ShardedScheduler;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    ALLOCS.load(Ordering::SeqCst)
+}
+
+fn cfg() -> SchedulerConfig {
+    SchedulerConfig::builder()
+        .tau(Dur(10))
+        .horizon(Dur(400))
+        .delta_t(Dur(10))
+        .build()
+}
+
+/// One test function: the counter is process-global, so the measurements
+/// must run sequentially, not on parallel test threads.
+#[test]
+fn steady_state_batched_submissions_do_not_allocate() {
+    let mut sched = ShardedScheduler::new(8, 4, cfg());
+    sched.set_pool_min_batch(usize::MAX); // pin the inline path
+
+    // A pinned server makes 8-wide requests uncountable (phase-1 reject).
+    sched
+        .submit(&Request::on_demand(Time::ZERO, Dur(390), 1))
+        .unwrap();
+
+    // Warm-up: grow every coordinator scratch buffer, shard tree slab and
+    // metric registry with a mixed grant/reject/release load.
+    let mut jobs = Vec::with_capacity(64);
+    for i in 0..200i64 {
+        let req = Request::advance(
+            Time::ZERO,
+            Time((i % 30) * 10),
+            Dur(10 + (i % 5) * 20),
+            1 + (i % 6) as u32,
+        );
+        if let Ok(g) = sched.submit(&req) {
+            jobs.push(g.job);
+        }
+        if i % 2 == 0 {
+            if let Some(j) = jobs.pop() {
+                sched.release(j).unwrap();
+            }
+        }
+    }
+    for j in jobs.drain(..) {
+        sched.release(j).unwrap();
+    }
+
+    // ---- Batched rejects: zero allocations in steady state.
+    let probe = Request::on_demand(Time::ZERO, Dur(50), 8);
+    let batch: Vec<Request> = vec![probe; 16];
+    let mut out = Vec::with_capacity(batch.len());
+    sched.submit_batch_into(&batch, &mut out); // warm the out-buffer
+    assert!(out.iter().all(|r| r.is_err()), "7 free servers < 8 wanted");
+    let before = allocs();
+    for _ in 0..20 {
+        sched.submit_batch_into(&batch, &mut out);
+        assert!(out.iter().all(|r| r.is_err()));
+    }
+    assert_eq!(
+        allocs() - before,
+        0,
+        "steady-state batched sharded rejections must not allocate"
+    );
+
+    // ---- Batched grants: bounded, not zero — each grant returns an owned
+    // `Grant::servers` vector and records per-shard reservation entries,
+    // all O(n_r); the coordinator scratch is reused across members.
+    let pair = [
+        Request::on_demand(Time::ZERO, Dur(30), 3),
+        Request::on_demand(Time::ZERO, Dur(30), 3),
+    ];
+    sched.submit_batch_into(&pair, &mut out); // warm
+    for r in out.drain(..) {
+        sched.release(r.unwrap().job).unwrap();
+    }
+    let iters = 50u64;
+    let before = allocs();
+    for _ in 0..iters {
+        sched.submit_batch_into(&pair, &mut out);
+        for r in out.drain(..) {
+            sched.release(r.unwrap().job).unwrap();
+        }
+    }
+    let per_grant = (allocs() - before) / (iters * pair.len() as u64);
+    println!("sharded batched grant+release allocations per member: {per_grant}");
+    assert!(
+        per_grant <= 32,
+        "sharded batched grant+release allocated {per_grant} per member; \
+         expected the per-grant budget"
+    );
+}
