@@ -12,21 +12,32 @@
 //!
 //! ```text
 //! cargo run -p coalloc-bench --release --bin netload -- \
-//!     [--smoke] [--clients C] [--scale F] [--seed N] [--shards K] \
-//!     [--addr HOST:PORT] [--out PATH] [--validate PATH]
+//!     [--smoke] [--profile default|churn] [--clients C] [--scale F] \
+//!     [--seed N] [--shards K] [--addr HOST:PORT] [--out PATH] \
+//!     [--strict] [--validate PATH]
 //! ```
 //!
 //! * `--smoke` — tiny workload slice for CI (8 clients, ~hundreds of
 //!   commands) that still runs every invariant check.
+//! * `--profile churn` — connection-churn stress instead of the closed-loop
+//!   replay: thousands of concurrent connections (2048 unless `--clients`
+//!   says otherwise) opening and closing in bursts, writing pipelined
+//!   `advance` bursts split mid-line across writes. Every reply is checked
+//!   byte-exactly against its request (`advance N` ⇒ `ok now=N`), so any
+//!   reply reordering or cross-connection delivery is a violation.
 //! * `--addr` — drive an already-running `coallocd serve` instead of an
 //!   in-process server (the metric-equality check is skipped: an external
 //!   server's counters may include other traffic).
 //! * `--validate PATH` — parse an existing result file and check its shape
 //!   instead of running; used by CI after the bench run.
+//! * `--strict` — make `--validate` additionally reject results whose
+//!   `secs` is below one second: a committed baseline must come from a
+//!   full-length run, never from a `--smoke` artifact.
 
 use coalloc_net::{Client, NetConfig, Server, BUSY_REPLY};
 use coalloc_workloads::synthetic::WorkloadSpec;
 use obs::json::{self, Json};
+use std::io::Write;
 use std::time::{Duration, Instant};
 
 /// One client's tally of a replay slice.
@@ -69,6 +80,56 @@ fn roundtrip_retry(
     }
 }
 
+/// One closed-loop request: pipeline the `advance` + `submit` pair in a
+/// single write, then read both replies. One wire roundtrip per request —
+/// the event-driven front-end slices the pair into one scheduler-queue
+/// crossing. Queue-level sheds answer per line and leave the connection
+/// open, so only the shed half is retried; dead sockets reconnect and
+/// resend the whole pair. Returns `(advance reply if it was not shed,
+/// submit reply, retries absorbed)`.
+fn pair_retry(
+    c: &mut Client,
+    addr: std::net::SocketAddr,
+    adv: &str,
+    sub: &str,
+) -> std::io::Result<(Option<String>, String, u64)> {
+    let mut retries = 0u64;
+    let wire = format!("{adv}\n{sub}\n");
+    loop {
+        let replies = c
+            .stream()
+            .write_all(wire.as_bytes())
+            .and_then(|()| Ok((c.recv_line()?, c.recv_line()?)));
+        match replies {
+            Ok((r1, r2)) if !r1.is_empty() && !r2.is_empty() => {
+                let r1 = if r1 == BUSY_REPLY {
+                    retries += 1;
+                    None // clock unmoved: harmless for a load run
+                } else {
+                    Some(r1)
+                };
+                if r2 == BUSY_REPLY {
+                    // The submit was shed before execution: safe to resend
+                    // alone on the still-open connection.
+                    retries += 1;
+                    let (r2, more) = roundtrip_retry(c, addr, sub)?;
+                    return Ok((r1, r2, retries + more));
+                }
+                return Ok((r1, r2, retries));
+            }
+            // EOF on either reply: the connection died (shed or reaped).
+            Ok(_) => {}
+            Err(e) if retries >= 100 => return Err(e),
+            Err(_) => {}
+        }
+        retries += 1;
+        std::thread::sleep(Duration::from_millis(5));
+        let mut fresh = Client::connect(addr)?;
+        let _ = fresh.set_timeout(Duration::from_secs(30));
+        *c = fresh;
+    }
+}
+
 fn client_worker(
     addr: std::net::SocketAddr,
     reqs: Vec<(i64, i64, i64, u32)>,
@@ -84,24 +145,22 @@ fn client_worker(
     let _ = c.set_timeout(Duration::from_secs(30));
     for (q, s, l, n) in reqs {
         // Closed loop: move the shared clock to this request's submit
-        // instant, then submit and wait for the decision.
-        match roundtrip_retry(&mut c, addr, &format!("advance {q}")) {
-            Ok((r, busy)) => {
-                out.busy_retries += busy;
-                if !r.starts_with("ok now=") {
-                    out.violations.push(format!("bad advance reply: {r}"));
-                }
-            }
-            Err(e) => {
-                out.violations.push(format!("advance io error: {e}"));
-                return out;
-            }
-        }
+        // instant and ask for the decision, pipelined as one roundtrip.
         let t0 = Instant::now();
-        match roundtrip_retry(&mut c, addr, &format!("submit {q} {s} {l} {n}")) {
-            Ok((r, busy)) => {
+        match pair_retry(
+            &mut c,
+            addr,
+            &format!("advance {q}"),
+            &format!("submit {q} {s} {l} {n}"),
+        ) {
+            Ok((ra, r, busy)) => {
                 out.busy_retries += busy;
                 out.lat_ns.push(t0.elapsed().as_nanos() as u64);
+                if let Some(ra) = ra {
+                    if !ra.starts_with("ok now=") {
+                        out.violations.push(format!("bad advance reply: {ra}"));
+                    }
+                }
                 if let Some(rest) = r.strip_prefix("granted job=") {
                     let id: Option<u64> =
                         rest.split_whitespace().next().and_then(|x| x.parse().ok());
@@ -122,7 +181,7 @@ fn client_worker(
                 }
             }
             Err(e) => {
-                out.violations.push(format!("submit io error: {e}"));
+                out.violations.push(format!("request pair io error: {e}"));
                 return out;
             }
         }
@@ -189,7 +248,8 @@ struct RunSummary {
 fn render(spec: &WorkloadSpec, args: &Args, s: &RunSummary) -> String {
     let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     format!(
-        "{{\n  \"bench\": \"netload\",\n  \"workload\": \"{}\",\n  \"servers\": {},\n  \
+        "{{\n  \"bench\": \"netload\",\n  \"profile\": \"{}\",\n  \
+         \"workload\": \"{}\",\n  \"servers\": {},\n  \
          \"scale\": {},\n  \"seed\": {},\n  \"clients\": {},\n  \"shards\": {},\n  \
          \"commands\": {},\n  \"cpus\": {},\n  \"secs\": {:.6},\n  \"rps\": {:.3},\n  \
          \"p50_us\": {:.3},\n  \"p99_us\": {:.3},\n  \
@@ -197,6 +257,7 @@ fn render(spec: &WorkloadSpec, args: &Args, s: &RunSummary) -> String {
          \"stage_wal_stall_p50_us\": {:.3},\n  \"stage_writeback_p50_us\": {:.3},\n  \
          \"granted\": {},\n  \
          \"rejected\": {},\n  \"busy_retries\": {},\n  \"violations\": {}\n}}\n",
+        json::escape(&args.profile),
         json::escape(&spec.name),
         spec.servers,
         args.scale,
@@ -220,8 +281,11 @@ fn render(spec: &WorkloadSpec, args: &Args, s: &RunSummary) -> String {
     )
 }
 
-/// Shape-check a `BENCH_net.json` document.
-fn validate(text: &str) -> Result<(), String> {
+/// Shape-check a `BENCH_net.json` document. Strict mode additionally
+/// rejects sub-second runs: a committed baseline regenerated from a smoke
+/// run would silently gut the regression guard (its rps floor and p99
+/// ceiling would come from a statistically meaningless 0.1 s burst).
+fn validate(text: &str, strict: bool) -> Result<(), String> {
     let doc = json::parse(text)?;
     if doc.get("bench").and_then(Json::as_str) != Some("netload") {
         return Err("missing or wrong \"bench\" tag".into());
@@ -246,10 +310,21 @@ fn validate(text: &str) -> Result<(), String> {
     if num("violations") != 0.0 {
         return Err(format!("{} invariant violations recorded", num("violations")));
     }
+    if strict && num("secs") < 1.0 {
+        return Err(format!(
+            "strict: \"secs\" is {:.3} — a baseline must come from a full run \
+             (≥ 1 s), not a smoke artifact",
+            num("secs")
+        ));
+    }
     Ok(())
 }
 
 struct Args {
+    /// `default` (closed-loop kth replay) or `churn` (connection storm).
+    profile: String,
+    /// `--smoke`: shrink whichever profile runs to CI size.
+    smoke: bool,
     clients: usize,
     scale: f64,
     seed: u64,
@@ -266,6 +341,8 @@ struct Args {
 
 fn main() {
     let mut args = Args {
+        profile: "default".to_string(),
+        smoke: false,
         clients: 8,
         scale: 0.01,
         seed: 42,
@@ -275,12 +352,26 @@ fn main() {
         guard: None,
         baseline: None,
     };
+    let mut clients_set = false;
+    let mut strict = false;
     let mut cli = std::env::args().skip(1);
     while let Some(a) = cli.next() {
         match a.as_str() {
-            "--smoke" => args.scale = 0.002,
+            "--smoke" => {
+                args.smoke = true;
+                args.scale = 0.002;
+            }
+            "--profile" => {
+                args.profile = cli.next().expect("--profile default|churn");
+                assert!(
+                    args.profile == "default" || args.profile == "churn",
+                    "--profile must be `default` or `churn`"
+                );
+            }
+            "--strict" => strict = true,
             "--clients" => {
-                args.clients = cli.next().expect("--clients C").parse().expect("integer")
+                args.clients = cli.next().expect("--clients C").parse().expect("integer");
+                clients_set = true;
             }
             "--scale" => args.scale = cli.next().expect("--scale F").parse().expect("float"),
             "--seed" => args.seed = cli.next().expect("--seed N").parse().expect("integer"),
@@ -306,12 +397,14 @@ fn main() {
                 args.baseline = Some((num("rps"), num("p99_us")));
             }
             "--validate" => {
+                // `--strict` must precede `--validate` (validation runs
+                // immediately so `--out`/`--validate` can share a file).
                 let path = cli.next().expect("--validate PATH");
                 let text = std::fs::read_to_string(&path)
                     .unwrap_or_else(|e| panic!("read {path}: {e}"));
-                match validate(&text) {
+                match validate(&text, strict) {
                     Ok(()) => {
-                        println!("{path}: ok");
+                        println!("{path}: ok{}", if strict { " (strict)" } else { "" });
                         return;
                     }
                     Err(e) => {
@@ -322,9 +415,9 @@ fn main() {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: netload [--smoke] [--clients C] [--scale F] [--seed N] \
-                     [--shards K] [--addr HOST:PORT] [--out PATH] [--validate PATH] \
-                     [--guard RATIO --baseline PATH]"
+                    "usage: netload [--smoke] [--profile default|churn] [--clients C] \
+                     [--scale F] [--seed N] [--shards K] [--addr HOST:PORT] [--out PATH] \
+                     [--strict] [--validate PATH] [--guard RATIO --baseline PATH]"
                 );
                 return;
             }
@@ -334,29 +427,26 @@ fn main() {
             }
         }
     }
+    if args.profile == "churn" && !clients_set {
+        // The churn point: thousands of concurrent connections, far past
+        // what a thread-per-connection front-end could hold.
+        args.clients = if args.smoke { 256 } else { 2048 };
+    }
     assert!(args.clients >= 1, "--clients must be at least 1");
 
-    // The workload twin: same generator the throughput gate replays.
+    // The workload twin: same generator the throughput gate replays (the
+    // churn profile only borrows its name and server count for the row).
     let spec = WorkloadSpec::kth().scaled(args.scale);
-    let reqs = spec.generate(args.seed);
-    println!(
-        "netload: {} requests over {} servers (kth × {}, seed {}), {} clients, {} shard(s)",
-        reqs.len(),
-        spec.servers,
-        args.scale,
-        args.seed,
-        args.clients,
-        args.shards
-    );
 
-    // In-process server unless an external address was given. The pool is
-    // sized so every load client plus the control session has a worker.
+    // In-process server unless an external address was given. A handful of
+    // event loops multiplex every connection; `max_conns` leaves headroom
+    // for the control session and reconnecting shed clients.
     let server = if args.addr.is_none() {
         Some(
             Server::bind(NetConfig {
-                workers: args.clients + 2,
-                queue_depth: (args.clients * 2).max(8),
-                accept_backlog: args.clients.max(8),
+                workers: 4,
+                queue_depth: (args.clients * 2).max(64),
+                max_conns: args.clients + 16,
                 read_timeout: Duration::from_secs(30),
                 shards: args.shards,
                 ..NetConfig::default()
@@ -371,6 +461,22 @@ fn main() {
         (None, Some(s)) => s.local_addr(),
         _ => unreachable!(),
     };
+
+    if args.profile == "churn" {
+        run_churn(&args, &spec, server, addr);
+        return;
+    }
+
+    let reqs = spec.generate(args.seed);
+    println!(
+        "netload: {} requests over {} servers (kth × {}, seed {}), {} clients, {} shard(s)",
+        reqs.len(),
+        spec.servers,
+        args.scale,
+        args.seed,
+        args.clients,
+        args.shards
+    );
 
     // Control session: initialize the shared scheduler with the paper-bench
     // settings (15-minute slots, 72-hour horizon).
@@ -417,8 +523,8 @@ fn main() {
         violations.extend(o.violations);
     }
     lat_ns.sort_unstable();
-    // Two commands (advance + submit) per request actually crossed the
-    // wire; rps counts them both since each is a served roundtrip.
+    // Two commands (advance + submit) per request crossed the wire as one
+    // pipelined pair; rps counts both, the latency samples are pair RTTs.
     let n_cmds = lat_ns.len() * 2;
 
     // ---- Invariant sweep (the acceptance gate's "zero violations") ----
@@ -597,29 +703,305 @@ fn main() {
     if !violations.is_empty() {
         std::process::exit(1);
     }
-    validate(&doc).expect("self-validation of the emitted document");
+    validate(&doc, false).expect("self-validation of the emitted document");
+    enforce_guard(&args, rps, p99);
+}
 
-    // ---- Regression guard (CI): both throughput AND tail latency must
-    // stay within `guard` of the committed baseline.
-    if let Some(ratio) = args.guard {
-        let (base_rps, base_p99) = args
-            .baseline
-            .expect("--guard requires --baseline PATH (read before the run)");
-        let rps_floor = base_rps * ratio;
-        let p99_ceiling = if base_p99 > 0.0 { base_p99 / ratio } else { f64::INFINITY };
-        println!(
-            "  guard: rps {rps:.0} vs floor {rps_floor:.0} (baseline {base_rps:.0}); \
-             p99 {p99:.1} µs vs ceiling {p99_ceiling:.1} µs (baseline {base_p99:.1})"
-        );
-        if rps < rps_floor {
-            eprintln!("GUARD FAILED: rps {rps:.0} below {rps_floor:.0} ({ratio}× baseline)");
-            std::process::exit(1);
+/// Regression guard (CI): both throughput AND tail latency must stay
+/// within `guard` of the committed baseline. Exits nonzero on breach.
+fn enforce_guard(args: &Args, rps: f64, p99: f64) {
+    let Some(ratio) = args.guard else { return };
+    let (base_rps, base_p99) = args
+        .baseline
+        .expect("--guard requires --baseline PATH (read before the run)");
+    let rps_floor = base_rps * ratio;
+    let p99_ceiling = if base_p99 > 0.0 { base_p99 / ratio } else { f64::INFINITY };
+    println!(
+        "  guard: rps {rps:.0} vs floor {rps_floor:.0} (baseline {base_rps:.0}); \
+         p99 {p99:.1} µs vs ceiling {p99_ceiling:.1} µs (baseline {base_p99:.1})"
+    );
+    if rps < rps_floor {
+        eprintln!("GUARD FAILED: rps {rps:.0} below {rps_floor:.0} ({ratio}× baseline)");
+        std::process::exit(1);
+    }
+    if p99 > p99_ceiling {
+        eprintln!("GUARD FAILED: p99 {p99:.1} µs above {p99_ceiling:.1} µs (baseline/{ratio})");
+        std::process::exit(1);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The churn profile: connection-storm stress for the event-driven front-end.
+// ---------------------------------------------------------------------------
+
+/// One driver thread's tally of the churn storm.
+#[derive(Default)]
+struct ChurnOutcome {
+    /// Replies read and byte-checked against their request.
+    checked: u64,
+    /// Queue-level sheds observed in place of a reply (1:1 preserved).
+    busy: u64,
+    /// Per-command latency estimate: burst round-trip / burst length.
+    lat_ns: Vec<u64>,
+    violations: Vec<String>,
+}
+
+/// One churn connection's pipelined burst: unique `advance` arguments so a
+/// reply misrouted across connections — or reordered within one — fails the
+/// byte-exact echo check (`advance N` ⇒ `ok now=N`).
+fn churn_burst(base: i64, len: usize) -> (String, Vec<String>) {
+    let mut buf = String::new();
+    let mut expected = Vec::with_capacity(len);
+    for i in 0..len {
+        let t = base + i as i64;
+        buf.push_str(&format!("advance {t}\n"));
+        expected.push(format!("ok now={t}"));
+    }
+    (buf, expected)
+}
+
+fn churn_thread(
+    addr: std::net::SocketAddr,
+    range: std::ops::Range<usize>,
+    total_conns: usize,
+    waves: usize,
+    burst: usize,
+    barrier: &std::sync::Barrier,
+) -> ChurnOutcome {
+    let mut out = ChurnOutcome::default();
+    for wave in 0..waves {
+        // 1. Open every connection in the slice, probing admission with one
+        //    `version` roundtrip. Accept-level sheds close the socket
+        //    (busy-then-EOF), so the probe reconnects until admitted.
+        let mut clients: Vec<Option<Client>> = Vec::with_capacity(range.len());
+        for idx in range.clone() {
+            let mut admitted = None;
+            for _ in 0..100 {
+                if let Ok(mut c) = Client::connect(addr) {
+                    let _ = c.set_timeout(Duration::from_secs(30));
+                    match c.roundtrip("version") {
+                        Ok(r) if r == BUSY_REPLY || r.is_empty() => {}
+                        Ok(_) => {
+                            admitted = Some(c);
+                            break;
+                        }
+                        Err(_) => {}
+                    }
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            if admitted.is_none() {
+                out.violations
+                    .push(format!("wave {wave} conn {idx}: never admitted"));
+            }
+            clients.push(admitted);
         }
-        if p99 > p99_ceiling {
-            eprintln!(
-                "GUARD FAILED: p99 {p99:.1} µs above {p99_ceiling:.1} µs (baseline/{ratio})"
-            );
-            std::process::exit(1);
+        // 2. Everyone holds their sockets before any burst: the peak is
+        //    exactly `total_conns` concurrently open connections.
+        barrier.wait();
+        // 3. Pipelined bursts, written split mid-line: the first write ends
+        //    a few bytes into the opening `advance`; the rest follows after
+        //    a beat on every sixteenth connection. A partial line must sit
+        //    in the server's read buffer without stalling anyone else.
+        let mut pending: Vec<(usize, Vec<String>, Instant)> = Vec::new();
+        for (slot, idx) in range.clone().enumerate() {
+            let Some(c) = clients[slot].as_mut() else { continue };
+            let base = ((wave * total_conns + idx) * burst) as i64;
+            let (buf, expected) = churn_burst(base, burst);
+            let bytes = buf.as_bytes();
+            let split = 7.min(bytes.len());
+            let t = Instant::now();
+            let wrote = c.stream().write_all(&bytes[..split]).and_then(|()| {
+                if slot % 16 == 0 {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                c.stream().write_all(&bytes[split..])
+            });
+            match wrote {
+                Ok(()) => pending.push((slot, expected, t)),
+                Err(e) => {
+                    out.violations
+                        .push(format!("wave {wave} conn {idx}: burst write: {e}"));
+                    clients[slot] = None;
+                }
+            }
+        }
+        // 4. Collect replies: positionally 1:1 with the requests, each one
+        //    byte-exact or the documented queue-shed busy line.
+        for (slot, expected, t) in pending {
+            let Some(c) = clients[slot].as_mut() else { continue };
+            let mut clean = true;
+            for want in &expected {
+                match c.recv_line() {
+                    Ok(r) if r == *want => out.checked += 1,
+                    Ok(r) if r == BUSY_REPLY => {
+                        out.busy += 1;
+                        out.checked += 1;
+                    }
+                    Ok(r) => {
+                        out.violations
+                            .push(format!("reply ordering violated: got {r:?}, want {want:?}"));
+                        clean = false;
+                        break;
+                    }
+                    Err(e) => {
+                        out.violations.push(format!("read reply: {e}"));
+                        clean = false;
+                        break;
+                    }
+                }
+            }
+            if clean {
+                out.lat_ns
+                    .push(t.elapsed().as_nanos() as u64 / expected.len().max(1) as u64);
+            } else {
+                clients[slot] = None;
+            }
+        }
+        // 5. Bursty teardown, everyone together: half the connections leave
+        //    gracefully (`exit`, drained to EOF), half drop the socket cold.
+        barrier.wait();
+        for (slot, idx) in range.clone().enumerate() {
+            let Some(mut c) = clients[slot].take() else { continue };
+            if idx % 2 == 0 {
+                let _ = c.send("exit");
+                let _ = c.recv_line(); // EOF
+            }
         }
     }
+    out
+}
+
+/// The churn profile's main: waves of `args.clients` concurrent connections
+/// (bursty open/close, partial-line pipelined writers) with every reply
+/// checked byte-exactly — the acceptance gate's "zero reply-ordering
+/// violations" — then the usual JSON row, self-validation, and guard.
+fn run_churn(args: &Args, spec: &WorkloadSpec, server: Option<Server>, addr: std::net::SocketAddr) {
+    let conns = args.clients;
+    // Full runs use enough waves to stay comfortably past the strict
+    // baseline floor (>= 1 s) on a fast box; smoke stays tiny for CI.
+    let waves = if args.smoke { 2 } else { 6 };
+    let burst = if args.smoke { 8 } else { 16 };
+    let threads = conns.min(32);
+    println!(
+        "netload churn: {conns} connections × {waves} waves, {burst}-line pipelined bursts, \
+         {threads} driver threads, {} shard(s)",
+        args.shards
+    );
+
+    // Control session: `advance` needs an initialized scheduler.
+    let mut control = Client::connect(addr).expect("connect control session");
+    control.set_timeout(Duration::from_secs(30)).expect("timeouts");
+    let init = control
+        .roundtrip(&format!("init {} 900 259200 900", spec.servers))
+        .expect("init");
+    assert!(init.starts_with("ok"), "init failed: {init}");
+
+    // Slice the connection indices over the driver threads.
+    let per = conns / threads;
+    let extra = conns % threads;
+    let mut ranges = Vec::with_capacity(threads);
+    let mut start = 0usize;
+    for t in 0..threads {
+        let n = per + usize::from(t < extra);
+        ranges.push(start..start + n);
+        start += n;
+    }
+
+    let barrier = std::sync::Arc::new(std::sync::Barrier::new(threads));
+    let t0 = Instant::now();
+    let handles: Vec<_> = ranges
+        .into_iter()
+        .map(|range| {
+            let barrier = std::sync::Arc::clone(&barrier);
+            std::thread::spawn(move || churn_thread(addr, range, conns, waves, burst, &barrier))
+        })
+        .collect();
+    let outcomes: Vec<ChurnOutcome> = handles
+        .into_iter()
+        .map(|h| h.join().expect("churn thread"))
+        .collect();
+    let secs = t0.elapsed().as_secs_f64();
+
+    let mut lat_ns: Vec<u64> = Vec::new();
+    let mut checked = 0u64;
+    let mut busy = 0u64;
+    let mut violations: Vec<String> = Vec::new();
+    for o in outcomes {
+        lat_ns.extend(o.lat_ns);
+        checked += o.checked;
+        busy += o.busy;
+        violations.extend(o.violations);
+    }
+    lat_ns.sort_unstable();
+
+    // The storm may not leave the scheduler inconsistent.
+    match control.roundtrip("check") {
+        Ok(r) if r == "ok" => {}
+        Ok(r) => violations.push(format!("check failed: {r}")),
+        Err(e) => violations.push(format!("check io error: {e}")),
+    }
+
+    let expo = Client::connect(addr)
+        .and_then(|c| c.exchange_script("metrics\nexit\n"))
+        .unwrap_or_default();
+    let stage_p50 = |family: &str| expo_quantile(&expo, family, 0.50).unwrap_or(0.0);
+    let stage_p50_us = [
+        stage_p50("req_stage_queue_wait"),
+        stage_p50("req_stage_sched"),
+        stage_p50("req_stage_wal_stall"),
+        stage_p50("req_stage_writeback"),
+    ];
+
+    let n_cmds = checked as usize;
+    let rps = n_cmds as f64 / secs.max(1e-9);
+    let p50 = percentile_us(&lat_ns, 0.50);
+    let p99 = percentile_us(&lat_ns, 0.99);
+    println!(
+        "  {} replies byte-checked in {:.3} s = {:.0} cmd/s; per-command p50 {:.1} µs \
+         p99 {:.1} µs; {} queue sheds, {} violations",
+        n_cmds,
+        secs,
+        rps,
+        p50,
+        p99,
+        busy,
+        violations.len()
+    );
+    for v in violations.iter().take(20) {
+        eprintln!("INVARIANT VIOLATED: {v}");
+    }
+    if violations.len() > 20 {
+        eprintln!("  ... and {} more", violations.len() - 20);
+    }
+
+    let doc = render(
+        spec,
+        args,
+        &RunSummary {
+            n_cmds,
+            secs,
+            rps,
+            p50_us: p50,
+            p99_us: p99,
+            granted: 0,
+            rejected: 0,
+            busy_retries: busy,
+            violations: violations.len(),
+            stage_p50_us,
+        },
+    );
+    std::fs::write(&args.out_path, &doc)
+        .unwrap_or_else(|e| panic!("write {}: {e}", args.out_path));
+    println!("wrote {}", args.out_path);
+
+    drop(control);
+    if let Some(s) = server {
+        s.shutdown();
+    }
+    if !violations.is_empty() {
+        std::process::exit(1);
+    }
+    validate(&doc, false).expect("self-validation of the emitted document");
+    enforce_guard(args, rps, p99);
 }

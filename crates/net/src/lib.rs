@@ -8,13 +8,18 @@
 //!   parser surface, the generated `help` reply and the protocol docs;
 //! * [`session`] — the command interpreter ([`Session`]), shared verbatim
 //!   by the stdin loop and the TCP path;
-//! * [`server`] — the concurrent front-end ([`Server`]): accept loop →
-//!   fixed worker pool → bounded command queue → one scheduler thread,
-//!   with admission control (`busy retry-after` sheds), per-connection
-//!   read/write timeouts, a max-line bound and graceful drain. With
-//!   [`WalOptions`] set, the scheduler thread write-ahead-logs every
-//!   mutating command before its reply is released, and [`Server::bind`]
-//!   recovers the pre-crash state from that log (DESIGN.md §13);
+//! * [`server`] — the event-driven front-end ([`Server`]): accept thread →
+//!   a few `poll(2)` event loops (each multiplexing many connections;
+//!   `event`, private) → bounded batch queue → one scheduler thread, with
+//!   admission control (`busy retry-after` sheds past `max_conns` and on a
+//!   full queue), poll-deadline read/idle/write timeouts, a max-line bound
+//!   and graceful drain. Whole pipelined bursts cross the queue as one
+//!   batch; replies are resequenced per connection, so reply order is
+//!   exactly request order even though the WAL releases read-only replies
+//!   before fsynced mutating ones. With [`WalOptions`] set, the scheduler
+//!   thread write-ahead-logs every mutating command before its reply is
+//!   released, and [`Server::bind`] recovers the pre-crash state from that
+//!   log (DESIGN.md §13);
 //! * [`client`] — a blocking scripting client ([`Client`]) used by the
 //!   `netload` load generator and the end-to-end tests;
 //! * [`stage`] — end-to-end latency attribution: per-request [`stage::Stamps`]
@@ -50,6 +55,7 @@
 #![forbid(unsafe_code)]
 
 mod admin;
+mod event;
 pub mod client;
 pub mod proto;
 pub mod server;

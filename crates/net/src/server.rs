@@ -1,73 +1,96 @@
-//! The concurrent TCP front-end.
+//! The event-driven TCP front-end.
 //!
-//! Threading model (DESIGN.md §10): one **accept thread** feeds accepted
-//! sockets into a bounded hand-off channel; a fixed pool of **worker
-//! threads** each drives one connection at a time (line framing, timeouts,
-//! reply writes); every parsed command line crosses a bounded MPSC queue to
-//! the single **scheduler thread**, which owns the [`Session`] and executes
-//! commands strictly in arrival order. Serializing all sessions through one
-//! queue is what makes the server's decisions deterministic and its per-
-//! session reply stream byte-identical to the same script on stdin.
+//! Threading model (DESIGN.md §10): one **accept thread** admits
+//! connections (global `max_conns` bound, shed with [`BUSY_REPLY`] beyond
+//! it) and hands each to one of a fixed set of **I/O event-loop threads**
+//! round-robin. Each loop ([`crate::event`]) multiplexes *all* of its
+//! connections over `poll(2)`: it frames whole pipelined bursts of lines
+//! per readiness round and crosses the bounded scheduler queue **once per
+//! burst**, not once per line. The single **scheduler thread** owns the
+//! [`Session`], flattens incoming batches into one arrival-ordered run
+//! queue, and executes command lines strictly in that order — which is
+//! what keeps the server's decisions deterministic and every per-session
+//! reply stream byte-identical to the same script on stdin (replies are
+//! resequenced per connection on the way out; see `event.rs`).
 //!
-//! Admission control happens at both bounded edges: a full accept backlog
-//! or a full command queue sheds with the [`BUSY_REPLY`] line instead of
+//! Admission control happens at both bounded edges: past `max_conns` the
+//! accept thread sheds with [`BUSY_REPLY`]; a full command queue sheds
+//! every line of the rejected burst with [`BUSY_REPLY`] instead of
 //! queueing unboundedly (`net_shed_total`). Slow or hostile clients are
-//! bounded by per-connection read/write timeouts, a per-line read deadline
-//! (anti-slow-loris) and a maximum line length.
+//! bounded by the per-line read deadline (anti-slow-loris), the idle
+//! timeout, the write-stall timeout and the maximum line length — all
+//! enforced by poll deadlines, so one hostile client never ties up a
+//! thread.
 
 use crate::admin::{AdminPlane, AdminState};
+use crate::event::{self, Batch, ConnToken, Done, IoLoopHandle, IoSender};
 use crate::proto::{self, BUSY_REPLY};
 use crate::session::Session;
 use crate::slow;
 use crate::stage::Stamps;
 use coalloc_wal::{Wal, WalConfig, WalError};
 use obs::{LazyCounter, LazyGauge, LazyHistogram};
-use std::io::{ErrorKind, Read, Write};
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::net::UnixStream;
 use std::panic::AssertUnwindSafe;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{Receiver, Sender, SyncSender, TrySendError};
-use std::sync::{mpsc, Arc};
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::mpsc::Receiver;
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 static CONNECTIONS: LazyCounter = LazyCounter::new("net_connections_total");
-static ACTIVE: LazyGauge = LazyGauge::new("net_conns_active");
-static LINES: LazyCounter = LazyCounter::new("net_lines_total");
-static REPLIES: LazyCounter = LazyCounter::new("net_replies_total");
-static SHED: LazyCounter = LazyCounter::new("net_shed_total");
+pub(crate) static ACTIVE: LazyGauge = LazyGauge::new("net_conns_active");
+pub(crate) static LINES: LazyCounter = LazyCounter::new("net_lines_total");
+pub(crate) static REPLIES: LazyCounter = LazyCounter::new("net_replies_total");
+pub(crate) static SHED: LazyCounter = LazyCounter::new("net_shed_total");
 static SHED_ACCEPT: LazyCounter = LazyCounter::new("net_shed_accept_total");
-static SHED_QUEUE: LazyCounter = LazyCounter::new("net_shed_queue_total");
-static ERRORS: LazyCounter = LazyCounter::new("net_errors_total");
+pub(crate) static SHED_QUEUE: LazyCounter = LazyCounter::new("net_shed_queue_total");
+pub(crate) static ERRORS: LazyCounter = LazyCounter::new("net_errors_total");
 static REQUEST_US: LazyHistogram = LazyHistogram::new("net_request_us");
 static QUEUE_WAIT_US: LazyHistogram = LazyHistogram::new("net_queue_wait_us");
 static EXEC_PANICS: LazyCounter = LazyCounter::new("net_exec_panics_total");
-static CONN_PANICS: LazyCounter = LazyCounter::new("net_conn_panics_total");
+pub(crate) static CONN_PANICS: LazyCounter = LazyCounter::new("net_conn_panics_total");
 static WAL_REPLAYED: LazyCounter = LazyCounter::new("wal_recovery_replayed_total");
 static WAL_FLUSH_FAILURES: LazyCounter = LazyCounter::new("wal_flush_failures_total");
-/// Commands currently sitting in the bounded command queue. Incremented by
-/// the enqueuing worker, decremented by the scheduler's dequeue, so the
+/// Batches currently sitting in the bounded scheduler queue (the queue's
+/// unit is one pipelined read burst, not one line). Incremented by the
+/// enqueuing I/O loop, decremented by the scheduler's dequeue, so the
 /// admin plane's `/readyz` can compare it against the queue bound.
-static QUEUE_DEPTH: LazyGauge = LazyGauge::new("net_queue_depth");
+pub(crate) static QUEUE_DEPTH: LazyGauge = LazyGauge::new("net_queue_depth");
 /// Lines per scheduler batch: how many queued `submit` commands each
-/// scheduler-thread wake-up grouped into one `submit_batch` call. Mostly 1
-/// at low load; grows with concurrent connections under pressure.
+/// scheduler pass grouped into one `submit_batch` call. Mostly 1 at low
+/// load; grows with pipelining depth and concurrent connections.
 static BATCH_LINES: LazyHistogram = LazyHistogram::new("net_batch_lines");
+/// Lines per queue crossing: how many complete lines one I/O readiness
+/// round framed and shipped to the scheduler as a single batch. The
+/// event-loop analogue of syscall batching — higher is cheaper.
+pub(crate) static READ_BATCH_LINES: LazyHistogram = LazyHistogram::new("net_read_batch_lines");
 
 /// Configuration of a [`Server`]. The defaults suit an interactive
-/// deployment; load tests shrink the timeouts and grow the pool.
+/// deployment; load tests shrink the timeouts and raise `max_conns`.
 #[derive(Clone, Debug)]
 pub struct NetConfig {
     /// Address to bind, e.g. `127.0.0.1:7077` (port 0 picks a free port).
     pub addr: String,
-    /// Worker threads; also the number of concurrently served connections.
+    /// I/O event-loop threads. Each loop multiplexes many connections via
+    /// `poll(2)`, so this sizes reply/framing parallelism, **not** the
+    /// connection limit (that is [`NetConfig::max_conns`]). A few loops
+    /// are plenty: the scheduler thread is the serial resource.
     pub workers: usize,
-    /// Bound of the command queue between workers and the scheduler thread.
+    /// Bound of the batch queue between the I/O loops and the scheduler
+    /// thread, in *batches* (one batch = one pipelined read burst).
     pub queue_depth: usize,
-    /// Bound of the accepted-connection hand-off channel. Connections
-    /// beyond `workers + accept_backlog` are shed with [`BUSY_REPLY`].
+    /// Legacy knob from the thread-per-connection front-end; retained so
+    /// existing configs parse, but ignored — admission is governed by
+    /// [`NetConfig::max_conns`] now.
     pub accept_backlog: usize,
+    /// Maximum concurrently admitted connections across all I/O loops.
+    /// Connections beyond it are shed at accept with [`BUSY_REPLY`].
+    pub max_conns: usize,
     /// Maximum accepted line length in bytes (newline excluded).
     pub max_line: usize,
     /// Per-connection read deadline, applied twice: a connection idle this
@@ -75,7 +98,8 @@ pub struct NetConfig {
     /// this long after its first byte is closed (`error: line timeout`,
     /// the anti-slow-loris bound).
     pub read_timeout: Duration,
-    /// Per-connection write timeout for replies.
+    /// How long a connection's reply buffer may sit unaccepted by the
+    /// socket (client not reading) before the connection is dropped.
     pub write_timeout: Duration,
     /// Shard count handed to each session's `init` (1 = plain scheduler).
     pub shards: u32,
@@ -145,9 +169,10 @@ impl Default for NetConfig {
     fn default() -> NetConfig {
         NetConfig {
             addr: "127.0.0.1:0".to_string(),
-            workers: 8,
+            workers: 4,
             queue_depth: 64,
             accept_backlog: 8,
+            max_conns: 4096,
             max_line: crate::proto::DEFAULT_MAX_LINE,
             read_timeout: Duration::from_secs(30),
             write_timeout: Duration::from_secs(10),
@@ -162,27 +187,9 @@ impl Default for NetConfig {
     }
 }
 
-/// A command line in flight from a worker to the scheduler thread. The
-/// [`Stamps`] ride along and come back in the [`Reply`], so the worker can
-/// attribute the full pipeline and capture the tail without re-parsing.
-struct Job {
-    line: String,
-    stamps: Stamps,
-    reply: Sender<Reply>,
-}
-
-/// The scheduler thread's answer to one [`Job`]: the reply text, the
-/// original line (so tail capture needs no clone on the enqueue path), and
-/// the stamps as of release.
-struct Reply {
-    line: String,
-    text: String,
-    stamps: Stamps,
-}
-
 /// A running TCP server. Dropping it (or calling [`Server::shutdown`])
-/// drains gracefully: stop accepting, finish in-flight commands, join all
-/// threads.
+/// drains gracefully: stop accepting, finish in-flight commands, flush
+/// every owed reply, join all threads.
 ///
 /// ```no_run
 /// use coalloc_net::{NetConfig, Server};
@@ -196,17 +203,18 @@ pub struct Server {
     local_addr: SocketAddr,
     stop: Arc<AtomicBool>,
     accept_handle: Option<JoinHandle<()>>,
-    worker_handles: Vec<JoinHandle<()>>,
+    io_handles: Vec<IoLoopHandle>,
     sched_handle: Option<JoinHandle<()>>,
     admin: Option<AdminPlane>,
 }
 
 impl Server {
-    /// Bind `cfg.addr` and spawn the accept loop, worker pool and scheduler
-    /// thread. Returns once the listener is live (connections race no
-    /// startup window). With `cfg.wal` set, the previous state is recovered
-    /// from the log first; a corrupt or diverging log fails the bind rather
-    /// than silently serving from a wrong state.
+    /// Bind `cfg.addr` and spawn the accept thread, the I/O event loops
+    /// and the scheduler thread. Returns once the listener is live
+    /// (connections race no startup window). With `cfg.wal` set, the
+    /// previous state is recovered from the log first; a corrupt or
+    /// diverging log fails the bind rather than silently serving from a
+    /// wrong state.
     pub fn bind(cfg: NetConfig) -> std::io::Result<Server> {
         // Recover (or start fresh) before the listener exists, so no client
         // can observe a half-recovered scheduler.
@@ -250,47 +258,86 @@ impl Server {
             None => None,
         };
 
+        // The I/O event loops: each owns a share of the connections. A
+        // failed spawn stops and wakes the loops spawned so far (they exit
+        // with zero connections), then aborts the bind.
+        let (job_tx, job_rx) = mpsc::sync_channel::<Batch>(cfg.queue_depth.max(1));
+        let active = Arc::new(AtomicI64::new(0));
+        let n_loops = cfg.workers.max(1);
+        let mut io_handles: Vec<IoLoopHandle> = Vec::with_capacity(n_loops);
+        let mut io_senders: Vec<IoSender> = Vec::with_capacity(n_loops);
+        for i in 0..n_loops {
+            let spawned = event::spawn_io_loop(
+                i,
+                &cfg,
+                job_tx.clone(),
+                Arc::clone(&stop),
+                Arc::clone(&active),
+            );
+            match spawned {
+                Ok((handle, sender)) => {
+                    io_handles.push(handle);
+                    io_senders.push(sender);
+                }
+                Err(e) => {
+                    stop.store(true, Ordering::SeqCst);
+                    for h in &io_handles {
+                        h.wake();
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        drop(job_tx); // scheduler exits once every I/O loop is gone
+
         // The scheduler thread: sole owner of the session; executes command
-        // lines strictly in queue order.
-        let (job_tx, job_rx) = mpsc::sync_channel::<Job>(cfg.queue_depth.max(1));
+        // lines strictly in queue-arrival order.
         let ctx = SchedCtx {
             exec_delay: cfg.exec_delay,
             stall_substr: cfg.stall_substr.clone(),
             admin: admin_state.map(|(_, state)| state),
         };
-        let sched_handle = std::thread::Builder::new()
+        let comps = Completions::new(io_senders);
+        let sched_handle = match std::thread::Builder::new()
             .name("coalloc-net-sched".into())
-            .spawn(move || scheduler_loop(job_rx, session, ctx, wal))?;
+            .spawn(move || scheduler_loop(job_rx, session, ctx, wal, comps))
+        {
+            Ok(h) => h,
+            Err(e) => {
+                stop.store(true, Ordering::SeqCst);
+                for h in &io_handles {
+                    h.wake();
+                }
+                return Err(e);
+            }
+        };
 
-        // The worker pool: each worker serves one connection at a time.
-        // A failed spawn aborts the bind: the channels drop, every thread
-        // spawned so far observes a disconnect and exits.
-        let (conn_tx, conn_rx) = mpsc::sync_channel::<TcpStream>(cfg.accept_backlog.max(1));
-        let conn_rx = Arc::new(std::sync::Mutex::new(conn_rx));
-        let mut worker_handles = Vec::with_capacity(cfg.workers.max(1));
-        for i in 0..cfg.workers.max(1) {
-            let rx = Arc::clone(&conn_rx);
-            let tx = job_tx.clone();
-            let cfg = cfg.clone();
-            let stop = Arc::clone(&stop);
-            worker_handles.push(
-                std::thread::Builder::new()
-                    .name(format!("coalloc-net-worker-{i}"))
-                    .spawn(move || worker_loop(rx, tx, cfg, stop))?,
-            );
-        }
-        drop(job_tx); // scheduler thread exits once all workers are gone
-
+        let accept_targets: Vec<AcceptTarget> = io_handles
+            .iter()
+            .map(|h| (Arc::clone(&h.incoming), Arc::clone(&h.wake)))
+            .collect();
         let accept_stop = Arc::clone(&stop);
-        let accept_handle = std::thread::Builder::new()
+        let accept_active = Arc::clone(&active);
+        let max_conns = cfg.max_conns.max(1);
+        let accept_handle = match std::thread::Builder::new()
             .name("coalloc-net-accept".into())
-            .spawn(move || accept_loop(listener, conn_tx, accept_stop))?;
+            .spawn(move || accept_loop(listener, accept_targets, accept_active, max_conns, accept_stop))
+        {
+            Ok(h) => h,
+            Err(e) => {
+                stop.store(true, Ordering::SeqCst);
+                for h in &io_handles {
+                    h.wake();
+                }
+                return Err(e);
+            }
+        };
 
         Ok(Server {
             local_addr,
             stop,
             accept_handle: Some(accept_handle),
-            worker_handles,
+            io_handles,
             sched_handle: Some(sched_handle),
             admin,
         })
@@ -307,9 +354,9 @@ impl Server {
         self.admin.as_ref().map(|a| a.addr)
     }
 
-    /// Graceful drain: stop accepting, let workers finish their in-flight
-    /// command and close their connections, then join every thread. Safe to
-    /// call more than once.
+    /// Graceful drain: stop accepting, let every connection's in-flight
+    /// commands finish and their replies flush, then join every thread.
+    /// Safe to call more than once.
     pub fn shutdown(mut self) {
         self.drain();
     }
@@ -323,14 +370,18 @@ impl Server {
         if let Some(h) = self.accept_handle.take() {
             let _ = h.join();
         }
-        // The accept thread owned the only conn sender, so each worker's
-        // next recv disconnects once the queued connections are drained;
-        // blocked reads wake within one read timeout and observe `stop`.
-        for h in self.worker_handles.drain(..) {
-            let _ = h.join();
+        // Wake the I/O loops so they observe `stop` and enter drain mode:
+        // stop reading, finish flushing owed replies, close, exit. The
+        // scheduler keeps answering their in-flight batches meanwhile.
+        for h in &self.io_handles {
+            h.wake();
         }
-        // All job senders are gone now: the scheduler thread drains the
-        // queue and exits.
+        for h in self.io_handles.drain(..) {
+            let _ = h.join.join();
+        }
+        // The loops held the only batch senders, so the scheduler's next
+        // recv disconnects once the queued batches are drained (durable
+        // mode takes its shutdown fsync on the way out).
         if let Some(h) = self.sched_handle.take() {
             let _ = h.join();
         }
@@ -345,6 +396,51 @@ impl Server {
 impl Drop for Server {
     fn drop(&mut self) {
         self.drain();
+    }
+}
+
+/// Hand-off point for one I/O loop: its pending-connection queue plus the
+/// wake pipe that pulls the loop out of `poll(2)` after a push.
+type AcceptTarget = (Arc<Mutex<VecDeque<TcpStream>>>, Arc<UnixStream>);
+
+fn accept_loop(
+    listener: TcpListener,
+    loops: Vec<AcceptTarget>,
+    active: Arc<AtomicI64>,
+    max_conns: usize,
+    stop: Arc<AtomicBool>,
+) {
+    let mut next = 0usize;
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(mut stream) = stream else { continue };
+        CONNECTIONS.inc();
+        // Admission control: claim a connection slot optimistically; past
+        // the bound, give it back and shed at the edge.
+        if active.fetch_add(1, Ordering::SeqCst) >= max_conns as i64 {
+            active.fetch_sub(1, Ordering::SeqCst);
+            SHED.inc();
+            SHED_ACCEPT.inc();
+            let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+            let _ = stream.write_all(format!("{BUSY_REPLY}\n").as_bytes());
+            // Half-close so the busy reply travels with a FIN. If the
+            // client already pipelined a command the close may still
+            // surface as a reset on its side; PROTOCOL.md tells clients
+            // to treat that as a shed and reconnect.
+            let _ = stream.shutdown(std::net::Shutdown::Write);
+            continue;
+        }
+        // Round-robin across the I/O loops; the wake byte tells the loop
+        // to register its new connection.
+        let (incoming, wake) = &loops[next % loops.len()];
+        next = next.wrapping_add(1);
+        incoming
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push_back(stream);
+        let _ = (&**wake).write(&[1u8]);
     }
 }
 
@@ -382,9 +478,10 @@ const GROUP_MAX: usize = 256;
 /// Whether a queued line may join a scheduler batch: only `submit` commands
 /// are grouped. Anything else — `release`, `advance`, `load`, `snapshot`,
 /// `stats`, … — is a batch *barrier*: its reply or effect depends on every
-/// earlier command having fully executed. Note a single connection never
-/// pipelines (it blocks on each reply), so groups only ever form across
-/// concurrent connections.
+/// earlier command having fully executed. Groups form both across
+/// concurrent connections and *within* one pipelining connection — the
+/// event loop frames a whole pipelined burst into one queue batch, so a
+/// single client streaming submits feeds real batch sizes.
 fn batchable(line: &str) -> bool {
     line.split_whitespace().next() == Some("submit")
 }
@@ -406,45 +503,6 @@ fn exec_batch_guarded(session: &mut Session, lines: &[&str]) -> Vec<Result<Strin
                 .iter()
                 .map(|_| Err("internal error: command panicked (see server log)".into()))
                 .collect()
-        }
-    }
-}
-
-/// Dequeue one job, preferring the carry-over a previous group drain pulled
-/// past its barrier. Fresh jobs get their queue accounting here.
-fn next_job(rx: &Receiver<Job>, carry: &mut Option<Job>) -> Option<Job> {
-    if let Some(job) = carry.take() {
-        return Some(job);
-    }
-    match rx.recv() {
-        Ok(mut job) => {
-            QUEUE_DEPTH.add(-1);
-            job.stamps.mark_dequeued();
-            QUEUE_WAIT_US.observe(job.stamps.enqueued.elapsed().as_micros() as u64);
-            Some(job)
-        }
-        Err(_) => None,
-    }
-}
-
-/// Extend `group` with the already-queued run of submit lines (the drained
-/// prefix of the command queue). The first non-submit line ends the group
-/// and is parked in `carry` for the next loop turn.
-fn drain_group(rx: &Receiver<Job>, group: &mut Vec<Job>, carry: &mut Option<Job>) {
-    while group.len() < GROUP_MAX {
-        match rx.try_recv() {
-            Ok(mut job) => {
-                QUEUE_DEPTH.add(-1);
-                job.stamps.mark_dequeued();
-                QUEUE_WAIT_US.observe(job.stamps.enqueued.elapsed().as_micros() as u64);
-                if batchable(&job.line) {
-                    group.push(job);
-                } else {
-                    *carry = Some(job);
-                    break;
-                }
-            }
-            Err(_) => break,
         }
     }
 }
@@ -487,9 +545,84 @@ fn recover(opts: &WalOptions, shards: u32) -> std::io::Result<(Wal, Session)> {
     Ok((wal, session))
 }
 
+/// The scheduler's fan-out to the I/O loops, waking each touched loop at
+/// most once per release point instead of once per reply.
+struct Completions {
+    io: Vec<IoSender>,
+    touched: Vec<bool>,
+}
+
+impl Completions {
+    fn new(io: Vec<IoSender>) -> Completions {
+        let touched = vec![false; io.len()];
+        Completions { io, touched }
+    }
+
+    fn send(&mut self, loop_id: usize, done: Done) {
+        self.io[loop_id].send(done);
+        self.touched[loop_id] = true;
+    }
+
+    /// Wake every loop that received a completion since the last wake.
+    fn wake(&mut self) {
+        for (i, touched) in self.touched.iter_mut().enumerate() {
+            if *touched {
+                self.io[i].wake();
+                *touched = false;
+            }
+        }
+    }
+}
+
+/// One command line on the scheduler's flattened run queue, with the
+/// addressing it needs to route the reply back ([`ConnToken`] + per-conn
+/// sequence number).
+struct Item {
+    token: ConnToken,
+    seq: u64,
+    line: String,
+    stamps: Stamps,
+}
+
+/// Flatten one queue batch onto the run queue, taking over its queue
+/// accounting (the gauge counts batches; the wait histogram counts lines).
+fn ingest(batch: Batch, q: &mut VecDeque<Item>) {
+    QUEUE_DEPTH.add(-1);
+    let token = batch.token;
+    for mut l in batch.lines {
+        l.stamps.mark_dequeued();
+        QUEUE_WAIT_US.observe(l.stamps.enqueued.elapsed().as_micros() as u64);
+        q.push_back(Item {
+            token,
+            seq: l.seq,
+            line: l.line,
+            stamps: l.stamps,
+        });
+    }
+}
+
+/// Release one reply to its connection's I/O loop.
+fn send_done(comps: &mut Completions, token: ConnToken, seq: u64, line: String, text: String, mut stamps: Stamps) {
+    stamps.mark_released();
+    REQUEST_US.observe(stamps.enqueued.elapsed().as_micros() as u64);
+    comps.send(
+        token.loop_id,
+        Done {
+            slot: token.slot,
+            gen: token.gen,
+            seq,
+            line,
+            text,
+            stamps,
+            shed: false,
+        },
+    );
+}
+
 /// A reply withheld until its WAL record is fsynced (group commit).
-struct PendingReply {
-    reply: Sender<Reply>,
+struct PendingDone {
+    token: ConnToken,
+    seq: u64,
     line: String,
     text: String,
     stamps: Stamps,
@@ -501,7 +634,7 @@ const MAX_BATCH: usize = 512;
 /// Sync the WAL tail and release every withheld reply. On fsync failure the
 /// commands stay applied in memory but their replies become errors: a
 /// client must never read an `ok`/`granted` that could vanish in a crash.
-fn flush(wal: &mut Wal, pending: &mut Vec<PendingReply>) {
+fn flush(wal: &mut Wal, pending: &mut Vec<PendingDone>, comps: &mut Completions) {
     if pending.is_empty() && wal.unsynced_records() == 0 {
         return;
     }
@@ -526,14 +659,22 @@ fn flush(wal: &mut Wal, pending: &mut Vec<PendingReply>) {
             None => p.text,
             Some(e) => format!("error: wal sync failed: {e}"),
         };
-        // A dead worker/connection just drops the reply; the command's
-        // effect stands (documented at-most-once reply delivery).
-        let _ = p.reply.send(Reply {
-            line: p.line,
-            text,
-            stamps: p.stamps,
-        });
+        // A dead connection just drops the reply at its I/O loop; the
+        // command's effect stands (documented at-most-once reply delivery).
+        comps.send(
+            p.token.loop_id,
+            Done {
+                slot: p.token.slot,
+                gen: p.token.gen,
+                seq: p.seq,
+                line: p.line,
+                text,
+                stamps: p.stamps,
+                shed: false,
+            },
+        );
     }
+    comps.wake();
 }
 
 /// Install a fresh snapshot once enough records accumulated since the last
@@ -594,46 +735,91 @@ impl SchedCtx {
     }
 }
 
+/// Pop the longest run of consecutive batchable lines (starting with
+/// `first`) off the front of the run queue, bounded by [`GROUP_MAX`].
+fn take_group(first: Item, q: &mut VecDeque<Item>) -> Vec<Item> {
+    let mut group = vec![first];
+    while group.len() < GROUP_MAX {
+        match q.front() {
+            Some(next) if batchable(&next.line) => {
+                group.push(q.pop_front().expect("front exists"));
+            }
+            _ => break,
+        }
+    }
+    group
+}
+
 fn scheduler_loop(
-    rx: Receiver<Job>,
+    rx: Receiver<Batch>,
     mut session: Session,
     ctx: SchedCtx,
     wal: Option<(Wal, WalOptions)>,
+    mut comps: Completions,
 ) {
     let mut last_refresh = Instant::now() - STATUS_REFRESH;
+    let mut q: VecDeque<Item> = VecDeque::new();
+    let mut connected = true;
+
     let Some((mut wal, opts)) = wal else {
-        // Volatile mode: execute and reply immediately. Queued runs of
-        // submit lines become one scheduler batch per wake-up.
-        let mut carry: Option<Job> = None;
-        while let Some(mut job) = next_job(&rx, &mut carry) {
-            if batchable(&job.line) {
-                let mut group = vec![job];
-                drain_group(&rx, &mut group, &mut carry);
-                BATCH_LINES.observe(group.len() as u64);
-                for j in &group {
-                    ctx.maybe_stall(&j.line);
+        // Volatile mode: execute and reply immediately. Runs of submit
+        // lines on the flattened queue — within one pipelined burst or
+        // across connections — become one scheduler batch per pass.
+        loop {
+            if q.is_empty() {
+                if !connected {
+                    break;
                 }
-                let lines: Vec<&str> = group.iter().map(|j| j.line.as_str()).collect();
+                match rx.recv() {
+                    Ok(b) => ingest(b, &mut q),
+                    Err(_) => break,
+                }
+            }
+            // Greedy top-up: everything already queued joins this pass, so
+            // bursts arriving while we executed batch up rather than
+            // trickling through one by one.
+            if connected {
+                loop {
+                    match rx.try_recv() {
+                        Ok(b) => ingest(b, &mut q),
+                        Err(mpsc::TryRecvError::Empty) => break,
+                        Err(mpsc::TryRecvError::Disconnected) => {
+                            connected = false;
+                            break;
+                        }
+                    }
+                }
+            }
+            let Some(item) = q.pop_front() else { continue };
+            if batchable(&item.line) {
+                let group = take_group(item, &mut q);
+                BATCH_LINES.observe(group.len() as u64);
+                for it in &group {
+                    ctx.maybe_stall(&it.line);
+                }
+                let lines: Vec<&str> = group.iter().map(|i| i.line.as_str()).collect();
                 let texts = exec_batch_guarded(&mut session, &lines);
                 ctx.maybe_refresh(&mut session, &mut last_refresh);
-                for (mut j, result) in group.into_iter().zip(texts) {
-                    j.stamps.mark_decided();
+                for (mut it, result) in group.into_iter().zip(texts) {
+                    it.stamps.mark_decided();
                     let text = match result {
                         Ok(r) => r,
                         Err(e) => format!("error: {e}"),
                     };
-                    send_now(j, text);
+                    send_done(&mut comps, it.token, it.seq, it.line, text, it.stamps);
                 }
-                continue;
+            } else {
+                let mut item = item;
+                ctx.maybe_stall(&item.line);
+                let text = match exec_guarded(&mut session, &item.line) {
+                    Ok(r) => r,
+                    Err(e) => format!("error: {e}"),
+                };
+                item.stamps.mark_decided();
+                ctx.maybe_refresh(&mut session, &mut last_refresh);
+                send_done(&mut comps, item.token, item.seq, item.line, text, item.stamps);
             }
-            ctx.maybe_stall(&job.line);
-            let text = match exec_guarded(&mut session, &job.line) {
-                Ok(r) => r,
-                Err(e) => format!("error: {e}"),
-            };
-            job.stamps.mark_decided();
-            ctx.maybe_refresh(&mut session, &mut last_refresh);
-            send_now(job, text);
+            comps.wake();
         }
         return;
     };
@@ -642,25 +828,29 @@ fn scheduler_loop(
     // and their replies *withheld* until an fsync covers them; a flush
     // happens when the queue goes idle (adaptive), when the oldest withheld
     // reply has waited `flush_interval`, or when the batch is full.
-    let mut pending: Vec<PendingReply> = Vec::new();
+    let mut pending: Vec<PendingDone> = Vec::new();
     let mut oldest = Instant::now();
-    let mut carry: Option<Job> = None;
     loop {
-        // A carried job was already dequeued and accounted by the group
-        // drain that hit it as a barrier; fresh jobs are accounted below.
-        let next = if carry.is_some() {
-            carry.take()
-        } else {
-            let fresh = if pending.is_empty() {
+        if q.is_empty() {
+            if !connected {
+                break;
+            }
+            let got = if pending.is_empty() {
                 match rx.recv() {
-                    Ok(j) => Some(j),
-                    Err(_) => break,
+                    Ok(b) => Some(b),
+                    Err(_) => {
+                        connected = false;
+                        None
+                    }
                 }
             } else if opts.flush_interval.is_zero() {
                 match rx.try_recv() {
-                    Ok(j) => Some(j),
+                    Ok(b) => Some(b),
                     Err(mpsc::TryRecvError::Empty) => None,
-                    Err(mpsc::TryRecvError::Disconnected) => break,
+                    Err(mpsc::TryRecvError::Disconnected) => {
+                        connected = false;
+                        None
+                    }
                 }
             } else {
                 let elapsed = oldest.elapsed();
@@ -668,48 +858,60 @@ fn scheduler_loop(
                     None
                 } else {
                     match rx.recv_timeout(opts.flush_interval - elapsed) {
-                        Ok(j) => Some(j),
+                        Ok(b) => Some(b),
                         Err(mpsc::RecvTimeoutError::Timeout) => None,
-                        Err(mpsc::RecvTimeoutError::Disconnected) => break,
+                        Err(mpsc::RecvTimeoutError::Disconnected) => {
+                            connected = false;
+                            None
+                        }
                     }
                 }
             };
-            fresh.map(|mut j| {
-                QUEUE_DEPTH.add(-1);
-                j.stamps.mark_dequeued();
-                QUEUE_WAIT_US.observe(j.stamps.enqueued.elapsed().as_micros() as u64);
-                j
-            })
-        };
-        let Some(mut job) = next else {
-            flush(&mut wal, &mut pending);
-            maybe_snapshot(&mut wal, &session, &opts);
-            ctx.maybe_refresh(&mut session, &mut last_refresh);
-            continue;
-        };
+            match got {
+                Some(b) => ingest(b, &mut q),
+                None => {
+                    flush(&mut wal, &mut pending, &mut comps);
+                    maybe_snapshot(&mut wal, &session, &opts);
+                    ctx.maybe_refresh(&mut session, &mut last_refresh);
+                    continue;
+                }
+            }
+        }
+        if connected {
+            loop {
+                match rx.try_recv() {
+                    Ok(b) => ingest(b, &mut q),
+                    Err(mpsc::TryRecvError::Empty) => break,
+                    Err(mpsc::TryRecvError::Disconnected) => {
+                        connected = false;
+                        break;
+                    }
+                }
+            }
+        }
+        let Some(item) = q.pop_front() else { continue };
 
-        if batchable(&job.line) {
+        if batchable(&item.line) {
             // Batched durable path: decide the whole group in one scheduler
             // call, append one WAL record per line in batch order, and let
             // the adaptive flush cover them all with a single fsync group.
-            let mut group = vec![job];
-            drain_group(&rx, &mut group, &mut carry);
+            let group = take_group(item, &mut q);
             BATCH_LINES.observe(group.len() as u64);
-            for j in &group {
-                ctx.maybe_stall(&j.line);
+            for it in &group {
+                ctx.maybe_stall(&it.line);
             }
-            let lines: Vec<&str> = group.iter().map(|j| j.line.as_str()).collect();
+            let lines: Vec<&str> = group.iter().map(|i| i.line.as_str()).collect();
             let texts = exec_batch_guarded(&mut session, &lines);
             ctx.maybe_refresh(&mut session, &mut last_refresh);
-            for (mut j, result) in group.into_iter().zip(texts) {
-                j.stamps.mark_decided();
+            for (mut it, result) in group.into_iter().zip(texts) {
+                it.stamps.mark_decided();
                 match result {
                     Ok(reply) => {
                         // submit always mutates: withhold the reply until
                         // an fsync covers its record.
                         let mut payload =
-                            Vec::with_capacity(j.line.len() + 1 + reply.len());
-                        payload.extend_from_slice(j.line.as_bytes());
+                            Vec::with_capacity(it.line.len() + 1 + reply.len());
+                        payload.extend_from_slice(it.line.as_bytes());
                         payload.push(b'\n');
                         payload.extend_from_slice(reply.as_bytes());
                         match wal.append(&payload) {
@@ -717,37 +919,54 @@ fn scheduler_loop(
                                 if pending.is_empty() {
                                     oldest = Instant::now();
                                 }
-                                pending.push(PendingReply {
-                                    reply: j.reply,
-                                    line: j.line,
+                                pending.push(PendingDone {
+                                    token: it.token,
+                                    seq: it.seq,
+                                    line: it.line,
                                     text: reply,
-                                    stamps: j.stamps,
+                                    stamps: it.stamps,
                                 });
                             }
                             Err(e) => {
                                 WAL_FLUSH_FAILURES.inc();
                                 eprintln!("coalloc-net: wal append failed: {e}");
-                                send_now(j, format!("error: wal append failed: {e}"));
+                                send_done(
+                                    &mut comps,
+                                    it.token,
+                                    it.seq,
+                                    it.line,
+                                    format!("error: wal append failed: {e}"),
+                                    it.stamps,
+                                );
                             }
                         }
                     }
                     // Parse errors never touched the scheduler: nothing to
                     // make durable, release immediately.
-                    Err(e) => send_now(j, format!("error: {e}")),
+                    Err(e) => send_done(
+                        &mut comps,
+                        it.token,
+                        it.seq,
+                        it.line,
+                        format!("error: {e}"),
+                        it.stamps,
+                    ),
                 }
             }
             if pending.len() >= MAX_BATCH {
-                flush(&mut wal, &mut pending);
+                flush(&mut wal, &mut pending, &mut comps);
             }
+            comps.wake();
             continue;
         }
 
-        ctx.maybe_stall(&job.line);
-        let verb = job.line.split_whitespace().next().unwrap_or("");
+        let mut item = item;
+        ctx.maybe_stall(&item.line);
+        let verb = item.line.split_whitespace().next().unwrap_or("");
         let is_load = verb == "load";
         let mutates = proto::mutating(verb);
-        let result = exec_guarded(&mut session, &job.line);
-        job.stamps.mark_decided();
+        let result = exec_guarded(&mut session, &item.line);
+        item.stamps.mark_decided();
         ctx.maybe_refresh(&mut session, &mut last_refresh);
         match result {
             Ok(reply) if is_load => {
@@ -760,20 +979,27 @@ fn scheduler_loop(
                 };
                 match status {
                     Ok(()) => {
-                        flush(&mut wal, &mut pending); // records are durable; release
-                        send_now(job, reply);
+                        flush(&mut wal, &mut pending, &mut comps); // records are durable; release
+                        send_done(&mut comps, item.token, item.seq, item.line, reply, item.stamps);
                     }
                     Err(e) => {
                         WAL_FLUSH_FAILURES.inc();
                         eprintln!("coalloc-net: wal snapshot install failed: {e}");
-                        send_now(job, format!("error: wal snapshot install failed: {e}"));
+                        send_done(
+                            &mut comps,
+                            item.token,
+                            item.seq,
+                            item.line,
+                            format!("error: wal snapshot install failed: {e}"),
+                            item.stamps,
+                        );
                     }
                 }
             }
             Ok(reply) if mutates => {
                 let mut payload =
-                    Vec::with_capacity(job.line.len() + 1 + reply.len());
-                payload.extend_from_slice(job.line.as_bytes());
+                    Vec::with_capacity(item.line.len() + 1 + reply.len());
+                payload.extend_from_slice(item.line.as_bytes());
                 payload.push(b'\n');
                 payload.extend_from_slice(reply.as_bytes());
                 match wal.append(&payload) {
@@ -781,288 +1007,44 @@ fn scheduler_loop(
                         if pending.is_empty() {
                             oldest = Instant::now();
                         }
-                        pending.push(PendingReply {
-                            reply: job.reply,
-                            line: job.line,
+                        pending.push(PendingDone {
+                            token: item.token,
+                            seq: item.seq,
+                            line: item.line,
                             text: reply,
-                            stamps: job.stamps,
+                            stamps: item.stamps,
                         });
                         if pending.len() >= MAX_BATCH {
-                            flush(&mut wal, &mut pending);
+                            flush(&mut wal, &mut pending, &mut comps);
                         }
                     }
                     Err(e) => {
                         WAL_FLUSH_FAILURES.inc();
                         eprintln!("coalloc-net: wal append failed: {e}");
-                        send_now(job, format!("error: wal append failed: {e}"));
+                        send_done(
+                            &mut comps,
+                            item.token,
+                            item.seq,
+                            item.line,
+                            format!("error: wal append failed: {e}"),
+                            item.stamps,
+                        );
                     }
                 }
             }
-            Ok(reply) => send_now(job, reply),
-            Err(e) => send_now(job, format!("error: {e}")),
+            Ok(reply) => send_done(&mut comps, item.token, item.seq, item.line, reply, item.stamps),
+            Err(e) => send_done(
+                &mut comps,
+                item.token,
+                item.seq,
+                item.line,
+                format!("error: {e}"),
+                item.stamps,
+            ),
         }
+        comps.wake();
     }
-    // Graceful drain: the workers are gone, but every acknowledged command
-    // must be durable before the thread exits — the shutdown fsync.
-    flush(&mut wal, &mut pending);
-}
-
-/// Release a reply immediately (non-mutating commands, errors: nothing to
-/// make durable first). The WAL-stall stage records as ~0 here.
-fn send_now(mut job: Job, text: String) {
-    job.stamps.mark_released();
-    REQUEST_US.observe(job.stamps.enqueued.elapsed().as_micros() as u64);
-    let _ = job.reply.send(Reply {
-        line: job.line,
-        text,
-        stamps: job.stamps,
-    });
-}
-
-fn accept_loop(
-    listener: TcpListener,
-    conn_tx: SyncSender<TcpStream>,
-    stop: Arc<AtomicBool>,
-) {
-    for stream in listener.incoming() {
-        if stop.load(Ordering::SeqCst) {
-            break;
-        }
-        let Ok(stream) = stream else { continue };
-        CONNECTIONS.inc();
-        match conn_tx.try_send(stream) {
-            Ok(()) => {}
-            Err(TrySendError::Full(mut stream)) | Err(TrySendError::Disconnected(mut stream)) => {
-                // Shed at the edge: tell the client to come back, drop it.
-                SHED.inc();
-                SHED_ACCEPT.inc();
-                let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
-                let _ = stream.write_all(format!("{BUSY_REPLY}\n").as_bytes());
-                // Half-close so the busy reply travels with a FIN. If the
-                // client already pipelined a command the close may still
-                // surface as a reset on its side; PROTOCOL.md tells clients
-                // to treat that as a shed and reconnect.
-                let _ = stream.shutdown(std::net::Shutdown::Write);
-            }
-        }
-    }
-}
-
-fn worker_loop(
-    conn_rx: Arc<std::sync::Mutex<Receiver<TcpStream>>>,
-    job_tx: SyncSender<Job>,
-    cfg: NetConfig,
-    stop: Arc<AtomicBool>,
-) {
-    loop {
-        // Workers share the receiver behind a mutex (std mpsc has no
-        // multi-consumer receiver); the lock is held only while dequeuing.
-        // A poisoned lock (a sibling panicked while dequeuing) is recovered,
-        // not propagated: the receiver itself cannot be left inconsistent.
-        let stream = {
-            let rx = conn_rx.lock().unwrap_or_else(|e| e.into_inner());
-            rx.recv()
-        };
-        let Ok(stream) = stream else { break };
-        ACTIVE.add(1);
-        let conn_id = next_conn_id();
-        let conn_span = obs::trace::span_fields(
-            "net_conn",
-            vec![("id", obs::Value::U64(conn_id))],
-        );
-        // Shed-and-log: a panic while serving one connection drops that
-        // connection only, never the worker (which would silently shrink
-        // the pool until no connection is ever served again).
-        let served = std::panic::catch_unwind(AssertUnwindSafe(|| {
-            serve_connection(stream, &job_tx, &cfg, &stop, conn_id)
-        }));
-        if served.is_err() {
-            CONN_PANICS.inc();
-            ERRORS.inc();
-            eprintln!("coalloc-net: connection handler panicked, dropping connection");
-        }
-        drop(conn_span);
-        ACTIVE.add(-1);
-    }
-}
-
-fn next_conn_id() -> u64 {
-    static NEXT: AtomicU64 = AtomicU64::new(1);
-    NEXT.fetch_add(1, Ordering::Relaxed)
-}
-
-/// Outcome of pulling one line out of the connection buffer.
-enum Framed {
-    Line(String),
-    Eof,
-    TooLong,
-    LineTimeout,
-    IdleTimeout,
-    IoError,
-}
-
-/// Read until `buf` holds a full `\n`-terminated line (or a terminal
-/// condition). `line_start` is the instant the current line began arriving:
-/// the anti-slow-loris deadline is measured from there.
-fn next_line(
-    stream: &mut TcpStream,
-    buf: &mut Vec<u8>,
-    cfg: &NetConfig,
-    stop: &AtomicBool,
-) -> Framed {
-    let mut line_start: Option<Instant> = if buf.is_empty() { None } else { Some(Instant::now()) };
-    loop {
-        if let Some(pos) = buf.iter().position(|&b| b == b'\n') {
-            if pos > cfg.max_line {
-                return Framed::TooLong;
-            }
-            let rest = buf.split_off(pos + 1);
-            let mut line = std::mem::replace(buf, rest);
-            line.pop(); // the newline
-            if line.last() == Some(&b'\r') {
-                line.pop();
-            }
-            return match String::from_utf8(line) {
-                Ok(s) => Framed::Line(s),
-                Err(_) => Framed::Line("\u{fffd}".into()), // hits `unknown command`
-            };
-        }
-        if buf.len() > cfg.max_line {
-            return Framed::TooLong;
-        }
-        if let Some(t0) = line_start {
-            if t0.elapsed() > cfg.read_timeout {
-                return Framed::LineTimeout;
-            }
-        }
-        let mut chunk = [0u8; 1024];
-        match stream.read(&mut chunk) {
-            Ok(0) => return Framed::Eof,
-            Ok(n) => {
-                if buf.is_empty() {
-                    line_start = Some(Instant::now());
-                }
-                buf.extend_from_slice(&chunk[..n]);
-            }
-            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
-                // Idle tick: drain on shutdown, time out half-written lines.
-                if stop.load(Ordering::SeqCst) {
-                    return Framed::Eof;
-                }
-                if line_start.is_some() {
-                    return Framed::LineTimeout;
-                }
-                return Framed::IdleTimeout;
-            }
-            Err(e) if e.kind() == ErrorKind::Interrupted => {}
-            Err(_) => return Framed::IoError,
-        }
-    }
-}
-
-fn serve_connection(
-    mut stream: TcpStream,
-    job_tx: &SyncSender<Job>,
-    cfg: &NetConfig,
-    stop: &AtomicBool,
-    conn_id: u64,
-) {
-    let _ = stream.set_read_timeout(Some(cfg.read_timeout));
-    let _ = stream.set_write_timeout(Some(cfg.write_timeout));
-    let _ = stream.set_nodelay(true);
-    let mut buf: Vec<u8> = Vec::with_capacity(256);
-    loop {
-        let line = match next_line(&mut stream, &mut buf, cfg, stop) {
-            Framed::Line(l) => l,
-            Framed::Eof | Framed::IoError => break,
-            Framed::TooLong => {
-                ERRORS.inc();
-                let _ = stream.write_all(
-                    format!("error: line too long (max {} bytes)\n", cfg.max_line).as_bytes(),
-                );
-                break; // cannot resync framing: close
-            }
-            Framed::LineTimeout => {
-                ERRORS.inc();
-                let _ = stream.write_all(b"error: line timeout\n");
-                break;
-            }
-            Framed::IdleTimeout => {
-                let _ = stream.write_all(b"error: idle timeout\n");
-                break;
-            }
-        };
-        if Session::is_exit(&line) {
-            break;
-        }
-        LINES.inc();
-        let mut stamps = Stamps::new(); // stage zero: line framed
-        let (reply_tx, reply_rx) = mpsc::channel();
-        stamps.mark_enqueued();
-        // Depth is bumped *before* the try_send so the scheduler's decrement
-        // can never observe a job it was not charged for.
-        QUEUE_DEPTH.add(1);
-        let job = Job {
-            line,
-            stamps,
-            reply: reply_tx,
-        };
-        let mut shed = false;
-        let reply = match job_tx.try_send(job) {
-            Ok(()) => match reply_rx.recv() {
-                Ok(r) => r,
-                Err(_) => break, // server draining mid-command
-            },
-            Err(TrySendError::Full(job)) => {
-                QUEUE_DEPTH.add(-1);
-                SHED.inc();
-                SHED_QUEUE.inc();
-                shed = true;
-                Reply {
-                    line: job.line,
-                    text: BUSY_REPLY.to_string(),
-                    stamps: job.stamps,
-                }
-            }
-            Err(TrySendError::Disconnected(_)) => {
-                QUEUE_DEPTH.add(-1);
-                break;
-            }
-        };
-        let Reply { line, text, stamps } = reply;
-        let mut write_ok = true;
-        if !text.is_empty() {
-            REPLIES.inc();
-            // One write syscall for reply + newline without cloning the
-            // text: push the newline, write, pop it back off for capture.
-            let mut out = text.into_bytes();
-            out.push(b'\n');
-            write_ok = stream.write_all(&out).is_ok();
-            out.pop();
-            // SAFETY-free round trip: `out` minus the newline is the same
-            // UTF-8 string `text` was.
-            let text = String::from_utf8(out).expect("reply was UTF-8");
-            let total_us = stamps.finish_writeback();
-            let outcome = if shed {
-                Some(slow::Outcome::Shed)
-            } else if text.starts_with("error") {
-                Some(slow::Outcome::Error)
-            } else if slow::threshold_us() > 0 && total_us > slow::threshold_us() {
-                Some(slow::Outcome::Slow)
-            } else {
-                None
-            };
-            if let Some(outcome) = outcome {
-                slow::capture(conn_id, &line, &text, outcome, &stamps, total_us);
-            }
-        } else {
-            stamps.finish_writeback();
-        }
-        if !write_ok {
-            break;
-        }
-        if stop.load(Ordering::SeqCst) {
-            break; // drained: in-flight command finished and answered
-        }
-    }
+    // Graceful drain: the I/O loops are gone, but every acknowledged
+    // command must be durable before the thread exits — the shutdown fsync.
+    flush(&mut wal, &mut pending, &mut comps);
 }

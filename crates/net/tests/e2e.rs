@@ -194,23 +194,39 @@ fn concurrent_clients_serialize_onto_one_scheduler() {
 }
 
 #[test]
-fn accept_backlog_overflow_sheds_with_busy() {
-    // One worker, minimal backlog: the worker holds connection 1, the
-    // backlog holds connection 2, connection 3 must be shed.
+fn max_conns_overflow_sheds_with_busy() {
+    // Admission bound of two: two held connections fill it, the third is
+    // shed at accept with the busy reply and a close; once a held one
+    // leaves, its slot is admitted again.
     let cfg = NetConfig {
         workers: 1,
-        accept_backlog: 1,
+        max_conns: 2,
         ..test_cfg(1)
     };
     let server = Server::bind(cfg).unwrap();
-    let mut held = Client::connect(server.local_addr()).unwrap();
-    assert_eq!(held.roundtrip("version").unwrap(), PROTOCOL_VERSION);
-    let _queued = Client::connect(server.local_addr()).unwrap();
-    std::thread::sleep(Duration::from_millis(50)); // let it reach the backlog
+    let mut held1 = Client::connect(server.local_addr()).unwrap();
+    assert_eq!(held1.roundtrip("version").unwrap(), PROTOCOL_VERSION);
+    let mut held2 = Client::connect(server.local_addr()).unwrap();
+    assert_eq!(held2.roundtrip("version").unwrap(), PROTOCOL_VERSION);
     let mut shed = Client::connect(server.local_addr()).unwrap();
     assert_eq!(shed.recv_line().unwrap(), BUSY_REPLY);
     assert_eq!(shed.recv_line().unwrap(), "", "shed connection is closed");
-    drop(held);
+    // Releasing one admitted connection frees its slot (the close is
+    // asynchronous: retry until the event loop reaps it).
+    drop(held1);
+    let mut admitted = None;
+    for _ in 0..50 {
+        let mut c = Client::connect(server.local_addr()).unwrap();
+        match c.roundtrip("version") {
+            Ok(r) if r == PROTOCOL_VERSION => {
+                admitted = Some(c);
+                break;
+            }
+            _ => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+    assert!(admitted.is_some(), "freed slot must admit a new connection");
+    drop(held2);
     server.shutdown();
 }
 

@@ -41,11 +41,14 @@
 //! the `obs` crate) configures tracing when `--trace-out` is not given.
 //!
 //! Serve-mode flags: `--addr HOST:PORT` (default `127.0.0.1:7077`; port 0
-//! picks a free port, printed on stdout), `--workers W`, `--queue-depth Q`,
-//! `--accept-backlog B`, `--max-line BYTES`, `--read-timeout-ms MS`,
-//! `--write-timeout-ms MS`. The server runs until SIGINT/EOF kills the
-//! process; `coalloc-net`'s [`coalloc::net::Server`] drains gracefully on
-//! shutdown.
+//! picks a free port, printed on stdout), `--workers W` (I/O event-loop
+//! threads, each multiplexing its share of every open connection over
+//! `poll(2)`), `--max-conns N` (admission bound: connections past it get
+//! the busy reply and a close), `--queue-depth Q`, `--max-line BYTES`,
+//! `--read-timeout-ms MS`, `--write-timeout-ms MS`. Flag-by-flag tuning
+//! guidance lives in `docs/OPERATIONS.md`. The server runs until
+//! SIGINT/EOF kills the process; `coalloc-net`'s [`coalloc::net::Server`]
+//! drains gracefully on shutdown.
 //!
 //! Observability (serve mode): `--admin-addr HOST:PORT` opens a second
 //! HTTP listener serving `/metrics`, `/healthz`, `/readyz`, `/status` and
@@ -138,7 +141,12 @@ fn main() {
                 cfg.queue_depth =
                     parse_or_die(&flag_value(&mut args, "--queue-depth"), "queue depth");
             }
+            ("--max-conns", Some(cfg)) => {
+                cfg.max_conns =
+                    parse_or_die(&flag_value(&mut args, "--max-conns"), "connection bound");
+            }
             ("--accept-backlog", Some(cfg)) => {
+                // Legacy (pre-event-loop) flag: accepted, no longer used.
                 cfg.accept_backlog =
                     parse_or_die(&flag_value(&mut args, "--accept-backlog"), "accept backlog");
             }
