@@ -8,7 +8,8 @@
 //! ```text
 //! cargo run -p coalloc-bench --release --bin sched_throughput -- \
 //!     [--smoke] [--scale F] [--seed N] [--out PATH] [--guard R] \
-//!     [--batch B] [--profile kth|write-heavy|wal] [--validate PATH]
+//!     [--batch B] [--pool-min-batch N] \
+//!     [--profile kth|write-heavy|reject-heavy|wal] [--validate PATH]
 //! ```
 //!
 //! * `--smoke` — tiny workload slice for CI (also skips the slow naive
@@ -27,6 +28,17 @@
 //!   15-minute slots), so the run is dominated by idle-period index updates
 //!   rather than searches. The emitted document carries the online
 //!   scheduler's write-path counters (`write_path` object).
+//! * `--profile reject-heavy` — a stream dominated by doomed requests: a
+//!   16-wide filler band books every server solid for 48 hours, then every
+//!   submission must walk (or jump) its full 145-attempt retry budget to an
+//!   `Exhausted` reply. This is the Δt-step compute wall the capacity
+//!   profile removes: the extra `online-linear` row replays the identical
+//!   stream with `jump_retries` off, and with `--guard R` the gate becomes
+//!   `online >= R × online-linear` (CI uses `1.3`).
+//! * `--pool-min-batch N` — override the sharded schedulers' pool
+//!   threshold (the `COALLOC_POOL_MIN_BATCH` env knob, as a flag): `0`
+//!   forces every batch through the worker pool, a huge value pins the
+//!   inline path. Applied to every sharded row, guard re-trials included.
 //! * `--profile wal` — measure the cost of command durability: one churn
 //!   stream of protocol text commands replayed through a [`Session`] three
 //!   ways — no WAL, WAL with group commit (the server's write path: append
@@ -150,6 +162,39 @@ fn write_heavy_ops(n_submits: usize, seed: u64) -> Vec<Op> {
         }
     }
     ops
+}
+
+/// Reject-heavy stream: twelve 16-wide fillers book every server solid
+/// over `[0, 48 h)`, then every later submission is doomed — with the band
+/// covering the whole 36-hour span its 145-attempt budget can reach (plus
+/// the longest request duration), each one must exhaust that budget to an
+/// `Exhausted` reply. The linear walk pays a full Phase-1 probe per
+/// attempt; the capacity profile proves each window infeasible and jumps
+/// the band in a handful of segment-tree queries.
+fn reject_heavy_reqs(n_submits: usize, seed: u64) -> Vec<Request> {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    const FILLER_SLOTS: i64 = 16; // 4 h per filler
+    const BAND_SLOTS: i64 = 192; // 48 h of solid occupancy
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut reqs = Vec::with_capacity(n_submits);
+    for i in 0..(BAND_SLOTS / FILLER_SLOTS) {
+        reqs.push(Request::advance(
+            Time::ZERO,
+            Time(i * FILLER_SLOTS * 900),
+            Dur(FILLER_SLOTS * 900),
+            16,
+        ));
+    }
+    while reqs.len() < n_submits {
+        let slots = rng.random_range(8i64..=32);
+        reqs.push(Request::on_demand(
+            Time::ZERO,
+            Dur(slots * 900),
+            rng.random_range(1u32..=16),
+        ));
+    }
+    reqs
 }
 
 /// One scheduler call of an [`Op`] replay, resolved against earlier grants.
@@ -423,6 +468,17 @@ fn bench_cfg() -> SchedulerConfig {
         .build()
 }
 
+/// [`bench_cfg`] with capacity-profile attempt jumping disabled: the
+/// exhaustive Δt-step retry walk, measured as the `online-linear` row.
+fn bench_cfg_linear() -> SchedulerConfig {
+    SchedulerConfig::builder()
+        .tau(Dur::from_mins(15))
+        .horizon(Dur::from_hours(72))
+        .delta_t(Dur::from_mins(15))
+        .jump_retries(false)
+        .build()
+}
+
 /// Everything `render` needs besides the per-scheduler measurements.
 struct RunMeta<'a> {
     profile: &'a str,
@@ -535,9 +591,17 @@ fn validate(text: &str) -> Result<Vec<(String, f64)>, String> {
             .map(String::from)
             .into()
     } else {
-        ["naive", "online", "sharded-k1", "sharded-k2", "sharded-k4", "sharded-k8"]
-            .map(String::from)
-            .into()
+        [
+            "naive",
+            "online",
+            "online-linear",
+            "sharded-k1",
+            "sharded-k2",
+            "sharded-k4",
+            "sharded-k8",
+        ]
+        .map(String::from)
+        .into()
     };
     // A batched run carries a positive "batch" and one batched row per
     // scheduler (the naive oracle has no batched entry point).
@@ -586,6 +650,7 @@ fn main() {
     let mut out_path: Option<String> = None;
     let mut guard: Option<f64> = None;
     let mut batch = 0usize;
+    let mut pool_min_batch: Option<usize> = None;
     let mut profile = String::from("kth");
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -597,6 +662,10 @@ fn main() {
             "--profile" => profile = args.next().expect("--profile NAME"),
             "--batch" => {
                 batch = args.next().expect("--batch B").parse().expect("integer");
+            }
+            "--pool-min-batch" => {
+                pool_min_batch =
+                    Some(args.next().expect("--pool-min-batch N").parse().expect("integer"));
             }
             "--guard" => {
                 guard = Some(args.next().expect("--guard R").parse().expect("float"));
@@ -619,8 +688,8 @@ fn main() {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: sched_throughput [--smoke] [--scale F] [--seed N] \
-                     [--out PATH] [--guard R] [--batch B] \
-                     [--profile kth|write-heavy|wal] [--validate PATH]"
+                     [--out PATH] [--guard R] [--batch B] [--pool-min-batch N] \
+                     [--profile kth|write-heavy|reject-heavy|wal] [--validate PATH]"
                 );
                 return;
             }
@@ -661,6 +730,19 @@ fn main() {
                 ops.len(),
             );
         }
+        "reject-heavy" => {
+            servers = 16;
+            meta_workload = String::from("reject-heavy-wall");
+            let n_submits = ((4000.0 * scale / 0.02).round() as usize).max(100);
+            reqs = reject_heavy_reqs(n_submits, seed);
+            ops = Vec::new();
+            cmds = Vec::new();
+            println!(
+                "sched_throughput: {} requests over {servers} servers \
+                 (reject-heavy × {scale}, seed {seed})",
+                reqs.len(),
+            );
+        }
         "wal" => {
             servers = 64;
             meta_workload = String::from("wal-churn");
@@ -675,10 +757,19 @@ fn main() {
             );
         }
         other => {
-            eprintln!("unknown profile {other} (want kth, write-heavy or wal)");
+            eprintln!("unknown profile {other} (want kth, write-heavy, reject-heavy or wal)");
             std::process::exit(2);
         }
     }
+
+    // Build a sharded scheduler for any row, honoring `--pool-min-batch`.
+    let mk_sharded = |k: u32| {
+        let mut s = ShardedScheduler::new(servers, k, bench_cfg());
+        if let Some(n) = pool_min_batch {
+            s.set_pool_min_batch(n);
+        }
+        s
+    };
 
     // Replay one scheduler over whichever stream the profile selected.
     macro_rules! run {
@@ -722,8 +813,12 @@ fn main() {
                 write_path = Some(write_path_json(&s));
             }
         }
+        {
+            let mut s = CoAllocScheduler::new(servers, bench_cfg_linear());
+            results.push(run!("online-linear", None, s));
+        }
         for k in SHARD_COUNTS {
-            let mut s = ShardedScheduler::new(servers, k, bench_cfg());
+            let mut s = mk_sharded(k);
             results.push(run!(&format!("sharded-k{k}"), Some(k), s));
         }
     }
@@ -763,7 +858,7 @@ fn main() {
             results.push(run_batch!(&format!("online-b{batch}"), None, s));
         }
         for k in SHARD_COUNTS {
-            let mut s = ShardedScheduler::new(servers, k, bench_cfg());
+            let mut s = mk_sharded(k);
             results.push(run_batch!(&format!("sharded-k{k}-b{batch}"), Some(k), s));
         }
     }
@@ -818,7 +913,7 @@ fn main() {
                 let mut s = CoAllocScheduler::new(servers, bench_cfg());
                 online = online.max(run_batch!(&online_label, None, s).rps);
                 for (i, &k) in shard_ks.iter().enumerate() {
-                    let mut s = ShardedScheduler::new(servers, k, bench_cfg());
+                    let mut s = mk_sharded(k);
                     best[i] =
                         best[i].max(run_batch!(&format!("sharded-k{k}-b{batch}"), Some(k), s).rps);
                 }
@@ -855,6 +950,19 @@ fn main() {
                 slow = slow
                     .max(run_wal_variant(slow_label, &cmds, true, WAL_GROUP_COMMIT).rps);
             }
+        } else if profile == "reject-heavy" {
+            // Speedup gate, not a regression gate: the jumping scheduler
+            // must beat the exhaustive linear walk by the given factor
+            // (`slow` here is the row required to reach `R × fast`).
+            (fast_label, slow_label) = ("online-linear", "online");
+            fast = rps_of(fast_label);
+            slow = rps_of(slow_label);
+            for _ in 0..2 {
+                let mut s = CoAllocScheduler::new(servers, bench_cfg_linear());
+                fast = fast.max(run!("online-linear", None, s).rps);
+                let mut s = CoAllocScheduler::new(servers, bench_cfg());
+                slow = slow.max(run!("online", None, s).rps);
+            }
         } else {
             (fast_label, slow_label) = ("online", "sharded-k1");
             fast = rps_of(fast_label);
@@ -862,7 +970,7 @@ fn main() {
             for _ in 0..2 {
                 let mut s = CoAllocScheduler::new(servers, bench_cfg());
                 fast = fast.max(run!("online", None, s).rps);
-                let mut s = ShardedScheduler::new(servers, 1, bench_cfg());
+                let mut s = mk_sharded(1);
                 slow = slow.max(run!("sharded-k1", Some(1), s).rps);
             }
         }

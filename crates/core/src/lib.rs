@@ -56,6 +56,7 @@ pub mod naive;
 pub mod packing;
 pub mod policy;
 pub mod primary;
+pub mod profile;
 pub mod range_search;
 pub mod request;
 pub mod ring;
@@ -77,6 +78,7 @@ pub mod prelude {
     pub use crate::naive::NaiveScheduler;
     pub use crate::packing::{PackedGroup, Placement, SmallJob};
     pub use crate::policy::SelectionPolicy;
+    pub use crate::profile::FreeProfile;
     pub use crate::range_search::Availability;
     pub use crate::request::{Request, RequestError};
     pub use crate::scheduler::{CoAllocScheduler, Grant, SchedulerConfig};

@@ -70,6 +70,16 @@ impl CoAllocScheduler {
         if end <= start || start >= horizon || end > horizon {
             return Vec::new();
         }
+        // Searches always flush deferred index updates, even when the
+        // profile reject below skips the tree walk (the profile itself is
+        // maintained eagerly, so it never needs the flush).
+        self.flush_updates();
+        // Profile fast reject: a zero free upper bound means some server is
+        // busy throughout every instant-covering slot of the window, i.e.
+        // the exact feasible set is provably empty — skip the tree walk.
+        if self.capacity_profile().free_upper_bound(start, end) == 0 {
+            return Vec::new();
+        }
         let mut span = obs_span!("sched.range_search", "start_s" => start.secs(), "end_s" => end.secs());
         let q = self.ring().config().slot_of(start);
         // Split borrows: the search needs &ring, &trailing, the stabbing
@@ -104,6 +114,11 @@ impl CoAllocScheduler {
         let start = start.max(self.now());
         let horizon = self.horizon_end();
         if end <= start || start >= horizon || end > horizon {
+            return 0;
+        }
+        // Same flush-then-fast-reject as `range_search`.
+        self.flush_updates();
+        if self.capacity_profile().free_upper_bound(start, end) == 0 {
             return 0;
         }
         let q = self.ring().config().slot_of(start);

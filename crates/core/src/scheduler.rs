@@ -16,6 +16,7 @@ use crate::error::ScheduleError;
 use crate::idle::IdlePeriod;
 use crate::ids::{JobId, ServerId};
 use crate::policy::SelectionPolicy;
+use crate::profile::FreeProfile;
 use crate::request::Request;
 use crate::ring::SlotRing;
 use crate::scratch::Scratch;
@@ -44,6 +45,7 @@ static GRANTS: LazyCounter = LazyCounter::new("sched_grants_total");
 static REJECTS: LazyCounter = LazyCounter::new("sched_rejects_total");
 static ATTEMPTS_HIST: LazyHistogram = LazyHistogram::new("sched_attempts");
 static RETRIES_SKIPPED: LazyCounter = LazyCounter::new("sched_retries_skipped_total");
+static ATTEMPTS_JUMPED: LazyCounter = LazyCounter::new("sched_attempts_jumped_total");
 static PHASE1_TOTAL: LazyCounter = LazyCounter::new("sched_phase1_total");
 static PHASE2_TOTAL: LazyCounter = LazyCounter::new("sched_phase2_total");
 static PHASE1_CANDIDATES: LazyHistogram = LazyHistogram::new("sched_phase1_candidates");
@@ -72,6 +74,16 @@ fn record_op_delta(delta: &OpStats) {
     PHASE2_TOTAL.add(delta.phase2_searches);
 }
 
+/// Charge `n` profile-jumped attempts to the global
+/// `sched_attempts_jumped_total` counter. Exposed for front-ends (the
+/// sharded coordinator) that run their own jump accounting but share the
+/// process-global metrics.
+pub fn record_attempts_jumped(n: u64) {
+    if n > 0 {
+        ATTEMPTS_JUMPED.add(n);
+    }
+}
+
 /// Configuration of a [`CoAllocScheduler`].
 #[derive(Clone, Copy, Debug)]
 pub struct SchedulerConfig {
@@ -94,6 +106,14 @@ pub struct SchedulerConfig {
     /// flushed before the next search touches the indexes, so results are
     /// always consistent; only the latency profile changes.
     pub deferred_updates: bool,
+    /// Jump the retry loop past attempts the free-capacity profile proves
+    /// infeasible (see [`crate::profile`] and DESIGN.md §14). Decisions —
+    /// grants, `attempts` counts, error replies — are identical either
+    /// way; only the `attempts` / `attempts_skipped` accounting split and
+    /// the `sched_attempts` histogram observe which starts were actually
+    /// probed. Disable to force the linear `Delta_t` walk (the bench
+    /// baseline and the lockstep-equivalence test oracle).
+    pub jump_retries: bool,
 }
 
 impl Default for SchedulerConfig {
@@ -108,6 +128,7 @@ impl Default for SchedulerConfig {
             policy: SelectionPolicy::PaperOrder,
             seed: 0x5EED,
             deferred_updates: false,
+            jump_retries: true,
         }
     }
 }
@@ -171,6 +192,12 @@ impl SchedulerConfigBuilder {
         self.0.deferred_updates = deferred;
         self
     }
+    /// Enable or disable profile-driven retry jumping (see
+    /// [`SchedulerConfig::jump_retries`]).
+    pub fn jump_retries(mut self, jump: bool) -> Self {
+        self.0.jump_retries = jump;
+        self
+    }
     /// Finish building.
     pub fn build(self) -> SchedulerConfig {
         assert!(self.0.delta_t.secs() > 0, "Delta_t must be positive");
@@ -219,6 +246,9 @@ pub struct CoAllocScheduler {
     attrs: Vec<AttrSet>,
     jobs: HashMap<JobId, Vec<Reservation>>,
     next_job: u64,
+    /// Aggregate busy-count index driving the retry-jump fast reject;
+    /// maintained from the same commit/release flow as the ring.
+    profile: FreeProfile,
     stats: OpStats,
     /// Reusable buffers for the per-request hot path.
     scratch: Scratch,
@@ -258,6 +288,7 @@ impl CoAllocScheduler {
             attrs: vec![AttrSet::NONE; num_servers as usize],
             jobs: HashMap::new(),
             next_job: 0,
+            profile: FreeProfile::new(slot_cfg, num_servers, origin),
             stats,
             scratch: Scratch::new(),
             pending: Vec::new(),
@@ -300,6 +331,12 @@ impl CoAllocScheduler {
         &self.ring
     }
 
+    /// Read-only access to the free-capacity profile (for diagnostics,
+    /// tests, and the fast rejects in [`crate::range_search`]).
+    pub fn capacity_profile(&self) -> &FreeProfile {
+        &self.profile
+    }
+
     /// Committed reservations of a job, if it exists.
     pub fn job(&self, job: JobId) -> Option<&[Reservation]> {
         self.jobs.get(&job).map(|v| v.as_slice())
@@ -319,6 +356,7 @@ impl CoAllocScheduler {
         self.now = now;
         self.ring
             .advance_to_with(now, &mut self.scratch, &mut self.stats);
+        self.profile.advance_to(now);
         // History pruning scans every server, so amortize it over many slot
         // advances; the ring's own discard/create stays O(1) per slot as
         // the paper claims. Correctness does not depend on prune timing —
@@ -369,7 +407,9 @@ impl CoAllocScheduler {
             self.add_to_indexes(p);
         }
         self.jobs.clear();
+        self.profile.reset(self.now);
         for r in busy {
+            self.profile.add(r.start, r.end, 1);
             self.jobs.entry(r.job).or_default().push(r);
         }
     }
@@ -407,55 +447,15 @@ impl CoAllocScheduler {
             "duration_s" => req.duration.secs().max(0) as u64,
             "earliest_s" => earliest.secs()
         );
-        // Short-circuit: starts whose shifted end `e_r` falls past the
-        // horizon can never succeed, so the retry loop only runs over starts
-        // that fit. Attempts the R_max budget allowed but the horizon ruled
-        // out are counted as skipped instead of searched.
-        let horizon_end = self.ring.horizon_end();
-        let budget = r_max as u64 + 1;
-        let horizon_attempts = if earliest + req.duration > horizon_end {
-            0
-        } else {
-            ((horizon_end - req.duration - earliest).secs() / self.cfg.delta_t.secs()) as u64 + 1
-        };
-        let tries = budget.min(horizon_attempts);
-        let mut attempts = 0u32;
-        let mut start = earliest;
-        let result = loop {
-            if attempts as u64 >= tries {
-                let skipped = budget - attempts as u64;
-                if skipped > 0 {
-                    self.stats.attempts_skipped += skipped;
-                    RETRIES_SKIPPED.add(skipped);
-                }
-                break if horizon_attempts < budget {
-                    Err(ScheduleError::HorizonExceeded { horizon_end })
-                } else {
-                    Err(ScheduleError::Exhausted {
-                        attempts,
-                        last_tried: start - self.cfg.delta_t,
-                    })
-                };
-            }
-            let end = start + req.duration;
-            attempts += 1;
-            self.stats.attempts += 1;
-            if self.try_once(start, end, req.servers) {
-                let chosen = std::mem::take(&mut self.scratch.feasible);
-                let grant = self.commit(&chosen, start, end, attempts, earliest);
-                self.scratch.feasible = chosen;
-                break Ok(grant);
-            }
-            start += self.cfg.delta_t;
-        };
-        ATTEMPTS_HIST.observe(attempts as u64);
+        let (result, probed) = self.search_loop(req, earliest, r_max as u64 + 1);
+        ATTEMPTS_HIST.observe(probed as u64);
         record_op_delta(&self.stats.since(&before));
         match &result {
             Ok(grant) => {
                 GRANTS.inc();
                 if span.active() {
                     span.record("outcome", "granted");
-                    span.record("attempts", attempts);
+                    span.record("attempts", grant.attempts);
                     span.record("start_s", grant.start.secs());
                 }
             }
@@ -463,12 +463,107 @@ impl CoAllocScheduler {
                 REJECTS.inc();
                 if span.active() {
                     span.record("outcome", "rejected");
-                    span.record("attempts", attempts);
+                    span.record("attempts", probed);
                     span.record("error", format!("{e:?}"));
                 }
             }
         }
         result
+    }
+
+    /// The `Delta_t` / `R_max` retry loop shared by [`Self::submit`] and
+    /// [`Self::submit_with_deadline`], with two layered short-circuits:
+    ///
+    /// * the horizon cap (PR 3): starts whose shifted end falls past the
+    ///   horizon can never succeed, so at most `tries` of the `budget`
+    ///   attempts are considered at all;
+    /// * profile jumping (when [`SchedulerConfig::jump_retries`] is on):
+    ///   within those `tries`, attempt indexes whose window the capacity
+    ///   profile proves infeasible are skipped without a tree search.
+    ///
+    /// Both kinds of skipped attempt flow into `attempts_skipped` /
+    /// `sched_retries_skipped_total`; profile jumps are additionally broken
+    /// out in `attempts_jumped` / `sched_attempts_jumped_total`. Decision
+    /// outputs — the grant (including its `attempts` field, which reports
+    /// the 1-based index of the successful start), the error variant, and
+    /// both `Exhausted` fields — are computed from attempt *indexes*, so
+    /// they are identical whether or not jumping is enabled.
+    ///
+    /// Returns the result plus the number of starts actually probed (what
+    /// the `sched_attempts` histogram observes).
+    fn search_loop(
+        &mut self,
+        req: &Request,
+        earliest: Time,
+        budget: u64,
+    ) -> (Result<Grant, ScheduleError>, u32) {
+        let horizon_end = self.ring.horizon_end();
+        let horizon_attempts = if earliest + req.duration > horizon_end {
+            0
+        } else {
+            ((horizon_end - req.duration - earliest).secs() / self.cfg.delta_t.secs()) as u64 + 1
+        };
+        let tries = budget.min(horizon_attempts);
+        let jump = self.cfg.jump_retries;
+        let mut probed = 0u64; // starts actually searched
+        let mut jumped = 0u64; // starts the profile disproved
+        let mut k = 0u64; // next attempt index to consider
+        let result = loop {
+            let next = if k >= tries {
+                None
+            } else if jump {
+                self.profile.next_allowed(
+                    earliest,
+                    self.cfg.delta_t,
+                    req.duration,
+                    req.servers,
+                    k,
+                    tries,
+                )
+            } else {
+                Some(k)
+            };
+            let Some(kk) = next else {
+                jumped += tries - k;
+                let skipped = (budget - tries) + jumped;
+                if skipped > 0 {
+                    self.stats.attempts_skipped += skipped;
+                    RETRIES_SKIPPED.add(skipped);
+                }
+                if jumped > 0 {
+                    self.stats.attempts_jumped += jumped;
+                    ATTEMPTS_JUMPED.add(jumped);
+                }
+                break if horizon_attempts < budget {
+                    Err(ScheduleError::HorizonExceeded { horizon_end })
+                } else {
+                    Err(ScheduleError::Exhausted {
+                        attempts: tries as u32,
+                        last_tried: earliest + self.cfg.delta_t * (tries as i64 - 1),
+                    })
+                };
+            };
+            jumped += kk - k;
+            k = kk;
+            let start = earliest + self.cfg.delta_t * (k as i64);
+            let end = start + req.duration;
+            probed += 1;
+            self.stats.attempts += 1;
+            if self.try_once(start, end, req.servers) {
+                let chosen = std::mem::take(&mut self.scratch.feasible);
+                let grant = self.commit(&chosen, start, end, (k + 1) as u32, earliest);
+                self.scratch.feasible = chosen;
+                if jumped > 0 {
+                    self.stats.attempts_skipped += jumped;
+                    RETRIES_SKIPPED.add(jumped);
+                    self.stats.attempts_jumped += jumped;
+                    ATTEMPTS_JUMPED.add(jumped);
+                }
+                break Ok(grant);
+            }
+            k += 1;
+        };
+        (result, probed as u32)
     }
 
     /// Handle a batch of requests in submission order.
@@ -678,6 +773,7 @@ impl CoAllocScheduler {
             });
         }
         self.scratch.delta = delta;
+        self.profile.add(start, end, chosen.len() as u32);
         self.jobs.insert(job, reservations);
         Grant {
             job,
@@ -748,48 +844,12 @@ impl CoAllocScheduler {
             "duration_s" => req.duration.secs().max(0) as u64,
             "deadline_s" => deadline.secs()
         );
-        // Same short-circuit as `submit`, with the deadline as an extra cap:
-        // no start later than `deadline - l_r` and none whose end would pass
-        // the horizon is ever searched.
-        let horizon_end = self.ring.horizon_end();
+        // Same retry loop as `submit`, with the deadline as an extra budget
+        // cap: no start later than `deadline - l_r` is ever considered.
         let budget = (r_max as u64 + 1)
             .min(((latest_start - earliest).secs() / self.cfg.delta_t.secs()) as u64 + 1);
-        let horizon_attempts = if earliest + req.duration > horizon_end {
-            0
-        } else {
-            ((horizon_end - req.duration - earliest).secs() / self.cfg.delta_t.secs()) as u64 + 1
-        };
-        let tries = budget.min(horizon_attempts);
-        let mut attempts = 0u32;
-        let mut start = earliest;
-        let result = loop {
-            if attempts as u64 >= tries {
-                let skipped = budget - attempts as u64;
-                if skipped > 0 {
-                    self.stats.attempts_skipped += skipped;
-                    RETRIES_SKIPPED.add(skipped);
-                }
-                break if horizon_attempts < budget {
-                    Err(ScheduleError::HorizonExceeded { horizon_end })
-                } else {
-                    Err(ScheduleError::Exhausted {
-                        attempts,
-                        last_tried: start - self.cfg.delta_t,
-                    })
-                };
-            }
-            let end = start + req.duration;
-            attempts += 1;
-            self.stats.attempts += 1;
-            if self.try_once(start, end, req.servers) {
-                let chosen = std::mem::take(&mut self.scratch.feasible);
-                let grant = self.commit(&chosen, start, end, attempts, earliest);
-                self.scratch.feasible = chosen;
-                break Ok(grant);
-            }
-            start += self.cfg.delta_t;
-        };
-        ATTEMPTS_HIST.observe(attempts as u64);
+        let (result, probed) = self.search_loop(req, earliest, budget);
+        ATTEMPTS_HIST.observe(probed as u64);
         record_op_delta(&self.stats.since(&before));
         match &result {
             Ok(_) => GRANTS.inc(),
@@ -797,7 +857,7 @@ impl CoAllocScheduler {
         }
         if span.active() {
             span.record("outcome", if result.is_ok() { "granted" } else { "rejected" });
-            span.record("attempts", attempts);
+            span.record("attempts", probed);
         }
         result
     }
@@ -892,6 +952,7 @@ impl CoAllocScheduler {
         self.timeline.reserve_into(p.id, job, start, end, &mut delta);
         self.apply_delta(&delta);
         self.scratch.delta = delta;
+        self.profile.add(start, end, 1);
         self.jobs.entry(job).or_default().push(Reservation {
             job,
             server,
@@ -964,6 +1025,10 @@ impl CoAllocScheduler {
         reservations.sort_unstable_by_key(|r| (r.server, r.start));
         let mut delta = std::mem::take(&mut self.scratch.delta);
         for r in reservations {
+            // Withdraw from the capacity profile unconditionally: expired
+            // portions clamp away (their leaves were zeroed by rotation),
+            // so this is exact for retired and pruned history too.
+            self.profile.remove(r.start, r.end, 1);
             if r.end <= self.last_prune {
                 continue; // actually pruned from history
             }
@@ -1004,6 +1069,11 @@ impl CoAllocScheduler {
         let mut got: Vec<u64> = self.trailing.ids_in_order().iter().map(|p| p.0).collect();
         got.sort_unstable();
         assert_eq!(got, expect, "trailing set out of sync with timeline");
+        // The capacity profile's live slots recount exactly from the jobs
+        // map: completed-but-unreleased and pruned history covers no live
+        // slot, so it cancels on both sides.
+        self.profile
+            .check_against(self.jobs.values().flatten().map(|r| (r.start, r.end)));
     }
 }
 

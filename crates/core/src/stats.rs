@@ -23,8 +23,14 @@ pub struct OpStats {
     pub attempts: u64,
     /// Retry attempts skipped because a shifted start provably pushed the
     /// job end past the horizon (or deadline) — the short-circuit avoids
-    /// running searches that cannot succeed.
+    /// running searches that cannot succeed — or because the capacity
+    /// profile rejected the window (`attempts_jumped` breaks out that
+    /// subset).
     pub attempts_skipped: u64,
+    /// Retry attempts skipped specifically because the free-capacity
+    /// profile proved the window infeasible (the jump optimization; a
+    /// subset of `attempts_skipped`).
+    pub attempts_jumped: u64,
     /// Partial rebuilds triggered by the weight-balance rule.
     pub rebuilds: u64,
     /// Idle periods inserted into slot trees (one count per tree copy
@@ -70,6 +76,7 @@ impl OpStats {
         self.phase2_searches += delta.phase2_searches;
         self.attempts += delta.attempts;
         self.attempts_skipped += delta.attempts_skipped;
+        self.attempts_jumped += delta.attempts_jumped;
         self.rebuilds += delta.rebuilds;
         self.periods_inserted += delta.periods_inserted;
         self.periods_removed += delta.periods_removed;
@@ -89,6 +96,7 @@ impl OpStats {
             phase2_searches: self.phase2_searches - earlier.phase2_searches,
             attempts: self.attempts - earlier.attempts,
             attempts_skipped: self.attempts_skipped - earlier.attempts_skipped,
+            attempts_jumped: self.attempts_jumped - earlier.attempts_jumped,
             rebuilds: self.rebuilds - earlier.rebuilds,
             periods_inserted: self.periods_inserted - earlier.periods_inserted,
             periods_removed: self.periods_removed - earlier.periods_removed,

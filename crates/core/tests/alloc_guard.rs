@@ -141,6 +141,38 @@ fn steady_state_submissions_do_not_allocate() {
         "steady-state phase-2 rejections must not allocate"
     );
 
+    // ---- Profile-jump rejects: a comb of fully-busy even slots makes the
+    // capacity profile refute every Δt-aligned window for a 20 s job, so
+    // the retry loop resolves by multi-hop `next_allowed` jumps alone —
+    // zero Phase-1 probes — and the whole walk (segment-tree descents
+    // included) must be allocation-free.
+    let mut sched3 = CoAllocScheduler::new(2, cfg());
+    for i in (0..40i64).step_by(2) {
+        sched3
+            .submit(&Request::advance(Time::ZERO, Time(i * 10), Dur(10), 2))
+            .unwrap();
+    }
+    let comb = Request::on_demand(Time::ZERO, Dur(20), 1);
+    let base_attempts = sched3.stats().attempts;
+    assert!(matches!(
+        sched3.submit(&comb),
+        Err(ScheduleError::Exhausted { .. })
+    ));
+    assert_eq!(
+        sched3.stats().attempts,
+        base_attempts,
+        "every attempt must be jumped, none probed"
+    );
+    let before = allocs();
+    for _ in 0..100 {
+        assert!(sched3.submit(&comb).is_err());
+    }
+    assert_eq!(
+        allocs() - before,
+        0,
+        "steady-state profile-jump rejections must not allocate"
+    );
+
     // ---- Grant path: bounded, not zero. Each grant returns an owned
     // `Grant::servers` vector and records a per-job reservation list; both
     // are O(n_r) and independent of schedule size. Guard against gross

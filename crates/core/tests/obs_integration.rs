@@ -15,12 +15,16 @@ fn scheduler_emits_phase_spans_for_known_mix() {
     trace::set_ring_capacity(4096);
     trace::clear_ring();
 
+    // Linear retry walk: this test counts one phase-1 span per attempted
+    // start, and profile jumping exists precisely to skip the probes the
+    // middle attempts would have run.
     let mut s = CoAllocScheduler::new(
         4,
         SchedulerConfig::builder()
             .tau(Dur(10))
             .horizon(Dur(200))
             .delta_t(Dur(10))
+            .jump_retries(false)
             .build(),
     );
     // Known mix: two grants, then an infeasible request (5 > 4 servers is

@@ -3,7 +3,7 @@
 //! Threading model (DESIGN.md §10): one **accept thread** admits
 //! connections (global `max_conns` bound, shed with [`BUSY_REPLY`] beyond
 //! it) and hands each to one of a fixed set of **I/O event-loop threads**
-//! round-robin. Each loop ([`crate::event`]) multiplexes *all* of its
+//! round-robin. Each loop (the private `event` module) multiplexes *all* of its
 //! connections over `poll(2)`: it frames whole pipelined bursts of lines
 //! per readiness round and crosses the bounded scheduler queue **once per
 //! burst**, not once per line. The single **scheduler thread** owns the

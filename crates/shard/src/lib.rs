@@ -32,6 +32,14 @@
 //! choices* as [`CoAllocScheduler`] for every policy and every `K` —
 //! batched or not.
 //!
+//! **Attempt jumping.** The coordinator maintains the same free-capacity
+//! profile as the core scheduler (DESIGN.md §14) and uses it to skip retry
+//! starts that are provably infeasible *before* any shard is locked or
+//! woken — both in the inline ladder and when assembling the pool's
+//! speculative probe rounds. The profile bound is partition-independent
+//! (it counts servers busy throughout a slot, regardless of which shard
+//! owns them), so jumping never changes a decision here either.
+//!
 //! With `K = 1` the coordinator always runs the shard inline — no threads,
 //! no channels — so the single-shard configuration measures pure
 //! coordinator overhead against [`CoAllocScheduler`].
@@ -54,7 +62,9 @@ use std::sync::{Arc, Mutex};
 /// Default batch size at which `submit_batch` hands work to the worker
 /// pool instead of running inline. Only reached when the host has more
 /// than one CPU — on a single CPU the pool can only add context switches,
-/// so the bypass threshold defaults to "never".
+/// so the bypass threshold defaults to "never". Overridable at
+/// construction with the `COALLOC_POOL_MIN_BATCH` environment variable,
+/// or per instance with [`ShardedScheduler::set_pool_min_batch`].
 const POOL_MIN_BATCH: usize = 16;
 
 // Batched-execution metrics: how work reaches the shards (batch sizes) and
@@ -106,17 +116,21 @@ struct ReqSlot {
     earliest: Time,
     horizon_attempts: u64,
     tries: u64,
-    /// Attempts consumed so far (the sequential `tried` counter).
-    tried: u64,
+    /// Next logical attempt index to gather (capacity-profile jumping makes
+    /// the probed sequence a subset of `0..tries`).
+    k: u64,
     /// Current staged-doubling round size.
     round: u64,
+    /// Phase-1 windows actually probed against the pre-batch snapshot
+    /// (for the live-ladder accounting adjustment in stage 3).
+    windows: u64,
     /// Probe/enumerate tree-op work, charged only if the speculative
     /// decision is accepted.
     delta: OpStats,
     /// Pre-search validation error (never probed).
     err: Option<ScheduleError>,
-    /// Speculative winner: `(attempts, start)`.
-    winner: Option<(u32, Time)>,
+    /// Speculative winner: `(logical attempt index, start)`.
+    winner: Option<(u64, Time)>,
     /// Speculative reject: the ladder exhausted every permitted start.
     rejected: bool,
     /// Index of this request's window in the enumerate stage.
@@ -127,6 +141,20 @@ impl ReqSlot {
     fn probing(&self) -> bool {
         self.err.is_none() && self.winner.is_none() && !self.rejected
     }
+}
+
+/// Coordinator-side record of one live job: the shards holding its
+/// reservations plus the reservation window and width, so `release` can
+/// withdraw the job's contribution from the capacity profile without
+/// consulting any shard.
+#[derive(Clone, Copy, Debug)]
+struct JobInfo {
+    /// Bitmask of shards holding the job's reservations.
+    mask: u64,
+    start: Time,
+    end: Time,
+    /// Number of servers reserved.
+    servers: u32,
 }
 
 /// The sharded parallel co-allocation scheduler.
@@ -152,9 +180,14 @@ pub struct ShardedScheduler {
     /// Coordinator-side counters: attempt accounting plus the probe work
     /// of accepted speculative batch decisions.
     local: OpStats,
-    /// Per live job: bitmask of shards holding its reservations, and its
-    /// end time (for the coordinator-side mirror of history pruning).
-    job_shards: HashMap<JobId, (u64, Time)>,
+    /// Aggregate free-capacity upper bound over the live slot window,
+    /// maintained from the same commit/release deltas the shards see. The
+    /// retry loop uses it to jump over provably-infeasible starts before
+    /// any shard is probed (inline) or woken (pool stage 1).
+    profile: FreeProfile,
+    /// Per live job: shard mask plus reservation window, mirrored for
+    /// history pruning and profile withdrawal on release.
+    job_shards: HashMap<JobId, JobInfo>,
     /// History boundary of the last amortized prune — mirrors every shard
     /// scheduler's, so `release` of a pruned job reports `UnknownJob`
     /// exactly when the single scheduler would.
@@ -229,14 +262,18 @@ impl ShardedScheduler {
         };
         // Load-adaptive default: the pool only pays off when batch stages
         // can actually run in parallel, so a single-CPU host keeps every
-        // batch on the inline path.
-        let pool_min_batch = if pool.is_none() {
-            usize::MAX
-        } else {
-            match std::thread::available_parallelism() {
+        // batch on the inline path. `COALLOC_POOL_MIN_BATCH` overrides the
+        // adaptive choice (benchmarks use it to pin the execution mode).
+        let env_min_batch = std::env::var("COALLOC_POOL_MIN_BATCH")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok());
+        let pool_min_batch = match env_min_batch {
+            Some(n) => n,
+            None if pool.is_none() => usize::MAX,
+            None => match std::thread::available_parallelism() {
                 Ok(p) if p.get() > 1 => POOL_MIN_BATCH,
                 _ => usize::MAX,
-            }
+            },
         };
         ShardedScheduler {
             cfg,
@@ -249,6 +286,7 @@ impl ShardedScheduler {
             backend: Backend { states, pool },
             shard_stats: vec![OpStats::new(); k as usize],
             local: OpStats::new(),
+            profile: FreeProfile::new(slot_cfg, num_servers, origin),
             job_shards: HashMap::new(),
             last_prune: origin,
             next_job: 0,
@@ -311,8 +349,9 @@ impl ShardedScheduler {
     /// batches, except that speculative probes measure their work against
     /// the pre-batch snapshot, so the snapshot-dependent probe counters
     /// (`primary_visits`, `secondary_visits`, `phase2_searches`) can
-    /// drift; attempts, skips, phase-1 searches and all structural-update
-    /// counters are grouping-invariant exactly.
+    /// drift; attempts, skips (including `attempts_jumped`), phase-1
+    /// searches and all structural-update counters are grouping-invariant
+    /// exactly.
     pub fn stats(&self) -> OpStats {
         let mut total = self.local;
         for s in &self.shard_stats {
@@ -341,6 +380,7 @@ impl ShardedScheduler {
             return;
         }
         self.base_slot = target;
+        self.profile.advance_to(now);
         self.drain_pool();
         for i in 0..self.backend.states.len() {
             let mut st = self.backend.states[i].lock().expect("shard state lock");
@@ -355,7 +395,7 @@ impl ShardedScheduler {
         if (window_start - self.last_prune).secs()
             >= coalloc_core::scheduler::PRUNE_EVERY_SLOTS * self.slot_cfg.tau.secs()
         {
-            self.job_shards.retain(|_, &mut (_, end)| end > window_start);
+            self.job_shards.retain(|_, info| info.end > window_start);
             self.last_prune = window_start;
         }
     }
@@ -377,7 +417,7 @@ impl ShardedScheduler {
         let earliest = req.earliest_start.max(self.now);
         let r_max = self.cfg.effective_r_max();
         let budget = r_max as u64 + 1;
-        self.run_search(req, earliest, budget, budget)
+        self.run_search(req, earliest, budget)
     }
 
     /// Handle a batch of requests in submission order, returning one reply
@@ -454,16 +494,19 @@ impl ShardedScheduler {
             });
         }
         let r_max = self.cfg.effective_r_max();
-        let full = r_max as u64 + 1;
-        let budget = full
+        let budget = (r_max as u64 + 1)
             .min(((latest_start - earliest).secs() / self.cfg.delta_t.secs()) as u64 + 1);
-        self.run_search(req, earliest, budget, full)
+        self.run_search(req, earliest, budget)
     }
 
     /// The shared retry loop of the inline path. `budget` is the number of
-    /// starts the caller's bounds allow (R_max, possibly deadline-capped);
-    /// `full_budget` is the plain R_max budget, used only to account
-    /// skipped attempts the same way the core scheduler does.
+    /// starts the caller's bounds allow (R_max, possibly deadline-capped).
+    ///
+    /// Attempt windows are gathered through the capacity profile: a start
+    /// whose free upper bound is below `n_r` is provably infeasible on any
+    /// shard partition, so it is jumped over (charged to `attempts_skipped`
+    /// / `attempts_jumped`) instead of probed. Decisions are identical to
+    /// the exhaustive linear walk; see DESIGN.md §14.
     ///
     /// Callers must have drained the pool first: this path locks shard
     /// states directly.
@@ -472,9 +515,7 @@ impl ShardedScheduler {
         req: &Request,
         earliest: Time,
         budget: u64,
-        full_budget: u64,
     ) -> Result<Grant, ScheduleError> {
-        debug_assert!(budget <= full_budget);
         let horizon_end = self.horizon_end();
         let horizon_attempts = if earliest + req.duration > horizon_end {
             0
@@ -483,26 +524,60 @@ impl ShardedScheduler {
         };
         let tries = budget.min(horizon_attempts);
         let n = req.servers;
-        let mut tried = 0u64;
+        let step = self.cfg.delta_t;
+        let jump = self.cfg.jump_retries;
+        let mut starts = [Time::ZERO; MAX_BATCH];
+        let mut ks = [0u64; MAX_BATCH];
+        let mut k = 0u64;
         let mut round = 1u64;
-        let mut winner: Option<(u32, Time)> = None;
-        'probe: while tried < tries {
-            let m = round.min(tries - tried).min(MAX_BATCH as u64) as u32;
-            let first = earliest + self.cfg.delta_t * (tried as i64);
-            let totals = self.sync_counts(first, req.duration, m);
-            for (i, &total) in totals.iter().take(m as usize).enumerate() {
+        let mut gathered = 0u64;
+        let mut winner: Option<(u64, Time)> = None;
+        'probe: while k < tries {
+            // Gather this round's profile-allowed starts (all of 0..tries
+            // when jumping is off — the exhaustive ladder).
+            let want = round.min(MAX_BATCH as u64) as usize;
+            let mut m = 0usize;
+            while m < want && k < tries {
+                let kk = if jump {
+                    match self.profile.next_allowed(earliest, step, req.duration, n, k, tries) {
+                        Some(kk) => kk,
+                        None => {
+                            k = tries;
+                            break;
+                        }
+                    }
+                } else {
+                    k
+                };
+                k = kk;
+                starts[m] = earliest + step * (kk as i64);
+                ks[m] = kk;
+                m += 1;
+                k += 1;
+            }
+            if m == 0 {
+                break;
+            }
+            let totals = self.sync_counts_at(&starts[..m], req.duration);
+            for (i, &total) in totals.iter().take(m).enumerate() {
                 if total >= n as u64 {
-                    let attempts = (tried + i as u64 + 1) as u32;
-                    winner = Some((attempts, first + self.cfg.delta_t * (i as i64)));
-                    tried += i as u64 + 1;
+                    gathered += i as u64 + 1;
+                    winner = Some((ks[i], starts[i]));
                     break 'probe;
                 }
             }
-            tried += m as u64;
+            gathered += m as u64;
             round = (round * 2).min(MAX_BATCH as u64);
         }
-        self.local.attempts += tried;
-        if let Some((attempts, start)) = winner {
+        self.local.attempts += gathered;
+        if let Some((kw, start)) = winner {
+            // Jumped-over starts up to the winner were all profile-refuted.
+            let skipped = (kw + 1) - gathered;
+            if skipped > 0 {
+                self.local.attempts_skipped += skipped;
+                self.local.attempts_jumped += skipped;
+                coalloc_core::scheduler::record_attempts_jumped(skipped);
+            }
             let end = start + req.duration;
             let mut feasible = std::mem::take(&mut self.scratch.feasible);
             self.sync_enumerate_into(start, end, &mut feasible);
@@ -515,7 +590,16 @@ impl ShardedScheduler {
             let job = JobId(self.next_job);
             self.next_job += 1;
             let mask = self.sync_commit(job, start, end, &feasible);
-            self.job_shards.insert(job, (mask, end));
+            self.profile.add(start, end, n);
+            self.job_shards.insert(
+                job,
+                JobInfo {
+                    mask,
+                    start,
+                    end,
+                    servers: n,
+                },
+            );
             let servers = feasible.iter().map(|p| p.server).collect();
             self.scratch.feasible = feasible;
             return Ok(Grant {
@@ -523,22 +607,98 @@ impl ShardedScheduler {
                 start,
                 end,
                 servers,
-                attempts,
+                attempts: (kw + 1) as u32,
                 waiting: start.saturating_since(earliest),
             });
         }
-        let skipped = full_budget - tried;
+        let skipped = budget - gathered;
         if skipped > 0 {
             self.local.attempts_skipped += skipped;
+        }
+        let jumped = tries - gathered;
+        if jumped > 0 {
+            self.local.attempts_jumped += jumped;
+            coalloc_core::scheduler::record_attempts_jumped(jumped);
         }
         if horizon_attempts < budget {
             Err(ScheduleError::HorizonExceeded { horizon_end })
         } else {
             Err(ScheduleError::Exhausted {
-                attempts: tried as u32,
-                last_tried: earliest + self.cfg.delta_t * (tried as i64 - 1),
+                attempts: tries as u32,
+                last_tried: earliest + self.cfg.delta_t * (tries as i64 - 1),
             })
         }
+    }
+
+    /// Replay the inline gathering ladder against the **live** profile for
+    /// a speculative batch member whose outcome is already known, returning
+    /// `(attempts, windows)`: the attempts the sequential path would charge
+    /// and the Phase-1 windows (per shard) it would probe.
+    ///
+    /// With jumping off the gathering sequence is state-independent, so
+    /// this reproduces the speculative ladder's own numbers and every
+    /// downstream adjustment is zero. With jumping on, the pre-batch
+    /// profile may allow windows that the live profile — which has
+    /// absorbed this batch's earlier commits — provably refutes; replaying
+    /// against the live profile keeps attempt/skip/phase-1 accounting
+    /// identical to sequential submission. Must run *before* the member's
+    /// own commit is added to the profile.
+    fn simulate_ladder(
+        &self,
+        duration: Dur,
+        n: u32,
+        earliest: Time,
+        tries: u64,
+        winner_k: Option<u64>,
+    ) -> (u64, u64) {
+        let step = self.cfg.delta_t;
+        let jump = self.cfg.jump_retries;
+        let mut k = 0u64;
+        let mut round = 1u64;
+        let mut attempts = 0u64;
+        let mut windows = 0u64;
+        while k < tries {
+            let want = round.min(MAX_BATCH as u64) as usize;
+            let mut m = 0usize;
+            let mut hit: Option<usize> = None;
+            while m < want && k < tries {
+                let kk = if jump {
+                    match self.profile.next_allowed(earliest, step, duration, n, k, tries) {
+                        Some(kk) => kk,
+                        None => {
+                            k = tries;
+                            break;
+                        }
+                    }
+                } else {
+                    k
+                };
+                k = kk;
+                if winner_k == Some(kk) {
+                    hit = Some(m);
+                }
+                m += 1;
+                k += 1;
+            }
+            if m == 0 {
+                break;
+            }
+            // The sequential path probes the whole gathered round even when
+            // the winner sits mid-round, but only charges attempts through
+            // the winner position.
+            windows += m as u64;
+            if let Some(i) = hit {
+                attempts += i as u64 + 1;
+                return (attempts, windows);
+            }
+            attempts += m as u64;
+            round = (round * 2).min(MAX_BATCH as u64);
+        }
+        debug_assert!(
+            winner_k.is_none(),
+            "an accepted winner's start is always live-reachable"
+        );
+        (attempts, windows)
     }
 
     /// The speculative pool path of [`Self::submit_batch`]. Requires the
@@ -566,8 +726,9 @@ impl ShardedScheduler {
                     earliest: Time::ZERO,
                     horizon_attempts: 0,
                     tries: 0,
-                    tried: 0,
+                    k: 0,
                     round: 1,
+                    windows: 0,
                     delta: OpStats::new(),
                     err: None,
                     winner: None,
@@ -600,27 +761,68 @@ impl ShardedScheduler {
         // Stage 1 — speculative Phase-1 ladders against the pre-batch
         // snapshot, in staged-doubling rounds. Every round wakes each
         // shard once with the windows of every still-unresolved member.
+        // Gathering consults the pre-batch capacity profile: a start it
+        // refutes has even less capacity live (in-batch commits only
+        // remove capacity), so pruning it cannot change any decision.
+        let jump = self.cfg.jump_retries;
         let mut idx_map: Vec<usize> = Vec::new();
+        let mut round_ks: Vec<[u64; MAX_BATCH]> = Vec::new();
         let mut totals: Vec<u64> = Vec::new();
         loop {
             idx_map.clear();
+            round_ks.clear();
             let mut jobs = Vec::new();
-            for (i, slot) in slots.iter().enumerate() {
+            for (i, slot) in slots.iter_mut().enumerate() {
                 if !slot.probing() {
                     continue;
                 }
-                let m = slot.round.min(slot.tries - slot.tried).min(MAX_BATCH as u64) as u32;
+                let req = &reqs[i];
+                let want = slot.round.min(MAX_BATCH as u64) as usize;
+                let mut starts = [Time::ZERO; MAX_BATCH];
+                let mut ks = [0u64; MAX_BATCH];
+                let mut m = 0usize;
+                while m < want && slot.k < slot.tries {
+                    let kk = if jump {
+                        match self.profile.next_allowed(
+                            slot.earliest,
+                            step,
+                            req.duration,
+                            req.servers,
+                            slot.k,
+                            slot.tries,
+                        ) {
+                            Some(kk) => kk,
+                            None => {
+                                slot.k = slot.tries;
+                                break;
+                            }
+                        }
+                    } else {
+                        slot.k
+                    };
+                    slot.k = kk;
+                    starts[m] = slot.earliest + step * (kk as i64);
+                    ks[m] = kk;
+                    m += 1;
+                    slot.k += 1;
+                }
+                if m == 0 {
+                    slot.rejected = true;
+                    continue;
+                }
+                slot.windows += m as u64;
                 jobs.push(ProbeJob {
-                    first: slot.earliest + step * (slot.tried as i64),
-                    duration: reqs[i].duration,
-                    m,
+                    starts,
+                    duration: req.duration,
+                    m: m as u32,
                 });
+                round_ks.push(ks);
                 idx_map.push(i);
             }
             if jobs.is_empty() {
                 break;
             }
-            let stage = Arc::new(ProbeStage { step, jobs });
+            let stage = Arc::new(ProbeStage { jobs });
             {
                 let pool = self.backend.pool.as_ref().expect("pool path");
                 for tx in &pool.cmd {
@@ -648,8 +850,9 @@ impl ShardedScheduler {
                     other => panic!("unexpected shard reply {other:?}"),
                 }
             }
-            // Resolve this round per request, mirroring the sequential
-            // ladder's accounting exactly.
+            // Resolve this round per request: the winner is the first
+            // gathered window with enough capacity; its logical attempt
+            // index comes from the gathering record.
             let mut off = 0usize;
             for (j, job) in stage.jobs.iter().enumerate() {
                 let slot = &mut slots[idx_map[j]];
@@ -657,15 +860,11 @@ impl ShardedScheduler {
                 off += job.m as usize;
                 let n = reqs[idx_map[j]].servers as u64;
                 if let Some(a) = counts.iter().position(|&c| c >= n) {
-                    slot.tried += a as u64 + 1;
-                    slot.winner = Some((slot.tried as u32, job.first + step * (a as i64)));
+                    slot.winner = Some((round_ks[j][a], job.starts[a]));
+                } else if slot.k >= slot.tries {
+                    slot.rejected = true;
                 } else {
-                    slot.tried += job.m as u64;
-                    if slot.tried >= slot.tries {
-                        slot.rejected = true;
-                    } else {
-                        slot.round = (slot.round * 2).min(MAX_BATCH as u64);
-                    }
+                    slot.round = (slot.round * 2).min(MAX_BATCH as u64);
                 }
             }
         }
@@ -728,23 +927,42 @@ impl ShardedScheduler {
                 continue;
             }
             if slot.rejected {
+                // Exact reject (capacity only shrank in-batch), but the
+                // *live* gathering may jump more windows than the
+                // speculative one did: replay it for the accounting, and
+                // re-base the Phase-1 window charge from the speculative
+                // ladder to the live one (identical when jumping is off).
+                let (attempts, windows) = self.simulate_ladder(
+                    req.duration,
+                    req.servers,
+                    slot.earliest,
+                    slot.tries,
+                    None,
+                );
                 self.local.accumulate(&slot.delta);
-                self.local.attempts += slot.tried;
-                let skipped = budget - slot.tried;
+                self.local.phase1_searches -= k as u64 * slot.windows;
+                self.local.phase1_searches += k as u64 * windows;
+                self.local.attempts += attempts;
+                let skipped = budget - attempts;
                 if skipped > 0 {
                     self.local.attempts_skipped += skipped;
+                }
+                let jumped = slot.tries - attempts;
+                if jumped > 0 {
+                    self.local.attempts_jumped += jumped;
+                    coalloc_core::scheduler::record_attempts_jumped(jumped);
                 }
                 out.push(Err(if slot.horizon_attempts < budget {
                     ScheduleError::HorizonExceeded { horizon_end }
                 } else {
                     ScheduleError::Exhausted {
-                        attempts: slot.tried as u32,
-                        last_tried: slot.earliest + step * (slot.tried as i64 - 1),
+                        attempts: slot.tries as u32,
+                        last_tried: slot.earliest + step * (slot.tries as i64 - 1),
                     }
                 }));
                 continue;
             }
-            let (attempts, start) = slot.winner.expect("resolved slot");
+            let (kw, start) = slot.winner.expect("resolved slot");
             let set = &mut feasible_sets[slot.enum_k];
             if set.iter().any(|p| self.scratch.dirty[p.server.0 as usize]) {
                 // Speculation raced an earlier in-batch commit: discard it
@@ -752,7 +970,7 @@ impl ShardedScheduler {
                 BATCH_REPROBES.inc();
                 self.drain_pool();
                 let earliest = slot.earliest;
-                let res = self.run_search(req, earliest, budget, budget);
+                let res = self.run_search(req, earliest, budget);
                 if let Ok(g) = &res {
                     for s in &g.servers {
                         self.scratch.dirty[s.0 as usize] = true;
@@ -761,10 +979,29 @@ impl ShardedScheduler {
                 out.push(res);
                 continue;
             }
-            // Accepted: charge the speculative work and commit
-            // asynchronously to the owning shards.
+            // Accepted: the winner's feasible set is untouched by earlier
+            // in-batch commits, so the live search would find the same
+            // winner. Replay the live gathering for the accounting (see
+            // the rejected arm), then charge the speculative work and
+            // commit asynchronously to the owning shards. The replay must
+            // precede this member's own profile update.
+            let (attempts_live, windows_live) = self.simulate_ladder(
+                req.duration,
+                req.servers,
+                slot.earliest,
+                slot.tries,
+                Some(kw),
+            );
             self.local.accumulate(&slot.delta);
-            self.local.attempts += slot.tried;
+            self.local.phase1_searches -= k as u64 * slot.windows;
+            self.local.phase1_searches += k as u64 * windows_live;
+            self.local.attempts += attempts_live;
+            let skipped = (kw + 1) - attempts_live;
+            if skipped > 0 {
+                self.local.attempts_skipped += skipped;
+                self.local.attempts_jumped += skipped;
+                coalloc_core::scheduler::record_attempts_jumped(skipped);
+            }
             let end = start + req.duration;
             let n = req.servers as usize;
             self.cfg.policy.select_in_place(set, n, end);
@@ -772,7 +1009,16 @@ impl ShardedScheduler {
             let job = JobId(self.next_job);
             self.next_job += 1;
             let mask = self.async_commit(job, start, end, set);
-            self.job_shards.insert(job, (mask, end));
+            self.profile.add(start, end, req.servers);
+            self.job_shards.insert(
+                job,
+                JobInfo {
+                    mask,
+                    start,
+                    end,
+                    servers: req.servers,
+                },
+            );
             for p in set.iter() {
                 self.scratch.dirty[p.server.0 as usize] = true;
             }
@@ -781,7 +1027,7 @@ impl ShardedScheduler {
                 start,
                 end,
                 servers: set.iter().map(|p| p.server).collect(),
-                attempts,
+                attempts: (kw + 1) as u32,
                 waiting: start.saturating_since(slot.earliest),
             }));
         }
@@ -793,13 +1039,17 @@ impl ShardedScheduler {
 
     /// Cancel a committed job on every shard holding part of it.
     pub fn release(&mut self, job: JobId) -> Result<(), ScheduleError> {
-        let (mask, _end) = self
+        let info = self
             .job_shards
             .remove(&job)
             .ok_or(ScheduleError::UnknownJob(job))?;
+        // Unconditional: the profile clamps to the live window, so windows
+        // already partly (or fully) rotated out withdraw exactly what the
+        // commit's surviving contribution was.
+        self.profile.remove(info.start, info.end, info.servers);
         self.drain_pool();
         for i in 0..self.backend.states.len() {
-            if mask & (1 << i) != 0 {
+            if info.mask & (1 << i) != 0 {
                 let mut st = self.backend.states[i].lock().expect("shard state lock");
                 st.release(job);
                 self.shard_stats[i] = st.stats();
@@ -824,14 +1074,19 @@ impl ShardedScheduler {
         busy as f64 / (span as f64 * self.num_servers as f64)
     }
 
-    /// Cross-check every shard's indexes against its timeline (test helper;
-    /// expensive).
+    /// Cross-check every shard's indexes against its timeline, and the
+    /// coordinator's capacity profile against the union of live shard
+    /// reservations (test helper; expensive).
     #[doc(hidden)]
     pub fn check_consistency(&mut self) {
         self.drain_pool();
+        let mut reservations: Vec<(Time, Time)> = Vec::new();
         for st in &self.backend.states {
-            st.lock().expect("shard state lock").check();
+            let st = st.lock().expect("shard state lock");
+            st.check();
+            st.collect_reservations(&mut reservations);
         }
+        self.profile.check_against(reservations.iter().copied());
     }
 
     /// Which shard owns a global server id.
@@ -882,14 +1137,13 @@ impl ShardedScheduler {
     }
 
     /// Inline count fan-out: lock each shard in turn and sum the
-    /// per-attempt totals.
-    fn sync_counts(&mut self, first: Time, duration: Dur, m: u32) -> [u64; MAX_BATCH] {
+    /// per-attempt totals for the explicit start list.
+    fn sync_counts_at(&mut self, starts: &[Time], duration: Dur) -> [u64; MAX_BATCH] {
         let mut totals = [0u64; MAX_BATCH];
         let mut counts = [0u32; MAX_BATCH];
-        let step = self.cfg.delta_t;
         for i in 0..self.backend.states.len() {
             let mut st = self.backend.states[i].lock().expect("shard state lock");
-            st.count_batch(first, step, duration, m, &mut counts);
+            st.count_starts(starts, duration, &mut counts);
             self.shard_stats[i] = st.stats();
             for (t, c) in totals.iter_mut().zip(counts) {
                 *t += c as u64;

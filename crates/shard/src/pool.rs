@@ -34,10 +34,13 @@ use std::thread::JoinHandle;
 pub(crate) const MAX_BATCH: usize = 32;
 
 /// One request's slice of a probe round: count the windows
-/// `[first + i*step, first + i*step + duration)` for `i < m`.
+/// `[starts[i], starts[i] + duration)` for `i < m`. Starts are explicit
+/// rather than an arithmetic ladder because the coordinator's capacity
+/// profile prunes provably-failing attempts before fan-out, leaving an
+/// irregular start sequence.
 #[derive(Clone, Copy, Debug)]
 pub(crate) struct ProbeJob {
-    pub first: Time,
+    pub starts: [Time; MAX_BATCH],
     pub duration: Dur,
     pub m: u32,
 }
@@ -46,7 +49,6 @@ pub(crate) struct ProbeJob {
 /// batch member. Shared read-only across all shard workers.
 #[derive(Debug)]
 pub(crate) struct ProbeStage {
-    pub step: Dur,
     pub jobs: Vec<ProbeJob>,
 }
 
@@ -145,11 +147,9 @@ fn worker(shard: u32, state: Arc<Mutex<ShardState>>, rx: Receiver<Cmd>, tx: Send
                 let mut buf = [0u32; MAX_BATCH];
                 for job in &stage.jobs {
                     let mut delta = OpStats::new();
-                    st.count_batch_into(
-                        job.first,
-                        stage.step,
+                    st.count_starts_into(
+                        &job.starts[..job.m as usize],
                         job.duration,
-                        job.m,
                         &mut buf,
                         &mut delta,
                     );

@@ -71,36 +71,36 @@ impl ShardState {
         self.stats
     }
 
-    /// Feasible-period counts for a batch of attempt windows: window `i`
-    /// (`i < m`) is `[first + i*step, first + i*step + duration)`. Counts are
-    /// written to `out[..m]`. Every start must lie within the horizon.
+    /// Feasible-period counts for a batch of attempt windows: window `i` is
+    /// `[starts[i], starts[i] + duration)`. Counts are written to
+    /// `out[..starts.len()]`. Every start must lie within the horizon.
+    /// Starts are explicit (not an arithmetic ladder) because the
+    /// coordinator's profile-jumping prunes provably-failing attempts
+    /// before fan-out, leaving an irregular sequence.
     ///
     /// A window's count is the number of this shard's idle periods that
     /// could host the job: open-ended periods with `st <= start` (always
     /// feasible) plus finite candidates whose end covers the window.
-    pub fn count_batch(&mut self, first: Time, step: Dur, duration: Dur, m: u32, out: &mut [u32]) {
+    pub fn count_starts(&mut self, starts: &[Time], duration: Dur, out: &mut [u32]) {
         let mut stats = self.stats;
-        self.count_batch_into(first, step, duration, m, out, &mut stats);
+        self.count_starts_into(starts, duration, out, &mut stats);
         self.stats = stats;
     }
 
-    /// [`Self::count_batch`] charging an explicit counter set instead of the
-    /// shard's cumulative stats. The batched coordinator uses this to keep
-    /// speculative probe work in a per-request delta: only the deltas of
-    /// requests whose speculation is *accepted* are ever charged, so the
+    /// [`Self::count_starts`] charging an explicit counter set instead of
+    /// the shard's cumulative stats. The batched coordinator uses this to
+    /// keep speculative probe work in a per-request delta: only the deltas
+    /// of requests whose speculation is *accepted* are ever charged, so the
     /// aggregate accounting is independent of how submissions were grouped
     /// into batches.
-    pub fn count_batch_into(
+    pub fn count_starts_into(
         &mut self,
-        first: Time,
-        step: Dur,
+        starts: &[Time],
         duration: Dur,
-        m: u32,
         out: &mut [u32],
         stats: &mut OpStats,
     ) {
-        for (i, slot) in out.iter_mut().take(m as usize).enumerate() {
-            let start = first + step * (i as i64);
+        for (slot, &start) in out.iter_mut().zip(starts) {
             let end = start + duration;
             let q = self.slot_cfg.slot_of(start);
             let trailing = self.trailing.count_candidates(start, stats);
@@ -126,7 +126,7 @@ impl ShardState {
     }
 
     /// [`Self::enumerate`] charging an explicit counter set — the Phase-2
-    /// analogue of [`Self::count_batch_into`] for speculative batch probes.
+    /// analogue of [`Self::count_starts_into`] for speculative batch probes.
     pub fn enumerate_into(
         &mut self,
         start: Time,
@@ -225,6 +225,18 @@ impl ShardState {
     /// Committed busy server-seconds before `until` on this shard's servers.
     pub fn busy_secs_before(&self, until: Time) -> i64 {
         self.timeline.busy_secs_before(until)
+    }
+
+    /// Append this shard's live reservation windows to `out` (coordinator
+    /// consistency-check helper; server identity is irrelevant to the
+    /// capacity profile, so only `(start, end)` pairs are reported).
+    #[doc(hidden)]
+    pub fn collect_reservations(&self, out: &mut Vec<(Time, Time)>) {
+        for reservations in self.jobs.values() {
+            for r in reservations {
+                out.push((r.start, r.end));
+            }
+        }
     }
 
     /// Cross-check the shard's indexes against its timeline (test helper;

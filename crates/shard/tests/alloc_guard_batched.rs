@@ -54,12 +54,28 @@ fn cfg() -> SchedulerConfig {
         .build()
 }
 
+/// Rendezvous with the worker pool before measuring: a worker's first
+/// blocking recv lazily allocates its thread-parking context, so worker
+/// startup can otherwise race a handful of allocations into a measured
+/// window. One pooled batch wakes every worker (the probe stage
+/// broadcasts to all shards) and the batch-end barrier drains it;
+/// re-blocking afterwards reuses the cached per-thread context. Leaves
+/// the scheduler empty and pinned to the inline path.
+fn settle_pool(sched: &mut ShardedScheduler, width: u32) {
+    sched.set_pool_min_batch(0);
+    let warm = vec![Request::on_demand(Time::ZERO, Dur(10), width); 2];
+    for g in sched.submit_batch(&warm) {
+        sched.release(g.unwrap().job).unwrap();
+    }
+    sched.set_pool_min_batch(usize::MAX);
+}
+
 /// One test function: the counter is process-global, so the measurements
 /// must run sequentially, not on parallel test threads.
 #[test]
 fn steady_state_batched_submissions_do_not_allocate() {
     let mut sched = ShardedScheduler::new(8, 4, cfg());
-    sched.set_pool_min_batch(usize::MAX); // pin the inline path
+    settle_pool(&mut sched, 8); // also pins the inline path
 
     // A pinned server makes 8-wide requests uncountable (phase-1 reject).
     sched
@@ -104,6 +120,38 @@ fn steady_state_batched_submissions_do_not_allocate() {
         allocs() - before,
         0,
         "steady-state batched sharded rejections must not allocate"
+    );
+
+    // ---- Profile-jump rejects: a comb of fully-busy even slots lets the
+    // coordinator's capacity profile refute every Δt-aligned window for a
+    // 20 s member, so the gather loop resolves each one by `next_allowed`
+    // jumps alone — zero shard probes — and must stay allocation-free.
+    let mut sched2 = ShardedScheduler::new(2, 2, cfg());
+    settle_pool(&mut sched2, 2);
+    for i in (0..40i64).step_by(2) {
+        sched2
+            .submit(&Request::advance(Time::ZERO, Time(i * 10), Dur(10), 2))
+            .unwrap();
+    }
+    let comb = Request::on_demand(Time::ZERO, Dur(20), 1);
+    let comb_batch: Vec<Request> = vec![comb; 16];
+    sched2.submit_batch_into(&comb_batch, &mut out); // warm
+    assert!(out.iter().all(|r| r.is_err()));
+    let base_attempts = sched2.stats().attempts;
+    let before = allocs();
+    for _ in 0..20 {
+        sched2.submit_batch_into(&comb_batch, &mut out);
+        assert!(out.iter().all(|r| r.is_err()));
+    }
+    assert_eq!(
+        allocs() - before,
+        0,
+        "steady-state profile-jump batched rejections must not allocate"
+    );
+    assert_eq!(
+        sched2.stats().attempts,
+        base_attempts,
+        "every attempt must be jumped, none probed"
     );
 
     // ---- Batched grants: bounded, not zero — each grant returns an owned
